@@ -1,0 +1,417 @@
+// Command georepctl is the coordinator CLI for a fleet of georepd
+// storage nodes: inspect the fleet, read and write objects, and run one
+// cycle of the paper's Algorithm 1 — collect micro-cluster summaries,
+// weighted-k-means them, and migrate an object toward its users.
+//
+// Usage:
+//
+//	georepctl -nodes host1:port,host2:port status
+//	georepctl -nodes ... put   -obj key -data "payload" [-version 2]
+//	georepctl -nodes ... get   -obj key
+//	georepctl -nodes ... read  -obj key -client 7 -client-coord "10,-3,42"
+//	georepctl -nodes ... rebalance -obj key -k 2 [-min-gain 0.05] [-apply]
+//	georepctl -nodes ... decay -factor 0.5
+//
+// read acts as a client at the given coordinate: it fetches the object
+// from the predicted-closest holder, which records the access in that
+// node's micro-cluster summary — the signal rebalance feeds on.
+//
+// Rebalance prints the proposed placement and its estimated improvement;
+// with -apply it executes the migration via put/delete RPCs and ages the
+// summaries. Nodes must have been started with -coord so the coordinator
+// knows where they sit in latency space.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/daemon"
+	"github.com/georep/georep/internal/replica"
+	"github.com/georep/georep/internal/store"
+	"github.com/georep/georep/internal/vec"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "georepctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("georepctl", flag.ContinueOnError)
+	var (
+		nodesFlag   = fs.String("nodes", "", "comma-separated daemon addresses")
+		obj         = fs.String("obj", "", "object id")
+		data        = fs.String("data", "", "object payload for put")
+		version     = fs.Uint64("version", 1, "object version for put")
+		k           = fs.Int("k", 2, "replication degree for rebalance")
+		clientID    = fs.Int("client", -1, "client node id for read")
+		clientPos   = fs.String("client-coord", "", "client coordinate for read, comma-separated floats")
+		decayFactor = fs.Float64("factor", 0.5, "summary aging factor for decay")
+		minGain     = fs.Float64("min-gain", 0.05, "minimum relative estimated gain to apply a rebalance")
+		apply       = fs.Bool("apply", false, "execute the rebalance instead of printing the plan")
+		timeout     = fs.Duration("timeout", 3*time.Second, "dial timeout per node")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// flag stops at the first positional argument, so accept flags both
+	// before and after the command: extract the command, then parse the
+	// rest as flags too.
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return fmt.Errorf("need a command: status, get, put, read, rebalance, decay")
+	}
+	cmd := rest[0]
+	if err := fs.Parse(rest[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if *nodesFlag == "" {
+		return fmt.Errorf("-nodes is required")
+	}
+
+	fleet, err := dialFleet(strings.Split(*nodesFlag, ","), *timeout)
+	if err != nil {
+		return err
+	}
+	defer fleet.close()
+
+	switch cmd {
+	case "status":
+		return fleet.status()
+	case "get":
+		if *obj == "" {
+			return fmt.Errorf("get needs -obj")
+		}
+		return fleet.get(*obj)
+	case "put":
+		if *obj == "" {
+			return fmt.Errorf("put needs -obj")
+		}
+		return fleet.put(*obj, []byte(*data), *version)
+	case "read":
+		if *obj == "" {
+			return fmt.Errorf("read needs -obj")
+		}
+		pos, err := parseFloats(*clientPos)
+		if err != nil {
+			return err
+		}
+		return fleet.read(*obj, *clientID, pos)
+	case "rebalance":
+		if *obj == "" {
+			return fmt.Errorf("rebalance needs -obj")
+		}
+		return fleet.rebalance(*obj, *k, *minGain, *apply)
+	case "decay":
+		if *decayFactor <= 0 || *decayFactor > 1 {
+			return fmt.Errorf("decay needs -factor in (0,1]")
+		}
+		return fleet.decay(*decayFactor)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// member is one daemon the coordinator talks to.
+type member struct {
+	addr   string
+	client *daemon.Client
+	node   int
+	coord  coord.Coordinate
+}
+
+type fleet struct {
+	members []*member
+	byNode  map[int]*member
+}
+
+func dialFleet(addrs []string, timeout time.Duration) (*fleet, error) {
+	f := &fleet{byNode: make(map[int]*member)}
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		c, err := daemon.DialNode(addr, timeout)
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		cr, err := c.Coord()
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		m := &member{
+			addr:   addr,
+			client: c,
+			node:   cr.Node,
+			coord:  coord.Coordinate{Pos: vec.Vec(cr.Pos), Height: cr.Height},
+		}
+		if dup, ok := f.byNode[m.node]; ok {
+			f.close()
+			return nil, fmt.Errorf("nodes %s and %s both report id %d", dup.addr, addr, m.node)
+		}
+		f.members = append(f.members, m)
+		f.byNode[m.node] = m
+	}
+	if len(f.members) == 0 {
+		return nil, fmt.Errorf("no nodes given")
+	}
+	return f, nil
+}
+
+func (f *fleet) close() {
+	for _, m := range f.members {
+		m.client.Close()
+	}
+}
+
+func (f *fleet) status() error {
+	fmt.Printf("%-6s%-24s%10s%12s%12s%10s  %s\n",
+		"node", "addr", "objects", "bytes", "accesses", "ping", "coordinate")
+	for _, m := range f.members {
+		st, err := m.client.Stats()
+		if err != nil {
+			return err
+		}
+		rtt, err := m.client.Ping()
+		if err != nil {
+			return err
+		}
+		coordStr := "unknown"
+		if len(m.coord.Pos) > 0 {
+			coordStr = fmt.Sprintf("%.1f (h=%.1f)", []float64(m.coord.Pos), m.coord.Height)
+		}
+		fmt.Printf("%-6d%-24s%10d%12d%12d%10s  %s\n",
+			m.node, m.addr, st.Objects, st.Bytes, st.Accesses,
+			rtt.Round(time.Microsecond), coordStr)
+	}
+	return nil
+}
+
+func (f *fleet) get(obj string) error {
+	for _, m := range f.members {
+		resp, rtt, err := m.client.Get(-1, nil, obj)
+		if err != nil {
+			continue // not on this node
+		}
+		fmt.Printf("node %d (%s) v%d %dB in %s\n%s\n",
+			m.node, m.addr, resp.Version, len(resp.Data), rtt.Round(time.Microsecond), resp.Data)
+		return nil
+	}
+	return fmt.Errorf("object %q not found on any node", obj)
+}
+
+func (f *fleet) put(obj string, data []byte, version uint64) error {
+	for _, m := range f.members {
+		if err := m.client.Put(obj, data, version); err != nil {
+			return err
+		}
+		fmt.Printf("stored %q v%d at node %d (%s)\n", obj, version, m.node, m.addr)
+	}
+	return nil
+}
+
+// read acts as a client: it finds the holders of the object, picks the
+// one with the lowest predicted RTT from the client coordinate, and
+// issues a summarized read there.
+func (f *fleet) read(obj string, clientID int, clientPos []float64) error {
+	holders, err := f.holders(obj)
+	if err != nil {
+		return err
+	}
+	if len(holders) == 0 {
+		return fmt.Errorf("object %q not found on any node", obj)
+	}
+	best := holders[0]
+	if len(clientPos) > 0 {
+		clientCoord := coord.Coordinate{Pos: vec.Vec(clientPos)}
+		bestD := clientCoord.DistanceTo(best.coord)
+		for _, m := range holders[1:] {
+			if len(m.coord.Pos) == 0 {
+				continue
+			}
+			if d := clientCoord.DistanceTo(m.coord); d < bestD {
+				best, bestD = m, d
+			}
+		}
+	}
+	resp, rtt, err := best.client.Get(clientID, clientPos, obj)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("read %q v%d (%dB) from node %d in %s\n",
+		obj, resp.Version, len(resp.Data), best.node, rtt.Round(time.Microsecond))
+	return nil
+}
+
+// decay ages every node's summary — an operator's manual epoch boundary.
+func (f *fleet) decay(factor float64) error {
+	for _, m := range f.members {
+		if err := m.client.Decay(factor); err != nil {
+			return err
+		}
+		fmt.Printf("aged summaries at node %d by %.2f\n", m.node, factor)
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad coordinate component %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// holders returns the members currently storing the object.
+func (f *fleet) holders(obj string) ([]*member, error) {
+	var out []*member
+	for _, m := range f.members {
+		objs, err := m.client.List()
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range objs {
+			if o == obj {
+				out = append(out, m)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+func (f *fleet) rebalance(obj string, k int, minGain float64, apply bool) error {
+	if k <= 0 || k > len(f.members) {
+		return fmt.Errorf("k=%d out of [1,%d]", k, len(f.members))
+	}
+	for _, m := range f.members {
+		if len(m.coord.Pos) == 0 {
+			return fmt.Errorf("node %d (%s) has no coordinate; start georepd with -coord", m.node, m.addr)
+		}
+	}
+	holders, err := f.holders(obj)
+	if err != nil {
+		return err
+	}
+	if len(holders) == 0 {
+		return fmt.Errorf("object %q not found on any node", obj)
+	}
+
+	// Collect summaries from the current holders.
+	var micros []cluster.Micro
+	var summaryBytes int
+	var current []int
+	for _, m := range holders {
+		ms, n, err := m.client.Micros()
+		if err != nil {
+			return err
+		}
+		micros = append(micros, ms...)
+		summaryBytes += n
+		current = append(current, m.node)
+	}
+	if len(micros) == 0 {
+		return fmt.Errorf("no access summaries yet; let clients read %q first", obj)
+	}
+
+	// Dense coordinate table indexed by node id.
+	maxNode := 0
+	for _, m := range f.members {
+		if m.node > maxNode {
+			maxNode = m.node
+		}
+	}
+	coords := make([]coord.Coordinate, maxNode+1)
+	var candidates []int
+	for _, m := range f.members {
+		coords[m.node] = m.coord
+		candidates = append(candidates, m.node)
+	}
+
+	proposed, err := replica.ProposePlacement(rand.New(rand.NewSource(time.Now().UnixNano())),
+		micros, k, candidates, coords)
+	if err != nil {
+		return err
+	}
+	oldEst, err := replica.EstimateMeanDelay(micros, current, coords)
+	if err != nil {
+		return err
+	}
+	newEst, err := replica.EstimateMeanDelay(micros, proposed, coords)
+	if err != nil {
+		return err
+	}
+	gain := 0.0
+	if oldEst > 0 {
+		gain = (oldEst - newEst) / oldEst
+	}
+	fmt.Printf("object %q: current %v (est %.1f ms) → proposed %v (est %.1f ms), gain %.1f%%, %dB summaries\n",
+		obj, current, oldEst, proposed, newEst, 100*gain, summaryBytes)
+
+	if !apply {
+		fmt.Println("dry run; pass -apply to migrate")
+		return nil
+	}
+	// A change of the replication degree is explicit operator intent and
+	// is applied regardless of the gain bar; the bar only filters
+	// same-size churn.
+	if gain < minGain && len(proposed) == len(current) {
+		fmt.Printf("gain below -min-gain %.1f%%; not migrating\n", 100*minGain)
+		return nil
+	}
+
+	ops, err := store.PlanMigration(store.ObjectID(obj), current, proposed)
+	if err != nil {
+		return err
+	}
+	for _, op := range ops {
+		if op.Copy {
+			src, dst := f.byNode[op.Source], f.byNode[op.Target]
+			resp, _, err := src.client.Get(-1, nil, obj)
+			if err != nil {
+				return err
+			}
+			if err := dst.client.Put(obj, resp.Data, resp.Version+1); err != nil {
+				return err
+			}
+			fmt.Printf("copied %q: node %d → node %d\n", obj, op.Source, op.Target)
+		} else {
+			if err := f.byNode[op.Target].client.Delete(obj); err != nil {
+				return err
+			}
+			fmt.Printf("deleted %q at node %d\n", obj, op.Target)
+		}
+	}
+	// Age the summaries so the next cycle reflects fresh demand.
+	for _, m := range holders {
+		if err := m.client.Decay(0.5); err != nil {
+			return err
+		}
+	}
+	fmt.Println("migration complete")
+	return nil
+}

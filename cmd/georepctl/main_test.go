@@ -1,0 +1,203 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/georep/georep/internal/daemon"
+)
+
+// startTestFleet launches three in-process daemons arranged in a right
+// triangle in coordinate space and returns their comma-joined addresses.
+func startTestFleet(t *testing.T) string {
+	t.Helper()
+	coords := [][]float64{{0, 0}, {100, 0}, {0, 100}}
+	var addrs string
+	for i, pos := range coords {
+		n, err := daemon.NewNode(daemon.Config{
+			ID: i, MicroClusters: 6, Dims: 2,
+			Coordinate: pos, Height: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		if i > 0 {
+			addrs += ","
+		}
+		addrs += n.Addr()
+	}
+	return addrs
+}
+
+func TestCtlFullCycle(t *testing.T) {
+	nodes := startTestFleet(t)
+	put := []string{"-nodes", nodes, "put", "-obj", "o", "-data", "payload"}
+	if err := run(put); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-nodes", nodes, "status"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-nodes", nodes, "get", "-obj", "o"}); err != nil {
+		t.Fatal(err)
+	}
+	// Reads from a client near (0,100): summaries accumulate at the
+	// closest holder.
+	for i := 0; i < 8; i++ {
+		err := run([]string{"-nodes", nodes, "read", "-obj", "o",
+			"-client", "9", "-client-coord", "2,98"})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Dry run, then apply with k=1: the single replica should end up at
+	// node 2 (0,100), nearest the readers.
+	if err := run([]string{"-nodes", nodes, "rebalance", "-obj", "o", "-k", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-nodes", nodes, "rebalance", "-obj", "o", "-k", "1", "-apply"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Verify placement via a direct client.
+	addrs := splitAddrs(nodes)
+	holders := 0
+	var holderNode int
+	for i, addr := range addrs {
+		c, err := daemon.DialNode(addr, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs, err := c.List()
+		c.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(objs) == 1 {
+			holders++
+			holderNode = i
+		}
+	}
+	if holders != 1 {
+		t.Fatalf("object on %d nodes, want 1", holders)
+	}
+	if holderNode != 2 {
+		t.Errorf("object at node %d, want 2 (nearest the readers)", holderNode)
+	}
+}
+
+func TestCtlErrors(t *testing.T) {
+	nodes := startTestFleet(t)
+	cases := [][]string{
+		{},                                    // no command
+		{"-nodes", nodes},                     // no command
+		{"-nodes", nodes, "bogus"},            // unknown command
+		{"status"},                            // missing -nodes
+		{"-nodes", nodes, "get"},              // missing -obj
+		{"-nodes", nodes, "put"},              // missing -obj
+		{"-nodes", nodes, "read"},             // missing -obj
+		{"-nodes", nodes, "rebalance"},        // missing -obj
+		{"-nodes", nodes, "get", "-obj", "x"}, // not found
+		{"-nodes", nodes, "rebalance", "-obj", "x", "-k", "9"},         // k too big
+		{"-nodes", "127.0.0.1:1", "status"},                            // dead node
+		{"-nodes", nodes, "read", "-obj", "x", "-client-coord", "a,b"}, // bad floats
+		{"-nodes", nodes, "status", "extra"},                           // stray args
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestCtlDecay(t *testing.T) {
+	nodes := startTestFleet(t)
+	if err := run([]string{"-nodes", nodes, "put", "-obj", "d", "-data", "x"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		err := run([]string{"-nodes", nodes, "read", "-obj", "d",
+			"-client", "3", "-client-coord", "1,1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run([]string{"-nodes", nodes, "decay", "-factor", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+	// Summaries halved: 8 reads → 4.
+	addr := splitAddrs(nodes)[0]
+	c, err := daemon.DialNode(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ms, _, err := c.Micros()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int64
+	for _, m := range ms {
+		count += m.Count
+	}
+	if count != 4 {
+		t.Errorf("decayed count = %d, want 4", count)
+	}
+	if err := run([]string{"-nodes", nodes, "decay", "-factor", "2"}); err == nil {
+		t.Error("factor > 1 should fail")
+	}
+	if err := run([]string{"-nodes", nodes, "decay", "-factor", "0"}); err == nil {
+		t.Error("factor 0 should fail")
+	}
+}
+
+func TestCtlRebalanceWithoutSummaries(t *testing.T) {
+	nodes := startTestFleet(t)
+	if err := run([]string{"-nodes", nodes, "put", "-obj", "q", "-data", "d"}); err != nil {
+		t.Fatal(err)
+	}
+	// No client reads yet → rebalance must refuse gracefully.
+	err := run([]string{"-nodes", nodes, "rebalance", "-obj", "q", "-k", "1"})
+	if err == nil {
+		t.Error("rebalance without summaries should fail")
+	}
+}
+
+func TestCtlDuplicateNodeIDsRejected(t *testing.T) {
+	n1, err := daemon.NewNode(daemon.Config{ID: 5, MicroClusters: 4, Dims: 2, Coordinate: []float64{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := daemon.NewNode(daemon.Config{ID: 5, MicroClusters: 4, Dims: 2, Coordinate: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []*daemon.Node{n1, n2} {
+		if err := n.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() { n1.Close(); n2.Close() })
+	addrs := fmt.Sprintf("%s,%s", n1.Addr(), n2.Addr())
+	if err := run([]string{"-nodes", addrs, "status"}); err == nil {
+		t.Error("duplicate node ids should be rejected")
+	}
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

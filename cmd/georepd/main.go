@@ -1,0 +1,115 @@
+// Command georepd runs one storage node of the replica-placement system:
+// a TCP daemon serving object reads/writes, summarizing client accesses
+// into micro-clusters, and exposing the coordination protocol (summary
+// export, decay, migration puts/deletes).
+//
+// A coordinator (see examples/kvcluster for a complete in-process one)
+// periodically collects each daemon's summary, runs weighted k-means,
+// and moves replicas with plain put/delete calls.
+//
+// Usage:
+//
+//	georepd -addr 127.0.0.1:7001 -node 0 -m 10 -dims 3
+//	georepd -addr 127.0.0.1:7002 -node 1 -matrix matrix.txt   # emulate WAN RTTs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/georep/georep/internal/daemon"
+	"github.com/georep/georep/internal/latency"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], stop, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "georepd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a signal arrives on stop. If
+// ready is non-nil, the bound address is sent on it once listening.
+func run(args []string, stop <-chan os.Signal, ready chan<- string) error {
+	fs := flag.NewFlagSet("georepd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:0", "listen address")
+		nodeID     = fs.Int("node", 0, "this node's index in the deployment")
+		micro      = fs.Int("m", 10, "micro-cluster budget")
+		dims       = fs.Int("dims", 3, "client coordinate dimensionality")
+		matrixPath = fs.String("matrix", "", "RTT matrix file; reads are delayed by RTT(client,node) to emulate a WAN")
+		scale      = fs.Float64("timescale", 1.0, "emulated delay multiplier (0.1 = 10x faster demos)")
+		coordFlag  = fs.String("coord", "", "this node's network coordinate as comma-separated floats, e.g. \"12.5,-3.1,40.2\"")
+		height     = fs.Float64("height", 0, "height component of this node's coordinate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var delay daemon.DelayFunc
+	if *matrixPath != "" {
+		f, err := os.Open(*matrixPath)
+		if err != nil {
+			return err
+		}
+		m, err := latency.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if *nodeID < 0 || *nodeID >= m.N() {
+			return fmt.Errorf("node %d outside matrix of %d nodes", *nodeID, m.N())
+		}
+		delay = func(client int) time.Duration {
+			if client < 0 || client >= m.N() {
+				return 0
+			}
+			return time.Duration(m.RTT(client, *nodeID) * *scale * float64(time.Millisecond))
+		}
+	}
+
+	var selfCoord []float64
+	if *coordFlag != "" {
+		for _, f := range strings.Split(*coordFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return fmt.Errorf("bad -coord component %q: %w", f, err)
+			}
+			selfCoord = append(selfCoord, v)
+		}
+		if len(selfCoord) != *dims {
+			return fmt.Errorf("-coord has %d components, -dims is %d", len(selfCoord), *dims)
+		}
+	}
+
+	n, err := daemon.NewNode(daemon.Config{
+		ID:            *nodeID,
+		MicroClusters: *micro,
+		Dims:          *dims,
+		Delay:         delay,
+		Coordinate:    selfCoord,
+		Height:        *height,
+	})
+	if err != nil {
+		return err
+	}
+	if err := n.Start(*addr); err != nil {
+		return err
+	}
+	fmt.Printf("georepd node %d listening on %s\n", *nodeID, n.Addr())
+	if ready != nil {
+		ready <- n.Addr()
+	}
+
+	<-stop
+	fmt.Println("shutting down")
+	return n.Close()
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/georep/georep/internal/daemon"
+)
+
+// startDaemon runs the daemon in a goroutine and returns its address and
+// a stopper.
+func startDaemon(t *testing.T, args []string) (addr string, stop func()) {
+	t.Helper()
+	sig := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(args, sig, ready) }()
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+	return addr, func() {
+		sig <- os.Interrupt
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("daemon shutdown: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("daemon did not stop")
+		}
+	}
+}
+
+func TestDaemonServesAndShutsDown(t *testing.T) {
+	addr, stop := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-node", "4", "-dims", "2",
+		"-coord", "1.5,2.5", "-height", "0.5",
+	})
+	defer stop()
+
+	c, err := daemon.DialNode(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("k", []byte("v"), 1); err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := c.Get(1, []float64{0, 0}, "k")
+	if err != nil || string(resp.Data) != "v" {
+		t.Fatalf("get: %v %+v", err, resp)
+	}
+	cr, err := c.Coord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Node != 4 || len(cr.Pos) != 2 || cr.Pos[0] != 1.5 || cr.Height != 0.5 {
+		t.Errorf("coord = %+v", cr)
+	}
+}
+
+func TestDaemonWithMatrixDelay(t *testing.T) {
+	dir := t.TempDir()
+	matrix := filepath.Join(dir, "m.txt")
+	// 2 nodes, RTT 50ms; timescale 1 so a read from client 1 sleeps 50ms.
+	if err := os.WriteFile(matrix, []byte("2\n0 50\n50 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-node", "0", "-dims", "2", "-matrix", matrix,
+	})
+	defer stop()
+
+	c, err := daemon.DialNode(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("k", []byte("v"), 1); err != nil {
+		t.Fatal(err)
+	}
+	_, rtt, err := c.Get(1, []float64{0, 0}, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt < 50*time.Millisecond {
+		t.Errorf("rtt %v below emulated 50ms", rtt)
+	}
+}
+
+func TestDaemonArgErrors(t *testing.T) {
+	sig := make(chan os.Signal)
+	cases := [][]string{
+		{"-coord", "1,2", "-dims", "3"},    // dim mismatch
+		{"-coord", "a,b", "-dims", "2"},    // bad floats
+		{"-matrix", "/nonexistent"},        // missing matrix
+		{"-m", "0"},                        // invalid budget
+		{"-unknown-flag"},                  // flag error
+		{"-addr", "256.256.256.256:99999"}, // unbindable address
+	}
+	for _, args := range cases {
+		if err := run(args, sig, nil); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestDaemonMatrixNodeRange(t *testing.T) {
+	dir := t.TempDir()
+	matrix := filepath.Join(dir, "m.txt")
+	if err := os.WriteFile(matrix, []byte("2\n0 50\n50 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal)
+	err := run([]string{"-matrix", matrix, "-node", "9"}, sig, nil)
+	if err == nil {
+		t.Error("node outside matrix should fail")
+	}
+}

@@ -1,0 +1,97 @@
+// Command latgen generates and inspects RTT matrices.
+//
+// Usage:
+//
+//	latgen -nodes 226 -seed 1 -out matrix.txt   # generate
+//	latgen -summarize matrix.txt                # describe an existing matrix
+//	latgen -from-king king.txt -out matrix.txt  # convert a public dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/georep/georep/internal/latency"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "latgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("latgen", flag.ContinueOnError)
+	var (
+		nodes     = fs.Int("nodes", 226, "number of nodes")
+		seed      = fs.Int64("seed", 1, "generation seed")
+		out       = fs.String("out", "", "output file (default stdout)")
+		summarize = fs.String("summarize", "", "print statistics of an existing matrix file instead of generating")
+		fromKing  = fs.String("from-king", "", "convert a king/p2psim-format matrix (µs, -1 = missing) to the native format")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *summarize != "" {
+		f, err := os.Open(*summarize)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		m, err := latency.Read(f)
+		if err != nil {
+			return err
+		}
+		printSummary(m)
+		return nil
+	}
+
+	var m *latency.Matrix
+	if *fromKing != "" {
+		f, err := os.Open(*fromKing)
+		if err != nil {
+			return err
+		}
+		m, err = latency.ReadKing(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		cfg := latency.DefaultGenerateConfig()
+		cfg.Nodes = *nodes
+		var err error
+		m, _, err = latency.Generate(rand.New(rand.NewSource(*seed)), cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := m.WriteTo(w); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d-node matrix to %s\n", m.N(), *out)
+		printSummary(m)
+	}
+	return nil
+}
+
+func printSummary(m *latency.Matrix) {
+	s := m.Summarize()
+	fmt.Fprintf(os.Stderr, "nodes=%d mean=%.1fms median=%.1fms p90=%.1fms min=%.1fms max=%.1fms tiv=%.1f%%\n",
+		s.N, s.Mean, s.Median, s.P90, s.Min, s.Max, 100*s.TriangleViolationFrac)
+}

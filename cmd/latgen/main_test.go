@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/georep/georep/internal/latency"
+)
+
+func TestRunGenerateAndSummarize(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "matrix.txt")
+	if err := run([]string{"-nodes", "20", "-seed", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := latency.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 20 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if err := run([]string{"-summarize", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromKing(t *testing.T) {
+	dir := t.TempDir()
+	king := filepath.Join(dir, "king.txt")
+	if err := os.WriteFile(king, []byte("0 10000\n10000 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "native.txt")
+	if err := run([]string{"-from-king", king, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := latency.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RTT(0, 1) != 10 {
+		t.Fatalf("converted RTT = %v, want 10 ms", m.RTT(0, 1))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-summarize", "/nonexistent/file"},
+		{"-from-king", "/nonexistent/file"},
+		{"-nodes", "1"}, // generator needs >= 2
+		{"-out", "/nonexistent-dir/x.txt"},
+		{"-bogus-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

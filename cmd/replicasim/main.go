@@ -1,0 +1,199 @@
+// Command replicasim reproduces the paper's evaluation: every figure and
+// table of "Towards Optimal Data Replication Across Data Centers"
+// (ICDCS Workshops 2011), on a synthetic PlanetLab-like testbed.
+//
+// Usage:
+//
+//	replicasim -all                 # everything, paper-scale (30 runs, 226 nodes)
+//	replicasim -fig 1               # Figure 1: delay vs number of data centers
+//	replicasim -fig 2               # Figure 2: delay vs degree of replication
+//	replicasim -fig 3               # Figure 3: delay vs micro-cluster budget
+//	replicasim -fig rnp             # §III-A: coordinate accuracy (RNP vs Vivaldi)
+//	replicasim -fig drift           # extension: gradual migration under drifting demand
+//	replicasim -fig quorum          # ablation: quorum reads vs placement geometry
+//	replicasim -fig threshold       # ablation: migration-gain threshold sweep
+//	replicasim -fig capacity        # ablation: per-DC capacity limits (load balancing)
+//	replicasim -fig readwrite       # ablation: optimal k vs read/write ratio
+//	replicasim -fig routing         # §III-A: predicted-closest-replica routing accuracy
+//	replicasim -fig tail            # ablation: mean vs p95 placement objectives
+//	replicasim -fig strategies      # all seven strategies vs k (heuristic comparison)
+//	replicasim -table 2             # Table II: online vs offline clustering cost
+//	replicasim -fig 2 -runs 5       # faster, noisier
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "replicasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("replicasim", flag.ContinueOnError)
+	var (
+		fig       = fs.String("fig", "", "figure to reproduce: 1, 2, 3, rnp, drift, quorum, threshold, capacity, readwrite, routing, tail or strategies")
+		table     = fs.String("table", "", "table to reproduce: 2")
+		all       = fs.Bool("all", false, "reproduce every figure and table")
+		runs      = fs.Int("runs", 30, "simulation runs to average over (paper: 30)")
+		nodes     = fs.Int("nodes", 226, "testbed size (paper: 226 PlanetLab nodes)")
+		algo      = fs.String("coord", "rnp", "coordinate algorithm: rnp or vivaldi")
+		micro     = fs.Int("m", 10, "micro-clusters per replica for the online strategy")
+		maxK      = fs.Int("maxk", 7, "largest degree of replication in Figure 2/3")
+		seedTable = fs.Int64("seed", 1, "seed for Table II workload generation")
+		csv       = fs.Bool("csv", false, "emit figures as CSV instead of aligned text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*all && *fig == "" && *table == "" {
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -all, -fig or -table")
+	}
+
+	setup := experiment.DefaultSetup()
+	setup.Nodes = *nodes
+	var err error
+	setup.CoordAlgorithm, err = coord.ParseAlgorithm(*algo)
+	if err != nil {
+		return err
+	}
+
+	needWorlds := *all || (*fig != "" && *fig != "drift" && *fig != "threshold")
+	var worlds []*experiment.World
+	if needWorlds {
+		start := time.Now()
+		fmt.Printf("building %d worlds (%d nodes, %s coordinates)...\n", *runs, *nodes, *algo)
+		worlds, err = experiment.BuildWorlds(*runs, setup)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("done in %s\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	ks := make([]int, 0, *maxK)
+	for k := 1; k <= *maxK; k++ {
+		ks = append(ks, k)
+	}
+
+	if *all || *fig == "1" {
+		fig, err := experiment.Figure1(worlds, []int{5, 10, 15, 20, 25, 30}, 3,
+			experiment.PaperStrategies(*micro))
+		if err != nil {
+			return err
+		}
+		printFigure(fig, *csv)
+	}
+	if *all || *fig == "2" {
+		fig, err := experiment.Figure2(worlds, 20, ks, experiment.PaperStrategies(*micro))
+		if err != nil {
+			return err
+		}
+		printFigure(fig, *csv)
+	}
+	if *all || *fig == "3" {
+		fig, err := experiment.Figure3(worlds, 20, ks, []int{1, 2, 4, 7, 11})
+		if err != nil {
+			return err
+		}
+		printFigure(fig, *csv)
+	}
+	if *all || *fig == "rnp" {
+		rows, err := experiment.CoordAccuracy(worlds, setup)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderAccuracy(rows))
+	}
+	if *all || *fig == "drift" {
+		cfg := experiment.DefaultDriftConfig()
+		cfg.Setup.CoordAlgorithm = setup.CoordAlgorithm
+		res, err := experiment.Drift(1, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderDrift(res))
+	}
+	if *all || *fig == "quorum" {
+		// The exhaustive quorum search is the expensive part; cap the
+		// candidate count to keep C(n,k) reasonable.
+		fig, err := experiment.QuorumAblation(worlds, 20, 3, *micro)
+		if err != nil {
+			return err
+		}
+		printFigure(fig, *csv)
+	}
+	if *all || *fig == "threshold" {
+		cfg := experiment.DefaultDriftConfig()
+		cfg.Setup.CoordAlgorithm = setup.CoordAlgorithm
+		rows, err := experiment.ThresholdSweep(1, cfg, []float64{0, 0.02, 0.05, 0.1, 0.2, 0.4, 0.8})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderThresholdSweep(rows))
+	}
+	if *all || *fig == "readwrite" {
+		fig, err := experiment.ReadWriteAblation(worlds, 20, *micro,
+			[]int{1, 2, 3, 5, 7}, []float64{0.5, 0.7, 0.9, 0.95, 0.99, 1.0})
+		if err != nil {
+			return err
+		}
+		printFigure(fig, *csv)
+	}
+	if *all || *fig == "capacity" {
+		fig, err := experiment.CapacityAblation(worlds, 20, 3, *micro, 6)
+		if err != nil {
+			return err
+		}
+		printFigure(fig, *csv)
+	}
+	if *all || *fig == "strategies" {
+		fig, err := experiment.Figure2(worlds, 20, ks, experiment.AllStrategies(*micro))
+		if err != nil {
+			return err
+		}
+		fig.Title = "All strategies: delay vs degree of replication (20 data centers)"
+		printFigure(fig, *csv)
+	}
+	if *all || *fig == "tail" {
+		rows, err := experiment.TailAblation(worlds, 20, 3, *micro)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderTail(rows))
+	}
+	if *all || *fig == "routing" {
+		rows, err := experiment.RoutingAccuracy(worlds, 20, *micro, []int{2, 3, 5, 7})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderRouting(rows))
+	}
+	if *all || *table == "2" {
+		rows, err := experiment.Table2(rand.New(rand.NewSource(*seedTable)), experiment.DefaultCostConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderCostTable(rows))
+	}
+	return nil
+}
+
+// printFigure emits a figure as aligned text or CSV.
+func printFigure(fig *experiment.Figure, asCSV bool) {
+	if asCSV {
+		fmt.Printf("# %s\n%s\n", fig.Title, fig.CSV())
+		return
+	}
+	fmt.Println(fig.Render())
+}

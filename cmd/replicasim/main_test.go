@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+)
+
+// The full paper-scale run is exercised out of band (results_paper_scale
+// .txt); these tests drive the CLI wiring at miniature scale.
+
+func TestRunFigure1Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	err := run([]string{"-fig", "1", "-runs", "1", "-nodes", "40"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigure3Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-fig", "3", "-runs", "1", "-nodes", "40", "-maxk", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCoordFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-fig", "rnp", "-runs", "1", "-nodes", "30", "-coord", "vivaldi"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                           // nothing to do
+		{"-coord", "bogus", "-all"},  // unknown algorithm
+		{"-fig", "1", "-runs", "0"},  // no runs
+		{"-fig", "1", "-nodes", "2"}, // world too small
+		{"-unknown-flag"},            // flag error
+		{"-fig", "1", "-runs", "1", "-nodes", "10"}, // numDCs=30 > nodes → instance error
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

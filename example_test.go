@@ -1,0 +1,105 @@
+package georep_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/georep/georep"
+)
+
+// ExampleSimulate builds a deterministic synthetic deployment and shows
+// basic RTT queries.
+func ExampleSimulate() {
+	dep, err := georep.Simulate(1, georep.WithNodes(30), georep.WithEmbeddingRounds(100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("nodes:", dep.Nodes())
+	fmt.Println("self RTT:", dep.RTT(0, 0))
+	fmt.Println("cross RTT positive:", dep.RTT(0, 1) > 0)
+	// Output:
+	// nodes: 30
+	// self RTT: 0
+	// cross RTT positive: true
+}
+
+// ExampleDeployment_Place runs the paper's online strategy against the
+// exhaustive optimum on one deployment.
+func ExampleDeployment_Place() {
+	dep, err := georep.Simulate(1, georep.WithNodes(40), georep.WithEmbeddingRounds(120))
+	if err != nil {
+		log.Fatal(err)
+	}
+	candidates := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	var clients []int
+	for i := 8; i < dep.Nodes(); i++ {
+		clients = append(clients, i)
+	}
+	cfg := georep.PlaceConfig{K: 2, Candidates: candidates, Clients: clients, Seed: 7}
+
+	online, err := dep.Place(georep.StrategyOnline, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimal, err := dep.Place(georep.StrategyOptimal, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("online has", len(online.Replicas), "replicas")
+	fmt.Println("optimal lower-bounds online:", optimal.MeanDelayMs <= online.MeanDelayMs+1e-9)
+	// Output:
+	// online has 2 replicas
+	// optimal lower-bounds online: true
+}
+
+// ExampleDeployment_NewManager shows the live epoch loop: record
+// accesses, end the epoch, observe the decision.
+func ExampleDeployment_NewManager() {
+	dep, err := georep.Simulate(2, georep.WithNodes(30), georep.WithEmbeddingRounds(100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := dep.NewManager(georep.ManagerConfig{
+		K:          2,
+		Candidates: []int{0, 1, 2, 3, 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for client := 5; client < dep.Nodes(); client++ {
+		if _, _, err := mgr.RecordAccess(client, 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report, err := mgr.EndEpoch(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("replicas after epoch:", len(report.Replicas))
+	fmt.Println("summaries collected:", report.SummaryBytes > 0)
+	// Output:
+	// replicas after epoch: 2
+	// summaries collected: true
+}
+
+// ExampleDeployment_MeanQuorumDelay contrasts closest-replica reads with
+// quorum reads.
+func ExampleDeployment_MeanQuorumDelay() {
+	dep, err := georep.Simulate(3, georep.WithNodes(30), georep.WithEmbeddingRounds(100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	clients := []int{10, 11, 12, 13, 14}
+	replicas := []int{0, 1, 2}
+	q1, err := dep.MeanQuorumDelay(clients, replicas, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q3, err := dep.MeanQuorumDelay(clients, replicas, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("waiting for all replicas is slower:", q3 >= q1)
+	// Output:
+	// waiting for all replicas is slower: true
+}

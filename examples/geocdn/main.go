@@ -1,0 +1,110 @@
+// Geocdn: a content-distribution scenario with follow-the-sun demand.
+// Three user populations on different continents take turns being active;
+// the replica manager summarizes each epoch's accesses, estimates the
+// benefit of moving, and gradually migrates the replicas toward the
+// active population — the paper's motivating "gradual migration" story.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/georep/georep"
+)
+
+func main() {
+	dep, err := georep.Simulate(7, georep.WithNodes(120))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Candidates: 15 data centers. Clients: everyone else.
+	var candidates, clients []int
+	for i := 0; i < dep.Nodes(); i++ {
+		if i < 15 {
+			candidates = append(candidates, i)
+		} else {
+			clients = append(clients, i)
+		}
+	}
+
+	// Build three geographically separated population anchors with a
+	// farthest-point sweep over predicted RTTs, then assign every client
+	// to its nearest anchor. Each "time zone" is one population.
+	anchors := []int{clients[0]}
+	for len(anchors) < 3 {
+		best, bestD := -1, -1.0
+		for _, c := range clients {
+			d := math.Inf(1)
+			for _, a := range anchors {
+				if v := dep.PredictedRTT(c, a); v < d {
+					d = v
+				}
+			}
+			if d > bestD {
+				best, bestD = c, d
+			}
+		}
+		anchors = append(anchors, best)
+	}
+	population := make(map[int][]int, 3)
+	for _, c := range clients {
+		best, bestD := 0, math.Inf(1)
+		for zi, a := range anchors {
+			if v := dep.PredictedRTT(c, a); v < bestD {
+				best, bestD = zi, v
+			}
+		}
+		population[best] = append(population[best], c)
+	}
+
+	mgr, err := dep.NewManager(georep.ManagerConfig{
+		K:             2,
+		MicroClusters: 8,
+		Candidates:    candidates,
+		// Require a 10% estimated improvement before paying for a move —
+		// the paper's migration-cost threshold.
+		MinRelativeGain: 0.10,
+		DecayFactor:     0.3, // forget fast: demand shifts every epoch
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("follow-the-sun demand over 9 epochs, 2 replicas, 15 data centers")
+	fmt.Printf("%-8s%-12s%-22s%16s%14s\n", "epoch", "hot zone", "replicas", "mean delay", "migrated")
+	for epoch := 0; epoch < 9; epoch++ {
+		zone := epoch % 3
+		// The hot zone issues 10x the traffic of the others.
+		for zi, members := range population {
+			reads := 2
+			if zi == zone {
+				reads = 20
+			}
+			for _, c := range members {
+				for i := 0; i < reads; i++ {
+					if _, _, err := mgr.RecordAccess(c, 1); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+		}
+		report, err := mgr.EndEpoch(int64(epoch))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Evaluate against the *currently hot* population with ground
+		// truth RTTs.
+		delay, err := dep.MeanAccessDelay(population[zone], report.Replicas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d%-12d%-22s%13.1f ms%14v\n",
+			epoch, zone, fmt.Sprint(report.Replicas), delay,
+			report.Migrated && report.MovedReplicas > 0)
+	}
+	fmt.Printf("\n%d epochs triggered a migration; each decision shipped only the\n"+
+		"micro-cluster summaries (≈ a few hundred bytes per replica), never\n"+
+		"the raw access log.\n", mgr.Migrations())
+}

@@ -1,0 +1,216 @@
+// Kvcluster: the full system as real networked processes. Storage
+// daemons listen on localhost TCP ports and emulate wide-area RTTs by
+// delaying reads according to a synthetic latency matrix. Clients fetch
+// an object from the predicted-closest replica; each daemon summarizes
+// its readers into micro-clusters; a coordinator collects the summaries
+// over the wire, runs weighted k-means, and migrates the replicas with
+// plain put/delete RPCs — Algorithm 1 end to end, with actual sockets.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/georep/georep"
+	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/daemon"
+	"github.com/georep/georep/internal/replica"
+	"github.com/georep/georep/internal/store"
+	"github.com/georep/georep/internal/vec"
+)
+
+// timescale shrinks emulated WAN delays so the demo finishes quickly
+// while preserving relative latencies.
+const timescale = 0.02
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dep, err := georep.Simulate(11, georep.WithNodes(16), georep.WithEmbeddingRounds(250))
+	if err != nil {
+		return err
+	}
+	candidates := []int{0, 1, 2, 3, 4}
+	var clients []int
+	for i := len(candidates); i < dep.Nodes(); i++ {
+		clients = append(clients, i)
+	}
+
+	// Internal coordinate form for the coordinator's clustering step.
+	coords := make([]coord.Coordinate, dep.Nodes())
+	for i := range coords {
+		c := dep.Coordinate(i)
+		coords[i] = coord.Coordinate{Pos: vec.Vec(c.Pos), Height: c.Height}
+	}
+
+	// Start one daemon per candidate data center, each emulating the RTT
+	// between itself and whichever client calls it.
+	nodes := make(map[int]*daemon.Node, len(candidates))
+	conns := make(map[int]*daemon.Client, len(candidates))
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	for _, dc := range candidates {
+		dc := dc
+		n, err := daemon.NewNode(daemon.Config{
+			ID:            dc,
+			MicroClusters: 6,
+			Dims:          len(coords[dc].Pos),
+			Delay: func(client int) time.Duration {
+				if client < 0 || client >= dep.Nodes() {
+					return 0 // coordinator traffic: no emulated WAN delay
+				}
+				return time.Duration(dep.RTT(client, dc) * timescale * float64(time.Millisecond))
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if err := n.Start("127.0.0.1:0"); err != nil {
+			return err
+		}
+		nodes[dc] = n
+		c, err := daemon.DialNode(n.Addr(), 2*time.Second)
+		if err != nil {
+			return err
+		}
+		conns[dc] = c
+		fmt.Printf("data center %d listening on %s\n", dc, n.Addr())
+	}
+
+	// The object starts at the worst possible pair of data centers — the
+	// state a static system would be stuck in after its users moved.
+	const objectID = "video/popular.mp4"
+	payload := []byte("pretend this is a large media object")
+	catalog := store.NewCatalog()
+	replicas := []int{candidates[0], candidates[1]}
+	worst := -1.0
+	for i := 0; i < len(candidates); i++ {
+		for j := i + 1; j < len(candidates); j++ {
+			d, err := dep.MeanAccessDelay(clients, []int{candidates[i], candidates[j]})
+			if err != nil {
+				return err
+			}
+			if d > worst {
+				worst = d
+				replicas = []int{candidates[i], candidates[j]}
+			}
+		}
+	}
+	for _, dc := range replicas {
+		if err := conns[dc].Put(objectID, payload, 1); err != nil {
+			return err
+		}
+	}
+	if err := catalog.Set(store.ObjectID(objectID), replicas); err != nil {
+		return err
+	}
+
+	readEpoch := func() (meanMs float64, err error) {
+		var total float64
+		var count int
+		reps := catalog.Replicas(store.ObjectID(objectID))
+		for round := 0; round < 4; round++ {
+			for _, cl := range clients {
+				// Client-side routing: predicted-closest replica.
+				best, bestD := reps[0], math.Inf(1)
+				for _, rep := range reps {
+					if d := dep.PredictedRTT(cl, rep); d < bestD {
+						best, bestD = rep, d
+					}
+				}
+				_, rtt, err := conns[best].Get(cl, dep.Coordinate(cl).Pos, objectID)
+				if err != nil {
+					return 0, err
+				}
+				total += rtt.Seconds() * 1000 / timescale // back to emulated ms
+				count++
+			}
+		}
+		return total / float64(count), nil
+	}
+
+	before, err := readEpoch()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nepoch 1: replicas=%v observed mean read latency %.0f ms (emulated)\n",
+		catalog.Replicas(store.ObjectID(objectID)), before)
+
+	// Coordinator cycle: collect summaries over the wire, macro-cluster,
+	// and migrate if the placement improves.
+	var micros []cluster.Micro
+	var summaryBytes int
+	for _, dc := range catalog.Replicas(store.ObjectID(objectID)) {
+		ms, n, err := conns[dc].Micros()
+		if err != nil {
+			return err
+		}
+		micros = append(micros, ms...)
+		summaryBytes += n
+	}
+	proposed, err := replica.ProposePlacement(rand.New(rand.NewSource(1)), micros, 2, candidates, coords)
+	if err != nil {
+		return err
+	}
+	oldEst, err := replica.EstimateMeanDelay(micros, catalog.Replicas(store.ObjectID(objectID)), coords)
+	if err != nil {
+		return err
+	}
+	newEst, err := replica.EstimateMeanDelay(micros, proposed, coords)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("coordinator: collected %dB of summaries, estimate %.0f → %.0f ms, proposing %v\n",
+		summaryBytes, oldEst, newEst, proposed)
+
+	if newEst < oldEst {
+		ops, err := store.PlanMigration(store.ObjectID(objectID),
+			catalog.Replicas(store.ObjectID(objectID)), proposed)
+		if err != nil {
+			return err
+		}
+		for _, op := range ops {
+			if op.Copy {
+				resp, _, err := conns[op.Source].Get(-1, nil, objectID)
+				if err != nil {
+					return err
+				}
+				if err := conns[op.Target].Put(objectID, resp.Data, resp.Version+1); err != nil {
+					return err
+				}
+				fmt.Printf("  copied %s: DC %d → DC %d\n", objectID, op.Source, op.Target)
+			} else {
+				if err := conns[op.Target].Delete(objectID); err != nil {
+					return err
+				}
+				fmt.Printf("  deleted %s at DC %d\n", objectID, op.Target)
+			}
+		}
+		if err := catalog.Set(store.ObjectID(objectID), proposed); err != nil {
+			return err
+		}
+	}
+
+	after, err := readEpoch()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nepoch 2: replicas=%v observed mean read latency %.0f ms (emulated)\n",
+		catalog.Replicas(store.ObjectID(objectID)), after)
+	fmt.Printf("migration cut observed latency by %.0f%%\n", 100*(1-after/before))
+	return nil
+}

@@ -1,0 +1,288 @@
+package georep
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/georep/georep/internal/latency"
+)
+
+// smallDeployment keeps the facade tests fast.
+func smallDeployment(t *testing.T) *Deployment {
+	t.Helper()
+	d, err := Simulate(1, WithNodes(50), WithEmbeddingRounds(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func splitNodes(d *Deployment, numDCs int) (candidates, clients []int) {
+	for i := 0; i < d.Nodes(); i++ {
+		if i < numDCs {
+			candidates = append(candidates, i)
+		} else {
+			clients = append(clients, i)
+		}
+	}
+	return candidates, clients
+}
+
+func TestSimulateBasics(t *testing.T) {
+	d := smallDeployment(t)
+	if d.Nodes() != 50 {
+		t.Fatalf("Nodes = %d", d.Nodes())
+	}
+	if d.RTT(0, 0) != 0 {
+		t.Error("self RTT should be 0")
+	}
+	if d.RTT(0, 1) <= 0 {
+		t.Error("cross RTT should be positive")
+	}
+	if d.PredictedRTT(0, 0) != 0 {
+		t.Error("self predicted RTT should be 0")
+	}
+	if d.PredictedRTT(0, 1) <= 0 {
+		t.Error("predicted RTT should be positive")
+	}
+	c := d.Coordinate(0)
+	if len(c.Pos) != 3 || c.Height < 0 {
+		t.Errorf("coordinate = %+v", c)
+	}
+	// Coordinate is a copy.
+	c.Pos[0] = 1e9
+	if d.Coordinate(0).Pos[0] == 1e9 {
+		t.Error("Coordinate returned aliased state")
+	}
+}
+
+func TestSimulateOptions(t *testing.T) {
+	d, err := Simulate(2, WithNodes(30), WithEmbeddingRounds(80),
+		WithCoordinateAlgorithm("vivaldi"), WithDimensions(2), WithMeasurementNoise(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Coordinate(0).Pos); got != 2 {
+		t.Errorf("dims = %d, want 2", got)
+	}
+	if _, err := Simulate(3, WithNodes(30), WithCoordinateAlgorithm("bogus")); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+	if _, err := Simulate(3, WithNodes(1)); err == nil {
+		t.Error("1-node deployment should fail")
+	}
+}
+
+func TestEmbeddingStabilityAndAccuracy(t *testing.T) {
+	d := smallDeployment(t)
+	st := d.EmbeddingStability()
+	if st.DriftMsPerRound <= 0 {
+		t.Errorf("drift = %v, want positive residual movement", st.DriftMsPerRound)
+	}
+	if st.MeanErrorEstimate <= 0 || st.MeanErrorEstimate > 2 {
+		t.Errorf("mean error estimate = %v out of plausible range", st.MeanErrorEstimate)
+	}
+	acc, err := d.EmbeddingAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.MedianAbsMs <= 0 || acc.MedianRel <= 0 {
+		t.Errorf("accuracy = %+v", acc)
+	}
+	if acc.FracUnder10ms < 0 || acc.FracUnder10ms > 1 {
+		t.Errorf("frac under 10ms = %v", acc.FracUnder10ms)
+	}
+}
+
+func TestCoordinateDistance(t *testing.T) {
+	a := Coordinate{Pos: []float64{0, 0}, Height: 1}
+	b := Coordinate{Pos: []float64{3, 4}, Height: 2}
+	if got := a.DistanceTo(b); got != 8 {
+		t.Errorf("DistanceTo = %v, want 8", got)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	// Serialize a generated matrix, load it through the facade.
+	cfg := latency.DefaultGenerateConfig()
+	cfg.Nodes = 20
+	m, _, err := latency.Generate(rand.New(rand.NewSource(4)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Load(&buf, 5, WithEmbeddingRounds(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Nodes() != 20 {
+		t.Fatalf("Nodes = %d", d.Nodes())
+	}
+	if d.RTT(0, 1) != m.RTT(0, 1) {
+		t.Error("loaded RTTs differ from source")
+	}
+	if _, err := Load(strings.NewReader("garbage"), 1); err == nil {
+		t.Error("garbage input should fail")
+	}
+}
+
+func TestPlaceAllStrategies(t *testing.T) {
+	d := smallDeployment(t)
+	candidates, clients := splitNodes(d, 12)
+	for _, s := range Strategies() {
+		t.Run(string(s), func(t *testing.T) {
+			p, err := d.Place(s, PlaceConfig{K: 3, Candidates: candidates, Clients: clients, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Strategy != s || len(p.Replicas) != 3 || p.MeanDelayMs <= 0 {
+				t.Errorf("placement = %+v", p)
+			}
+		})
+	}
+	if _, err := d.Place("nope", PlaceConfig{}); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+	if _, err := d.Place(StrategyOnline, PlaceConfig{K: 99, Candidates: candidates, Clients: clients}); err == nil {
+		t.Error("K > candidates should fail")
+	}
+}
+
+func TestPlaceOnlineBeatsRandom(t *testing.T) {
+	d := smallDeployment(t)
+	candidates, clients := splitNodes(d, 15)
+	var onSum, rdSum float64
+	for seed := int64(0); seed < 8; seed++ {
+		on, err := d.Place(StrategyOnline, PlaceConfig{K: 3, Candidates: candidates, Clients: clients, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := d.Place(StrategyRandom, PlaceConfig{K: 3, Candidates: candidates, Clients: clients, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		onSum += on.MeanDelayMs
+		rdSum += rd.MeanDelayMs
+	}
+	if onSum >= rdSum {
+		t.Errorf("online (%v) should beat random (%v) on average", onSum/8, rdSum/8)
+	}
+}
+
+func TestMeanAccessDelayFacade(t *testing.T) {
+	d := smallDeployment(t)
+	_, clients := splitNodes(d, 10)
+	got, err := d.MeanAccessDelay(clients, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 {
+		t.Errorf("delay = %v", got)
+	}
+	if _, err := d.MeanAccessDelay(clients, nil); err == nil {
+		t.Error("no replicas should fail")
+	}
+	if _, err := d.MeanAccessDelay(nil, []int{0}); err == nil {
+		t.Error("no clients should fail")
+	}
+	if _, err := d.MeanAccessDelay([]int{999}, []int{0}); err == nil {
+		t.Error("out-of-range client should fail")
+	}
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	d := smallDeployment(t)
+	candidates, clients := splitNodes(d, 10)
+	m, err := d.NewManager(ManagerConfig{K: 3, Candidates: candidates})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 3 || len(m.Replicas()) != 3 {
+		t.Fatalf("initial state: k=%d replicas=%v", m.K(), m.Replicas())
+	}
+
+	// Drive three epochs of the full population.
+	for epoch := 0; epoch < 3; epoch++ {
+		for _, c := range clients {
+			servedBy, rtt, err := m.RecordAccess(c, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rtt < 0 || servedBy < 0 {
+				t.Fatalf("access result: servedBy=%d rtt=%v", servedBy, rtt)
+			}
+		}
+		rep, err := m.EndEpoch(int64(epoch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.SummaryBytes <= 0 {
+			t.Error("summary bytes not accounted")
+		}
+		if len(rep.Replicas) != rep.K {
+			t.Errorf("report k=%d but %d replicas", rep.K, len(rep.Replicas))
+		}
+	}
+
+	// After migrating toward real demand, the managed placement should
+	// beat the initial (arbitrary) one.
+	initial := candidates[:3]
+	before, err := d.MeanAccessDelay(clients, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := d.MeanAccessDelay(clients, m.Replicas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before {
+		t.Errorf("managed placement (%v ms) worse than initial (%v ms)", after, before)
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	d := smallDeployment(t)
+	candidates, _ := splitNodes(d, 10)
+	if _, err := d.NewManager(ManagerConfig{K: 0, Candidates: candidates}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := d.NewManager(ManagerConfig{K: 2, Candidates: []int{0, 999}}); err == nil {
+		t.Error("out-of-range candidate should fail")
+	}
+	m, err := d.NewManager(ManagerConfig{K: 2, Candidates: candidates})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.RecordAccess(-1, 1); err == nil {
+		t.Error("out-of-range client should fail")
+	}
+}
+
+func TestManagerDynamicKFacade(t *testing.T) {
+	d := smallDeployment(t)
+	candidates, clients := splitNodes(d, 10)
+	m, err := d.NewManager(ManagerConfig{
+		K: 1, Candidates: candidates,
+		MinReplicas: 1, MaxReplicas: 4, GrowAbove: 30, ShrinkBelow: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range clients {
+		if _, _, err := m.RecordAccess(c, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := m.EndEpoch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.K != 2 {
+		t.Errorf("k should grow to 2 under heavy demand, got %d", rep.K)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/georep/georep
+
+go 1.22

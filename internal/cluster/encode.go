@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/georep/georep/internal/vec"
+)
+
+// EncodeMicros serializes micro-clusters with gob — the bytes a replica
+// server ships to the coordinator. Its length is the online approach's
+// per-collection bandwidth cost in Table II (O(k·m) records).
+func EncodeMicros(ms []Micro) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ms); err != nil {
+		return nil, fmt.Errorf("cluster: encode micros: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeMicros reverses EncodeMicros.
+func DecodeMicros(b []byte) ([]Micro, error) {
+	var ms []Micro
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&ms); err != nil {
+		return nil, fmt.Errorf("cluster: decode micros: %w", err)
+	}
+	for i := range ms {
+		if ms[i].Sum.Dim() != ms[i].Sum2.Dim() {
+			return nil, fmt.Errorf("cluster: micro %d has inconsistent dims %d vs %d",
+				i, ms[i].Sum.Dim(), ms[i].Sum2.Dim())
+		}
+		if ms[i].Count < 0 || ms[i].Weight < 0 {
+			return nil, fmt.Errorf("cluster: micro %d has negative mass", i)
+		}
+	}
+	return ms, nil
+}
+
+// EncodeCoordinates serializes raw client coordinates — the bytes the
+// offline baseline must ship (O(n) records). Used to measure the offline
+// side of Table II.
+func EncodeCoordinates(ps []vec.Vec) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ps); err != nil {
+		return nil, fmt.Errorf("cluster: encode coordinates: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCoordinates reverses EncodeCoordinates.
+func DecodeCoordinates(b []byte) ([]vec.Vec, error) {
+	var ps []vec.Vec
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&ps); err != nil {
+		return nil, fmt.Errorf("cluster: decode coordinates: %w", err)
+	}
+	return ps, nil
+}

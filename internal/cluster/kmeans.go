@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/georep/georep/internal/vec"
+)
+
+// KMeansResult is the output of a (weighted) k-means run.
+type KMeansResult struct {
+	// Centroids are the k cluster centers.
+	Centroids []vec.Vec
+	// Weights is the total point weight assigned to each centroid.
+	Weights []float64
+	// Assignment maps each input point index to its centroid index.
+	Assignment []int
+	// Iterations is how many Lloyd iterations ran before convergence.
+	Iterations int
+}
+
+// defaultKMeansIters bounds Lloyd iterations; k-means on a few hundred
+// points converges in far fewer.
+const defaultKMeansIters = 100
+
+// WeightedKMeans clusters points into k groups minimizing the weighted
+// within-cluster sum of squared distances, using k-means++ seeding and
+// Lloyd iterations. This is Algorithm 1's macro-clustering step: each
+// micro-cluster becomes a pseudo-point at its centroid carrying its
+// weight (Aggarwal et al., VLDB 2003).
+//
+// Zero-weight points participate in assignment but exert no pull on
+// centroids. If k >= len(points), each point becomes its own centroid.
+func WeightedKMeans(r *rand.Rand, points []vec.Vec, weights []float64, k, maxIter int) (*KMeansResult, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: k must be positive, got %d", k)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	if len(weights) != len(points) {
+		return nil, fmt.Errorf("cluster: %d points but %d weights", len(points), len(weights))
+	}
+	dims := points[0].Dim()
+	for i, p := range points {
+		if p.Dim() != dims {
+			return nil, fmt.Errorf("cluster: point %d has dim %d, want %d", i, p.Dim(), dims)
+		}
+		if weights[i] < 0 {
+			return nil, fmt.Errorf("cluster: negative weight %v at %d", weights[i], i)
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = defaultKMeansIters
+	}
+
+	if k >= len(points) {
+		// Degenerate: every point is its own cluster.
+		res := &KMeansResult{
+			Centroids:  make([]vec.Vec, len(points)),
+			Weights:    make([]float64, len(points)),
+			Assignment: make([]int, len(points)),
+		}
+		for i, p := range points {
+			res.Centroids[i] = p.Clone()
+			res.Weights[i] = weights[i]
+			res.Assignment[i] = i
+		}
+		return res, nil
+	}
+
+	centroids := seedPlusPlus(r, points, weights, k)
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	res := &KMeansResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		changed := false
+		for i, p := range points {
+			best, bestD2 := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d2 := p.Dist2(cent); d2 < bestD2 {
+					best, bestD2 = c, d2
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+
+		// Recompute centroids as weighted means of their members.
+		sums := make([]vec.Vec, k)
+		wsum := make([]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = vec.New(dims)
+		}
+		for i, p := range points {
+			c := assign[i]
+			w := weights[i]
+			sums[c].AddScaled(w, p)
+			wsum[c] += w
+			counts[c]++
+		}
+		for c := range centroids {
+			switch {
+			case wsum[c] > 0:
+				centroids[c] = sums[c].Scale(1 / wsum[c])
+			case counts[c] > 0:
+				// Members exist but all carry zero weight: use the plain
+				// mean so the cluster still represents them.
+				mean := vec.New(dims)
+				n := 0
+				for i, p := range points {
+					if assign[i] == c {
+						mean.AddInPlace(p)
+						n++
+					}
+				}
+				mean.ScaleInPlace(1 / float64(n))
+				centroids[c] = mean
+			default:
+				// Empty cluster: reseed at the point farthest from its
+				// current centroid, the standard fix for dead centroids.
+				centroids[c] = farthestPoint(points, centroids, assign).Clone()
+			}
+		}
+	}
+
+	res.Centroids = centroids
+	res.Assignment = assign
+	res.Weights = make([]float64, k)
+	for i := range points {
+		res.Weights[assign[i]] += weights[i]
+	}
+	return res, nil
+}
+
+// KMeans is WeightedKMeans with unit weights — the offline baseline that
+// clusters every recorded client coordinate directly.
+func KMeans(r *rand.Rand, points []vec.Vec, k, maxIter int) (*KMeansResult, error) {
+	weights := make([]float64, len(points))
+	for i := range weights {
+		weights[i] = 1
+	}
+	return WeightedKMeans(r, points, weights, k, maxIter)
+}
+
+// seedPlusPlus implements weighted k-means++ seeding: the first centroid
+// is drawn weight-proportionally, each next one proportionally to
+// weight × squared distance to the nearest chosen centroid.
+func seedPlusPlus(r *rand.Rand, points []vec.Vec, weights []float64, k int) []vec.Vec {
+	centroids := make([]vec.Vec, 0, k)
+	centroids = append(centroids, points[drawWeighted(r, weights)].Clone())
+
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		last := centroids[len(centroids)-1]
+		var total float64
+		for i, p := range points {
+			d := p.Dist2(last)
+			if len(centroids) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			w := weights[i]
+			if w == 0 {
+				w = 1e-12 // keep zero-weight points selectable as a last resort
+			}
+			total += w * d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; duplicate one.
+			centroids = append(centroids, points[r.Intn(len(points))].Clone())
+			continue
+		}
+		u := r.Float64() * total
+		pick := len(points) - 1
+		for i := range points {
+			w := weights[i]
+			if w == 0 {
+				w = 1e-12
+			}
+			u -= w * d2[i]
+			if u < 0 {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, points[pick].Clone())
+	}
+	return centroids
+}
+
+// drawWeighted samples an index proportionally to weights, treating an
+// all-zero weight vector as uniform.
+func drawWeighted(r *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	u := r.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// farthestPoint returns the point with the largest distance to its
+// assigned centroid, used to revive empty clusters.
+func farthestPoint(points []vec.Vec, centroids []vec.Vec, assign []int) vec.Vec {
+	best, bestD2 := 0, -1.0
+	for i, p := range points {
+		if d2 := p.Dist2(centroids[assign[i]]); d2 > bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	return points[best]
+}
+
+// WSSQ returns the weighted within-cluster sum of squared distances of a
+// result over the given points — the objective k-means minimizes, used by
+// tests and by the macro-clustering quality checks.
+func WSSQ(res *KMeansResult, points []vec.Vec, weights []float64) float64 {
+	var s float64
+	for i, p := range points {
+		s += weights[i] * p.Dist2(res.Centroids[res.Assignment[i]])
+	}
+	return s
+}
+
+// MacroCluster runs the paper's Algorithm 1 step 2: collect micro-cluster
+// pseudo-points and weighted-k-means them into k macro-clusters. Each
+// micro-cluster contributes its centroid as position and its Weight
+// (falling back to Count when no weights were recorded) as mass.
+func MacroCluster(r *rand.Rand, micros []Micro, k int) (*KMeansResult, error) {
+	if len(micros) == 0 {
+		return nil, fmt.Errorf("cluster: no micro-clusters to macro-cluster")
+	}
+	points := make([]vec.Vec, len(micros))
+	weights := make([]float64, len(micros))
+	for i := range micros {
+		points[i] = micros[i].Centroid()
+		weights[i] = micros[i].Weight
+		if weights[i] == 0 {
+			weights[i] = float64(micros[i].Count)
+		}
+	}
+	return WeightedKMeans(r, points, weights, k, 0)
+}

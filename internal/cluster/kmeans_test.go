@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/georep/georep/internal/vec"
+)
+
+func gaussianBlob(r *rand.Rand, center vec.Vec, n int, spread float64) []vec.Vec {
+	out := make([]vec.Vec, n)
+	for i := range out {
+		p := center.Clone()
+		for d := range p {
+			p[d] += r.NormFloat64() * spread
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestWeightedKMeansValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts := []vec.Vec{vec.Of(1, 1), vec.Of(2, 2)}
+	if _, err := WeightedKMeans(r, pts, []float64{1, 1}, 0, 10); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := WeightedKMeans(r, nil, nil, 2, 10); err == nil {
+		t.Error("no points should fail")
+	}
+	if _, err := WeightedKMeans(r, pts, []float64{1}, 2, 10); err == nil {
+		t.Error("weight length mismatch should fail")
+	}
+	if _, err := WeightedKMeans(r, pts, []float64{1, -1}, 2, 10); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := WeightedKMeans(r, []vec.Vec{vec.Of(1), vec.Of(1, 2)}, []float64{1, 1}, 1, 10); err == nil {
+		t.Error("inconsistent dims should fail")
+	}
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	centers := []vec.Vec{vec.Of(0, 0), vec.Of(100, 0), vec.Of(50, 90)}
+	var pts []vec.Vec
+	for _, c := range centers {
+		pts = append(pts, gaussianBlob(r, c, 80, 3)...)
+	}
+	res, err := KMeans(r, pts, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 3 {
+		t.Fatalf("got %d centroids", len(res.Centroids))
+	}
+	for _, c := range centers {
+		bestD := math.Inf(1)
+		for _, got := range res.Centroids {
+			if d := got.Dist(c); d < bestD {
+				bestD = d
+			}
+		}
+		if bestD > 8 {
+			t.Errorf("no centroid near %v (best %.1f)", c, bestD)
+		}
+	}
+	if res.Iterations <= 0 {
+		t.Error("iterations not recorded")
+	}
+}
+
+func TestWeightedKMeansPullsTowardHeavyPoints(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	// One centroid, two points: weight 9 at x=0, weight 1 at x=10.
+	pts := []vec.Vec{vec.Of(0), vec.Of(10)}
+	res, err := WeightedKMeans(r, pts, []float64{9, 1}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Centroids[0][0]; math.Abs(got-1) > 1e-9 {
+		t.Errorf("weighted centroid at %v, want 1.0", got)
+	}
+	if res.Weights[0] != 10 {
+		t.Errorf("cluster weight %v, want 10", res.Weights[0])
+	}
+}
+
+func TestKMeansDegenerateKGEPoints(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := []vec.Vec{vec.Of(1, 1), vec.Of(5, 5)}
+	res, err := WeightedKMeans(r, pts, []float64{2, 3}, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 2 {
+		t.Fatalf("want one centroid per point, got %d", len(res.Centroids))
+	}
+	if res.Assignment[0] == res.Assignment[1] {
+		t.Error("points should map to distinct centroids")
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pts := make([]vec.Vec, 10)
+	for i := range pts {
+		pts[i] = vec.Of(3, 3)
+	}
+	res, err := KMeans(r, pts, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Centroids {
+		if !c.Equal(vec.Of(3, 3)) {
+			t.Errorf("centroid %v, want (3,3)", c)
+		}
+	}
+}
+
+func TestKMeansZeroWeightPointsStillAssigned(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	pts := []vec.Vec{vec.Of(0), vec.Of(1), vec.Of(100)}
+	res, err := WeightedKMeans(r, pts, []float64{1, 0, 1}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[1] != res.Assignment[0] {
+		t.Errorf("zero-weight point near 0 assigned to %d, expected cluster of point 0", res.Assignment[1])
+	}
+}
+
+func TestMacroCluster(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	// Build micro-clusters from three separated user populations with
+	// very different masses.
+	mkMicro := func(center vec.Vec, count int64, weight float64) Micro {
+		m := NewMicro(2)
+		for i := int64(0); i < count; i++ {
+			m.Absorb(center, weight/float64(count))
+		}
+		return m
+	}
+	micros := []Micro{
+		mkMicro(vec.Of(0, 0), 50, 500),
+		mkMicro(vec.Of(2, 1), 30, 300),
+		mkMicro(vec.Of(100, 100), 10, 10),
+	}
+	res, err := MacroCluster(r, micros, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 2 {
+		t.Fatalf("got %d macro-clusters", len(res.Centroids))
+	}
+	// The two heavy micro-clusters near the origin should share a macro
+	// cluster; the light far one gets its own.
+	if res.Assignment[0] != res.Assignment[1] || res.Assignment[0] == res.Assignment[2] {
+		t.Errorf("assignment %v does not separate populations", res.Assignment)
+	}
+	if _, err := MacroCluster(r, nil, 2); err == nil {
+		t.Error("no micros should fail")
+	}
+}
+
+func TestMacroClusterFallsBackToCount(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	m := NewMicro(2)
+	m.Absorb(vec.Of(1, 1), 0) // zero weight but count 1
+	res, err := MacroCluster(r, []Micro{m}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weights[0] != 1 {
+		t.Errorf("macro weight %v, want count fallback 1", res.Weights[0])
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	pts := gaussianBlob(rand.New(rand.NewSource(9)), vec.Of(0, 0), 100, 10)
+	a, err := KMeans(rand.New(rand.NewSource(10)), pts, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(rand.New(rand.NewSource(10)), pts, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Centroids {
+		if !a.Centroids[i].Equal(b.Centroids[i]) {
+			t.Fatal("nondeterministic result for identical seeds")
+		}
+	}
+}
+
+func TestWSSQ(t *testing.T) {
+	pts := []vec.Vec{vec.Of(0), vec.Of(2)}
+	res := &KMeansResult{
+		Centroids:  []vec.Vec{vec.Of(1)},
+		Assignment: []int{0, 0},
+	}
+	if got := WSSQ(res, pts, []float64{1, 3}); got != 4 { // 1*1 + 3*1
+		t.Errorf("WSSQ = %v, want 4", got)
+	}
+}
+
+// Property: every point is assigned to its nearest centroid on
+// termination (the defining invariant of Lloyd's algorithm).
+func TestQuickKMeansNearestAssignment(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(60)
+		k := 1 + r.Intn(5)
+		pts := make([]vec.Vec, n)
+		ws := make([]float64, n)
+		for i := range pts {
+			pts[i] = vec.Of(r.NormFloat64()*50, r.NormFloat64()*50)
+			ws[i] = r.Float64() * 2
+		}
+		res, err := WeightedKMeans(r, pts, ws, k, 0)
+		if err != nil {
+			return false
+		}
+		for i, p := range pts {
+			got := p.Dist2(res.Centroids[res.Assignment[i]])
+			for _, c := range res.Centroids {
+				if p.Dist2(c) < got-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more clusters never increase the optimal objective — WSSQ with
+// k+1 centroids (same seed family) should not exceed WSSQ with k by more
+// than numerical noise in the common case. We assert the weaker invariant
+// that WSSQ is finite and non-negative, and that total assigned weight is
+// conserved.
+func TestQuickKMeansWeightConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(40)
+		k := 1 + r.Intn(6)
+		pts := make([]vec.Vec, n)
+		ws := make([]float64, n)
+		var totalW float64
+		for i := range pts {
+			pts[i] = vec.Of(r.NormFloat64()*20, r.NormFloat64()*20, r.NormFloat64()*20)
+			ws[i] = r.Float64()
+			totalW += ws[i]
+		}
+		res, err := WeightedKMeans(r, pts, ws, k, 0)
+		if err != nil {
+			return false
+		}
+		var gotW float64
+		for _, w := range res.Weights {
+			if w < 0 {
+				return false
+			}
+			gotW += w
+		}
+		obj := WSSQ(res, pts, ws)
+		return math.Abs(gotW-totalW) < 1e-6 && obj >= 0 && !math.IsNaN(obj) && !math.IsInf(obj, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

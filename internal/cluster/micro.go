@@ -1,0 +1,301 @@
+// Package cluster implements the paper's two-phase online clustering: the
+// per-replica micro-cluster summaries (§III-B) and the weighted k-means
+// macro-clustering a coordinator runs over collected summaries (§III-C).
+// It also provides plain (offline) k-means as the high-overhead baseline
+// the evaluation compares against.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/georep/georep/internal/vec"
+)
+
+// Micro is a micro-cluster feature vector. Per the paper, exactly four
+// quantities are maintained: the number of accesses, the overall data
+// weight exchanged, the per-dimension coordinate sum, and the
+// per-dimension sum of squares. Centroid and standard deviation are
+// derived, never stored.
+type Micro struct {
+	// Count is the number of data accesses folded into the cluster.
+	Count int64
+	// Weight is the overall amount of data exchanged with the users in
+	// the cluster (bytes, requests, or any caller-defined mass).
+	Weight float64
+	// Sum is the per-dimension sum of observed coordinates.
+	Sum vec.Vec
+	// Sum2 is the per-dimension sum of squared coordinates.
+	Sum2 vec.Vec
+}
+
+// NewMicro returns an empty micro-cluster of the given dimensionality.
+func NewMicro(dims int) Micro {
+	return Micro{Sum: vec.New(dims), Sum2: vec.New(dims)}
+}
+
+// Dims returns the dimensionality of the cluster.
+func (m *Micro) Dims() int { return m.Sum.Dim() }
+
+// Centroid returns Sum/Count, the cluster's center of mass. An empty
+// cluster yields the origin.
+func (m *Micro) Centroid() vec.Vec {
+	if m.Count == 0 {
+		return vec.New(m.Dims())
+	}
+	// Divide per component rather than scaling by a reciprocal: n copies
+	// of x must yield exactly x, or duplicate points spuriously fall
+	// outside their own cluster's zero radius.
+	out := vec.New(m.Dims())
+	n := float64(m.Count)
+	for d := range out {
+		out[d] = m.Sum[d] / n
+	}
+	return out
+}
+
+// StdDev returns the root-mean-square deviation of member points from the
+// centroid, computed with the paper's identity Var[X] = E[X²] − E[X]²
+// summed over dimensions. Negative per-dimension variances from
+// floating-point cancellation are clamped to zero.
+func (m *Micro) StdDev() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	n := float64(m.Count)
+	var total float64
+	for d := 0; d < m.Dims(); d++ {
+		mean := m.Sum[d] / n
+		v := m.Sum2[d]/n - mean*mean
+		if v > 0 {
+			total += v
+		}
+	}
+	return math.Sqrt(total)
+}
+
+// Absorb folds one observation at point p with the given weight into the
+// cluster.
+func (m *Micro) Absorb(p vec.Vec, weight float64) {
+	if m.Count == 0 && m.Sum.Dim() == 0 {
+		m.Sum = vec.New(p.Dim())
+		m.Sum2 = vec.New(p.Dim())
+	}
+	m.Count++
+	m.Weight += weight
+	for d := range p {
+		m.Sum[d] += p[d]
+		m.Sum2[d] += p[d] * p[d]
+	}
+}
+
+// MergeMicro returns the cluster feature vector of a ∪ b. Feature vectors
+// are additive, which is what makes micro-clusters mergeable in O(d).
+func MergeMicro(a, b Micro) (Micro, error) {
+	if a.Dims() != b.Dims() {
+		return Micro{}, fmt.Errorf("cluster: merge dims %d vs %d", a.Dims(), b.Dims())
+	}
+	out := Micro{
+		Count:  a.Count + b.Count,
+		Weight: a.Weight + b.Weight,
+		Sum:    a.Sum.Add(b.Sum),
+		Sum2:   a.Sum2.Add(b.Sum2),
+	}
+	return out, nil
+}
+
+// Clone returns an independent copy of the cluster.
+func (m Micro) Clone() Micro {
+	return Micro{Count: m.Count, Weight: m.Weight, Sum: m.Sum.Clone(), Sum2: m.Sum2.Clone()}
+}
+
+// SummarizerOption configures a Summarizer.
+type SummarizerOption interface {
+	apply(*summarizerOptions)
+}
+
+type summarizerOptions struct {
+	radiusFloor float64
+	decayFactor float64
+}
+
+type radiusFloorOption float64
+
+func (o radiusFloorOption) apply(opts *summarizerOptions) { opts.radiusFloor = float64(o) }
+
+// WithRadiusFloor sets a minimum absorption radius in coordinate units
+// (milliseconds). The paper absorbs a point when it lies within one
+// standard deviation of the nearest centroid; a singleton cluster has
+// zero deviation, so a small floor reduces create-and-merge churn without
+// changing the summaries materially. Zero (the default) reproduces the
+// paper exactly.
+func WithRadiusFloor(ms float64) SummarizerOption { return radiusFloorOption(ms) }
+
+// Summarizer maintains at most maxClusters micro-clusters over a stream
+// of coordinate observations — the state each replica server keeps
+// (paper symbol m). It is not safe for concurrent use; replica servers
+// own one summarizer each.
+type Summarizer struct {
+	maxClusters int
+	dims        int
+	opts        summarizerOptions
+	clusters    []Micro
+	observed    int64
+}
+
+// NewSummarizer returns a summarizer holding at most maxClusters
+// micro-clusters of the given dimensionality.
+func NewSummarizer(maxClusters, dims int, opts ...SummarizerOption) (*Summarizer, error) {
+	if maxClusters <= 0 {
+		return nil, fmt.Errorf("cluster: maxClusters must be positive, got %d", maxClusters)
+	}
+	if dims <= 0 {
+		return nil, fmt.Errorf("cluster: dims must be positive, got %d", dims)
+	}
+	s := &Summarizer{maxClusters: maxClusters, dims: dims}
+	for _, o := range opts {
+		o.apply(&s.opts)
+	}
+	if s.opts.radiusFloor < 0 {
+		return nil, fmt.Errorf("cluster: radius floor %v must be non-negative", s.opts.radiusFloor)
+	}
+	return s, nil
+}
+
+// Observe folds one client access at coordinate p with the given weight
+// into the summary, following §III-B: absorb into the nearest cluster if
+// the point is within its standard deviation, otherwise open a new
+// cluster and, if over capacity, merge the two closest clusters.
+func (s *Summarizer) Observe(p vec.Vec, weight float64) error {
+	if p.Dim() != s.dims {
+		return fmt.Errorf("cluster: observation dims %d, summarizer dims %d", p.Dim(), s.dims)
+	}
+	if !p.IsFinite() {
+		return fmt.Errorf("cluster: non-finite observation %v", p)
+	}
+	if weight < 0 {
+		return fmt.Errorf("cluster: negative weight %v", weight)
+	}
+	s.observed++
+
+	if len(s.clusters) > 0 {
+		best, bestDist := s.nearest(p)
+		radius := s.clusters[best].StdDev()
+		if radius < s.opts.radiusFloor {
+			radius = s.opts.radiusFloor
+		}
+		if bestDist <= radius {
+			s.clusters[best].Absorb(p, weight)
+			return nil
+		}
+	}
+
+	fresh := NewMicro(s.dims)
+	fresh.Absorb(p, weight)
+	s.clusters = append(s.clusters, fresh)
+	if len(s.clusters) > s.maxClusters {
+		if err := s.mergeClosestPair(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nearest returns the index of the cluster whose centroid is closest to p
+// and the distance to it.
+func (s *Summarizer) nearest(p vec.Vec) (int, float64) {
+	best, bestD2 := 0, math.Inf(1)
+	for i := range s.clusters {
+		d2 := s.clusters[i].Centroid().Dist2(p)
+		if d2 < bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	return best, math.Sqrt(bestD2)
+}
+
+// mergeClosestPair merges the two clusters with the closest centroids.
+func (s *Summarizer) mergeClosestPair() error {
+	if len(s.clusters) < 2 {
+		return nil
+	}
+	centroids := make([]vec.Vec, len(s.clusters))
+	for i := range s.clusters {
+		centroids[i] = s.clusters[i].Centroid()
+	}
+	bi, bj, bestD2 := 0, 1, math.Inf(1)
+	for i := 0; i < len(s.clusters); i++ {
+		for j := i + 1; j < len(s.clusters); j++ {
+			if d2 := centroids[i].Dist2(centroids[j]); d2 < bestD2 {
+				bi, bj, bestD2 = i, j, d2
+			}
+		}
+	}
+	merged, err := MergeMicro(s.clusters[bi], s.clusters[bj])
+	if err != nil {
+		return err
+	}
+	s.clusters[bi] = merged
+	s.clusters[bj] = s.clusters[len(s.clusters)-1]
+	s.clusters = s.clusters[:len(s.clusters)-1]
+	return nil
+}
+
+// Clusters returns an independent copy of the current micro-clusters.
+func (s *Summarizer) Clusters() []Micro {
+	out := make([]Micro, len(s.clusters))
+	for i := range s.clusters {
+		out[i] = s.clusters[i].Clone()
+	}
+	return out
+}
+
+// Len returns the current number of micro-clusters.
+func (s *Summarizer) Len() int { return len(s.clusters) }
+
+// Observed returns how many observations the summarizer has consumed.
+func (s *Summarizer) Observed() int64 { return s.observed }
+
+// TotalWeight returns the summed weight across clusters.
+func (s *Summarizer) TotalWeight() float64 {
+	var w float64
+	for i := range s.clusters {
+		w += s.clusters[i].Weight
+	}
+	return w
+}
+
+// Decay scales every cluster's mass by factor in (0, 1], exponentially
+// aging out old accesses so the summary tracks *recent* usage as the
+// paper requires. Clusters whose count rounds to zero are dropped. This
+// is called by the replica manager between placement epochs.
+func (s *Summarizer) Decay(factor float64) error {
+	if factor <= 0 || factor > 1 {
+		return fmt.Errorf("cluster: decay factor %v out of (0,1]", factor)
+	}
+	kept := s.clusters[:0]
+	for i := range s.clusters {
+		c := &s.clusters[i]
+		newCount := int64(math.Round(float64(c.Count) * factor))
+		if newCount <= 0 {
+			continue
+		}
+		// Scale Sum/Sum2 by the realized count ratio, not the nominal
+		// factor, so the centroid and deviation are exactly preserved
+		// despite integer rounding of Count.
+		ratio := float64(newCount) / float64(c.Count)
+		c.Count = newCount
+		c.Weight *= factor
+		c.Sum.ScaleInPlace(ratio)
+		c.Sum2.ScaleInPlace(ratio)
+		kept = append(kept, *c)
+	}
+	s.clusters = kept
+	return nil
+}
+
+// Reset discards all state, keeping the configuration.
+func (s *Summarizer) Reset() {
+	s.clusters = nil
+	s.observed = 0
+}

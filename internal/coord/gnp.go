@@ -1,0 +1,152 @@
+package coord
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/georep/georep/internal/vec"
+)
+
+// GNP (Global Network Positioning) embeds a fixed set of landmark nodes
+// first and then positions every other node against the landmarks only.
+// It is centralized and included as the related-work baseline the paper
+// contrasts RNP with ("in contrast to GNP, RNP does not require
+// preconfigured landmarks").
+
+// GNPConfig controls a GNP embedding.
+type GNPConfig struct {
+	// Dims is the dimensionality of the coordinate space.
+	Dims int
+	// Landmarks is the number of landmark nodes (chosen as the first
+	// indices of the provided RTT function's domain by the caller, or
+	// randomly via ChooseLandmarks).
+	Landmarks int
+	// Iterations bounds the gradient descent used for both phases.
+	Iterations int
+}
+
+// DefaultGNPConfig returns the configuration used in the GNP paper's
+// evaluation: a handful of landmarks in a low-dimensional space.
+func DefaultGNPConfig() GNPConfig {
+	return GNPConfig{Dims: 5, Landmarks: 15, Iterations: 400}
+}
+
+// GNPEmbed computes coordinates for n nodes given a pairwise RTT oracle.
+// landmarks lists node indices acting as landmarks; the remaining nodes
+// are positioned against the landmarks only, as in the original system.
+func GNPEmbed(r *rand.Rand, n int, landmarks []int, rtt func(i, j int) float64, cfg GNPConfig) ([]Coordinate, error) {
+	if cfg.Dims <= 0 {
+		return nil, fmt.Errorf("coord: gnp dims must be positive, got %d", cfg.Dims)
+	}
+	if len(landmarks) < cfg.Dims+1 {
+		return nil, fmt.Errorf("coord: need at least dims+1=%d landmarks, got %d", cfg.Dims+1, len(landmarks))
+	}
+	if cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("coord: gnp iterations must be positive, got %d", cfg.Iterations)
+	}
+	isLandmark := make(map[int]bool, len(landmarks))
+	for _, l := range landmarks {
+		if l < 0 || l >= n {
+			return nil, fmt.Errorf("coord: landmark %d out of range [0,%d)", l, n)
+		}
+		if isLandmark[l] {
+			return nil, fmt.Errorf("coord: duplicate landmark %d", l)
+		}
+		isLandmark[l] = true
+	}
+
+	// Phase 1: embed landmarks against each other by stress-minimizing
+	// gradient descent from a random start.
+	lpos := make([]vec.Vec, len(landmarks))
+	for i := range lpos {
+		lpos[i] = randomUnit(r, cfg.Dims).Scale(50 + r.Float64()*50)
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		lr := 0.05 * (1 - float64(it)/float64(cfg.Iterations+1))
+		for a := range landmarks {
+			grad := vec.New(cfg.Dims)
+			for b := range landmarks {
+				if a == b {
+					continue
+				}
+				target := rtt(landmarks[a], landmarks[b])
+				d := lpos[a].Dist(lpos[b])
+				if d < 1e-9 {
+					lpos[a].AddScaled(0.1, randomUnit(r, cfg.Dims))
+					continue
+				}
+				diff := d - target
+				dir := lpos[a].Sub(lpos[b]).Unit()
+				grad.AddScaled(diff, dir)
+			}
+			lpos[a].AddScaled(-lr, grad)
+		}
+	}
+
+	// Phase 2: position every other node against the landmarks.
+	coords := make([]Coordinate, n)
+	for li, l := range landmarks {
+		coords[l] = Coordinate{Pos: lpos[li].Clone()}
+	}
+	for i := 0; i < n; i++ {
+		if isLandmark[i] {
+			continue
+		}
+		pos := randomUnit(r, cfg.Dims).Scale(50)
+		for it := 0; it < cfg.Iterations/2; it++ {
+			lr := 0.1 * (1 - float64(it)/float64(cfg.Iterations/2+1))
+			grad := vec.New(cfg.Dims)
+			for li, l := range landmarks {
+				target := rtt(i, l)
+				d := pos.Dist(lpos[li])
+				if d < 1e-9 {
+					pos.AddScaled(0.1, randomUnit(r, cfg.Dims))
+					continue
+				}
+				diff := d - target
+				grad.AddScaled(diff, pos.Sub(lpos[li]).Unit())
+			}
+			pos.AddScaled(-lr/float64(len(landmarks)), grad.Scale(float64(len(landmarks))))
+		}
+		coords[i] = Coordinate{Pos: pos}
+	}
+	return coords, nil
+}
+
+// ChooseLandmarks picks k well-spread landmark indices using the
+// farthest-point heuristic: start from a random node, then repeatedly add
+// the node whose minimum RTT to the chosen set is largest.
+func ChooseLandmarks(r *rand.Rand, n, k int, rtt func(i, j int) float64) ([]int, error) {
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("coord: cannot choose %d landmarks from %d nodes", k, n)
+	}
+	chosen := []int{r.Intn(n)}
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = rtt(i, chosen[0])
+	}
+	for len(chosen) < k {
+		best, bestD := -1, -1.0
+		for i := 0; i < n; i++ {
+			if minDist[i] > bestD {
+				in := false
+				for _, c := range chosen {
+					if c == i {
+						in = true
+						break
+					}
+				}
+				if !in {
+					best, bestD = i, minDist[i]
+				}
+			}
+		}
+		chosen = append(chosen, best)
+		for i := range minDist {
+			if d := rtt(i, best); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return chosen, nil
+}

@@ -1,0 +1,107 @@
+package coord
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEmbedOverSimnetValidation(t *testing.T) {
+	m := testMatrix(t, 15, 60)
+	cfg := DefaultEmbedConfig()
+	r := rand.New(rand.NewSource(1))
+	if _, err := EmbedOverSimnet(r, m, cfg, 0, 100); err == nil {
+		t.Error("zero duration should fail")
+	}
+	if _, err := EmbedOverSimnet(r, m, cfg, 1000, 0); err == nil {
+		t.Error("zero gossip interval should fail")
+	}
+	bad := cfg
+	bad.Dims = 0
+	if _, err := EmbedOverSimnet(r, m, bad, 1000, 100); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestEmbedOverSimnetConverges(t *testing.T) {
+	m := testMatrix(t, 50, 61)
+	for _, algo := range []Algorithm{AlgorithmVivaldi, AlgorithmRNP} {
+		t.Run(algo.String(), func(t *testing.T) {
+			cfg := DefaultEmbedConfig()
+			cfg.Algorithm = algo
+			// ~300 gossips per node: 300 × 1000ms mean interval over
+			// 300k simulated ms.
+			emb, err := EmbedOverSimnet(rand.New(rand.NewSource(2)), m, cfg, 300_000, 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if emb.N() != m.N() {
+				t.Fatalf("embedding has %d nodes", emb.N())
+			}
+			for i, c := range emb.Coords {
+				if !c.IsValid() {
+					t.Fatalf("node %d invalid coordinate", i)
+				}
+				if c.Pos.IsZero() {
+					t.Fatalf("node %d never gossiped", i)
+				}
+			}
+			s, err := EvalError(emb, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Async staleness costs some accuracy vs the synchronous
+			// loop, but the embedding must remain useful.
+			if s.MedianRel > 0.4 {
+				t.Errorf("median relative error %v too high", s.MedianRel)
+			}
+		})
+	}
+}
+
+func TestEmbedOverSimnetDeterministic(t *testing.T) {
+	m := testMatrix(t, 25, 62)
+	cfg := DefaultEmbedConfig()
+	run := func() *Embedding {
+		emb, err := EmbedOverSimnet(rand.New(rand.NewSource(3)), m, cfg, 60_000, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return emb
+	}
+	a, b := run(), run()
+	for i := range a.Coords {
+		if !a.Coords[i].Pos.Equal(b.Coords[i].Pos) {
+			t.Fatalf("node %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestEmbedOverSimnetComparableToSynchronous(t *testing.T) {
+	m := testMatrix(t, 60, 63)
+	cfg := DefaultEmbedConfig()
+	cfg.Rounds = 300
+
+	syncEmb, err := Embed(rand.New(rand.NewSource(4)), m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncEmb, err := EmbedOverSimnet(rand.New(rand.NewSource(4)), m, cfg, 300_000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncErr, err := EvalError(syncEmb, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncErr, err := EvalError(asyncEmb, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sync rel %.3f vs async rel %.3f", syncErr.MedianRel, asyncErr.MedianRel)
+	// Asynchrony (stale peer coordinates) may cost accuracy but not
+	// break the embedding: within 2x of the synchronous result.
+	if asyncErr.MedianRel > syncErr.MedianRel*2 {
+		t.Errorf("async embedding (%v) far worse than synchronous (%v)",
+			asyncErr.MedianRel, syncErr.MedianRel)
+	}
+}

@@ -1,0 +1,116 @@
+package daemon
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/transport"
+)
+
+// Client talks the daemon protocol to one node.
+type Client struct {
+	c    *transport.Client
+	addr string
+}
+
+// DialNode connects to a daemon.
+func DialNode(addr string, timeout time.Duration) (*Client, error) {
+	c, err := transport.Dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, addr: addr}, nil
+}
+
+// Addr returns the daemon's address.
+func (c *Client) Addr() string { return c.addr }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// Ping checks liveness and returns the measured RTT — the signal a
+// coordinate system would feed on.
+func (c *Client) Ping() (time.Duration, error) {
+	return c.c.Call(MethodPing, nil, nil)
+}
+
+// Get reads an object on behalf of a client node, returning the payload
+// and the observed RTT (including any emulated wide-area delay).
+func (c *Client) Get(client int, clientCoord []float64, object string) (GetResponse, time.Duration, error) {
+	var resp GetResponse
+	rtt, err := c.c.Call(MethodGet, GetRequest{
+		Client:      client,
+		ClientCoord: clientCoord,
+		Object:      object,
+	}, &resp)
+	if err != nil {
+		return GetResponse{}, rtt, fmt.Errorf("daemon: get %s from %s: %w", object, c.addr, err)
+	}
+	return resp, rtt, nil
+}
+
+// Put stores an object version.
+func (c *Client) Put(object string, data []byte, version uint64) error {
+	if _, err := c.c.Call(MethodPut, PutRequest{Object: object, Data: data, Version: version}, nil); err != nil {
+		return fmt.Errorf("daemon: put %s to %s: %w", object, c.addr, err)
+	}
+	return nil
+}
+
+// Delete removes an object.
+func (c *Client) Delete(object string) error {
+	if _, err := c.c.Call(MethodDelete, DeleteRequest{Object: object}, nil); err != nil {
+		return fmt.Errorf("daemon: delete %s at %s: %w", object, c.addr, err)
+	}
+	return nil
+}
+
+// Micros fetches the node's micro-cluster summary, decoded, along with
+// its wire size in bytes.
+func (c *Client) Micros() ([]cluster.Micro, int, error) {
+	var resp MicrosResponse
+	if _, err := c.c.Call(MethodMicros, nil, &resp); err != nil {
+		return nil, 0, fmt.Errorf("daemon: micros from %s: %w", c.addr, err)
+	}
+	ms, err := cluster.DecodeMicros(resp.Encoded)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ms, len(resp.Encoded), nil
+}
+
+// Decay ages the node's summary.
+func (c *Client) Decay(factor float64) error {
+	if _, err := c.c.Call(MethodDecay, DecayRequest{Factor: factor}, nil); err != nil {
+		return fmt.Errorf("daemon: decay at %s: %w", c.addr, err)
+	}
+	return nil
+}
+
+// Coord fetches the node's own network coordinate.
+func (c *Client) Coord() (CoordResponse, error) {
+	var resp CoordResponse
+	if _, err := c.c.Call(MethodCoord, nil, &resp); err != nil {
+		return CoordResponse{}, fmt.Errorf("daemon: coord from %s: %w", c.addr, err)
+	}
+	return resp, nil
+}
+
+// List fetches the node's stored object IDs.
+func (c *Client) List() ([]string, error) {
+	var resp ListResponse
+	if _, err := c.c.Call(MethodList, nil, &resp); err != nil {
+		return nil, fmt.Errorf("daemon: list from %s: %w", c.addr, err)
+	}
+	return resp.Objects, nil
+}
+
+// Stats fetches node statistics.
+func (c *Client) Stats() (StatsResponse, error) {
+	var resp StatsResponse
+	if _, err := c.c.Call(MethodStats, nil, &resp); err != nil {
+		return StatsResponse{}, fmt.Errorf("daemon: stats from %s: %w", c.addr, err)
+	}
+	return resp, nil
+}

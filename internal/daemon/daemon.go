@@ -1,0 +1,299 @@
+// Package daemon is the networked storage-node runtime: a TCP server
+// exposing the object store, the per-replica micro-cluster summary, and
+// the coordination hooks (summary export, decay, migration ops). Both
+// the georepd binary and the kvcluster example embed it; a coordinator
+// drives a set of daemons with Client.
+//
+// Wide-area latencies can be emulated on one machine by giving each node
+// a delay function: reads sleep the emulated RTT before answering, so
+// the latency a client measures matches the matrix being emulated.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/store"
+	"github.com/georep/georep/internal/transport"
+	"github.com/georep/georep/internal/vec"
+)
+
+// Protocol bodies. All requests that model a client read carry the
+// client's identity and coordinate: real deployments know both (the
+// coordinate system is decentralized, every node has its own coordinate).
+type (
+	// GetRequest reads an object on behalf of a client.
+	GetRequest struct {
+		Client      int
+		ClientCoord []float64
+		Object      string
+		Bytes       float64 // accounting weight; 0 means len(data)
+	}
+	// GetResponse returns the object payload.
+	GetResponse struct {
+		Data    []byte
+		Version uint64
+	}
+	// PutRequest stores an object (coordinator or writer path; no
+	// summary recording).
+	PutRequest struct {
+		Object  string
+		Data    []byte
+		Version uint64
+	}
+	// DeleteRequest removes an object.
+	DeleteRequest struct {
+		Object string
+	}
+	// MicrosResponse carries the gob-encoded micro-cluster summary.
+	MicrosResponse struct {
+		Encoded []byte
+	}
+	// DecayRequest ages the summary by Factor in (0,1].
+	DecayRequest struct {
+		Factor float64
+	}
+	// StatsResponse describes the node.
+	StatsResponse struct {
+		Node     int
+		Objects  int
+		Bytes    int64
+		Accesses int64
+	}
+	// CoordResponse reports the node's own network coordinate, which a
+	// coordinator needs to run placement over a daemon fleet.
+	CoordResponse struct {
+		Node   int
+		Pos    []float64
+		Height float64
+	}
+	// ListResponse enumerates stored objects.
+	ListResponse struct {
+		Objects []string
+	}
+)
+
+// Method names of the daemon protocol.
+const (
+	MethodGet    = "get"
+	MethodPut    = "put"
+	MethodDelete = "delete"
+	MethodMicros = "micros"
+	MethodDecay  = "decay"
+	MethodStats  = "stats"
+	MethodPing   = "ping"
+	MethodCoord  = "coord"
+	MethodList   = "list"
+)
+
+// DelayFunc returns the emulated RTT for serving a given client node;
+// the daemon sleeps this long before answering a read. nil disables
+// emulation.
+type DelayFunc func(client int) time.Duration
+
+// Config parameterizes a Node.
+type Config struct {
+	// ID is the node's index in the deployment.
+	ID int
+	// MicroClusters is the summary budget m.
+	MicroClusters int
+	// Dims is the client-coordinate dimensionality.
+	Dims int
+	// Delay emulates wide-area RTTs; nil serves at local speed.
+	Delay DelayFunc
+	// Coordinate is this node's own network coordinate, reported to
+	// coordinators via the coord method. Optional: an empty position
+	// means "unknown" and rebalancing tools must supply coordinates
+	// out of band.
+	Coordinate []float64
+	// Height is the height component of the node's coordinate.
+	Height float64
+}
+
+// Node is one running storage daemon.
+type Node struct {
+	cfg    Config
+	store  *store.Store
+	server *transport.Server
+
+	mu       sync.Mutex
+	sum      *cluster.Summarizer
+	accesses int64
+}
+
+// NewNode builds the node runtime (not yet listening).
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.MicroClusters <= 0 {
+		return nil, fmt.Errorf("daemon: MicroClusters must be positive, got %d", cfg.MicroClusters)
+	}
+	if cfg.Dims <= 0 {
+		return nil, fmt.Errorf("daemon: Dims must be positive, got %d", cfg.Dims)
+	}
+	n := &Node{cfg: cfg, store: store.New(), server: transport.NewServer()}
+	sum, err := cluster.NewSummarizer(cfg.MicroClusters, cfg.Dims)
+	if err != nil {
+		return nil, err
+	}
+	n.sum = sum
+	if err := n.registerHandlers(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Store exposes the node's local store (for preloading data in tests and
+// examples).
+func (n *Node) Store() *store.Store { return n.store }
+
+func (n *Node) registerHandlers() error {
+	handlers := map[string]transport.Handler{
+		MethodGet:    n.handleGet,
+		MethodPut:    n.handlePut,
+		MethodDelete: n.handleDelete,
+		MethodMicros: n.handleMicros,
+		MethodDecay:  n.handleDecay,
+		MethodStats:  n.handleStats,
+		MethodPing:   func([]byte) ([]byte, error) { return nil, nil },
+		MethodCoord:  n.handleCoord,
+		MethodList:   n.handleList,
+	}
+	for name, h := range handlers {
+		if err := n.server.Handle(name, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in a background
+// goroutine until Close.
+func (n *Node) Start(addr string) error {
+	if err := n.server.Listen(addr); err != nil {
+		return err
+	}
+	go func() {
+		if err := n.server.Serve(); err != nil && !errors.Is(err, transport.ErrServerClosed) {
+			// The daemon has no logger dependency; a dead listener is
+			// surfaced to clients as connection errors.
+			_ = err
+		}
+	}()
+	return nil
+}
+
+// Addr returns the listening address, empty before Start.
+func (n *Node) Addr() string {
+	a := n.server.Addr()
+	if a == nil {
+		return ""
+	}
+	return a.String()
+}
+
+// Close stops the server.
+func (n *Node) Close() error { return n.server.Close() }
+
+func (n *Node) handleGet(body []byte) ([]byte, error) {
+	var req GetRequest
+	if err := transport.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if n.cfg.Delay != nil {
+		time.Sleep(n.cfg.Delay(req.Client))
+	}
+	obj, err := n.store.Get(store.ObjectID(req.Object))
+	if err != nil {
+		return nil, err
+	}
+	weight := req.Bytes
+	if weight <= 0 {
+		weight = float64(len(obj.Data))
+	}
+	if len(req.ClientCoord) == n.cfg.Dims {
+		n.mu.Lock()
+		err = n.sum.Observe(vec.Vec(req.ClientCoord), weight)
+		n.accesses++
+		n.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return transport.Marshal(GetResponse{Data: obj.Data, Version: obj.Version})
+}
+
+func (n *Node) handlePut(body []byte) ([]byte, error) {
+	var req PutRequest
+	if err := transport.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	err := n.store.Put(store.Object{
+		ID:      store.ObjectID(req.Object),
+		Data:    req.Data,
+		Version: req.Version,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (n *Node) handleDelete(body []byte) ([]byte, error) {
+	var req DeleteRequest
+	if err := transport.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	n.store.Delete(store.ObjectID(req.Object))
+	return nil, nil
+}
+
+func (n *Node) handleMicros([]byte) ([]byte, error) {
+	n.mu.Lock()
+	enc, err := cluster.EncodeMicros(n.sum.Clusters())
+	n.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return transport.Marshal(MicrosResponse{Encoded: enc})
+}
+
+func (n *Node) handleDecay(body []byte) ([]byte, error) {
+	var req DecayRequest
+	if err := transport.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return nil, n.sum.Decay(req.Factor)
+}
+
+func (n *Node) handleCoord([]byte) ([]byte, error) {
+	return transport.Marshal(CoordResponse{
+		Node:   n.cfg.ID,
+		Pos:    append([]float64(nil), n.cfg.Coordinate...),
+		Height: n.cfg.Height,
+	})
+}
+
+func (n *Node) handleList([]byte) ([]byte, error) {
+	keys := n.store.Keys()
+	objs := make([]string, len(keys))
+	for i, k := range keys {
+		objs[i] = string(k)
+	}
+	return transport.Marshal(ListResponse{Objects: objs})
+}
+
+func (n *Node) handleStats([]byte) ([]byte, error) {
+	n.mu.Lock()
+	accesses := n.accesses
+	n.mu.Unlock()
+	return transport.Marshal(StatsResponse{
+		Node:     n.cfg.ID,
+		Objects:  n.store.Len(),
+		Bytes:    n.store.TotalBytes(),
+		Accesses: accesses,
+	})
+}

@@ -1,0 +1,210 @@
+package daemon
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/georep/georep/internal/store"
+	"github.com/georep/georep/internal/transport"
+)
+
+func startNode(t *testing.T, cfg Config) (*Node, *Client) {
+	t.Helper()
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	c, err := DialNode(n.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return n, c
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	if _, err := NewNode(Config{MicroClusters: 0, Dims: 2}); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := NewNode(Config{MicroClusters: 4, Dims: 0}); err == nil {
+		t.Error("dims=0 should fail")
+	}
+}
+
+func TestGetPutDeleteCycle(t *testing.T) {
+	n, c := startNode(t, Config{ID: 1, MicroClusters: 4, Dims: 2})
+
+	if err := c.Put("obj", []byte("payload"), 1); err != nil {
+		t.Fatal(err)
+	}
+	resp, rtt, err := c.Get(7, []float64{1, 2}, "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Data) != "payload" || resp.Version != 1 {
+		t.Errorf("get = %+v", resp)
+	}
+	if rtt <= 0 {
+		t.Errorf("rtt = %v", rtt)
+	}
+
+	// The read was summarized.
+	ms, bytes, err := c.Micros()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Count != 1 {
+		t.Errorf("micros = %+v", ms)
+	}
+	if bytes <= 0 {
+		t.Error("wire size not accounted")
+	}
+	if ms[0].Weight != 7 { // len("payload")
+		t.Errorf("weight = %v, want 7 (payload bytes)", ms[0].Weight)
+	}
+
+	if err := c.Delete("obj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(7, []float64{1, 2}, "obj"); err == nil {
+		t.Error("get after delete should fail")
+	}
+	if n.Store().Len() != 0 {
+		t.Error("store not empty after delete")
+	}
+}
+
+func TestGetMissingObject(t *testing.T) {
+	_, c := startNode(t, Config{ID: 1, MicroClusters: 4, Dims: 2})
+	_, _, err := c.Get(1, []float64{0, 0}, "ghost")
+	var remote *transport.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+}
+
+func TestStaleWriteRejected(t *testing.T) {
+	_, c := startNode(t, Config{ID: 1, MicroClusters: 4, Dims: 2})
+	if err := c.Put("o", []byte("v2"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("o", []byte("v1"), 1); err == nil {
+		t.Error("stale put should fail")
+	}
+}
+
+func TestDelayEmulation(t *testing.T) {
+	const want = 50 * time.Millisecond
+	_, c := startNode(t, Config{
+		ID: 1, MicroClusters: 4, Dims: 2,
+		Delay: func(client int) time.Duration { return want },
+	})
+	if err := c.Put("o", []byte("x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	_, rtt, err := c.Get(3, []float64{0, 0}, "o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt < want {
+		t.Errorf("rtt %v below emulated %v", rtt, want)
+	}
+	// Puts are not delayed.
+	start := time.Now()
+	if err := c.Put("o2", []byte("y"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > want {
+		t.Errorf("put took %v, should not be delayed", el)
+	}
+}
+
+func TestDecayOverWire(t *testing.T) {
+	_, c := startNode(t, Config{ID: 1, MicroClusters: 4, Dims: 2})
+	if err := c.Put("o", []byte("abcd"), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, _, err := c.Get(1, []float64{5, 5}, "o"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Decay(0.5); err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := c.Micros()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Count != 4 {
+		t.Errorf("decayed micros = %+v", ms)
+	}
+	if err := c.Decay(0); err == nil {
+		t.Error("factor 0 should fail remotely")
+	}
+}
+
+func TestStatsAndPing(t *testing.T) {
+	_, c := startNode(t, Config{ID: 9, MicroClusters: 4, Dims: 2})
+	if err := c.Put("a", []byte("12345"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(1, []float64{0, 0}, "a"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Node != 9 || st.Objects != 1 || st.Bytes != 5 || st.Accesses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if rtt, err := c.Ping(); err != nil || rtt <= 0 {
+		t.Errorf("ping = %v, %v", rtt, err)
+	}
+}
+
+func TestGetWithoutCoordinateSkipsSummary(t *testing.T) {
+	_, c := startNode(t, Config{ID: 1, MicroClusters: 4, Dims: 2})
+	if err := c.Put("o", []byte("x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong-dimension coordinate: the read succeeds but is not
+	// summarized (the daemon cannot place it in its space).
+	if _, _, err := c.Get(1, []float64{1, 2, 3}, "o"); err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := c.Micros()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Errorf("summary should be empty, got %+v", ms)
+	}
+}
+
+func TestPreloadedStore(t *testing.T) {
+	n, c := startNode(t, Config{ID: 1, MicroClusters: 4, Dims: 2})
+	if err := n.Store().Put(store.Object{ID: "pre", Data: []byte("loaded"), Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := c.Get(1, []float64{0, 0}, "pre")
+	if err != nil || string(resp.Data) != "loaded" {
+		t.Errorf("get preloaded: %v %+v", err, resp)
+	}
+}
+
+func TestAddrBeforeStart(t *testing.T) {
+	n, err := NewNode(Config{ID: 1, MicroClusters: 4, Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Addr() != "" {
+		t.Errorf("Addr before Start = %q", n.Addr())
+	}
+}

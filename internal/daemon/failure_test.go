@@ -1,0 +1,132 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+)
+
+// Failure-injection tests: nodes die, clients must fail cleanly, and the
+// rest of the fleet keeps serving.
+
+func TestClientFailsCleanlyAfterNodeDeath(t *testing.T) {
+	n, err := NewNode(Config{ID: 1, MicroClusters: 4, Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialNode(n.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("k", []byte("v"), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the node mid-session.
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := c.Get(1, []float64{0, 0}, "k"); err == nil {
+		t.Error("call after node death should fail")
+	}
+	if _, err := c.Stats(); err == nil {
+		t.Error("stats after node death should fail")
+	}
+}
+
+func TestDialDeadNodeFails(t *testing.T) {
+	n, err := NewNode(Config{ID: 1, MicroClusters: 4, Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := n.Addr()
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialNode(addr, 200*time.Millisecond); err == nil {
+		t.Error("dialing a closed node should fail")
+	}
+}
+
+func TestSurvivorsKeepServing(t *testing.T) {
+	var nodes []*Node
+	var clients []*Client
+	for i := 0; i < 3; i++ {
+		n, err := NewNode(Config{ID: i, MicroClusters: 4, Dims: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		c, err := DialNode(n.Addr(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		clients = append(clients, c)
+	}
+	t.Cleanup(func() {
+		for _, c := range clients {
+			c.Close()
+		}
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	for i, c := range clients {
+		if err := c.Put("k", []byte{byte(i)}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Node 1 dies.
+	if err := nodes[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nodes 0 and 2 still answer; a read-everywhere loop (the georepctl
+	// "get" pattern) still finds the object.
+	found := false
+	for i, c := range clients {
+		resp, _, err := c.Get(-1, nil, "k")
+		if i == 1 {
+			if err == nil {
+				t.Error("dead node answered")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("survivor %d failed: %v", i, err)
+		}
+		if len(resp.Data) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("object unreachable despite two survivors")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	n, err := NewNode(Config{ID: 1, MicroClusters: 4, Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -1,0 +1,244 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/georep/georep/internal/placement"
+	"github.com/georep/georep/internal/stats"
+)
+
+// Ablations beyond the paper's evaluation, covering the design choices
+// DESIGN.md calls out: what quorum reads do to placement geometry, and
+// how the migration-gain threshold trades latency against churn.
+
+// QuorumAblation measures mean quorum delay for read quorums r=1..k
+// under three placements: random, the paper's online algorithm (which
+// optimizes the r=1 objective), and the exhaustive quorum-aware optimum.
+// The widening gap between online and optimal-q as r grows quantifies
+// how much the paper's closest-replica assumption bakes into the
+// algorithm.
+func QuorumAblation(worlds []*World, numDCs, k, m int) (*Figure, error) {
+	if len(worlds) == 0 {
+		return nil, fmt.Errorf("experiment: no worlds")
+	}
+	if k <= 1 {
+		return nil, fmt.Errorf("experiment: quorum ablation needs k > 1, got %d", k)
+	}
+	fig := &Figure{
+		Title:  fmt.Sprintf("Quorum ablation: delay vs read quorum size (%d DCs, k=%d)", numDCs, k),
+		XLabel: "read quorum r",
+		YLabel: "average quorum delay (ms)",
+	}
+	series := map[string]*Series{
+		"random":    {Name: "random"},
+		"online":    {Name: "online"},
+		"optimal-q": {Name: "optimal-q"},
+	}
+	online := placement.Online{M: m, Rounds: 2, AccessesPerClient: 1}
+	for r := 1; r <= k; r++ {
+		var rndSum, onSum, optSum float64
+		for _, w := range worlds {
+			in, err := w.Instance(rand.New(rand.NewSource(w.Seed*1000+int64(numDCs))), numDCs, k)
+			if err != nil {
+				return nil, err
+			}
+			rnd, err := (placement.Random{}).Place(rand.New(rand.NewSource(w.Seed*17)), in)
+			if err != nil {
+				return nil, err
+			}
+			on, err := online.Place(rand.New(rand.NewSource(w.Seed*19)), in)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := (placement.OptimalQuorum{R: r}).Place(nil, in)
+			if err != nil {
+				return nil, err
+			}
+			rndSum += placement.MeanQuorumDelay(in, rnd, r)
+			onSum += placement.MeanQuorumDelay(in, on, r)
+			optSum += placement.MeanQuorumDelay(in, opt, r)
+		}
+		n := float64(len(worlds))
+		for name, v := range map[string]float64{
+			"random": rndSum / n, "online": onSum / n, "optimal-q": optSum / n,
+		} {
+			s := series[name]
+			s.X = append(s.X, float64(r))
+			s.Y = append(s.Y, v)
+		}
+	}
+	fig.Series = append(fig.Series, *series["random"], *series["online"], *series["optimal-q"])
+	return fig, nil
+}
+
+// ThresholdRow is one point of the migration-threshold sweep.
+type ThresholdRow struct {
+	// MinRelativeGain is the migration bar.
+	MinRelativeGain float64
+	// MeanAdaptiveMs is the drift experiment's mean measured delay.
+	MeanAdaptiveMs float64
+	// Migrations is how many epochs adopted a move.
+	Migrations int
+}
+
+// ThresholdSweep re-runs the drift experiment at several migration
+// thresholds, quantifying §III-C's cost/quality dial: a low bar chases
+// every wiggle of demand (many migrations, lowest delay), a high bar
+// freezes the system (no churn, stale placement).
+func ThresholdSweep(seed int64, cfg DriftConfig, thresholds []float64) ([]ThresholdRow, error) {
+	if len(thresholds) == 0 {
+		return nil, fmt.Errorf("experiment: no thresholds")
+	}
+	rows := make([]ThresholdRow, 0, len(thresholds))
+	for _, th := range thresholds {
+		if th < 0 || th >= 1 {
+			return nil, fmt.Errorf("experiment: threshold %v out of [0,1)", th)
+		}
+		c := cfg
+		c.MinRelativeGain = th
+		res, err := Drift(seed, c)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ThresholdRow{
+			MinRelativeGain: th,
+			MeanAdaptiveMs:  res.MeanAdaptiveMs,
+			Migrations:      res.Migrations,
+		})
+	}
+	return rows, nil
+}
+
+// RenderThresholdSweep formats a threshold sweep as aligned text.
+func RenderThresholdSweep(rows []ThresholdRow) string {
+	var b strings.Builder
+	b.WriteString("Migration threshold sweep (drift scenario)\n")
+	fmt.Fprintf(&b, "%-18s%18s%14s\n", "min relative gain", "mean delay (ms)", "migrations")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18.2f%18.1f%14d\n", r.MinRelativeGain, r.MeanAdaptiveMs, r.Migrations)
+	}
+	return b.String()
+}
+
+// TailRow is one line of the tail-latency ablation.
+type TailRow struct {
+	// Strategy named the placement.
+	Strategy string
+	// MeanMs and P95Ms evaluate the same placements under both
+	// objectives.
+	MeanMs float64
+	P95Ms  float64
+}
+
+// TailAblation contrasts mean-objective and p95-objective placement (the
+// paper's §I motivates a 300 ms user time limit — a tail constraint — yet
+// optimizes the mean): the online strategy, the exhaustive mean optimum,
+// and the exhaustive p95 optimum are all scored on both metrics.
+func TailAblation(worlds []*World, numDCs, k, m int) ([]TailRow, error) {
+	if len(worlds) == 0 {
+		return nil, fmt.Errorf("experiment: no worlds")
+	}
+	type entry struct {
+		name  string
+		place func(w *World, in *placement.Instance) ([]int, error)
+	}
+	online := placement.Online{M: m, Rounds: 2, AccessesPerClient: 1}
+	entries := []entry{
+		{"online", func(w *World, in *placement.Instance) ([]int, error) {
+			return online.Place(rand.New(rand.NewSource(w.Seed*47)), in)
+		}},
+		{"optimal-mean", func(w *World, in *placement.Instance) ([]int, error) {
+			return (placement.Optimal{}).Place(nil, in)
+		}},
+		{"optimal-p95", func(w *World, in *placement.Instance) ([]int, error) {
+			return (placement.OptimalPercentile{P: 95}).Place(nil, in)
+		}},
+	}
+	rows := make([]TailRow, len(entries))
+	for i, e := range entries {
+		rows[i].Strategy = e.name
+	}
+	for _, w := range worlds {
+		in, err := w.Instance(rand.New(rand.NewSource(w.Seed*1000+int64(numDCs))), numDCs, k)
+		if err != nil {
+			return nil, err
+		}
+		for i, e := range entries {
+			reps, err := e.place(w, in)
+			if err != nil {
+				return nil, err
+			}
+			rows[i].MeanMs += placement.MeanAccessDelay(in, reps)
+			p95, err := placement.PercentileAccessDelay(in, reps, 95)
+			if err != nil {
+				return nil, err
+			}
+			rows[i].P95Ms += p95
+		}
+	}
+	for i := range rows {
+		rows[i].MeanMs /= float64(len(worlds))
+		rows[i].P95Ms /= float64(len(worlds))
+	}
+	return rows, nil
+}
+
+// RenderTail formats tail-ablation rows as aligned text.
+func RenderTail(rows []TailRow) string {
+	var b strings.Builder
+	b.WriteString("Tail ablation: mean vs p95 objectives on the same placements\n")
+	fmt.Fprintf(&b, "%-14s%14s%14s\n", "strategy", "mean (ms)", "p95 (ms)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s%14.1f%14.1f\n", r.Strategy, r.MeanMs, r.P95Ms)
+	}
+	return b.String()
+}
+
+// CapacityAblation evaluates how constrained per-DC capacity degrades an
+// online placement, averaged over worlds — §VI's load-balancing future
+// work made measurable.
+func CapacityAblation(worlds []*World, numDCs, k, m, steps int) (*Figure, error) {
+	if len(worlds) == 0 {
+		return nil, fmt.Errorf("experiment: no worlds")
+	}
+	fig := &Figure{
+		Title:  fmt.Sprintf("Capacity ablation: delay vs per-replica capacity (%d DCs, k=%d)", numDCs, k),
+		XLabel: "capacity (clients per replica)",
+		YLabel: "average access delay (ms)",
+	}
+	online := placement.Online{M: m, Rounds: 2, AccessesPerClient: 1}
+	agg := make(map[int]*stats.Accumulator) // capacity → delays across worlds
+	var order []int
+	for _, w := range worlds {
+		in, err := w.Instance(rand.New(rand.NewSource(w.Seed*1000+int64(numDCs))), numDCs, k)
+		if err != nil {
+			return nil, err
+		}
+		reps, err := online.Place(rand.New(rand.NewSource(w.Seed*23)), in)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := placement.CapacitySweep(in, reps, steps)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range pts {
+			// Key by step index (capacities differ slightly across
+			// worlds only if client counts differ; they do not).
+			if _, ok := agg[i]; !ok {
+				agg[i] = &stats.Accumulator{}
+				order = append(order, p.Capacity)
+			}
+			agg[i].Add(p.MeanDelayMs)
+		}
+	}
+	ser := Series{Name: "online"}
+	for i, c := range order {
+		ser.X = append(ser.X, float64(c))
+		ser.Y = append(ser.Y, agg[i].Mean())
+	}
+	fig.Series = append(fig.Series, ser)
+	return fig, nil
+}

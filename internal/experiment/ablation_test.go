@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuorumAblation(t *testing.T) {
+	worlds := smallWorlds(t, 3)
+	fig, err := QuorumAblation(worlds, 10, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	byName := make(map[string]Series)
+	for _, s := range fig.Series {
+		if len(s.X) != 3 { // r = 1..3
+			t.Fatalf("series %s has %d points", s.Name, len(s.X))
+		}
+		byName[s.Name] = s
+	}
+	// The quorum-aware optimum lower-bounds both heuristics at every r.
+	for i := range byName["optimal-q"].X {
+		opt := byName["optimal-q"].Y[i]
+		if byName["online"].Y[i] < opt-1e-9 || byName["random"].Y[i] < opt-1e-9 {
+			t.Errorf("r=%v: optimal-q %v not a lower bound (online %v, random %v)",
+				byName["optimal-q"].X[i], opt, byName["online"].Y[i], byName["random"].Y[i])
+		}
+	}
+	// Delay grows with r for every strategy.
+	for name, s := range byName {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1]-1e-9 {
+				t.Errorf("%s: delay decreased with larger quorum: %v", name, s.Y)
+			}
+		}
+	}
+}
+
+func TestQuorumAblationValidation(t *testing.T) {
+	worlds := smallWorlds(t, 1)
+	if _, err := QuorumAblation(nil, 10, 3, 8); err == nil {
+		t.Error("no worlds should fail")
+	}
+	if _, err := QuorumAblation(worlds, 10, 1, 8); err == nil {
+		t.Error("k=1 should fail")
+	}
+}
+
+func TestThresholdSweep(t *testing.T) {
+	cfg := quickDriftConfig()
+	cfg.Epochs = 4
+	cfg.AccessesPerEpoch = 300
+	rows, err := ThresholdSweep(2, cfg, []float64{0, 0.2, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// A permissive bar migrates at least as often as a near-prohibitive
+	// one.
+	if rows[0].Migrations < rows[2].Migrations {
+		t.Errorf("threshold 0 migrated %d times, threshold 0.8 %d times",
+			rows[0].Migrations, rows[2].Migrations)
+	}
+	out := RenderThresholdSweep(rows)
+	if !strings.Contains(out, "migrations") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+func TestThresholdSweepValidation(t *testing.T) {
+	cfg := quickDriftConfig()
+	if _, err := ThresholdSweep(1, cfg, nil); err == nil {
+		t.Error("no thresholds should fail")
+	}
+	if _, err := ThresholdSweep(1, cfg, []float64{1.5}); err == nil {
+		t.Error("threshold >= 1 should fail")
+	}
+	if _, err := ThresholdSweep(1, cfg, []float64{-0.1}); err == nil {
+		t.Error("negative threshold should fail")
+	}
+}
+
+func TestTailAblation(t *testing.T) {
+	worlds := smallWorlds(t, 3)
+	rows, err := TailAblation(worlds, 10, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := make(map[string]TailRow)
+	for _, r := range rows {
+		if r.MeanMs <= 0 || r.P95Ms <= 0 || r.P95Ms < r.MeanMs {
+			t.Errorf("implausible row %+v (p95 must exceed mean)", r)
+		}
+		byName[r.Strategy] = r
+	}
+	// Each exhaustive optimum must win on its own objective.
+	if byName["optimal-mean"].MeanMs > byName["optimal-p95"].MeanMs+1e-9 {
+		t.Errorf("mean optimum (%v) lost its own metric to p95 optimum (%v)",
+			byName["optimal-mean"].MeanMs, byName["optimal-p95"].MeanMs)
+	}
+	if byName["optimal-p95"].P95Ms > byName["optimal-mean"].P95Ms+1e-9 {
+		t.Errorf("p95 optimum (%v) lost its own metric to mean optimum (%v)",
+			byName["optimal-p95"].P95Ms, byName["optimal-mean"].P95Ms)
+	}
+	out := RenderTail(rows)
+	if !strings.Contains(out, "p95") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+	if _, err := TailAblation(nil, 10, 3, 8); err == nil {
+		t.Error("no worlds should fail")
+	}
+}
+
+func TestCapacityAblation(t *testing.T) {
+	worlds := smallWorlds(t, 2)
+	fig, err := CapacityAblation(worlds, 10, 3, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 1 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	s := fig.Series[0]
+	if len(s.X) != 4 {
+		t.Fatalf("points = %d", len(s.X))
+	}
+	// Capacities decrease along the sweep and delay never improves.
+	for i := 1; i < len(s.X); i++ {
+		if s.X[i] > s.X[i-1] {
+			t.Errorf("capacities not decreasing: %v", s.X)
+		}
+		if s.Y[i] < s.Y[i-1]-1e-9 {
+			t.Errorf("delay improved under tighter capacity: %v", s.Y)
+		}
+	}
+	if _, err := CapacityAblation(nil, 10, 3, 8, 4); err == nil {
+		t.Error("no worlds should fail")
+	}
+}

@@ -1,0 +1,227 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/vec"
+)
+
+// CostRow is one line of the Table II reproduction: the bandwidth and
+// computation cost of determining k replica locations after n accesses,
+// online (micro-cluster summaries) vs offline (raw coordinates).
+type CostRow struct {
+	// N is the number of client accesses summarized.
+	N int
+	// OnlineBytes / OfflineBytes is the data that must reach the central
+	// server: k·m micro-clusters vs n raw coordinates.
+	OnlineBytes  int
+	OfflineBytes int
+	// OnlineClusterTime / OfflineClusterTime is the wall time of the
+	// central clustering step: weighted k-means over k·m pseudo-points vs
+	// plain k-means over n points.
+	OnlineClusterTime  time.Duration
+	OfflineClusterTime time.Duration
+}
+
+// CostConfig parameterizes the Table II reproduction.
+type CostConfig struct {
+	// K is the degree of replication (number of summarizing replicas).
+	K int
+	// M is the micro-cluster budget per replica. The paper's example uses
+	// m=100, k=3.
+	M int
+	// Dims is the coordinate dimensionality.
+	Dims int
+	// Ns are the access counts to sweep.
+	Ns []int
+}
+
+// DefaultCostConfig mirrors §III-D's worked example (k=3, m=100).
+func DefaultCostConfig() CostConfig {
+	return CostConfig{K: 3, M: 100, Dims: 3, Ns: []int{1_000, 10_000, 100_000, 1_000_000}}
+}
+
+// Table2 measures online vs offline clustering cost over the configured
+// access-count sweep. Client coordinates are drawn from a mixture of
+// Gaussian population centers, mimicking geographically clustered users.
+func Table2(r *rand.Rand, cfg CostConfig) ([]CostRow, error) {
+	if cfg.K <= 0 || cfg.M <= 0 || cfg.Dims <= 0 {
+		return nil, fmt.Errorf("experiment: invalid cost config %+v", cfg)
+	}
+	if len(cfg.Ns) == 0 {
+		return nil, fmt.Errorf("experiment: no access counts to sweep")
+	}
+
+	// Population centers shared across sweep points.
+	const populations = 12
+	centers := make([]vec.Vec, populations)
+	for i := range centers {
+		c := vec.New(cfg.Dims)
+		for d := range c {
+			c[d] = r.NormFloat64() * 120
+		}
+		centers[i] = c
+	}
+	draw := func(rr *rand.Rand) vec.Vec {
+		c := centers[rr.Intn(populations)]
+		p := c.Clone()
+		for d := range p {
+			p[d] += rr.NormFloat64() * 8
+		}
+		return p
+	}
+
+	rows := make([]CostRow, 0, len(cfg.Ns))
+	for _, n := range cfg.Ns {
+		if n <= 0 {
+			return nil, fmt.Errorf("experiment: non-positive access count %d", n)
+		}
+		rr := rand.New(rand.NewSource(int64(n)))
+
+		// Online path: K replica-side summarizers absorb the stream; the
+		// coordinator receives k·m micro-clusters and weighted-k-means
+		// them.
+		summarizers := make([]*cluster.Summarizer, cfg.K)
+		for i := range summarizers {
+			s, err := cluster.NewSummarizer(cfg.M, cfg.Dims)
+			if err != nil {
+				return nil, err
+			}
+			summarizers[i] = s
+		}
+		offline := make([]vec.Vec, 0, n)
+		for i := 0; i < n; i++ {
+			p := draw(rr)
+			// Round-robin stands in for closest-replica routing; cost is
+			// insensitive to which replica absorbs which point.
+			if err := summarizers[i%cfg.K].Observe(p, 1); err != nil {
+				return nil, err
+			}
+			offline = append(offline, p)
+		}
+
+		var micros []cluster.Micro
+		var onlineBytes int
+		for _, s := range summarizers {
+			enc, err := cluster.EncodeMicros(s.Clusters())
+			if err != nil {
+				return nil, err
+			}
+			onlineBytes += len(enc)
+			micros = append(micros, s.Clusters()...)
+		}
+		start := time.Now()
+		if _, err := cluster.MacroCluster(rand.New(rand.NewSource(1)), micros, cfg.K); err != nil {
+			return nil, err
+		}
+		onlineTime := time.Since(start)
+
+		// Offline path: all raw coordinates cross the network and are
+		// k-means'd directly.
+		offEnc, err := cluster.EncodeCoordinates(offline)
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		if _, err := cluster.KMeans(rand.New(rand.NewSource(1)), offline, cfg.K, 0); err != nil {
+			return nil, err
+		}
+		offlineTime := time.Since(start)
+
+		rows = append(rows, CostRow{
+			N:                  n,
+			OnlineBytes:        onlineBytes,
+			OfflineBytes:       len(offEnc),
+			OnlineClusterTime:  onlineTime,
+			OfflineClusterTime: offlineTime,
+		})
+	}
+	return rows, nil
+}
+
+// RenderCostTable formats Table II rows as aligned text.
+func RenderCostTable(rows []CostRow) string {
+	var b strings.Builder
+	b.WriteString("Table II: online vs offline clustering cost\n")
+	fmt.Fprintf(&b, "%-12s%16s%16s%18s%18s\n",
+		"accesses", "online bytes", "offline bytes", "online cluster", "offline cluster")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-12d%16d%16d%18s%18s\n",
+			row.N, row.OnlineBytes, row.OfflineBytes,
+			row.OnlineClusterTime.Round(time.Microsecond),
+			row.OfflineClusterTime.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// AccuracyRow summarizes one coordinate algorithm's embedding error — the
+// §III-A claim that RNP predicts RTTs within ~10 ms for most pairs.
+type AccuracyRow struct {
+	Algorithm     string
+	MedianAbsMs   float64
+	P90AbsMs      float64
+	MedianRel     float64
+	FracUnder10ms float64
+	// DriftMsPerRound measures post-convergence coordinate oscillation —
+	// RNP's stability claim over Vivaldi.
+	DriftMsPerRound float64
+}
+
+// CoordAccuracy embeds each world with both Vivaldi and RNP and averages
+// the error metrics over worlds.
+func CoordAccuracy(worlds []*World, cfg SetupConfig) ([]AccuracyRow, error) {
+	if len(worlds) == 0 {
+		return nil, fmt.Errorf("experiment: no worlds")
+	}
+	rows := make([]AccuracyRow, 0, 2)
+	for _, algo := range []coord.Algorithm{coord.AlgorithmVivaldi, coord.AlgorithmRNP} {
+		var sum AccuracyRow
+		sum.Algorithm = algo.String()
+		for _, w := range worlds {
+			emb, st, err := coord.EmbedWithStats(rand.New(rand.NewSource(w.Seed+500)), w.Matrix, coord.EmbedConfig{
+				Algorithm: algo,
+				Dims:      cfg.CoordDims,
+				Rounds:    cfg.CoordRounds,
+				NoiseFrac: cfg.NoiseFrac,
+			})
+			if err != nil {
+				return nil, err
+			}
+			es, err := coord.EvalError(emb, w.Matrix)
+			if err != nil {
+				return nil, err
+			}
+			sum.MedianAbsMs += es.MedianAbsMs
+			sum.P90AbsMs += es.P90AbsMs
+			sum.MedianRel += es.MedianRel
+			sum.FracUnder10ms += es.FracUnder10ms
+			sum.DriftMsPerRound += st.DriftMsPerRound
+		}
+		n := float64(len(worlds))
+		sum.MedianAbsMs /= n
+		sum.P90AbsMs /= n
+		sum.MedianRel /= n
+		sum.FracUnder10ms /= n
+		sum.DriftMsPerRound /= n
+		rows = append(rows, sum)
+	}
+	return rows, nil
+}
+
+// RenderAccuracy formats coordinate-accuracy rows as aligned text.
+func RenderAccuracy(rows []AccuracyRow) string {
+	var b strings.Builder
+	b.WriteString("Coordinate embedding accuracy (lower is better except frac <10ms)\n")
+	fmt.Fprintf(&b, "%-12s%16s%14s%14s%16s%14s\n",
+		"algorithm", "median |err| ms", "p90 |err| ms", "median rel", "frac <10ms", "drift ms/rnd")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s%16.2f%14.2f%14.3f%16.2f%14.2f\n",
+			r.Algorithm, r.MedianAbsMs, r.P90AbsMs, r.MedianRel, r.FracUnder10ms, r.DriftMsPerRound)
+	}
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureCSV(t *testing.T) {
+	fig := &Figure{
+		Title: "t",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "b,c", X: []float64{1, 2}, Y: []float64{30, 40}},
+		},
+	}
+	got := fig.CSV()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), got)
+	}
+	if lines[0] != "x,a,b;c" {
+		t.Errorf("header = %q (commas in names must be sanitized)", lines[0])
+	}
+	if lines[1] != "1,10.0000,30.0000" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "2,20.0000,40.0000" {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestFigureCSVMissingPoints(t *testing.T) {
+	fig := &Figure{
+		Series: []Series{
+			{Name: "a", X: []float64{1}, Y: []float64{10}},
+			{Name: "b", X: []float64{2}, Y: []float64{20}},
+		},
+	}
+	got := fig.CSV()
+	if !strings.Contains(got, "1,10.0000,\n") {
+		t.Errorf("missing cell should be empty:\n%s", got)
+	}
+	if !strings.Contains(got, "2,,20.0000\n") {
+		t.Errorf("missing cell should be empty:\n%s", got)
+	}
+}

@@ -1,0 +1,389 @@
+// Package experiment reproduces the paper's evaluation (§IV): it builds
+// per-seed worlds (synthetic PlanetLab-like matrix + network coordinates),
+// derives placement instances from them, runs every strategy, and formats
+// the results as the paper's figures and tables. All results are averaged
+// over independent seeds exactly as the paper averages over 30 runs.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/geo"
+	"github.com/georep/georep/internal/latency"
+	"github.com/georep/georep/internal/placement"
+	"github.com/georep/georep/internal/stats"
+)
+
+// SetupConfig describes how each seed's world is built.
+type SetupConfig struct {
+	// Nodes is the testbed size; the paper uses 226 PlanetLab nodes.
+	Nodes int
+	// CoordAlgorithm selects the coordinate system (RNP by default).
+	CoordAlgorithm coord.Algorithm
+	// CoordDims and CoordRounds parameterize the embedding.
+	CoordDims   int
+	CoordRounds int
+	// NoiseFrac is the measurement noise during embedding.
+	NoiseFrac float64
+}
+
+// DefaultSetup mirrors the paper's setting.
+func DefaultSetup() SetupConfig {
+	return SetupConfig{
+		Nodes:          226,
+		CoordAlgorithm: coord.AlgorithmRNP,
+		CoordDims:      3,
+		CoordRounds:    250,
+		NoiseFrac:      0.08,
+	}
+}
+
+// World is one seed's fixed environment: the RTT matrix and the
+// coordinates every node ended up with. Candidate/client splits vary per
+// experiment cell, the world does not.
+type World struct {
+	Seed       int64
+	Matrix     *latency.Matrix
+	Coords     []coord.Coordinate
+	Placements []geo.Placement
+}
+
+// BuildWorld generates the matrix and runs the coordinate embedding for
+// one seed.
+func BuildWorld(seed int64, cfg SetupConfig) (*World, error) {
+	if cfg.Nodes < 3 {
+		return nil, fmt.Errorf("experiment: need at least 3 nodes, got %d", cfg.Nodes)
+	}
+	genCfg := latency.DefaultGenerateConfig()
+	genCfg.Nodes = cfg.Nodes
+	m, places, err := latency.Generate(rand.New(rand.NewSource(seed)), genCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: matrix: %w", err)
+	}
+	emb, err := coord.Embed(rand.New(rand.NewSource(seed+1)), m, coord.EmbedConfig{
+		Algorithm: cfg.CoordAlgorithm,
+		Dims:      cfg.CoordDims,
+		Rounds:    cfg.CoordRounds,
+		NoiseFrac: cfg.NoiseFrac,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: embedding: %w", err)
+	}
+	return &World{Seed: seed, Matrix: m, Coords: emb.Coords, Placements: places}, nil
+}
+
+// BuildWorlds builds `runs` worlds with seeds 1..runs.
+func BuildWorlds(runs int, cfg SetupConfig) ([]*World, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("experiment: runs must be positive, got %d", runs)
+	}
+	worlds := make([]*World, runs)
+	for i := range worlds {
+		w, err := BuildWorld(int64(i+1), cfg)
+		if err != nil {
+			return nil, err
+		}
+		worlds[i] = w
+	}
+	return worlds, nil
+}
+
+// Instance derives a placement instance from the world: numDCs random
+// nodes become candidate data centers ("since these nodes are dispersed
+// at diverse geographic locations, each of them is assumed to represent a
+// different data center"), every other node becomes a client.
+func (w *World) Instance(r *rand.Rand, numDCs, k int) (*placement.Instance, error) {
+	n := w.Matrix.N()
+	if numDCs <= 0 || numDCs >= n {
+		return nil, fmt.Errorf("experiment: numDCs %d out of (0,%d)", numDCs, n)
+	}
+	cand := stats.SampleWithoutReplacement(r, n, numDCs)
+	isCand := make(map[int]bool, numDCs)
+	for _, c := range cand {
+		isCand[c] = true
+	}
+	clients := make([]int, 0, n-numDCs)
+	for i := 0; i < n; i++ {
+		if !isCand[i] {
+			clients = append(clients, i)
+		}
+	}
+	in := &placement.Instance{
+		NumNodes:   n,
+		RTT:        w.Matrix.RTT,
+		Coords:     w.Coords,
+		Candidates: cand,
+		Clients:    clients,
+		K:          k,
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// Cell is one measured point: a strategy's mean access delay at fixed
+// (numDCs, k), averaged over worlds.
+type Cell struct {
+	Strategy string
+	MeanMs   float64
+	StdDevMs float64
+	Runs     int
+}
+
+// RunCell evaluates the strategies at one parameter point across all
+// worlds. Each world contributes one run whose candidate set is drawn
+// from a seed-derived RNG, so cells with equal parameters are comparable
+// across strategies (identical instances).
+func RunCell(worlds []*World, numDCs, k int, strategies []placement.Strategy) ([]Cell, error) {
+	if len(worlds) == 0 {
+		return nil, fmt.Errorf("experiment: no worlds")
+	}
+	if len(strategies) == 0 {
+		return nil, fmt.Errorf("experiment: no strategies")
+	}
+	delays := make(map[string][]float64, len(strategies))
+	for _, w := range worlds {
+		in, err := w.Instance(rand.New(rand.NewSource(w.Seed*1000+int64(numDCs))), numDCs, k)
+		if err != nil {
+			return nil, err
+		}
+		for si, s := range strategies {
+			r := rand.New(rand.NewSource(w.Seed*7919 + int64(si)))
+			reps, err := s.Place(r, in)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s at dcs=%d k=%d: %w", s.Name(), numDCs, k, err)
+			}
+			delays[s.Name()] = append(delays[s.Name()], placement.MeanAccessDelay(in, reps))
+		}
+	}
+	cells := make([]Cell, 0, len(strategies))
+	for _, s := range strategies {
+		xs := delays[s.Name()]
+		cells = append(cells, Cell{
+			Strategy: s.Name(),
+			MeanMs:   stats.Mean(xs),
+			StdDevMs: stats.StdDev(xs),
+			Runs:     len(xs),
+		})
+	}
+	return cells, nil
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a reproduced paper figure as data plus a text rendering.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render formats the figure as an aligned text table, one row per X
+// value and one column per series.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "%-28s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%16s", s.Name)
+	}
+	b.WriteByte('\n')
+
+	// Collect the union of X values (they are identical across series in
+	// practice, but stay safe).
+	xset := make(map[float64]bool)
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-28g", x)
+		for _, s := range f.Series {
+			val := ""
+			for i := range s.X {
+				if s.X[i] == x {
+					val = fmt.Sprintf("%.1f", s.Y[i])
+					break
+				}
+			}
+			fmt.Fprintf(&b, "%16s", val)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values with an x column and
+// one column per series — ready for gnuplot/matplotlib.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	b.WriteByte('\n')
+
+	xset := make(map[float64]bool)
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			for i := range s.X {
+				if s.X[i] == x {
+					fmt.Fprintf(&b, "%.4f", s.Y[i])
+					break
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// PaperStrategies returns the four approaches of §IV-A in the paper's
+// order. m is the online approach's micro-cluster budget.
+func PaperStrategies(m int) []placement.Strategy {
+	return []placement.Strategy{
+		placement.Random{},
+		placement.OfflineKMeans{},
+		placement.Online{M: m, Rounds: 2, AccessesPerClient: 1},
+		placement.Optimal{},
+	}
+}
+
+// AllStrategies returns every implemented placement heuristic plus the
+// optimal bound — the ten-heuristic-comparison setting of Khan & Ahmad
+// [12] applied to this problem. m is the online micro-cluster budget.
+func AllStrategies(m int) []placement.Strategy {
+	return []placement.Strategy{
+		placement.Random{},
+		placement.HotZone{},
+		placement.OfflineKMeans{},
+		placement.Online{M: m, Rounds: 2, AccessesPerClient: 1},
+		placement.Greedy{},
+		placement.LocalSearch{Base: placement.Online{M: m, Rounds: 2, AccessesPerClient: 1}},
+		placement.Optimal{},
+	}
+}
+
+// Figure1 reproduces "Impact of the number of data centers": mean access
+// delay vs candidate DC count at fixed k, for the four paper strategies.
+func Figure1(worlds []*World, dcCounts []int, k int, strategies []placement.Strategy) (*Figure, error) {
+	if len(dcCounts) == 0 {
+		return nil, fmt.Errorf("experiment: no DC counts")
+	}
+	fig := &Figure{
+		Title:  fmt.Sprintf("Figure 1: impact of the number of data centers (%d replicas)", k),
+		XLabel: "data centers",
+		YLabel: "average access delay (ms)",
+	}
+	series := make(map[string]*Series, len(strategies))
+	for _, s := range strategies {
+		ser := &Series{Name: s.Name()}
+		series[s.Name()] = ser
+	}
+	for _, dcs := range dcCounts {
+		cells, err := RunCell(worlds, dcs, k, strategies)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cells {
+			ser := series[c.Strategy]
+			ser.X = append(ser.X, float64(dcs))
+			ser.Y = append(ser.Y, c.MeanMs)
+		}
+	}
+	for _, s := range strategies {
+		fig.Series = append(fig.Series, *series[s.Name()])
+	}
+	return fig, nil
+}
+
+// Figure2 reproduces "Impact of the degree of replication": mean access
+// delay vs k at a fixed DC count.
+func Figure2(worlds []*World, numDCs int, ks []int, strategies []placement.Strategy) (*Figure, error) {
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("experiment: no replication degrees")
+	}
+	fig := &Figure{
+		Title:  fmt.Sprintf("Figure 2: impact of the degree of replication (%d data centers)", numDCs),
+		XLabel: "replicas",
+		YLabel: "average access delay (ms)",
+	}
+	series := make(map[string]*Series, len(strategies))
+	for _, s := range strategies {
+		series[s.Name()] = &Series{Name: s.Name()}
+	}
+	for _, k := range ks {
+		cells, err := RunCell(worlds, numDCs, k, strategies)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cells {
+			ser := series[c.Strategy]
+			ser.X = append(ser.X, float64(k))
+			ser.Y = append(ser.Y, c.MeanMs)
+		}
+	}
+	for _, s := range strategies {
+		fig.Series = append(fig.Series, *series[s.Name()])
+	}
+	return fig, nil
+}
+
+// Figure3 reproduces "performance vs number of micro-clusters": the
+// online strategy's delay vs k, one series per micro-cluster budget m.
+func Figure3(worlds []*World, numDCs int, ks []int, ms []int) (*Figure, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("experiment: no micro-cluster budgets")
+	}
+	fig := &Figure{
+		Title:  fmt.Sprintf("Figure 3: performance vs. number of micro-clusters (%d data centers)", numDCs),
+		XLabel: "replicas",
+		YLabel: "average access delay (ms)",
+	}
+	for _, m := range ms {
+		strategies := []placement.Strategy{placement.Online{M: m, Rounds: 2, AccessesPerClient: 1}}
+		ser := Series{Name: fmt.Sprintf("%d micro-clusters", m)}
+		for _, k := range ks {
+			cells, err := RunCell(worlds, numDCs, k, strategies)
+			if err != nil {
+				return nil, err
+			}
+			ser.X = append(ser.X, float64(k))
+			ser.Y = append(ser.Y, cells[0].MeanMs)
+		}
+		fig.Series = append(fig.Series, ser)
+	}
+	return fig, nil
+}

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/georep/georep/internal/placement"
+)
+
+// The paper assumes read-mostly data and ignores update propagation
+// (§II-A). This ablation quantifies when that is safe: as the write
+// share grows, every extra replica adds propagation cost, so the
+// delay-optimal replication degree shrinks. A write is modelled as
+// reaching the client's closest replica and then fanning out to the
+// remaining replicas; it completes when the slowest copy lands
+// (asynchronous propagation, completion bounded by the farthest
+// replica).
+
+// writeDelay is the completion time of one update issued by a client:
+// RTT to the closest replica plus the worst RTT from that replica to
+// each of the others.
+func writeDelay(in *placement.Instance, client int, replicas []int) float64 {
+	best, bestD := replicas[0], in.RTT(client, replicas[0])
+	for _, rep := range replicas[1:] {
+		if d := in.RTT(client, rep); d < bestD {
+			best, bestD = rep, d
+		}
+	}
+	fanout := 0.0
+	for _, rep := range replicas {
+		if rep == best {
+			continue
+		}
+		if d := in.RTT(best, rep); d > fanout {
+			fanout = d
+		}
+	}
+	return bestD + fanout
+}
+
+// meanOpDelay mixes read and write costs at the given read fraction.
+func meanOpDelay(in *placement.Instance, replicas []int, readFrac float64) float64 {
+	var readSum, writeSum float64
+	for _, u := range in.Clients {
+		best := in.RTT(u, replicas[0])
+		for _, rep := range replicas[1:] {
+			if d := in.RTT(u, rep); d < best {
+				best = d
+			}
+		}
+		readSum += best
+		writeSum += writeDelay(in, u, replicas)
+	}
+	n := float64(len(in.Clients))
+	return readFrac*(readSum/n) + (1-readFrac)*(writeSum/n)
+}
+
+// ReadWriteAblation sweeps the read fraction and the replication degree:
+// for every (readFrac, k) it places replicas with the online strategy and
+// evaluates the mixed op cost. One series per k; the envelope's argmin
+// shows the delay-optimal k shrinking as writes grow.
+func ReadWriteAblation(worlds []*World, numDCs, m int, ks []int, readFracs []float64) (*Figure, error) {
+	if len(worlds) == 0 {
+		return nil, fmt.Errorf("experiment: no worlds")
+	}
+	if len(ks) == 0 || len(readFracs) == 0 {
+		return nil, fmt.Errorf("experiment: empty sweep")
+	}
+	for _, f := range readFracs {
+		if f < 0 || f > 1 {
+			return nil, fmt.Errorf("experiment: read fraction %v out of [0,1]", f)
+		}
+	}
+	fig := &Figure{
+		Title:  fmt.Sprintf("Read/write ablation: mixed op cost vs read share (%d DCs)", numDCs),
+		XLabel: "read fraction",
+		YLabel: "mean operation delay (ms)",
+	}
+	online := func(k int) placement.Strategy {
+		return placement.Online{M: m, Rounds: 2, AccessesPerClient: 1}
+	}
+	for _, k := range ks {
+		ser := Series{Name: fmt.Sprintf("k=%d", k)}
+		// Place once per world per k (placement is read-driven and does
+		// not depend on the read fraction), then evaluate every mix.
+		type placed struct {
+			in   *placement.Instance
+			reps []int
+		}
+		var placements []placed
+		for _, w := range worlds {
+			in, err := w.Instance(rand.New(rand.NewSource(w.Seed*1000+int64(numDCs))), numDCs, k)
+			if err != nil {
+				return nil, err
+			}
+			reps, err := online(k).Place(rand.New(rand.NewSource(w.Seed*29+int64(k))), in)
+			if err != nil {
+				return nil, err
+			}
+			placements = append(placements, placed{in: in, reps: reps})
+		}
+		for _, f := range readFracs {
+			var sum float64
+			for _, p := range placements {
+				sum += meanOpDelay(p.in, p.reps, f)
+			}
+			ser.X = append(ser.X, f)
+			ser.Y = append(ser.Y, sum/float64(len(placements)))
+		}
+		fig.Series = append(fig.Series, ser)
+	}
+	return fig, nil
+}

@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/georep/georep/internal/placement"
+)
+
+func TestReadWriteAblationShapes(t *testing.T) {
+	worlds := smallWorlds(t, 3)
+	fig, err := ReadWriteAblation(worlds, 10, 8, []int{1, 3, 5}, []float64{0.5, 0.8, 0.95, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	byK := make(map[string]Series)
+	for _, s := range fig.Series {
+		if len(s.X) != 4 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.X))
+		}
+		byK[s.Name] = s
+	}
+	// k=1 has zero write fan-out: its cost is flat in the read fraction
+	// only if reads and writes cost the same — they do (a k=1 write is a
+	// round trip to the lone replica). So k=1 must be exactly flat.
+	k1 := byK["k=1"]
+	for i := 1; i < len(k1.Y); i++ {
+		if diff := k1.Y[i] - k1.Y[0]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("k=1 cost should be flat across read fractions: %v", k1.Y)
+		}
+	}
+	// At pure reads, more replicas help: k=5 beats k=1.
+	last := len(byK["k=5"].Y) - 1
+	if byK["k=5"].Y[last] >= k1.Y[last] {
+		t.Errorf("at readFrac=1, k=5 (%v) should beat k=1 (%v)",
+			byK["k=5"].Y[last], k1.Y[last])
+	}
+	// At a 50% write share, high k must pay for fan-out: k=5's cost at
+	// readFrac=0.5 exceeds its own cost at readFrac=1.
+	if byK["k=5"].Y[0] <= byK["k=5"].Y[last] {
+		t.Errorf("k=5 should cost more with writes: %v", byK["k=5"].Y)
+	}
+}
+
+func TestReadWriteAblationValidation(t *testing.T) {
+	worlds := smallWorlds(t, 1)
+	if _, err := ReadWriteAblation(nil, 10, 8, []int{1}, []float64{1}); err == nil {
+		t.Error("no worlds should fail")
+	}
+	if _, err := ReadWriteAblation(worlds, 10, 8, nil, []float64{1}); err == nil {
+		t.Error("no ks should fail")
+	}
+	if _, err := ReadWriteAblation(worlds, 10, 8, []int{1}, nil); err == nil {
+		t.Error("no fracs should fail")
+	}
+	if _, err := ReadWriteAblation(worlds, 10, 8, []int{1}, []float64{1.5}); err == nil {
+		t.Error("frac > 1 should fail")
+	}
+}
+
+func TestWriteDelayModel(t *testing.T) {
+	// A 3-node line: client 0, replicas at 1 and 2.
+	rtt := func(i, j int) float64 {
+		d := [3][3]float64{
+			{0, 10, 100},
+			{10, 0, 90},
+			{100, 90, 0},
+		}
+		return d[i][j]
+	}
+	in := &placement.Instance{
+		NumNodes: 3,
+		RTT:      rtt,
+		Clients:  []int{0},
+	}
+	// Write: closest replica is 1 (10ms), fan-out to 2 costs 90ms.
+	if got := writeDelay(in, 0, []int{1, 2}); got != 100 {
+		t.Errorf("writeDelay = %v, want 100", got)
+	}
+	// Single replica: no fan-out.
+	if got := writeDelay(in, 0, []int{1}); got != 10 {
+		t.Errorf("writeDelay single = %v, want 10", got)
+	}
+	// Mixed cost: read = 10, write = 100; 50/50 mix = 55.
+	if got := meanOpDelay(in, []int{1, 2}, 0.5); got != 55 {
+		t.Errorf("meanOpDelay = %v, want 55", got)
+	}
+}

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"github.com/georep/georep/internal/placement"
+)
+
+// RoutingRow quantifies §III-A's claim that with coordinates a client
+// "can predict the closest replica with a high accuracy although it has
+// never accessed the replicas before": the fraction of clients whose
+// predicted-closest replica is the true closest, and the latency cost of
+// the mispredictions.
+type RoutingRow struct {
+	// K is the replication degree evaluated.
+	K int
+	// CorrectFrac is the fraction of clients routed to their true
+	// closest replica by coordinate prediction.
+	CorrectFrac float64
+	// MeanPenaltyMs is the mean extra delay across ALL clients caused by
+	// mispredictions (0 for correctly routed clients).
+	MeanPenaltyMs float64
+	// MeanOracleMs is the mean delay with perfect routing, for scale.
+	MeanOracleMs float64
+}
+
+// RoutingAccuracy measures prediction-based routing quality over the
+// worlds: replicas are placed with the online strategy, every client is
+// routed once by predicted RTT and once by true RTT, and the outcomes
+// are compared.
+func RoutingAccuracy(worlds []*World, numDCs, m int, ks []int) ([]RoutingRow, error) {
+	if len(worlds) == 0 {
+		return nil, fmt.Errorf("experiment: no worlds")
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("experiment: no replication degrees")
+	}
+	rows := make([]RoutingRow, 0, len(ks))
+	online := placement.Online{M: m, Rounds: 2, AccessesPerClient: 1}
+	for _, k := range ks {
+		if k <= 1 {
+			return nil, fmt.Errorf("experiment: routing accuracy needs k > 1, got %d", k)
+		}
+		var correct, total float64
+		var penalty, oracle float64
+		for _, w := range worlds {
+			in, err := w.Instance(rand.New(rand.NewSource(w.Seed*1000+int64(numDCs))), numDCs, k)
+			if err != nil {
+				return nil, err
+			}
+			reps, err := online.Place(rand.New(rand.NewSource(w.Seed*41+int64(k))), in)
+			if err != nil {
+				return nil, err
+			}
+			for _, u := range in.Clients {
+				predicted := in.ClosestReplicaPredicted(u, reps)
+				trueBest, trueD := reps[0], math.Inf(1)
+				for _, rep := range reps {
+					if d := in.RTT(u, rep); d < trueD {
+						trueBest, trueD = rep, d
+					}
+				}
+				total++
+				oracle += trueD
+				if predicted == trueBest {
+					correct++
+				} else {
+					penalty += in.RTT(u, predicted) - trueD
+				}
+			}
+		}
+		rows = append(rows, RoutingRow{
+			K:             k,
+			CorrectFrac:   correct / total,
+			MeanPenaltyMs: penalty / total,
+			MeanOracleMs:  oracle / total,
+		})
+	}
+	return rows, nil
+}
+
+// RenderRouting formats routing-accuracy rows as aligned text.
+func RenderRouting(rows []RoutingRow) string {
+	var b strings.Builder
+	b.WriteString("Routing accuracy: coordinate-predicted closest replica vs truth\n")
+	fmt.Fprintf(&b, "%-10s%16s%18s%18s\n",
+		"replicas", "correct frac", "mispred. penalty", "oracle delay")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d%16.2f%15.1f ms%15.1f ms\n",
+			r.K, r.CorrectFrac, r.MeanPenaltyMs, r.MeanOracleMs)
+	}
+	return b.String()
+}

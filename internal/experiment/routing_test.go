@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRoutingAccuracy(t *testing.T) {
+	worlds := smallWorlds(t, 3)
+	rows, err := RoutingAccuracy(worlds, 12, 8, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CorrectFrac <= 0.5 || r.CorrectFrac > 1 {
+			t.Errorf("k=%d: correct fraction %v — coordinates should route most clients right",
+				r.K, r.CorrectFrac)
+		}
+		if r.MeanPenaltyMs < 0 {
+			t.Errorf("k=%d: negative penalty %v", r.K, r.MeanPenaltyMs)
+		}
+		if r.MeanOracleMs <= 0 {
+			t.Errorf("k=%d: oracle delay %v", r.K, r.MeanOracleMs)
+		}
+		// Misprediction penalty must be a modest fraction of the oracle
+		// delay, or coordinate routing would be useless.
+		if r.MeanPenaltyMs > r.MeanOracleMs {
+			t.Errorf("k=%d: penalty %v exceeds oracle delay %v", r.K, r.MeanPenaltyMs, r.MeanOracleMs)
+		}
+	}
+	out := RenderRouting(rows)
+	if !strings.Contains(out, "correct frac") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+func TestRoutingAccuracyValidation(t *testing.T) {
+	worlds := smallWorlds(t, 1)
+	if _, err := RoutingAccuracy(nil, 10, 8, []int{2}); err == nil {
+		t.Error("no worlds should fail")
+	}
+	if _, err := RoutingAccuracy(worlds, 10, 8, nil); err == nil {
+		t.Error("no ks should fail")
+	}
+	if _, err := RoutingAccuracy(worlds, 10, 8, []int{1}); err == nil {
+		t.Error("k=1 should fail (routing is trivial)")
+	}
+}

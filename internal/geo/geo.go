@@ -1,0 +1,164 @@
+// Package geo models node positions on the Earth's surface. The synthetic
+// latency generator places simulated PlanetLab-style hosts inside real
+// metro regions and derives propagation delay from great-circle distance,
+// so the resulting RTT matrix has the clustered geometry (coasts,
+// continents, ocean crossings) that geo-replication algorithms exploit.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// EarthRadiusKm is the mean radius of the Earth.
+const EarthRadiusKm = 6371.0
+
+// Point is a position on the sphere in degrees.
+type Point struct {
+	LatDeg float64
+	LonDeg float64
+}
+
+// DistanceKm returns the great-circle distance between p and q using the
+// haversine formula, which is numerically stable for nearby points.
+func (p Point) DistanceKm(q Point) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := p.LatDeg * degToRad
+	lat2 := q.LatDeg * degToRad
+	dLat := (q.LatDeg - p.LatDeg) * degToRad
+	dLon := (q.LonDeg - p.LonDeg) * degToRad
+
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	a := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	if a > 1 {
+		a = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(a))
+}
+
+// Region is a metro area that hosts simulated nodes.
+type Region struct {
+	Name   string
+	Center Point
+	// SpreadKm is the radius within which member nodes scatter.
+	SpreadKm float64
+	// Weight is the relative share of nodes placed in this region.
+	Weight float64
+}
+
+// DefaultRegions lists metro areas roughly matching the geographic spread
+// of the PlanetLab testbed (North America and Europe heavy, with Asia,
+// Oceania and South America present). Weights approximate site counts.
+func DefaultRegions() []Region {
+	return []Region{
+		{Name: "us-east", Center: Point{40.7, -74.0}, SpreadKm: 500, Weight: 5},
+		{Name: "us-central", Center: Point{41.9, -87.6}, SpreadKm: 500, Weight: 3},
+		{Name: "us-west", Center: Point{37.4, -122.1}, SpreadKm: 400, Weight: 4},
+		{Name: "eu-west", Center: Point{51.5, -0.1}, SpreadKm: 400, Weight: 4},
+		{Name: "eu-central", Center: Point{52.5, 13.4}, SpreadKm: 500, Weight: 3},
+		{Name: "eu-south", Center: Point{45.5, 9.2}, SpreadKm: 400, Weight: 2},
+		{Name: "asia-east", Center: Point{35.7, 139.7}, SpreadKm: 600, Weight: 3},
+		{Name: "asia-south", Center: Point{1.35, 103.8}, SpreadKm: 400, Weight: 1},
+		{Name: "oceania", Center: Point{-33.9, 151.2}, SpreadKm: 300, Weight: 1},
+		{Name: "sa-east", Center: Point{-23.5, -46.6}, SpreadKm: 300, Weight: 1},
+	}
+}
+
+// ValidateRegions checks that a region list can be sampled from.
+func ValidateRegions(regions []Region) error {
+	if len(regions) == 0 {
+		return fmt.Errorf("geo: no regions")
+	}
+	var total float64
+	for _, rg := range regions {
+		if rg.Weight < 0 {
+			return fmt.Errorf("geo: region %q has negative weight", rg.Name)
+		}
+		if rg.SpreadKm < 0 {
+			return fmt.Errorf("geo: region %q has negative spread", rg.Name)
+		}
+		total += rg.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("geo: all region weights are zero")
+	}
+	return nil
+}
+
+// PickRegion samples a region index proportionally to region weights.
+// Regions must have been validated.
+func PickRegion(r *rand.Rand, regions []Region) int {
+	var total float64
+	for _, rg := range regions {
+		total += rg.Weight
+	}
+	u := r.Float64() * total
+	for i, rg := range regions {
+		u -= rg.Weight
+		if u < 0 {
+			return i
+		}
+	}
+	return len(regions) - 1
+}
+
+// ScatterIn returns a point near the region center: uniform direction,
+// distance distributed so density decays away from the center, clamped to
+// valid latitudes.
+func ScatterIn(r *rand.Rand, rg Region) Point {
+	// Triangular radial distribution: most nodes near the center.
+	dist := rg.SpreadKm * math.Abs(r.NormFloat64()) / 2
+	if dist > rg.SpreadKm {
+		dist = rg.SpreadKm
+	}
+	bearing := r.Float64() * 2 * math.Pi
+
+	// Small-offset approximation is fine at metro scales.
+	dLat := dist / EarthRadiusKm * 180 / math.Pi * math.Cos(bearing)
+	latRad := rg.Center.LatDeg * math.Pi / 180
+	cosLat := math.Cos(latRad)
+	if math.Abs(cosLat) < 0.05 {
+		cosLat = 0.05 // avoid blow-up at the poles
+	}
+	dLon := dist / EarthRadiusKm * 180 / math.Pi * math.Sin(bearing) / cosLat
+
+	p := Point{LatDeg: rg.Center.LatDeg + dLat, LonDeg: rg.Center.LonDeg + dLon}
+	if p.LatDeg > 89 {
+		p.LatDeg = 89
+	}
+	if p.LatDeg < -89 {
+		p.LatDeg = -89
+	}
+	for p.LonDeg > 180 {
+		p.LonDeg -= 360
+	}
+	for p.LonDeg < -180 {
+		p.LonDeg += 360
+	}
+	return p
+}
+
+// Placement records where a simulated node was placed.
+type Placement struct {
+	Point  Point
+	Region int // index into the region list
+}
+
+// PlaceNodes scatters n nodes across the given regions. The same seed
+// always yields the same layout.
+func PlaceNodes(r *rand.Rand, regions []Region, n int) ([]Placement, error) {
+	if err := ValidateRegions(regions); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("geo: need n > 0 nodes, got %d", n)
+	}
+	out := make([]Placement, n)
+	for i := range out {
+		ri := PickRegion(r, regions)
+		out[i] = Placement{Point: ScatterIn(r, regions[ri]), Region: ri}
+	}
+	return out, nil
+}

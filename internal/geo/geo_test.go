@@ -1,0 +1,183 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Point
+		want float64 // km
+		tol  float64
+	}{
+		{"same point", Point{40, -74}, Point{40, -74}, 0, 0.001},
+		{"nyc-london", Point{40.7128, -74.006}, Point{51.5074, -0.1278}, 5570, 60},
+		{"sf-tokyo", Point{37.7749, -122.4194}, Point{35.6762, 139.6503}, 8280, 80},
+		{"sydney-saopaulo", Point{-33.8688, 151.2093}, Point{-23.5505, -46.6333}, 13360, 150},
+		{"equator quarter", Point{0, 0}, Point{0, 90}, math.Pi / 2 * EarthRadiusKm, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.a.DistanceKm(tt.b)
+			if math.Abs(got-tt.want) > tt.tol {
+				t.Errorf("distance = %.1f km, want %.1f ± %.1f", got, tt.want, tt.tol)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	a := Point{12.3, 45.6}
+	b := Point{-7.8, 120.0}
+	if d1, d2 := a.DistanceKm(b), b.DistanceKm(a); math.Abs(d1-d2) > 1e-9 {
+		t.Errorf("asymmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestDefaultRegionsValid(t *testing.T) {
+	regions := DefaultRegions()
+	if err := ValidateRegions(regions); err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) < 5 {
+		t.Errorf("want a global spread of regions, got %d", len(regions))
+	}
+}
+
+func TestValidateRegionsErrors(t *testing.T) {
+	if err := ValidateRegions(nil); err == nil {
+		t.Error("empty region list should fail")
+	}
+	if err := ValidateRegions([]Region{{Name: "x", Weight: -1}}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if err := ValidateRegions([]Region{{Name: "x", Weight: 1, SpreadKm: -5}}); err == nil {
+		t.Error("negative spread should fail")
+	}
+	if err := ValidateRegions([]Region{{Name: "x", Weight: 0}}); err == nil {
+		t.Error("all-zero weights should fail")
+	}
+}
+
+func TestPickRegionRespectsWeights(t *testing.T) {
+	regions := []Region{
+		{Name: "a", Weight: 9},
+		{Name: "b", Weight: 1},
+	}
+	r := rand.New(rand.NewSource(3))
+	counts := [2]int{}
+	for i := 0; i < 10000; i++ {
+		counts[PickRegion(r, regions)]++
+	}
+	frac := float64(counts[0]) / 10000
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("region a picked %.3f of the time, want ~0.9", frac)
+	}
+}
+
+func TestScatterStaysNearCenter(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	rg := Region{Name: "test", Center: Point{40, -74}, SpreadKm: 300, Weight: 1}
+	for i := 0; i < 500; i++ {
+		p := ScatterIn(r, rg)
+		if d := p.DistanceKm(rg.Center); d > rg.SpreadKm*1.1 {
+			t.Fatalf("scatter %v is %.0f km out, spread %v", p, d, rg.SpreadKm)
+		}
+	}
+}
+
+func TestScatterNearPole(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	rg := Region{Name: "pole", Center: Point{89.5, 0}, SpreadKm: 200, Weight: 1}
+	for i := 0; i < 200; i++ {
+		p := ScatterIn(r, rg)
+		if p.LatDeg > 89 || p.LatDeg < -89 {
+			t.Fatalf("latitude out of clamp: %v", p)
+		}
+		if p.LonDeg > 180 || p.LonDeg < -180 {
+			t.Fatalf("longitude not normalized: %v", p)
+		}
+	}
+}
+
+func TestPlaceNodesDeterministic(t *testing.T) {
+	regions := DefaultRegions()
+	a, err := PlaceNodes(rand.New(rand.NewSource(42)), regions, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlaceNodes(rand.New(rand.NewSource(42)), regions, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("placement %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPlaceNodesErrors(t *testing.T) {
+	if _, err := PlaceNodes(rand.New(rand.NewSource(1)), nil, 5); err == nil {
+		t.Error("nil regions should fail")
+	}
+	if _, err := PlaceNodes(rand.New(rand.NewSource(1)), DefaultRegions(), 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestPlaceNodesCoversRegions(t *testing.T) {
+	regions := DefaultRegions()
+	ps, err := PlaceNodes(rand.New(rand.NewSource(8)), regions, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, p := range ps {
+		seen[p.Region] = true
+	}
+	if len(seen) < len(regions)-1 {
+		t.Errorf("only %d/%d regions populated with 500 nodes", len(seen), len(regions))
+	}
+}
+
+// Property: haversine distance is a metric on sampled points — symmetric,
+// non-negative, zero on identity, and obeys the triangle inequality.
+func TestQuickDistanceMetric(t *testing.T) {
+	randPoint := func(r *rand.Rand) Point {
+		return Point{LatDeg: r.Float64()*170 - 85, LonDeg: r.Float64()*360 - 180}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randPoint(r), randPoint(r), randPoint(r)
+		dab, dba := a.DistanceKm(b), b.DistanceKm(a)
+		if math.Abs(dab-dba) > 1e-6 || dab < 0 {
+			return false
+		}
+		if a.DistanceKm(a) > 1e-6 {
+			return false
+		}
+		return a.DistanceKm(c) <= dab+b.DistanceKm(c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distances never exceed half the Earth's circumference.
+func TestQuickDistanceBounded(t *testing.T) {
+	maxDist := math.Pi * EarthRadiusKm
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := Point{r.Float64()*180 - 90, r.Float64()*360 - 180}
+		b := Point{r.Float64()*180 - 90, r.Float64()*360 - 180}
+		return a.DistanceKm(b) <= maxDist+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Load balancing is the other future-work axis the paper names (§VI:
+// "we intend to extend this work by taking into account other aspects
+// including load balancing"). This file adds capacity-constrained
+// client assignment: each replica can serve at most a fixed number of
+// clients, and clients that do not fit at their closest replica spill
+// to the next one. The evaluation metric becomes the mean delay of the
+// capacity-feasible assignment.
+
+// Assignment maps each client (by position in Instance.Clients) to the
+// replica serving it.
+type Assignment struct {
+	// Replica[i] is the node serving Instance.Clients[i].
+	Replica []int
+	// MeanDelayMs is the mean true RTT of the assignment.
+	MeanDelayMs float64
+	// Load maps replica node → number of assigned clients.
+	Load map[int]int
+	// Spilled counts clients not served by their closest replica.
+	Spilled int
+}
+
+// AssignWithCapacity assigns every client to a replica subject to a
+// per-replica capacity (maximum client count). Clients are processed in
+// order of decreasing regret — the delay penalty they would suffer if
+// bumped from their closest replica — so scarce slots go to the clients
+// that need them most (a standard greedy for the restricted assignment
+// problem). capacity < len(clients)/len(replicas) is infeasible and
+// rejected.
+func AssignWithCapacity(in *Instance, replicas []int, capacity int) (*Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("placement: no replicas to assign to")
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("placement: capacity must be positive, got %d", capacity)
+	}
+	if capacity*len(replicas) < len(in.Clients) {
+		return nil, fmt.Errorf("placement: capacity %d×%d replicas cannot serve %d clients",
+			capacity, len(replicas), len(in.Clients))
+	}
+
+	type pref struct {
+		client int   // index into in.Clients
+		order  []int // replica indices sorted by delay
+		regret float64
+	}
+	prefs := make([]pref, len(in.Clients))
+	for i, u := range in.Clients {
+		order := make([]int, len(replicas))
+		for j := range order {
+			order[j] = j
+		}
+		delays := make([]float64, len(replicas))
+		for j, rep := range replicas {
+			delays[j] = in.RTT(u, rep)
+		}
+		sort.Slice(order, func(a, b int) bool { return delays[order[a]] < delays[order[b]] })
+		regret := 0.0
+		if len(order) > 1 {
+			regret = delays[order[1]] - delays[order[0]]
+		}
+		prefs[i] = pref{client: i, order: order, regret: regret}
+	}
+	// Highest regret first; tie-break on client index for determinism.
+	sort.Slice(prefs, func(a, b int) bool {
+		if prefs[a].regret != prefs[b].regret {
+			return prefs[a].regret > prefs[b].regret
+		}
+		return prefs[a].client < prefs[b].client
+	})
+
+	load := make(map[int]int, len(replicas))
+	out := &Assignment{
+		Replica: make([]int, len(in.Clients)),
+		Load:    load,
+	}
+	var total float64
+	for _, p := range prefs {
+		assigned := false
+		for rank, j := range p.order {
+			rep := replicas[j]
+			if load[rep] >= capacity {
+				continue
+			}
+			load[rep]++
+			out.Replica[p.client] = rep
+			total += in.RTT(in.Clients[p.client], rep)
+			if rank > 0 {
+				out.Spilled++
+			}
+			assigned = true
+			break
+		}
+		if !assigned {
+			return nil, fmt.Errorf("placement: client %d could not be assigned (internal invariant)", p.client)
+		}
+	}
+	out.MeanDelayMs = total / float64(len(in.Clients))
+	return out, nil
+}
+
+// CapacitySweep evaluates how the mean delay of a fixed placement
+// degrades as per-replica capacity tightens, from unconstrained down to
+// the feasibility limit. It returns (capacity, meanDelay, spilled)
+// triples in decreasing capacity order.
+type CapacityPoint struct {
+	Capacity    int
+	MeanDelayMs float64
+	Spilled     int
+}
+
+// CapacitySweep runs AssignWithCapacity at several capacities: the
+// unconstrained value, then progressively tighter until ceil(n/k).
+func CapacitySweep(in *Instance, replicas []int, steps int) ([]CapacityPoint, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("placement: steps must be positive, got %d", steps)
+	}
+	n := len(in.Clients)
+	k := len(replicas)
+	if k == 0 {
+		return nil, fmt.Errorf("placement: no replicas")
+	}
+	minCap := int(math.Ceil(float64(n) / float64(k)))
+	maxCap := n // unconstrained: one replica could serve everyone
+	var out []CapacityPoint
+	for s := 0; s < steps; s++ {
+		// Interpolate capacities from loose to tight.
+		frac := float64(s) / float64(steps-1+boolToInt(steps == 1))
+		c := int(math.Round(float64(maxCap) - frac*float64(maxCap-minCap)))
+		if c < minCap {
+			c = minCap
+		}
+		a, err := AssignWithCapacity(in, replicas, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CapacityPoint{Capacity: c, MeanDelayMs: a.MeanDelayMs, Spilled: a.Spilled})
+	}
+	return out, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

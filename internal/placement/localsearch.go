@@ -1,0 +1,99 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LocalSearch is the classic swap-based hill climber from the static
+// replication heuristics literature the paper cites (Khan & Ahmad's
+// ten-heuristic comparison [12]): start from a base placement and
+// repeatedly replace one replica with one unused candidate whenever the
+// swap lowers the predicted mean delay, until no single swap helps.
+//
+// Like every coordinate-driven strategy here it sees predicted delays
+// only. Its cost is Θ(|U|·|C|·k) per pass — far above the online
+// algorithm's summary-based cost — so it serves as an accuracy/cost
+// ablation point between Online and Optimal, not as a scalable
+// replacement.
+type LocalSearch struct {
+	// Base produces the starting placement; nil starts from Online with
+	// default parameters.
+	Base Strategy
+	// MaxPasses bounds full sweep iterations; zero means 16.
+	MaxPasses int
+}
+
+// Name implements Strategy.
+func (s LocalSearch) Name() string { return "local-search" }
+
+// Place implements Strategy.
+func (s LocalSearch) Place(r *rand.Rand, in *Instance) ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	base := s.Base
+	if base == nil {
+		base = DefaultOnline()
+	}
+	current, err := base.Place(r, in)
+	if err != nil {
+		return nil, fmt.Errorf("local-search base: %w", err)
+	}
+	maxPasses := s.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 16
+	}
+
+	inSet := make(map[int]bool, len(current))
+	for _, rep := range current {
+		inSet[rep] = true
+	}
+
+	// Predicted mean delay of the current placement, with per-client
+	// nearest distances maintained incrementally per candidate swap.
+	predicted := func(replicas []int) float64 {
+		var total float64
+		for _, u := range in.Clients {
+			best := math.Inf(1)
+			for _, rep := range replicas {
+				if d := in.PredictedDelay(u, rep); d < best {
+					best = d
+				}
+			}
+			total += best
+		}
+		return total / float64(len(in.Clients))
+	}
+
+	cur := predicted(current)
+	trial := make([]int, len(current))
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for i := range current {
+			bestCand, bestDelay := -1, cur
+			for _, c := range in.Candidates {
+				if inSet[c] {
+					continue
+				}
+				copy(trial, current)
+				trial[i] = c
+				if d := predicted(trial); d < bestDelay-1e-12 {
+					bestCand, bestDelay = c, d
+				}
+			}
+			if bestCand >= 0 {
+				delete(inSet, current[i])
+				inSet[bestCand] = true
+				current[i] = bestCand
+				cur = bestDelay
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return current, nil
+}

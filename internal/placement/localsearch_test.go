@@ -1,0 +1,119 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocalSearchImprovesOnBase(t *testing.T) {
+	var baseSum, lsSum, optSum float64
+	for seed := int64(1); seed <= 10; seed++ {
+		in := threeBlobInstance(rand.New(rand.NewSource(seed)), 3)
+		base, err := (Random{}).Place(rand.New(rand.NewSource(seed*3)), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls, err := (LocalSearch{Base: Random{}}).Place(rand.New(rand.NewSource(seed*3)), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := (Optimal{}).Place(nil, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseSum += MeanAccessDelay(in, base)
+		lsSum += MeanAccessDelay(in, ls)
+		optSum += MeanAccessDelay(in, opt)
+	}
+	if lsSum >= baseSum {
+		t.Errorf("local search (%v) did not improve on random base (%v)", lsSum/10, baseSum/10)
+	}
+	// With clean coordinates on the blob instance, hill climbing from any
+	// start should land very near the optimum.
+	if lsSum > optSum*1.1 {
+		t.Errorf("local search (%v) should approach optimal (%v)", lsSum/10, optSum/10)
+	}
+}
+
+func TestLocalSearchDefaultBaseIsOnline(t *testing.T) {
+	in := threeBlobInstance(rand.New(rand.NewSource(2)), 3)
+	got, err := (LocalSearch{}).Place(rand.New(rand.NewSource(3)), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("placed %d replicas", len(got))
+	}
+	seen := make(map[int]bool)
+	for _, rep := range got {
+		if seen[rep] {
+			t.Fatalf("duplicate replica %d", rep)
+		}
+		seen[rep] = true
+	}
+}
+
+func TestLocalSearchRejectsInvalidInstance(t *testing.T) {
+	if _, err := (LocalSearch{}).Place(rand.New(rand.NewSource(1)), &Instance{}); err == nil {
+		t.Error("invalid instance should fail")
+	}
+}
+
+func TestLocalSearchMaxPassesBounds(t *testing.T) {
+	in := threeBlobInstance(rand.New(rand.NewSource(4)), 3)
+	// One pass still returns a valid placement.
+	got, err := (LocalSearch{Base: Random{}, MaxPasses: 1}).Place(rand.New(rand.NewSource(5)), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != in.K {
+		t.Fatalf("placed %d replicas", len(got))
+	}
+}
+
+// Property: local search never makes its base placement worse under the
+// predicted objective it optimizes, and stays within the candidate set.
+func TestQuickLocalSearchNeverWorsens(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := threeBlobInstance(r, 2)
+		base, err := (Random{}).Place(rand.New(rand.NewSource(seed+1)), in)
+		if err != nil {
+			return false
+		}
+		ls, err := (LocalSearch{Base: Random{}}).Place(rand.New(rand.NewSource(seed+1)), in)
+		if err != nil {
+			return false
+		}
+		pred := func(replicas []int) float64 {
+			var total float64
+			for _, u := range in.Clients {
+				best := in.PredictedDelay(u, replicas[0])
+				for _, rep := range replicas[1:] {
+					if d := in.PredictedDelay(u, rep); d < best {
+						best = d
+					}
+				}
+				total += best
+			}
+			return total
+		}
+		if pred(ls) > pred(base)+1e-9 {
+			return false
+		}
+		candSet := make(map[int]bool)
+		for _, c := range in.Candidates {
+			candSet[c] = true
+		}
+		for _, rep := range ls {
+			if !candSet[rep] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileAccessDelay(t *testing.T) {
+	// Clients on a line at 0..9; one replica at 0 → delays 0..9.
+	var clientXs []float64
+	for i := 0; i < 10; i++ {
+		clientXs = append(clientXs, float64(i))
+	}
+	in := lineInstance(clientXs, []float64{0}, 1)
+	got, err := PercentileAccessDelay(in, in.Candidates, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4.5 {
+		t.Errorf("p50 = %v, want 4.5", got)
+	}
+	got, err = PercentileAccessDelay(in, in.Candidates, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Errorf("p100 = %v, want 9", got)
+	}
+	if _, err := PercentileAccessDelay(in, nil, 50); err == nil {
+		t.Error("no replicas should fail")
+	}
+}
+
+func TestOptimalPercentileValidation(t *testing.T) {
+	in := threeBlobInstance(rand.New(rand.NewSource(1)), 2)
+	if _, err := (OptimalPercentile{P: 0}).Place(nil, in); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := (OptimalPercentile{P: 101}).Place(nil, in); err == nil {
+		t.Error("p>100 should fail")
+	}
+	if _, err := (OptimalPercentile{P: 95, MaxCombinations: 1}).Place(nil, in); err == nil {
+		t.Error("combination guard should trip")
+	}
+	if (OptimalPercentile{P: 95}).Name() != "optimal-p95" {
+		t.Error("name changed")
+	}
+}
+
+func TestTailOptimumProtectsMinority(t *testing.T) {
+	// 90 clients at x=0, 10 clients at x=200. Candidates at 0, 100, 200.
+	// k=1: the mean optimum sits at 0 (tail p95 = 200); the p95 optimum
+	// must cover the minority too, choosing the middle (max delay 100).
+	var clientXs []float64
+	for i := 0; i < 90; i++ {
+		clientXs = append(clientXs, 0)
+	}
+	for i := 0; i < 10; i++ {
+		clientXs = append(clientXs, 200)
+	}
+	in := lineInstance(clientXs, []float64{0, 100, 200}, 1)
+
+	meanOpt, err := (Optimal{}).Place(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Coords[meanOpt[0]].Pos[0] != 0 {
+		t.Fatalf("mean optimum at x=%v, want 0", in.Coords[meanOpt[0]].Pos[0])
+	}
+	tailOpt, err := (OptimalPercentile{P: 95}).Place(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Coords[tailOpt[0]].Pos[0] != 100 {
+		t.Fatalf("p95 optimum at x=%v, want 100 (covers the minority)", in.Coords[tailOpt[0]].Pos[0])
+	}
+	// And the tail values confirm the tension.
+	meanTail, err := PercentileAccessDelay(in, meanOpt, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailTail, err := PercentileAccessDelay(in, tailOpt, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tailTail >= meanTail {
+		t.Errorf("p95 optimum (%v) should beat mean optimum's tail (%v)", tailTail, meanTail)
+	}
+}
+
+func TestOptimalPercentileReturnsValidPlacement(t *testing.T) {
+	in := threeBlobInstance(rand.New(rand.NewSource(2)), 3)
+	got, err := (OptimalPercentile{P: 90}).Place(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("placed %d replicas", len(got))
+	}
+	seen := make(map[int]bool)
+	for _, rep := range got {
+		if seen[rep] {
+			t.Fatalf("duplicate replica %d", rep)
+		}
+		seen[rep] = true
+	}
+}
+
+// Property: the percentile optimum lower-bounds random placements under
+// its own objective, and percentile values are monotone in p.
+func TestQuickPercentileOptimumLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := threeBlobInstance(r, 2)
+		p := 50 + float64(seed%2)*45 // 50 or 95
+		opt, err := (OptimalPercentile{P: p}).Place(nil, in)
+		if err != nil {
+			return false
+		}
+		optV, err := PercentileAccessDelay(in, opt, p)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 4; trial++ {
+			reps, err := (Random{}).Place(r, in)
+			if err != nil {
+				return false
+			}
+			v, err := PercentileAccessDelay(in, reps, p)
+			if err != nil || v < optV-1e-9 {
+				return false
+			}
+			prev := -math.MaxFloat64
+			for _, q := range []float64{25, 50, 75, 100} {
+				pv, err := PercentileAccessDelay(in, reps, q)
+				if err != nil || pv < prev-1e-9 {
+					return false
+				}
+				prev = pv
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Quorum reads are the consistency upgrade the paper defers to future
+// work (§II-A: "we plan to incorporate into our future study
+// quorum-based approaches in which users need to access multiple data
+// replicas to ensure stronger consistency"). With a read quorum of r,
+// a client's delay is the r-th smallest RTT among the replicas — it
+// must wait for the r-th fastest response.
+//
+// The objective changes character with r: for r=1 spreading replicas
+// toward each population minimizes delay, while for r close to k the
+// best placement packs all replicas near the demand centroid, because
+// every client waits for distant replicas anyway. OptimalQuorum exposes
+// the exact optimum so the crossover can be measured.
+
+// QuorumDelay returns the r-th smallest RTT from a client to the
+// replica set — the time to assemble a read quorum of size r, assuming
+// the client contacts all replicas in parallel (§I: "each user must
+// attempt to access multiple replicas in parallel").
+func QuorumDelay(in *Instance, client int, replicas []int, r int) float64 {
+	if r <= 0 || r > len(replicas) {
+		return math.Inf(1)
+	}
+	ds := make([]float64, len(replicas))
+	for i, rep := range replicas {
+		ds[i] = in.RTT(client, rep)
+	}
+	sort.Float64s(ds)
+	return ds[r-1]
+}
+
+// MeanQuorumDelay averages QuorumDelay over the instance's clients.
+// r=1 coincides with MeanAccessDelay.
+func MeanQuorumDelay(in *Instance, replicas []int, r int) float64 {
+	if len(in.Clients) == 0 {
+		return math.Inf(1)
+	}
+	var total float64
+	for _, u := range in.Clients {
+		total += QuorumDelay(in, u, replicas, r)
+	}
+	return total / float64(len(in.Clients))
+}
+
+// OptimalQuorum exhaustively minimizes the mean quorum delay for a read
+// quorum of size R. It is the ground truth for quorum experiments, with
+// the same combinatorial guard as Optimal.
+type OptimalQuorum struct {
+	// R is the read quorum size, 1 <= R <= K.
+	R int
+	// MaxCombinations guards the search; zero means the default.
+	MaxCombinations int
+}
+
+// Name implements Strategy.
+func (s OptimalQuorum) Name() string { return fmt.Sprintf("optimal-q%d", s.R) }
+
+// Place implements Strategy; the search is deterministic, so the rand
+// source is unused.
+func (s OptimalQuorum) Place(_ *rand.Rand, in *Instance) ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if s.R <= 0 || s.R > in.K {
+		return nil, fmt.Errorf("placement: quorum R=%d out of [1,%d]", s.R, in.K)
+	}
+	limit := s.MaxCombinations
+	if limit <= 0 {
+		limit = DefaultMaxCombinations
+	}
+	if c := Binomial(len(in.Candidates), in.K); c > limit {
+		return nil, fmt.Errorf("placement: quorum search needs %d combinations, limit %d", c, limit)
+	}
+
+	best := make([]int, in.K)
+	bestDelay := math.Inf(1)
+	combo := make([]int, in.K)
+	replicas := make([]int, in.K)
+	var visit func(start, depth int)
+	visit = func(start, depth int) {
+		if depth == in.K {
+			for i, ci := range combo {
+				replicas[i] = in.Candidates[ci]
+			}
+			if d := MeanQuorumDelay(in, replicas, s.R); d < bestDelay {
+				bestDelay = d
+				copy(best, replicas)
+			}
+			return
+		}
+		for i := start; i <= len(in.Candidates)-(in.K-depth); i++ {
+			combo[depth] = i
+			visit(i+1, depth+1)
+		}
+	}
+	visit(0, 0)
+	return best, nil
+}

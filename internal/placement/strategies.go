@@ -1,0 +1,277 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/vec"
+)
+
+// OfflineKMeans records every client coordinate at a central server and
+// k-means-clusters them directly — the paper's high-overhead baseline
+// ("incurs high overhead and is not scalable since the coordinates of all
+// the clients must be collected").
+type OfflineKMeans struct {
+	// MaxIter bounds the Lloyd iterations; zero uses the library default.
+	MaxIter int
+}
+
+// Name implements Strategy.
+func (OfflineKMeans) Name() string { return "offline-kmeans" }
+
+// Place implements Strategy.
+func (s OfflineKMeans) Place(r *rand.Rand, in *Instance) ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	pts := make([]vec.Vec, len(in.Clients))
+	for i, u := range in.Clients {
+		pts[i] = in.Coords[u].Pos
+	}
+	res, err := cluster.KMeans(r, pts, in.K, s.MaxIter)
+	if err != nil {
+		return nil, fmt.Errorf("offline k-means: %w", err)
+	}
+	return placeByCentroids(in, res.Centroids, res.Weights), nil
+}
+
+// Online is the paper's contribution (§III, Algorithm 1): replicas start
+// at random candidates; clients access their (predicted) closest replica;
+// each replica summarizes accesses into at most M micro-clusters; the
+// summaries are macro-clustered with weighted k-means; each macro
+// centroid maps to the nearest candidate. With Rounds > 1 the process
+// repeats from the new placement, modelling gradual migration.
+type Online struct {
+	// M is the micro-cluster budget per replica (paper symbol m).
+	M int
+	// Rounds is the number of access→summarize→migrate epochs. The paper
+	// runs the process periodically; two rounds are enough to converge in
+	// the evaluation settings.
+	Rounds int
+	// AccessesPerClient is how many reads each client issues per epoch.
+	AccessesPerClient int
+}
+
+// DefaultOnline returns the configuration behind the paper's headline
+// results: the evaluation found m≈4 micro-clusters per replica already
+// near-optimal (Fig. 3); we default to 10 for headroom.
+func DefaultOnline() Online {
+	return Online{M: 10, Rounds: 2, AccessesPerClient: 1}
+}
+
+// Name implements Strategy.
+func (s Online) Name() string { return "online" }
+
+// Place implements Strategy.
+func (s Online) Place(r *rand.Rand, in *Instance) ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if s.M <= 0 {
+		return nil, fmt.Errorf("online: micro-cluster budget M must be positive, got %d", s.M)
+	}
+	rounds := s.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	accesses := s.AccessesPerClient
+	if accesses <= 0 {
+		accesses = 1
+	}
+
+	// Initial deployment is random — the state gradual migration starts
+	// from.
+	replicas, err := (Random{}).Place(r, in)
+	if err != nil {
+		return nil, err
+	}
+
+	dims := in.Coords[0].Pos.Dim()
+	for round := 0; round < rounds; round++ {
+		// Phase 1: per-replica summarization of client accesses.
+		summarizers := make(map[int]*cluster.Summarizer, len(replicas))
+		for _, rep := range replicas {
+			sum, err := cluster.NewSummarizer(s.M, dims)
+			if err != nil {
+				return nil, err
+			}
+			summarizers[rep] = sum
+		}
+		for _, u := range in.Clients {
+			rep := in.ClosestReplicaPredicted(u, replicas)
+			for a := 0; a < accesses; a++ {
+				if err := summarizers[rep].Observe(in.Coords[u].Pos, 1); err != nil {
+					return nil, fmt.Errorf("online: observe client %d: %w", u, err)
+				}
+			}
+		}
+
+		// Phase 2: collect micro-clusters and macro-cluster them.
+		var micros []cluster.Micro
+		for _, rep := range replicas {
+			micros = append(micros, summarizers[rep].Clusters()...)
+		}
+		if len(micros) == 0 {
+			return replicas, nil // no accesses: keep the current placement
+		}
+		res, err := cluster.MacroCluster(r, micros, in.K)
+		if err != nil {
+			return nil, fmt.Errorf("online: macro-cluster: %w", err)
+		}
+		replicas = placeByCentroids(in, res.Centroids, res.Weights)
+	}
+	return replicas, nil
+}
+
+// Greedy is the placement heuristic of Qiu et al. (INFOCOM 2002): add one
+// replica at a time, each time choosing the candidate that most reduces
+// the total predicted access delay. It needs per-client predicted
+// distances to every candidate, so its input cost is Θ(|U|·|C|) per step
+// — the scalability gap the paper's summary-based approach closes.
+type Greedy struct{}
+
+// Name implements Strategy.
+func (Greedy) Name() string { return "greedy" }
+
+// Place implements Strategy.
+func (Greedy) Place(_ *rand.Rand, in *Instance) ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	bestSoFar := make([]float64, len(in.Clients))
+	for i := range bestSoFar {
+		bestSoFar[i] = math.Inf(1)
+	}
+	used := make(map[int]bool, in.K)
+	var chosen []int
+	for len(chosen) < in.K {
+		bestCand, bestTotal := -1, math.Inf(1)
+		for _, c := range in.Candidates {
+			if used[c] {
+				continue
+			}
+			var total float64
+			for i, u := range in.Clients {
+				d := in.PredictedDelay(u, c)
+				if bestSoFar[i] < d {
+					d = bestSoFar[i]
+				}
+				total += d
+			}
+			if total < bestTotal {
+				bestCand, bestTotal = c, total
+			}
+		}
+		if bestCand < 0 {
+			break
+		}
+		used[bestCand] = true
+		chosen = append(chosen, bestCand)
+		for i, u := range in.Clients {
+			if d := in.PredictedDelay(u, bestCand); d < bestSoFar[i] {
+				bestSoFar[i] = d
+			}
+		}
+	}
+	return chosen, nil
+}
+
+// HotZone is the cell heuristic of Szymaniak et al. (SAINT 2005): split
+// the coordinate bounding box into a grid, rank cells by client count,
+// and place one replica near each of the K most crowded cells. The paper
+// cites its known weakness — all but the most crowded cells are ignored.
+type HotZone struct {
+	// CellsPerDim is the grid resolution per dimension; zero defaults to 8.
+	CellsPerDim int
+}
+
+// Name implements Strategy.
+func (HotZone) Name() string { return "hotzone" }
+
+// Place implements Strategy.
+func (s HotZone) Place(_ *rand.Rand, in *Instance) ([]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	cells := s.CellsPerDim
+	if cells <= 0 {
+		cells = 8
+	}
+	dims := in.Coords[0].Pos.Dim()
+
+	// Bounding box of client positions.
+	lo := in.Coords[in.Clients[0]].Pos.Clone()
+	hi := lo.Clone()
+	for _, u := range in.Clients {
+		p := in.Coords[u].Pos
+		for d := 0; d < dims; d++ {
+			if p[d] < lo[d] {
+				lo[d] = p[d]
+			}
+			if p[d] > hi[d] {
+				hi[d] = p[d]
+			}
+		}
+	}
+
+	cellOf := func(p vec.Vec) string {
+		key := make([]byte, 0, dims*3)
+		for d := 0; d < dims; d++ {
+			span := hi[d] - lo[d]
+			idx := 0
+			if span > 0 {
+				idx = int((p[d] - lo[d]) / span * float64(cells))
+				if idx >= cells {
+					idx = cells - 1
+				}
+			}
+			key = append(key, byte(idx), '/')
+		}
+		return string(key)
+	}
+
+	type cellStat struct {
+		count int
+		sum   vec.Vec
+	}
+	byCell := make(map[string]*cellStat)
+	for _, u := range in.Clients {
+		p := in.Coords[u].Pos
+		k := cellOf(p)
+		cs, ok := byCell[k]
+		if !ok {
+			cs = &cellStat{sum: vec.New(dims)}
+			byCell[k] = cs
+		}
+		cs.count++
+		cs.sum.AddInPlace(p)
+	}
+
+	// Rank cells by population, deterministic tie-break on key.
+	type ranked struct {
+		key string
+		cs  *cellStat
+	}
+	all := make([]ranked, 0, len(byCell))
+	for k, cs := range byCell {
+		all = append(all, ranked{key: k, cs: cs})
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].cs.count > all[i].cs.count ||
+				(all[j].cs.count == all[i].cs.count && all[j].key < all[i].key) {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+
+	centroids := make([]vec.Vec, 0, in.K)
+	weights := make([]float64, 0, in.K)
+	for i := 0; i < len(all) && i < in.K; i++ {
+		centroids = append(centroids, all[i].cs.sum.Scale(1/float64(all[i].cs.count)))
+		weights = append(weights, float64(all[i].cs.count))
+	}
+	return placeByCentroids(in, centroids, weights), nil
+}

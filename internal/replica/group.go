@@ -1,0 +1,108 @@
+package replica
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/georep/georep/internal/coord"
+)
+
+// GroupManager manages replica placement for many object groups at once.
+// Per §II-A, a placement solution "can be applied to a group of data
+// objects by treating accesses to any object of the group as accesses to
+// a virtual object that represents all the objects of the group"; each
+// group gets its own Manager (own summaries, own placement, own epochs)
+// over a shared candidate set and coordinate space.
+type GroupManager struct {
+	cfg        Config
+	candidates []int
+	coords     []coord.Coordinate
+	groups     map[string]*Manager
+}
+
+// NewGroupManager validates the shared configuration once; individual
+// group managers are created lazily on first access.
+func NewGroupManager(cfg Config, candidates []int, coords []coord.Coordinate) (*GroupManager, error) {
+	// Construct a probe manager to validate the configuration eagerly,
+	// so misconfiguration surfaces at startup rather than at first use.
+	if _, err := NewManager(cfg, candidates, coords, nil); err != nil {
+		return nil, fmt.Errorf("replica: group config: %w", err)
+	}
+	return &GroupManager{
+		cfg:        cfg,
+		candidates: append([]int(nil), candidates...),
+		coords:     coords,
+		groups:     make(map[string]*Manager),
+	}, nil
+}
+
+// Group returns the manager for a group, creating it on first use.
+func (g *GroupManager) Group(name string) (*Manager, error) {
+	if name == "" {
+		return nil, fmt.Errorf("replica: empty group name")
+	}
+	if m, ok := g.groups[name]; ok {
+		return m, nil
+	}
+	m, err := NewManager(g.cfg, g.candidates, g.coords, nil)
+	if err != nil {
+		return nil, err
+	}
+	g.groups[name] = m
+	return m, nil
+}
+
+// Groups returns the known group names in sorted order.
+func (g *GroupManager) Groups() []string {
+	out := make([]string, 0, len(g.groups))
+	for name := range g.groups {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Record routes an access to the named group's closest replica and folds
+// it into that replica's summary.
+func (g *GroupManager) Record(group string, client coord.Coordinate, weight float64) (int, error) {
+	m, err := g.Group(group)
+	if err != nil {
+		return 0, err
+	}
+	return m.Record(client, weight)
+}
+
+// Replicas returns the current placement of a group (creating the group
+// if it does not exist yet).
+func (g *GroupManager) Replicas(group string) ([]int, error) {
+	m, err := g.Group(group)
+	if err != nil {
+		return nil, err
+	}
+	return m.Replicas(), nil
+}
+
+// EndEpoch runs the coordinator cycle for every known group,
+// deterministically ordered by group name, and returns the per-group
+// decisions. A failing group aborts the epoch with its error.
+func (g *GroupManager) EndEpoch(r *rand.Rand) (map[string]Decision, error) {
+	out := make(map[string]Decision, len(g.groups))
+	for _, name := range g.Groups() {
+		dec, err := g.groups[name].EndEpoch(r)
+		if err != nil {
+			return out, fmt.Errorf("replica: group %q epoch: %w", name, err)
+		}
+		out[name] = dec
+	}
+	return out, nil
+}
+
+// TotalMigrations sums adopted migrations across groups.
+func (g *GroupManager) TotalMigrations() int {
+	var n int
+	for _, m := range g.groups {
+		n += m.Migrations()
+	}
+	return n
+}

@@ -1,0 +1,331 @@
+package replica
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/vec"
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// K is the initial replication degree.
+	K int
+	// M is the micro-cluster budget per replica (paper symbol m).
+	M int
+	// Dims is the coordinate dimensionality.
+	Dims int
+	// Migration gates placement changes; the zero value migrates on any
+	// estimated improvement.
+	Migration MigrationPolicy
+	// KPolicy adapts the replication degree; the zero value pins k.
+	KPolicy KPolicy
+	// DecayFactor ages summaries at each epoch end (0 < f <= 1); zero
+	// defaults to 0.5 so summaries track recent accesses.
+	DecayFactor float64
+	// WindowEpochs, when positive, switches the per-replica summaries
+	// from exponential decay to exact CluStream windows covering the
+	// last WindowEpochs epochs; DecayFactor is then ignored.
+	WindowEpochs int
+}
+
+// newServer builds a server in the configured recency mode.
+func (c Config) newServer(node int) (*Server, error) {
+	if c.WindowEpochs > 0 {
+		return NewWindowedServer(node, c.M, c.Dims, c.WindowEpochs)
+	}
+	return NewServer(node, c.M, c.Dims)
+}
+
+func (c *Config) fillDefaults() {
+	if c.DecayFactor == 0 {
+		c.DecayFactor = 0.5
+	}
+	if c.KPolicy.Min == 0 && c.KPolicy.Max == 0 {
+		c.KPolicy.Min, c.KPolicy.Max = c.K, c.K
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("replica: K must be positive, got %d", c.K)
+	}
+	if c.M <= 0 {
+		return fmt.Errorf("replica: M must be positive, got %d", c.M)
+	}
+	if c.Dims <= 0 {
+		return fmt.Errorf("replica: Dims must be positive, got %d", c.Dims)
+	}
+	if err := c.Migration.Validate(); err != nil {
+		return err
+	}
+	if err := c.KPolicy.Validate(c.K); err != nil {
+		return err
+	}
+	if c.DecayFactor < 0 || c.DecayFactor > 1 {
+		return fmt.Errorf("replica: DecayFactor %v out of [0,1]", c.DecayFactor)
+	}
+	return nil
+}
+
+// Manager coordinates the replicas of one data object (or object group):
+// it routes clients to their closest replica, owns the per-replica
+// summaries, and at each epoch end runs the collection/decision cycle.
+// It is not safe for concurrent use; drive it from one goroutine (the
+// simulator) or guard it externally (the TCP daemon does).
+type Manager struct {
+	cfg        Config
+	candidates []int
+	coords     []coord.Coordinate
+	k          int
+	servers    map[int]*Server
+	replicas   []int
+	epoch      int
+	migrations int
+}
+
+// NewManager creates a manager over the given candidate data centers.
+// coords must cover every node index that will ever be routed or hosted.
+// initial lists the starting replica locations; nil places the first K
+// candidates.
+func NewManager(cfg Config, candidates []int, coords []coord.Coordinate, initial []int) (*Manager, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(candidates) < cfg.KPolicy.Max {
+		return nil, fmt.Errorf("replica: %d candidates but KPolicy.Max=%d", len(candidates), cfg.KPolicy.Max)
+	}
+	seen := make(map[int]bool, len(candidates))
+	for _, c := range candidates {
+		if c < 0 || c >= len(coords) {
+			return nil, fmt.Errorf("replica: candidate %d outside coordinate range", c)
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("replica: duplicate candidate %d", c)
+		}
+		seen[c] = true
+	}
+	if initial == nil {
+		initial = append([]int(nil), candidates[:cfg.K]...)
+	}
+	if len(initial) != cfg.K {
+		return nil, fmt.Errorf("replica: %d initial replicas for K=%d", len(initial), cfg.K)
+	}
+	for _, rep := range initial {
+		if !seen[rep] {
+			return nil, fmt.Errorf("replica: initial replica %d is not a candidate", rep)
+		}
+	}
+
+	m := &Manager{
+		cfg:        cfg,
+		candidates: append([]int(nil), candidates...),
+		coords:     coords,
+		k:          cfg.K,
+		servers:    make(map[int]*Server, cfg.K),
+		replicas:   append([]int(nil), initial...),
+	}
+	for _, rep := range m.replicas {
+		srv, err := cfg.newServer(rep)
+		if err != nil {
+			return nil, err
+		}
+		m.servers[rep] = srv
+	}
+	return m, nil
+}
+
+// Replicas returns a copy of the current replica locations.
+func (m *Manager) Replicas() []int { return append([]int(nil), m.replicas...) }
+
+// K returns the current replication degree.
+func (m *Manager) K() int { return m.k }
+
+// Epoch returns how many epochs have completed.
+func (m *Manager) Epoch() int { return m.epoch }
+
+// Migrations returns how many epochs ended in an adopted migration.
+func (m *Manager) Migrations() int { return m.migrations }
+
+// Route returns the replica that should serve a client at the given
+// coordinate — the one with the smallest predicted RTT (§II-A).
+func (m *Manager) Route(client coord.Coordinate) int {
+	best, bestD := m.replicas[0], math.Inf(1)
+	for _, rep := range m.replicas {
+		if d := client.DistanceTo(m.coords[rep]); d < bestD {
+			best, bestD = rep, d
+		}
+	}
+	return best
+}
+
+// Record routes the access and folds it into the serving replica's
+// summary, returning the serving replica.
+func (m *Manager) Record(client coord.Coordinate, weight float64) (int, error) {
+	rep := m.Route(client)
+	if err := m.servers[rep].Record(client.Pos, weight); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// RecordAt folds an access into a specific replica's summary, for callers
+// that route externally (e.g. the TCP daemon, where the client picked the
+// server itself).
+func (m *Manager) RecordAt(rep int, clientPos vec.Vec, weight float64) error {
+	srv, ok := m.servers[rep]
+	if !ok {
+		return fmt.Errorf("replica: node %d does not hold a replica", rep)
+	}
+	return srv.Record(clientPos, weight)
+}
+
+// EndEpoch runs the periodic coordinator cycle: collect summaries, adapt
+// k to demand, propose a placement, apply it if the migration policy
+// approves, and age the summaries. It returns the decision either way.
+func (m *Manager) EndEpoch(r *rand.Rand) (Decision, error) {
+	m.epoch++
+
+	// Collect summaries (accounting wire bytes as the real system would).
+	var micros []cluster.Micro
+	var collected int
+	var demand float64
+	for _, rep := range m.replicas {
+		srv := m.servers[rep]
+		enc, err := srv.ExportEncoded()
+		if err != nil {
+			return Decision{}, err
+		}
+		collected += len(enc)
+		ms, err := cluster.DecodeMicros(enc)
+		if err != nil {
+			return Decision{}, err
+		}
+		micros = append(micros, ms...)
+		for i := range ms {
+			demand += ms[i].Weight
+		}
+	}
+
+	dec := Decision{
+		NewReplicas:    m.Replicas(),
+		K:              m.k,
+		CollectedBytes: collected,
+	}
+	if len(micros) == 0 {
+		return dec, nil // silent epoch: nothing to learn from
+	}
+
+	// Demand-driven k adaptation.
+	kp := m.cfg.KPolicy
+	switch {
+	case kp.GrowAbove > 0 && demand > kp.GrowAbove && m.k < kp.Max:
+		m.k++
+	case kp.ShrinkBelow > 0 && demand < kp.ShrinkBelow && m.k > kp.Min:
+		m.k--
+	}
+	dec.K = m.k
+
+	proposed, err := ProposePlacement(r, micros, m.k, m.candidates, m.coords)
+	if err != nil {
+		return dec, err
+	}
+	dec.Proposed = append([]int(nil), proposed...)
+
+	oldEst, err := EstimateMeanDelay(micros, m.replicas, m.coords)
+	if err != nil {
+		return dec, err
+	}
+	newEst, err := EstimateMeanDelay(micros, proposed, m.coords)
+	if err != nil {
+		return dec, err
+	}
+	dec.EstimatedOldMs, dec.EstimatedNewMs = oldEst, newEst
+	dec.MovedReplicas = countMoved(m.replicas, proposed)
+
+	forced := len(proposed) != len(m.replicas) // k changed: must reshape
+	if forced || m.approveMigration(oldEst, newEst, demand, dec.MovedReplicas) {
+		if err := m.applyPlacement(proposed); err != nil {
+			return dec, err
+		}
+		dec.Migrate = true
+		dec.NewReplicas = m.Replicas()
+		if dec.MovedReplicas > 0 || forced {
+			m.migrations++
+		}
+	}
+
+	// Age the surviving summaries so the next epoch reflects recent use.
+	for _, srv := range m.servers {
+		if err := srv.Decay(m.cfg.DecayFactor); err != nil {
+			return dec, err
+		}
+	}
+	return dec, nil
+}
+
+// approveMigration applies the MigrationPolicy to an estimated gain.
+func (m *Manager) approveMigration(oldEst, newEst, demand float64, moved int) bool {
+	if moved == 0 {
+		return true // same placement: "migrating" is free and a no-op
+	}
+	if newEst >= oldEst || oldEst <= 0 {
+		return false
+	}
+	relGain := (oldEst - newEst) / oldEst
+	if relGain < m.cfg.Migration.MinRelativeGain {
+		return false
+	}
+	if m.cfg.Migration.CostPerByte > 0 {
+		cost := float64(moved) * m.cfg.Migration.ObjectBytes * m.cfg.Migration.CostPerByte
+		benefit := (oldEst - newEst) * demand * m.cfg.Migration.GainPerMsAccess
+		if benefit <= cost {
+			return false
+		}
+	}
+	return true
+}
+
+// applyPlacement migrates the replica set: servers at kept locations
+// retain their summaries, new locations start fresh, dropped locations
+// are discarded.
+func (m *Manager) applyPlacement(newReps []int) error {
+	next := make(map[int]*Server, len(newReps))
+	for _, rep := range newReps {
+		if srv, ok := m.servers[rep]; ok {
+			next[rep] = srv
+			continue
+		}
+		srv, err := m.cfg.newServer(rep)
+		if err != nil {
+			return err
+		}
+		next[rep] = srv
+	}
+	m.servers = next
+	m.replicas = append(m.replicas[:0], newReps...)
+	sort.Ints(m.replicas)
+	return nil
+}
+
+// countMoved returns how many locations of b are not in a — the number of
+// new replicas that would need a data copy.
+func countMoved(a, b []int) int {
+	in := make(map[int]bool, len(a))
+	for _, x := range a {
+		in[x] = true
+	}
+	moved := 0
+	for _, x := range b {
+		if !in[x] {
+			moved++
+		}
+	}
+	return moved
+}

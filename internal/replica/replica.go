@@ -1,0 +1,315 @@
+// Package replica implements the runtime side of the paper's system: the
+// per-replica access summarizers (§III-B), the coordinator that
+// periodically collects summaries and decides new replica locations
+// (§III-C, Algorithm 1), the migration-benefit threshold, and the
+// dynamic adjustment of the replication degree k.
+package replica
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/vec"
+)
+
+// Server is the state a data center holding one replica keeps: a bounded
+// micro-cluster summary of the clients that accessed it recently.
+//
+// Two recency mechanisms are available. The default (NewServer) applies
+// exponential decay at every epoch boundary — cheap, approximate. The
+// windowed variant (NewWindowedServer) keeps CluStream pyramidal
+// snapshots and exports exactly the accesses of the last W epochs —
+// slightly costlier, exact.
+type Server struct {
+	node     int
+	sum      *cluster.Summarizer
+	win      *cluster.WindowedSummarizer
+	winEpoch float64 // virtual clock: one unit per epoch (windowed mode)
+	horizon  float64 // window length in epochs (windowed mode)
+	accesses int64
+}
+
+// NewServer creates the summarizer state for a replica hosted at the
+// given node with a budget of m micro-clusters over dims-dimensional
+// client coordinates, using exponential-decay recency.
+func NewServer(node, m, dims int) (*Server, error) {
+	s, err := cluster.NewSummarizer(m, dims)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{node: node, sum: s}, nil
+}
+
+// NewWindowedServer creates a server whose summaries cover exactly the
+// last windowEpochs epochs via CluStream pyramidal snapshots.
+func NewWindowedServer(node, m, dims, windowEpochs int) (*Server, error) {
+	if windowEpochs <= 0 {
+		return nil, fmt.Errorf("replica: windowEpochs must be positive, got %d", windowEpochs)
+	}
+	w, err := cluster.NewWindowedSummarizer(m, dims)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{node: node, win: w, horizon: float64(windowEpochs)}, nil
+}
+
+// Node returns the data-center node hosting this replica.
+func (s *Server) Node() int { return s.node }
+
+// Record folds one client access into the summary. weight is the data
+// volume exchanged (paper: "the overall amount of data exchanged with
+// the users").
+func (s *Server) Record(clientPos vec.Vec, weight float64) error {
+	var err error
+	if s.win != nil {
+		err = s.win.Observe(clientPos, weight)
+	} else {
+		err = s.sum.Observe(clientPos, weight)
+	}
+	if err == nil {
+		s.accesses++
+	}
+	return err
+}
+
+// Export returns a copy of the recency-scoped micro-clusters — what the
+// server ships to the coordinator.
+func (s *Server) Export() ([]cluster.Micro, error) {
+	if s.win != nil {
+		return s.win.Window(s.winEpoch, s.horizon)
+	}
+	return s.sum.Clusters(), nil
+}
+
+// ExportEncoded returns the gob wire form of the summary, whose length is
+// the per-epoch bandwidth cost of the online approach.
+func (s *Server) ExportEncoded() ([]byte, error) {
+	ms, err := s.Export()
+	if err != nil {
+		return nil, err
+	}
+	return cluster.EncodeMicros(ms)
+}
+
+// Accesses returns the number of accesses recorded since creation.
+func (s *Server) Accesses() int64 { return s.accesses }
+
+// Decay marks an epoch boundary. In decay mode the summary ages by
+// factor (1 keeps everything, smaller forgets faster); in windowed mode
+// a snapshot is taken and the virtual clock advances, the factor is
+// ignored.
+func (s *Server) Decay(factor float64) error {
+	if s.win != nil {
+		if err := s.win.Snapshot(s.winEpoch); err != nil {
+			return err
+		}
+		s.winEpoch++
+		return nil
+	}
+	return s.sum.Decay(factor)
+}
+
+// MigrationPolicy gates replica migration on expected benefit (§III-C:
+// "our approach carries out data migration only when the gain in the
+// quality of service compared to the migration cost is higher than a
+// certain threshold").
+type MigrationPolicy struct {
+	// MinRelativeGain is the minimum fractional reduction in estimated
+	// mean delay required to migrate, e.g. 0.05 for 5%.
+	MinRelativeGain float64
+	// CostPerByte is the monetary cost of moving one byte between data
+	// centers (the paper cites ~$0.1/GB). Zero disables the economic
+	// test.
+	CostPerByte float64
+	// GainPerMsAccess is the monetary value of shaving one millisecond
+	// off one access. Only meaningful with CostPerByte > 0.
+	GainPerMsAccess float64
+	// ObjectBytes is the replicated object's size, charged once per
+	// newly created replica. Only meaningful with CostPerByte > 0.
+	ObjectBytes float64
+}
+
+// Validate checks the policy.
+func (p MigrationPolicy) Validate() error {
+	if p.MinRelativeGain < 0 || p.MinRelativeGain >= 1 {
+		return fmt.Errorf("replica: MinRelativeGain %v out of [0,1)", p.MinRelativeGain)
+	}
+	if p.CostPerByte < 0 || p.GainPerMsAccess < 0 || p.ObjectBytes < 0 {
+		return fmt.Errorf("replica: negative economics in policy %+v", p)
+	}
+	if p.CostPerByte > 0 && (p.GainPerMsAccess == 0 || p.ObjectBytes == 0) {
+		return fmt.Errorf("replica: CostPerByte set but GainPerMsAccess/ObjectBytes missing")
+	}
+	return nil
+}
+
+// KPolicy adapts the replication degree to demand (§III-C: "adjustment is
+// needed when it is desirable to create more replicas as the demand of an
+// object increases or to discard replicas as the demand decreases").
+type KPolicy struct {
+	// Min and Max bound k. Max also must not exceed the candidate count.
+	Min, Max int
+	// GrowAbove adds a replica when epoch demand (total access weight)
+	// exceeds this; zero disables growth.
+	GrowAbove float64
+	// ShrinkBelow removes a replica when epoch demand falls below this;
+	// zero disables shrinking.
+	ShrinkBelow float64
+}
+
+// Validate checks the policy against the initial k.
+func (p KPolicy) Validate(k int) error {
+	if p.Min <= 0 || p.Max < p.Min {
+		return fmt.Errorf("replica: invalid k range [%d,%d]", p.Min, p.Max)
+	}
+	if k < p.Min || k > p.Max {
+		return fmt.Errorf("replica: initial k=%d outside [%d,%d]", k, p.Min, p.Max)
+	}
+	if p.GrowAbove < 0 || p.ShrinkBelow < 0 {
+		return fmt.Errorf("replica: negative demand thresholds")
+	}
+	if p.GrowAbove > 0 && p.ShrinkBelow > p.GrowAbove {
+		return fmt.Errorf("replica: ShrinkBelow %v exceeds GrowAbove %v", p.ShrinkBelow, p.GrowAbove)
+	}
+	return nil
+}
+
+// Decision reports what the coordinator concluded for one epoch.
+type Decision struct {
+	// NewReplicas is the placement after the decision (unchanged when
+	// Migrate is false).
+	NewReplicas []int
+	// Proposed is the placement macro-clustering suggested, whether or
+	// not it was adopted.
+	Proposed []int
+	// Migrate reports whether the proposal was adopted.
+	Migrate bool
+	// K is the replication degree after demand adaptation.
+	K int
+	// EstimatedOldMs and EstimatedNewMs are summary-weighted mean delays
+	// of the old and proposed placements.
+	EstimatedOldMs float64
+	EstimatedNewMs float64
+	// MovedReplicas is how many locations the proposal changes.
+	MovedReplicas int
+	// CollectedBytes is the wire size of the micro-cluster summaries the
+	// coordinator consumed this epoch.
+	CollectedBytes int
+}
+
+// EstimateMeanDelay returns the access-weighted mean predicted delay of
+// serving the summarized populations from the given replica set: each
+// micro-cluster is served by the replica closest to its centroid in
+// coordinate space. It is the objective the coordinator optimizes,
+// computable from summaries alone.
+func EstimateMeanDelay(micros []cluster.Micro, replicas []int, coords []coord.Coordinate) (float64, error) {
+	if len(replicas) == 0 {
+		return 0, fmt.Errorf("replica: no replicas to estimate against")
+	}
+	var total, mass float64
+	for i := range micros {
+		w := micros[i].Weight
+		if w == 0 {
+			w = float64(micros[i].Count)
+		}
+		if w == 0 {
+			continue
+		}
+		c := micros[i].Centroid()
+		best := math.Inf(1)
+		for _, rep := range replicas {
+			if rep < 0 || rep >= len(coords) {
+				return 0, fmt.Errorf("replica: replica node %d out of coordinate range", rep)
+			}
+			// Predicted serving latency includes the replica's height
+			// (access-link delay); the clients' own heights are unknown
+			// from the summary but shift every placement equally.
+			if d := coords[rep].Pos.Dist(c) + coords[rep].Height; d < best {
+				best = d
+			}
+		}
+		total += w * best
+		mass += w
+	}
+	if mass == 0 {
+		return 0, nil
+	}
+	return total / mass, nil
+}
+
+// ProposePlacement runs Algorithm 1: weighted k-means over the collected
+// micro-clusters, then nearest distinct candidate per macro centroid
+// (heaviest first), topping up from the global centroid if needed. It is
+// exported for coordinators that collect summaries over the network (the
+// georepd daemon) rather than through a Manager.
+func ProposePlacement(r *rand.Rand, micros []cluster.Micro, k int, candidates []int, coords []coord.Coordinate) ([]int, error) {
+	res, err := cluster.MacroCluster(r, micros, k)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, len(res.Centroids))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if res.Weights[order[j]] > res.Weights[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	used := make(map[int]bool, k)
+	var out []int
+	pickNearest := func(target vec.Vec) int {
+		best, bestD := -1, math.Inf(1)
+		for _, c := range candidates {
+			if used[c] {
+				continue
+			}
+			// Height included: avoid candidates behind slow access links.
+			if d := coords[c].Pos.Dist(target) + coords[c].Height; d < bestD {
+				best, bestD = c, d
+			}
+		}
+		return best
+	}
+	for _, ci := range order {
+		if len(out) == k {
+			break
+		}
+		if c := pickNearest(res.Centroids[ci]); c >= 0 {
+			used[c] = true
+			out = append(out, c)
+		}
+	}
+	if len(out) < k {
+		// Fewer distinct centroids than k: place remaining replicas near
+		// the overall demand centroid.
+		var pts []vec.Vec
+		var ws []float64
+		for i := range micros {
+			pts = append(pts, micros[i].Centroid())
+			w := micros[i].Weight
+			if w == 0 {
+				w = float64(micros[i].Count)
+			}
+			ws = append(ws, w)
+		}
+		global := vec.WeightedMean(pts, ws)
+		for len(out) < k {
+			c := pickNearest(global)
+			if c < 0 {
+				break
+			}
+			used[c] = true
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("replica: no candidates available")
+	}
+	return out, nil
+}

@@ -1,0 +1,234 @@
+// Package simnet is a deterministic discrete-event network simulator. It
+// reproduces the paper's evaluation methodology: node-to-node
+// communication is emulated on top of a measured (or synthetic) RTT
+// matrix, with a virtual clock in milliseconds. Events with equal
+// timestamps fire in scheduling order, so a run is a pure function of its
+// inputs.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a simulated node; it indexes the latency matrix.
+type NodeID int
+
+// Message is a one-way payload delivery between nodes.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Payload any
+}
+
+// MessageHandler reacts to a delivered message. It runs at the message's
+// arrival time and may schedule further traffic via the simulator.
+type MessageHandler func(s *Simulator, m Message)
+
+// RequestHandler serves an RPC: it receives a request payload and returns
+// the response payload, which the simulator delivers back to the caller
+// half an RTT later.
+type RequestHandler func(s *Simulator, from NodeID, req any) (resp any)
+
+// node is the per-node registration record.
+type node struct {
+	onMessage MessageHandler
+	onRequest RequestHandler
+}
+
+// event is one scheduled occurrence.
+type event struct {
+	at  float64 // virtual ms
+	seq uint64  // tie-break: FIFO among equal timestamps
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// LatencyFunc returns the RTT in milliseconds between two nodes. It may
+// be non-deterministic (e.g. a noisy sampler); the simulator itself adds
+// no randomness.
+type LatencyFunc func(from, to NodeID) float64
+
+// Simulator owns the virtual clock and event queue. It is single-
+// threaded by design: handlers run inline during Run.
+type Simulator struct {
+	rtt       LatencyFunc
+	nodes     map[NodeID]*node
+	queue     eventHeap
+	clock     float64
+	seq       uint64
+	delivered uint64
+	running   bool
+}
+
+// New creates a simulator over the given RTT oracle.
+func New(rtt LatencyFunc) *Simulator {
+	return &Simulator{rtt: rtt, nodes: make(map[NodeID]*node)}
+}
+
+// AddNode registers a node. Either handler may be nil if the node never
+// receives that kind of traffic.
+func (s *Simulator) AddNode(id NodeID, onMessage MessageHandler, onRequest RequestHandler) error {
+	if _, dup := s.nodes[id]; dup {
+		return fmt.Errorf("simnet: node %d already registered", id)
+	}
+	s.nodes[id] = &node{onMessage: onMessage, onRequest: onRequest}
+	return nil
+}
+
+// Now returns the current virtual time in milliseconds.
+func (s *Simulator) Now() float64 { return s.clock }
+
+// Delivered returns the number of one-way deliveries performed so far.
+func (s *Simulator) Delivered() uint64 { return s.delivered }
+
+// After schedules fn to run delay milliseconds from now.
+func (s *Simulator) After(delay float64, fn func()) error {
+	if delay < 0 || math.IsNaN(delay) || math.IsInf(delay, 0) {
+		return fmt.Errorf("simnet: invalid delay %v", delay)
+	}
+	s.push(s.clock+delay, fn)
+	return nil
+}
+
+func (s *Simulator) push(at float64, fn func()) {
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// Send delivers a one-way message after half the pair's RTT. The
+// destination's MessageHandler runs at arrival; a missing destination or
+// handler drops the message silently, modelling an unreachable host.
+func (s *Simulator) Send(from, to NodeID, payload any) error {
+	oneWay, err := s.oneWay(from, to)
+	if err != nil {
+		return err
+	}
+	s.push(s.clock+oneWay, func() {
+		s.delivered++
+		if n, ok := s.nodes[to]; ok && n.onMessage != nil {
+			n.onMessage(s, Message{From: from, To: to, Payload: payload})
+		}
+	})
+	return nil
+}
+
+// Reply is the completion callback of Call: resp is the responder's
+// payload and rttMs the full measured round-trip time.
+type Reply func(resp any, rttMs float64)
+
+// Call performs a simulated RPC from one node to another: the request
+// arrives after half an RTT, the destination's RequestHandler produces a
+// response, and done runs at the caller after the second half. If the
+// destination has no request handler, done never runs (a timeout is the
+// caller's concern; the paper's algorithms only contact live replicas).
+func (s *Simulator) Call(from, to NodeID, req any, done Reply) error {
+	oneWay, err := s.oneWay(from, to)
+	if err != nil {
+		return err
+	}
+	sendTime := s.clock
+	s.push(s.clock+oneWay, func() {
+		s.delivered++
+		n, ok := s.nodes[to]
+		if !ok || n.onRequest == nil {
+			return
+		}
+		resp := n.onRequest(s, from, req)
+		s.push(s.clock+oneWay, func() {
+			s.delivered++
+			if done != nil {
+				done(resp, s.clock-sendTime)
+			}
+		})
+	})
+	return nil
+}
+
+func (s *Simulator) oneWay(from, to NodeID) (float64, error) {
+	if _, ok := s.nodes[from]; !ok {
+		return 0, fmt.Errorf("simnet: unknown sender %d", from)
+	}
+	if _, ok := s.nodes[to]; !ok {
+		return 0, fmt.Errorf("simnet: unknown destination %d", to)
+	}
+	if from == to {
+		return 0, nil
+	}
+	rtt := s.rtt(from, to)
+	if rtt < 0 || math.IsNaN(rtt) || math.IsInf(rtt, 0) {
+		return 0, fmt.Errorf("simnet: latency oracle returned %v for (%d,%d)", rtt, from, to)
+	}
+	return rtt / 2, nil
+}
+
+// Run processes events until the queue drains or maxEvents fire,
+// returning the number of events processed. maxEvents <= 0 means
+// unlimited (the queue must drain on its own).
+func (s *Simulator) Run(maxEvents int) (int, error) {
+	if s.running {
+		return 0, fmt.Errorf("simnet: Run re-entered from a handler")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+
+	processed := 0
+	for len(s.queue) > 0 {
+		if maxEvents > 0 && processed >= maxEvents {
+			return processed, fmt.Errorf("simnet: event budget %d exhausted at t=%.1fms", maxEvents, s.clock)
+		}
+		e := heap.Pop(&s.queue).(*event)
+		if e.at < s.clock {
+			return processed, fmt.Errorf("simnet: time went backwards: %v < %v", e.at, s.clock)
+		}
+		s.clock = e.at
+		e.fn()
+		processed++
+	}
+	return processed, nil
+}
+
+// RunUntil processes events with timestamps <= deadline (milliseconds),
+// leaving later events queued and advancing the clock to the deadline.
+func (s *Simulator) RunUntil(deadline float64) (int, error) {
+	if s.running {
+		return 0, fmt.Errorf("simnet: RunUntil re-entered from a handler")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+
+	processed := 0
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		e := heap.Pop(&s.queue).(*event)
+		s.clock = e.at
+		e.fn()
+		processed++
+	}
+	if s.clock < deadline {
+		s.clock = deadline
+	}
+	return processed, nil
+}
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.queue) }

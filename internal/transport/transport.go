@@ -1,0 +1,292 @@
+// Package transport is a minimal stdlib-only RPC layer (TCP + gob) so the
+// replica-placement system also runs as real networked processes, not
+// only inside the discrete-event simulator. Servers can inject artificial
+// per-request delays, which lets the examples reproduce wide-area RTTs
+// between processes on one machine; clients measure the observed RTT of
+// every call, which is exactly the measurement stream the coordinate
+// system consumes.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// request and response are the wire frames; bodies are nested gob.
+type request struct {
+	ID     uint64
+	Method string
+	Body   []byte
+}
+
+type response struct {
+	ID   uint64
+	Err  string
+	Body []byte
+}
+
+// Handler serves one method: raw request body in, raw response body out.
+type Handler func(body []byte) ([]byte, error)
+
+// Marshal gob-encodes a value for use as a request or response body.
+func Marshal(v any) ([]byte, error) {
+	return gobEncode(v)
+}
+
+// Unmarshal gob-decodes a body produced by Marshal.
+func Unmarshal(b []byte, v any) error {
+	return gobDecode(b, v)
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("transport: server closed")
+
+// DelayFunc returns the artificial delay to add to a request, keyed by
+// method. Used to emulate WAN latency between local processes.
+type DelayFunc func(method string) time.Duration
+
+// ServerOption configures a Server.
+type ServerOption interface {
+	apply(*Server)
+}
+
+type delayOption struct{ fn DelayFunc }
+
+func (o delayOption) apply(s *Server) { s.delay = o.fn }
+
+// WithDelay installs an artificial per-request delay.
+func WithDelay(fn DelayFunc) ServerOption { return delayOption{fn: fn} }
+
+// Server accepts connections and dispatches method calls. Each
+// connection is served by one goroutine, requests on it in order.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	delay    DelayFunc
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer returns a server with no handlers registered.
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	return s
+}
+
+// Handle registers a method handler. Registering after Serve started is
+// allowed; re-registering a name replaces the handler.
+func (s *Server) Handle(method string, h Handler) error {
+	if method == "" {
+		return errors.New("transport: empty method name")
+	}
+	if h == nil {
+		return errors.New("transport: nil handler")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+	return nil
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0").
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return nil
+}
+
+// Addr returns the bound address; nil before Listen.
+func (s *Server) Addr() net.Addr {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections until Close. It blocks; run it in a
+// goroutine.
+func (s *Server) Serve() error {
+	s.mu.RLock()
+	ln := s.ln
+	s.mu.RUnlock()
+	if ln == nil {
+		return errors.New("transport: Serve before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.RLock()
+			closed := s.closed
+			s.mu.RUnlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupt; drop it
+		}
+		if s.delay != nil {
+			time.Sleep(s.delay(req.Method))
+		}
+		s.mu.RLock()
+		h := s.handlers[req.Method]
+		s.mu.RUnlock()
+
+		resp := response{ID: req.ID}
+		if h == nil {
+			resp.Err = fmt.Sprintf("transport: unknown method %q", req.Method)
+		} else if body, err := h(req.Body); err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Body = body
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handler
+// goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a synchronous RPC client over one TCP connection. Calls are
+// serialized; use one client per concurrent caller.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	nextID uint64
+}
+
+// Dial connects to a server within the timeout.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+	}, nil
+}
+
+// RemoteError is a server-side failure relayed to the caller.
+type RemoteError struct {
+	Method  string
+	Message string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: remote %s: %s", e.Method, e.Message)
+}
+
+// Call invokes a method: req is gob-encoded, resp (if non-nil) decoded
+// from the reply. It returns the measured round-trip time, the signal the
+// coordinate system feeds on.
+func (c *Client) Call(method string, req, resp any) (time.Duration, error) {
+	body, err := gobEncode(req)
+	if err != nil {
+		return 0, fmt.Errorf("transport: encode %s request: %w", method, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	frame := request{ID: c.nextID, Method: method, Body: body}
+
+	start := time.Now()
+	if err := c.enc.Encode(frame); err != nil {
+		return 0, fmt.Errorf("transport: send %s: %w", method, err)
+	}
+	var r response
+	if err := c.dec.Decode(&r); err != nil {
+		return 0, fmt.Errorf("transport: receive %s: %w", method, err)
+	}
+	rtt := time.Since(start)
+	if r.ID != frame.ID {
+		return rtt, fmt.Errorf("transport: response id %d for request %d", r.ID, frame.ID)
+	}
+	if r.Err != "" {
+		return rtt, &RemoteError{Method: method, Message: r.Err}
+	}
+	if resp != nil {
+		if err := gobDecode(r.Body, resp); err != nil {
+			return rtt, fmt.Errorf("transport: decode %s response: %w", method, err)
+		}
+	}
+	return rtt, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -1,0 +1,219 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestOfAndClone(t *testing.T) {
+	v := Of(1, 2, 3)
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatalf("Clone aliases the original: v=%v", v)
+	}
+	if v.Dim() != 3 {
+		t.Fatalf("Dim = %d, want 3", v.Dim())
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := Of(1, 2)
+	b := Of(3, -4)
+	if got := a.Add(b); !got.Equal(Of(4, -2)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); !got.Equal(Of(-2, 6)) {
+		t.Errorf("Sub = %v", got)
+	}
+	// Originals untouched.
+	if !a.Equal(Of(1, 2)) || !b.Equal(Of(3, -4)) {
+		t.Errorf("inputs mutated: a=%v b=%v", a, b)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := Of(1, 2)
+	a.AddInPlace(Of(1, 1))
+	if !a.Equal(Of(2, 3)) {
+		t.Errorf("AddInPlace = %v", a)
+	}
+	a.SubInPlace(Of(2, 2))
+	if !a.Equal(Of(0, 1)) {
+		t.Errorf("SubInPlace = %v", a)
+	}
+	a.ScaleInPlace(5)
+	if !a.Equal(Of(0, 5)) {
+		t.Errorf("ScaleInPlace = %v", a)
+	}
+	a.AddScaled(2, Of(1, 1))
+	if !a.Equal(Of(2, 7)) {
+		t.Errorf("AddScaled = %v", a)
+	}
+}
+
+func TestDotNormDist(t *testing.T) {
+	a := Of(3, 4)
+	if got := a.Norm(); !almostEqual(got, 5) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := a.Dot(Of(1, 1)); !almostEqual(got, 7) {
+		t.Errorf("Dot = %v, want 7", got)
+	}
+	if got := a.Dist(Of(0, 0)); !almostEqual(got, 5) {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := a.Dist2(Of(0, 0)); !almostEqual(got, 25) {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := Of(0, 3).Unit()
+	if !almostEqual(u.Norm(), 1) {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+	z := New(2).Unit()
+	if !z.IsZero() {
+		t.Errorf("Unit of zero vector = %v, want zero", z)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !Of(1, 2).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if Of(math.NaN(), 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if Of(math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([]Vec{Of(0, 0), Of(2, 4)})
+	if !m.Equal(Of(1, 2)) {
+		t.Errorf("Mean = %v", m)
+	}
+	if Mean(nil) != nil {
+		t.Error("Mean(nil) should be nil")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	m := WeightedMean([]Vec{Of(0, 0), Of(10, 10)}, []float64{1, 3})
+	if !almostEqual(m[0], 7.5) || !almostEqual(m[1], 7.5) {
+		t.Errorf("WeightedMean = %v, want (7.5,7.5)", m)
+	}
+	// All-zero weights degrade to the plain mean.
+	m = WeightedMean([]Vec{Of(0, 0), Of(4, 4)}, []float64{0, 0})
+	if !almostEqual(m[0], 2) {
+		t.Errorf("WeightedMean zero weights = %v, want (2,2)", m)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched dims should panic")
+		}
+	}()
+	Of(1).Add(Of(1, 2))
+}
+
+func TestWeightedMeanMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WeightedMean with mismatched lengths should panic")
+		}
+	}()
+	WeightedMean([]Vec{Of(1)}, []float64{1, 2})
+}
+
+func randomVec(r *rand.Rand, d int) Vec {
+	v := New(d)
+	for i := range v {
+		v[i] = r.NormFloat64() * 100
+	}
+	return v
+}
+
+// Property: distance is symmetric and satisfies the triangle inequality.
+func TestQuickMetricProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := 1 + rr.Intn(6)
+		a, b, c := randomVec(r, d), randomVec(r, d), randomVec(r, d)
+		if !almostEqual(a.Dist(b), b.Dist(a)) {
+			return false
+		}
+		if a.Dist(c) > a.Dist(b)+b.Dist(c)+1e-9 {
+			return false
+		}
+		return a.Dist(a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add and Sub are inverses, Dist2 == Dist².
+func TestQuickAddSubInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		d := 1 + int(seed%5+5)%5
+		a, b := randomVec(r, d), randomVec(r, d)
+		back := a.Add(b).Sub(b)
+		for i := range a {
+			if !almostEqual(back[i], a[i]) {
+				return false
+			}
+		}
+		dd := a.Dist(b)
+		return almostEqual(dd*dd, a.Dist2(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the mean minimizes the sum of squared distances among the
+// sampled candidate points (the defining property k-means relies on).
+func TestQuickMeanMinimizesSSQ(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ssq := func(c Vec, pts []Vec) float64 {
+		var s float64
+		for _, p := range pts {
+			s += c.Dist2(p)
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 2 + rr.Intn(8)
+		pts := make([]Vec, n)
+		for i := range pts {
+			pts[i] = randomVec(r, 3)
+		}
+		m := Mean(pts)
+		best := ssq(m, pts)
+		for trial := 0; trial < 20; trial++ {
+			cand := m.Add(randomVec(rr, 3).Scale(0.05))
+			if ssq(cand, pts) < best-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package georep
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/georep/georep/internal/replica"
+)
+
+// ManagerConfig parameterizes a live replica manager.
+type ManagerConfig struct {
+	// K is the initial replication degree.
+	K int
+	// MicroClusters is the per-replica summary budget m (default 10).
+	MicroClusters int
+	// Candidates are the data-center node indices replicas may live at.
+	Candidates []int
+	// InitialReplicas optionally fixes the starting placement; nil uses
+	// the first K candidates.
+	InitialReplicas []int
+	// MinRelativeGain is the fractional estimated-delay improvement
+	// required before migrating (default 0, i.e. migrate on any gain).
+	MinRelativeGain float64
+	// MigrationCostPerByte, LatencyValuePerMsAccess and ObjectBytes
+	// enable the economic migration test when all are positive: a
+	// migration happens only if the latency value it recovers exceeds
+	// the transfer cost.
+	MigrationCostPerByte    float64
+	LatencyValuePerMsAccess float64
+	ObjectBytes             float64
+	// MinReplicas/MaxReplicas with demand thresholds enable dynamic k:
+	// the degree grows past GrowAbove total epoch weight and shrinks
+	// below ShrinkBelow. Zero values pin k.
+	MinReplicas, MaxReplicas int
+	GrowAbove, ShrinkBelow   float64
+	// DecayFactor ages summaries between epochs (default 0.5).
+	DecayFactor float64
+	// WindowEpochs, when positive, replaces decay with exact CluStream
+	// time windows: each epoch's decision sees exactly the accesses of
+	// the last WindowEpochs epochs. DecayFactor is then ignored.
+	WindowEpochs int
+}
+
+// EpochReport describes what one epoch's coordination cycle concluded.
+type EpochReport struct {
+	// Migrated reports whether the placement changed.
+	Migrated bool
+	// Replicas is the placement after the epoch.
+	Replicas []int
+	// K is the replication degree after demand adaptation.
+	K int
+	// EstimatedOldMs / EstimatedNewMs are the summary-estimated mean
+	// delays of the previous and proposed placements.
+	EstimatedOldMs float64
+	EstimatedNewMs float64
+	// MovedReplicas counts locations that required a data copy.
+	MovedReplicas int
+	// SummaryBytes is the wire size of the collected micro-cluster
+	// summaries — the online approach's entire bandwidth cost.
+	SummaryBytes int
+}
+
+// Manager is the live replica-placement loop for one object (or object
+// group) over a deployment: it routes accesses to the predicted-closest
+// replica, maintains the per-replica summaries, and migrates replicas at
+// epoch boundaries per the paper's Algorithm 1.
+type Manager struct {
+	d     *Deployment
+	inner *replica.Manager
+	dims  int
+}
+
+// NewManager creates a manager on the deployment.
+func (d *Deployment) NewManager(cfg ManagerConfig) (*Manager, error) {
+	m := cfg.MicroClusters
+	if m <= 0 {
+		m = 10
+	}
+	dims := 0
+	if d.matrix.N() > 0 {
+		dims = d.coords[0].Pos.Dim()
+	}
+	for _, c := range cfg.Candidates {
+		if c < 0 || c >= d.matrix.N() {
+			return nil, fmt.Errorf("georep: candidate %d out of range", c)
+		}
+	}
+	rcfg := replica.Config{
+		K:    cfg.K,
+		M:    m,
+		Dims: dims,
+		Migration: replica.MigrationPolicy{
+			MinRelativeGain: cfg.MinRelativeGain,
+			CostPerByte:     cfg.MigrationCostPerByte,
+			GainPerMsAccess: cfg.LatencyValuePerMsAccess,
+			ObjectBytes:     cfg.ObjectBytes,
+		},
+		KPolicy: replica.KPolicy{
+			Min:         cfg.MinReplicas,
+			Max:         cfg.MaxReplicas,
+			GrowAbove:   cfg.GrowAbove,
+			ShrinkBelow: cfg.ShrinkBelow,
+		},
+		DecayFactor:  cfg.DecayFactor,
+		WindowEpochs: cfg.WindowEpochs,
+	}
+	inner, err := replica.NewManager(rcfg, cfg.Candidates, d.coords, cfg.InitialReplicas)
+	if err != nil {
+		return nil, fmt.Errorf("georep: new manager: %w", err)
+	}
+	return &Manager{d: d, inner: inner, dims: dims}, nil
+}
+
+// Replicas returns the current replica locations.
+func (m *Manager) Replicas() []int { return m.inner.Replicas() }
+
+// K returns the current replication degree.
+func (m *Manager) K() int { return m.inner.K() }
+
+// Migrations returns how many epochs adopted a placement change.
+func (m *Manager) Migrations() int { return m.inner.Migrations() }
+
+// RecordAccess routes one read from the client node to its predicted-
+// closest replica, folds it into that replica's summary, and returns the
+// serving replica together with the ground-truth RTT the client
+// experienced. weight is the data volume transferred (use 1 for uniform
+// requests).
+func (m *Manager) RecordAccess(clientNode int, weight float64) (servedBy int, rttMs float64, err error) {
+	if clientNode < 0 || clientNode >= m.d.matrix.N() {
+		return 0, 0, fmt.Errorf("georep: client node %d out of range", clientNode)
+	}
+	rep, err := m.inner.Record(m.d.coords[clientNode], weight)
+	if err != nil {
+		return rep, 0, err
+	}
+	return rep, m.d.matrix.RTT(clientNode, rep), nil
+}
+
+// EndEpoch runs the coordinator cycle: collect summaries, adapt k,
+// propose, migrate if approved, decay. The seed drives the weighted
+// k-means initialization.
+func (m *Manager) EndEpoch(seed int64) (EpochReport, error) {
+	dec, err := m.inner.EndEpoch(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return EpochReport{}, fmt.Errorf("georep: end epoch: %w", err)
+	}
+	return EpochReport{
+		Migrated:       dec.Migrate,
+		Replicas:       dec.NewReplicas,
+		K:              dec.K,
+		EstimatedOldMs: dec.EstimatedOldMs,
+		EstimatedNewMs: dec.EstimatedNewMs,
+		MovedReplicas:  dec.MovedReplicas,
+		SummaryBytes:   dec.CollectedBytes,
+	}, nil
+}

@@ -1,0 +1,109 @@
+package georep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceCSVRoundTripFacade(t *testing.T) {
+	events := []AccessEvent{
+		{TimeMs: 1, Client: 10, Group: "g1", Bytes: 100},
+		{TimeMs: 2, Client: 11, Group: "g2", Bytes: 200},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != events[0] || back[1] != events[1] {
+		t.Errorf("round trip: %+v", back)
+	}
+	if _, err := ReadTrace(strings.NewReader("bad,row\n")); err == nil {
+		t.Error("malformed trace should fail")
+	}
+}
+
+func TestReplayFacade(t *testing.T) {
+	d := smallDeployment(t)
+	candidates, clients := splitNodes(d, 10)
+
+	// Synthesize a trace: every client reads "lib" 4 times over 4
+	// epochs' worth of trace time.
+	var events []AccessEvent
+	tm := 0.0
+	for round := 0; round < 4; round++ {
+		for _, c := range clients {
+			events = append(events, AccessEvent{
+				TimeMs: tm, Client: c, Group: "lib", Bytes: 1,
+			})
+			tm += 1
+		}
+	}
+	res, err := d.Replay(events, ReplayConfig{
+		Manager: ManagerConfig{K: 3, Candidates: candidates},
+		EpochMs: tm / 4,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != len(events) {
+		t.Errorf("accesses = %d, want %d", res.Accesses, len(events))
+	}
+	if res.Epochs < 4 {
+		t.Errorf("epochs = %d, want >= 4", res.Epochs)
+	}
+	if res.MeanDelayMs <= 0 {
+		t.Errorf("mean delay = %v", res.MeanDelayMs)
+	}
+	final := res.FinalReplicas["lib"]
+	if len(final) != 3 {
+		t.Fatalf("final replicas = %v", final)
+	}
+	// The final placement must be no worse than the naive initial one
+	// (first K candidates) on ground truth.
+	initial, err := d.MeanAccessDelay(clients, candidates[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := d.MeanAccessDelay(clients, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > initial*1.02 {
+		t.Errorf("replayed placement (%v ms) worse than initial (%v ms)", after, initial)
+	}
+	if res.SummaryBytes <= 0 {
+		t.Error("summary bytes not accounted")
+	}
+}
+
+func TestReplayFacadeValidation(t *testing.T) {
+	d := smallDeployment(t)
+	candidates, _ := splitNodes(d, 10)
+	if _, err := d.Replay(nil, ReplayConfig{
+		Manager: ManagerConfig{K: 2, Candidates: candidates}, EpochMs: 10,
+	}); err == nil {
+		t.Error("no events should fail")
+	}
+	events := []AccessEvent{{TimeMs: 1, Client: 15, Group: "g", Bytes: 1}}
+	if _, err := d.Replay(events, ReplayConfig{
+		Manager: ManagerConfig{K: 0, Candidates: candidates}, EpochMs: 10,
+	}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := d.Replay(events, ReplayConfig{
+		Manager: ManagerConfig{K: 2, Candidates: []int{0, 9999}}, EpochMs: 10,
+	}); err == nil {
+		t.Error("bad candidate should fail")
+	}
+	if _, err := d.Replay(events, ReplayConfig{
+		Manager: ManagerConfig{K: 2, Candidates: candidates}, EpochMs: 0,
+	}); err == nil {
+		t.Error("zero epoch should fail")
+	}
+}
