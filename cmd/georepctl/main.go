@@ -11,6 +11,7 @@
 //	georepctl -nodes ... read  -obj key -client 7 -client-coord "10,-3,42"
 //	georepctl -nodes ... rebalance -obj key -k 2 [-min-gain 0.05] [-apply]
 //	georepctl -nodes ... decay -factor 0.5
+//	georepctl -nodes ... metrics [-metric daemon_rpc]
 //
 // read acts as a client at the given coordinate: it fetches the object
 // from the predicted-closest holder, which records the access in that
@@ -25,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
@@ -34,6 +36,7 @@ import (
 	"github.com/georep/georep/internal/cluster"
 	"github.com/georep/georep/internal/coord"
 	"github.com/georep/georep/internal/daemon"
+	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/replica"
 	"github.com/georep/georep/internal/store"
 	"github.com/georep/georep/internal/vec"
@@ -60,6 +63,7 @@ func run(args []string) error {
 		minGain     = fs.Float64("min-gain", 0.05, "minimum relative estimated gain to apply a rebalance")
 		apply       = fs.Bool("apply", false, "execute the rebalance instead of printing the plan")
 		timeout     = fs.Duration("timeout", 3*time.Second, "dial timeout per node")
+		metricFilt  = fs.String("metric", "", "substring filter for metrics names (metrics command)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,7 +74,7 @@ func run(args []string) error {
 	rest := fs.Args()
 	if len(rest) == 0 {
 		fs.Usage()
-		return fmt.Errorf("need a command: status, get, put, read, rebalance, decay")
+		return fmt.Errorf("need a command: status, get, put, read, rebalance, decay, metrics")
 	}
 	cmd := rest[0]
 	if err := fs.Parse(rest[1:]); err != nil {
@@ -121,6 +125,8 @@ func run(args []string) error {
 			return fmt.Errorf("decay needs -factor in (0,1]")
 		}
 		return fleet.decay(*decayFactor)
+	case "metrics":
+		return fleet.metrics(os.Stdout, *metricFilt)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -257,6 +263,40 @@ func (f *fleet) read(obj string, clientID int, clientPos []float64) error {
 	}
 	fmt.Printf("read %q v%d (%dB) from node %d in %s\n",
 		obj, resp.Version, len(resp.Data), best.node, rtt.Round(time.Microsecond))
+	return nil
+}
+
+// metrics fetches and pretty-prints every node's metrics snapshot.
+// filter, when non-empty, keeps only metric names containing it.
+func (f *fleet) metrics(w io.Writer, filter string) error {
+	keep := func(name string) bool {
+		return filter == "" || strings.Contains(name, filter)
+	}
+	for _, m := range f.members {
+		s, err := m.client.Metrics()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "node %d (%s)\n", m.node, m.addr)
+		for _, name := range metrics.SortedNames(s.Counters) {
+			if keep(name) {
+				fmt.Fprintf(w, "  %-44s %12d\n", name, s.Counters[name])
+			}
+		}
+		for _, name := range metrics.SortedNames(s.Gauges) {
+			if keep(name) {
+				fmt.Fprintf(w, "  %-44s %12.3f\n", name, s.Gauges[name])
+			}
+		}
+		for _, name := range metrics.SortedNames(s.Histograms) {
+			if !keep(name) {
+				continue
+			}
+			h := s.Histograms[name]
+			fmt.Fprintf(w, "  %-44s n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+				name, h.Count, h.Mean(), h.P50, h.P95, h.P99, h.Max)
+		}
+	}
 	return nil
 }
 

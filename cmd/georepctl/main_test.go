@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -200,4 +201,53 @@ func splitAddrs(s string) []string {
 		}
 	}
 	return out
+}
+
+func TestCtlMetrics(t *testing.T) {
+	nodes := startTestFleet(t)
+	if err := run([]string{"-nodes", nodes, "put", "-obj", "m", "-data", "x"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		err := run([]string{"-nodes", nodes, "read", "-obj", "m",
+			"-client", "3", "-client-coord", "1,1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// End-to-end through the command parser.
+	if err := run([]string{"-nodes", nodes, "metrics"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-nodes", nodes, "metrics", "-metric", "daemon_rpc"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rendered output: dial the fleet directly and check the table.
+	f, err := dialFleet(splitAddrs(nodes), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.close()
+	var buf strings.Builder
+	if err := f.metrics(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"node 0", "node 1", "node 2",
+		"daemon_rpc_put_total", "daemon_rpc_get_ms", "transport_server_bytes_in_total", "p95=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	// The filter drops unrelated metric families.
+	buf.Reset()
+	if err := f.metrics(&buf, "transport_"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "daemon_rpc_put_total") {
+		t.Errorf("filter did not apply:\n%s", buf.String())
+	}
 }

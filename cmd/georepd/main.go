@@ -11,11 +11,19 @@
 //
 //	georepd -addr 127.0.0.1:7001 -node 0 -m 10 -dims 3
 //	georepd -addr 127.0.0.1:7002 -node 1 -matrix matrix.txt   # emulate WAN RTTs
+//	georepd -addr 127.0.0.1:7001 -metrics-addr 127.0.0.1:9090 # JSON metrics over HTTP
+//
+// With -metrics-addr the daemon also serves its metrics registry as an
+// expvar-style JSON document over HTTP at /metrics (and /debug/vars):
+// RPC counts and errors per method, transport bytes in/out, handler
+// latency histograms with p50/p95/p99, and summary-export sizes.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -36,19 +44,27 @@ func main() {
 	}
 }
 
+// addrs reports where a started daemon listens: the RPC address and,
+// when -metrics-addr is given, the HTTP metrics address.
+type addrs struct {
+	RPC     string
+	Metrics string
+}
+
 // run starts the daemon and blocks until a signal arrives on stop. If
-// ready is non-nil, the bound address is sent on it once listening.
-func run(args []string, stop <-chan os.Signal, ready chan<- string) error {
+// ready is non-nil, the bound addresses are sent on it once listening.
+func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 	fs := flag.NewFlagSet("georepd", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", "127.0.0.1:0", "listen address")
-		nodeID     = fs.Int("node", 0, "this node's index in the deployment")
-		micro      = fs.Int("m", 10, "micro-cluster budget")
-		dims       = fs.Int("dims", 3, "client coordinate dimensionality")
-		matrixPath = fs.String("matrix", "", "RTT matrix file; reads are delayed by RTT(client,node) to emulate a WAN")
-		scale      = fs.Float64("timescale", 1.0, "emulated delay multiplier (0.1 = 10x faster demos)")
-		coordFlag  = fs.String("coord", "", "this node's network coordinate as comma-separated floats, e.g. \"12.5,-3.1,40.2\"")
-		height     = fs.Float64("height", 0, "height component of this node's coordinate")
+		addr        = fs.String("addr", "127.0.0.1:0", "listen address")
+		nodeID      = fs.Int("node", 0, "this node's index in the deployment")
+		micro       = fs.Int("m", 10, "micro-cluster budget")
+		dims        = fs.Int("dims", 3, "client coordinate dimensionality")
+		matrixPath  = fs.String("matrix", "", "RTT matrix file; reads are delayed by RTT(client,node) to emulate a WAN")
+		scale       = fs.Float64("timescale", 1.0, "emulated delay multiplier (0.1 = 10x faster demos)")
+		coordFlag   = fs.String("coord", "", "this node's network coordinate as comma-separated floats, e.g. \"12.5,-3.1,40.2\"")
+		height      = fs.Float64("height", 0, "height component of this node's coordinate")
+		metricsAddr = fs.String("metrics-addr", "", "HTTP address serving the JSON metrics snapshot; empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,11 +121,37 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string) error {
 		return err
 	}
 	fmt.Printf("georepd node %d listening on %s\n", *nodeID, n.Addr())
+
+	var metricsURL string
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			n.Close()
+			return fmt.Errorf("metrics listen %s: %w", *metricsAddr, err)
+		}
+		metricsURL = ln.Addr().String()
+		serve := func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := n.Metrics().WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", serve)
+		mux.HandleFunc("/debug/vars", serve)
+		metricsSrv = &http.Server{Handler: mux}
+		go func() { _ = metricsSrv.Serve(ln) }()
+		fmt.Printf("metrics on http://%s/metrics\n", metricsURL)
+	}
 	if ready != nil {
-		ready <- n.Addr()
+		ready <- addrs{RPC: n.Addr(), Metrics: metricsURL}
 	}
 
 	<-stop
 	fmt.Println("shutting down")
+	if metricsSrv != nil {
+		_ = metricsSrv.Close()
+	}
 	return n.Close()
 }

@@ -1,30 +1,33 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
 	"github.com/georep/georep/internal/daemon"
+	"github.com/georep/georep/internal/metrics"
 )
 
-// startDaemon runs the daemon in a goroutine and returns its address and
-// a stopper.
-func startDaemon(t *testing.T, args []string) (addr string, stop func()) {
+// startDaemon runs the daemon in a goroutine and returns its addresses
+// and a stopper.
+func startDaemon(t *testing.T, args []string) (bound addrs, stop func()) {
 	t.Helper()
 	sig := make(chan os.Signal, 1)
-	ready := make(chan string, 1)
+	ready := make(chan addrs, 1)
 	done := make(chan error, 1)
 	go func() { done <- run(args, sig, ready) }()
 	select {
-	case addr = <-ready:
+	case bound = <-ready:
 	case err := <-done:
 		t.Fatalf("daemon exited early: %v", err)
 	case <-time.After(5 * time.Second):
 		t.Fatal("daemon did not become ready")
 	}
-	return addr, func() {
+	return bound, func() {
 		sig <- os.Interrupt
 		select {
 		case err := <-done:
@@ -38,13 +41,16 @@ func startDaemon(t *testing.T, args []string) (addr string, stop func()) {
 }
 
 func TestDaemonServesAndShutsDown(t *testing.T) {
-	addr, stop := startDaemon(t, []string{
+	bound, stop := startDaemon(t, []string{
 		"-addr", "127.0.0.1:0", "-node", "4", "-dims", "2",
 		"-coord", "1.5,2.5", "-height", "0.5",
 	})
 	defer stop()
+	if bound.Metrics != "" {
+		t.Errorf("metrics address %q bound without -metrics-addr", bound.Metrics)
+	}
 
-	c, err := daemon.DialNode(addr, time.Second)
+	c, err := daemon.DialNode(bound.RPC, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,12 +78,12 @@ func TestDaemonWithMatrixDelay(t *testing.T) {
 	if err := os.WriteFile(matrix, []byte("2\n0 50\n50 0\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	addr, stop := startDaemon(t, []string{
+	bound, stop := startDaemon(t, []string{
 		"-addr", "127.0.0.1:0", "-node", "0", "-dims", "2", "-matrix", matrix,
 	})
 	defer stop()
 
-	c, err := daemon.DialNode(addr, time.Second)
+	c, err := daemon.DialNode(bound.RPC, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,15 +100,90 @@ func TestDaemonWithMatrixDelay(t *testing.T) {
 	}
 }
 
+// TestMetricsEndpoint drives RPCs at a daemon and asserts the HTTP
+// metrics endpoint serves a JSON snapshot whose counters advance.
+func TestMetricsEndpoint(t *testing.T) {
+	bound, stop := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0",
+		"-node", "2", "-dims", "2", "-coord", "3,4",
+	})
+	defer stop()
+	if bound.Metrics == "" {
+		t.Fatal("no metrics address bound")
+	}
+
+	c, err := daemon.DialNode(bound.RPC, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("k", []byte("v"), 1); err != nil {
+		t.Fatal(err)
+	}
+	const reads = 3
+	for i := 0; i < reads; i++ {
+		if _, _, err := c.Get(1, []float64{1, 1}, "k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fetch := func(path string) metrics.Snapshot {
+		t.Helper()
+		resp, err := http.Get("http://" + bound.Metrics + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %s", path, resp.Status)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("content type = %q", ct)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := metrics.UnmarshalSnapshot(body)
+		if err != nil {
+			t.Fatalf("bad snapshot JSON: %v\n%s", err, body)
+		}
+		return s
+	}
+
+	s := fetch("/metrics")
+	if got := s.Counters["daemon_rpc_get_total"]; got != reads {
+		t.Errorf("daemon_rpc_get_total = %d, want %d", got, reads)
+	}
+	if s.Counters["transport_server_requests_total"] < reads+1 {
+		t.Errorf("transport_server_requests_total = %d, want >= %d",
+			s.Counters["transport_server_requests_total"], reads+1)
+	}
+	if h := s.Histograms["daemon_rpc_get_ms"]; h.Count != reads {
+		t.Errorf("daemon_rpc_get_ms count = %d, want %d", h.Count, reads)
+	}
+
+	// Counters advance across further traffic, on both endpoint paths.
+	if _, _, err := c.Get(1, []float64{1, 1}, "k"); err != nil {
+		t.Fatal(err)
+	}
+	s2 := fetch("/debug/vars")
+	if s2.Counters["daemon_rpc_get_total"] != reads+1 {
+		t.Errorf("daemon_rpc_get_total after extra read = %d, want %d",
+			s2.Counters["daemon_rpc_get_total"], reads+1)
+	}
+}
+
 func TestDaemonArgErrors(t *testing.T) {
 	sig := make(chan os.Signal)
 	cases := [][]string{
-		{"-coord", "1,2", "-dims", "3"},    // dim mismatch
-		{"-coord", "a,b", "-dims", "2"},    // bad floats
-		{"-matrix", "/nonexistent"},        // missing matrix
-		{"-m", "0"},                        // invalid budget
-		{"-unknown-flag"},                  // flag error
-		{"-addr", "256.256.256.256:99999"}, // unbindable address
+		{"-coord", "1,2", "-dims", "3"},            // dim mismatch
+		{"-coord", "a,b", "-dims", "2"},            // bad floats
+		{"-matrix", "/nonexistent"},                // missing matrix
+		{"-m", "0"},                                // invalid budget
+		{"-unknown-flag"},                          // flag error
+		{"-addr", "256.256.256.256:99999"},         // unbindable address
+		{"-metrics-addr", "256.256.256.256:99999"}, // unbindable metrics address
 	}
 	for _, args := range cases {
 		if err := run(args, sig, nil); err == nil {

@@ -59,13 +59,16 @@ func fromInternal(c coord.Coordinate) Coordinate {
 	return Coordinate{Pos: append([]float64(nil), c.Pos...), Height: c.Height}
 }
 
-// options collects deployment construction settings.
+// options collects deployment construction settings. err carries the
+// first option-parse failure so construction can report it instead of a
+// generic validation error.
 type options struct {
 	algorithm coord.Algorithm
 	dims      int
 	rounds    int
 	noiseFrac float64
 	nodes     int
+	err       error
 }
 
 func defaultOptions() options {
@@ -88,14 +91,18 @@ type optionFunc func(*options)
 func (f optionFunc) apply(o *options) { f(o) }
 
 // WithCoordinateAlgorithm selects the embedding algorithm: "rnp" (the
-// paper's, default) or "vivaldi".
+// paper's, default) or "vivaldi". An unknown name surfaces as an error
+// from the constructor (Simulate, Load, LoadKing) naming the bad input.
 func WithCoordinateAlgorithm(name string) Option {
 	return optionFunc(func(o *options) {
-		if a, err := coord.ParseAlgorithm(name); err == nil {
-			o.algorithm = a
-		} else {
-			o.algorithm = 0 // force a validation error at construction
+		a, err := coord.ParseAlgorithm(name)
+		if err != nil {
+			if o.err == nil {
+				o.err = fmt.Errorf("georep: coordinate algorithm: %w", err)
+			}
+			return
 		}
+		o.algorithm = a
 	})
 }
 
@@ -138,6 +145,9 @@ func Simulate(seed int64, opts ...Option) (*Deployment, error) {
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
+	if o.err != nil {
+		return nil, fmt.Errorf("simulate: %w", o.err)
+	}
 	genCfg := latency.DefaultGenerateConfig()
 	genCfg.Nodes = o.nodes
 	m, _, err := latency.Generate(rand.New(rand.NewSource(seed)), genCfg)
@@ -155,6 +165,9 @@ func Load(r io.Reader, seed int64, opts ...Option) (*Deployment, error) {
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
+	if o.err != nil {
+		return nil, fmt.Errorf("load: %w", o.err)
+	}
 	m, err := latency.Read(r)
 	if err != nil {
 		return nil, fmt.Errorf("georep: load: %w", err)
@@ -170,6 +183,9 @@ func LoadKing(r io.Reader, seed int64, opts ...Option) (*Deployment, error) {
 	o := defaultOptions()
 	for _, opt := range opts {
 		opt.apply(&o)
+	}
+	if o.err != nil {
+		return nil, fmt.Errorf("load king: %w", o.err)
 	}
 	m, err := latency.ReadKing(r)
 	if err != nil {

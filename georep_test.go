@@ -69,6 +69,8 @@ func TestSimulateOptions(t *testing.T) {
 	}
 	if _, err := Simulate(3, WithNodes(30), WithCoordinateAlgorithm("bogus")); err == nil {
 		t.Error("unknown algorithm should fail")
+	} else if !strings.Contains(err.Error(), `"bogus"`) {
+		t.Errorf("error %q does not name the misspelled algorithm", err)
 	}
 	if _, err := Simulate(3, WithNodes(1)); err == nil {
 		t.Error("1-node deployment should fail")

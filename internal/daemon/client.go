@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/transport"
 )
 
@@ -104,6 +105,15 @@ func (c *Client) List() ([]string, error) {
 		return nil, fmt.Errorf("daemon: list from %s: %w", c.addr, err)
 	}
 	return resp.Objects, nil
+}
+
+// Metrics fetches the node's metrics snapshot.
+func (c *Client) Metrics() (metrics.Snapshot, error) {
+	var resp MetricsResponse
+	if _, err := c.c.Call(MethodMetrics, nil, &resp); err != nil {
+		return metrics.Snapshot{}, fmt.Errorf("daemon: metrics from %s: %w", c.addr, err)
+	}
+	return metrics.UnmarshalSnapshot(resp.JSON)
 }
 
 // Stats fetches node statistics.

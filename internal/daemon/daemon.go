@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/store"
 	"github.com/georep/georep/internal/transport"
 	"github.com/georep/georep/internal/vec"
@@ -74,19 +75,26 @@ type (
 	ListResponse struct {
 		Objects []string
 	}
+	// MetricsResponse carries a JSON-encoded metrics snapshot (see
+	// metrics.MarshalSnapshot); JSON keeps the payload self-describing
+	// for non-Go scrapers fronted by georepctl.
+	MetricsResponse struct {
+		JSON []byte
+	}
 )
 
 // Method names of the daemon protocol.
 const (
-	MethodGet    = "get"
-	MethodPut    = "put"
-	MethodDelete = "delete"
-	MethodMicros = "micros"
-	MethodDecay  = "decay"
-	MethodStats  = "stats"
-	MethodPing   = "ping"
-	MethodCoord  = "coord"
-	MethodList   = "list"
+	MethodGet     = "get"
+	MethodPut     = "put"
+	MethodDelete  = "delete"
+	MethodMicros  = "micros"
+	MethodDecay   = "decay"
+	MethodStats   = "stats"
+	MethodPing    = "ping"
+	MethodCoord   = "coord"
+	MethodList    = "list"
+	MethodMetrics = "metrics"
 )
 
 // DelayFunc returns the emulated RTT for serving a given client node;
@@ -118,13 +126,17 @@ type Node struct {
 	cfg    Config
 	store  *store.Store
 	server *transport.Server
+	reg    *metrics.Registry
 
 	mu       sync.Mutex
 	sum      *cluster.Summarizer
 	accesses int64
 }
 
-// NewNode builds the node runtime (not yet listening).
+// NewNode builds the node runtime (not yet listening). Every node
+// carries a metrics registry covering both the daemon protocol
+// (per-method counts, errors, latencies) and the underlying transport
+// (bytes in/out); Snapshot and the metrics RPC expose it.
 func NewNode(cfg Config) (*Node, error) {
 	if cfg.MicroClusters <= 0 {
 		return nil, fmt.Errorf("daemon: MicroClusters must be positive, got %d", cfg.MicroClusters)
@@ -132,7 +144,13 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Dims <= 0 {
 		return nil, fmt.Errorf("daemon: Dims must be positive, got %d", cfg.Dims)
 	}
-	n := &Node{cfg: cfg, store: store.New(), server: transport.NewServer()}
+	reg := metrics.NewRegistry()
+	n := &Node{
+		cfg:    cfg,
+		store:  store.New(),
+		server: transport.NewServer(transport.WithMetrics(reg)),
+		reg:    reg,
+	}
 	sum, err := cluster.NewSummarizer(cfg.MicroClusters, cfg.Dims)
 	if err != nil {
 		return nil, err
@@ -144,28 +162,66 @@ func NewNode(cfg Config) (*Node, error) {
 	return n, nil
 }
 
+// Metrics returns the node's registry, shared with its transport server.
+func (n *Node) Metrics() *metrics.Registry { return n.reg }
+
+// Snapshot captures the node's current metrics.
+func (n *Node) Snapshot() metrics.Snapshot { return n.reg.Snapshot() }
+
 // Store exposes the node's local store (for preloading data in tests and
 // examples).
 func (n *Node) Store() *store.Store { return n.store }
 
 func (n *Node) registerHandlers() error {
 	handlers := map[string]transport.Handler{
-		MethodGet:    n.handleGet,
-		MethodPut:    n.handlePut,
-		MethodDelete: n.handleDelete,
-		MethodMicros: n.handleMicros,
-		MethodDecay:  n.handleDecay,
-		MethodStats:  n.handleStats,
-		MethodPing:   func([]byte) ([]byte, error) { return nil, nil },
-		MethodCoord:  n.handleCoord,
-		MethodList:   n.handleList,
+		MethodGet:     n.handleGet,
+		MethodPut:     n.handlePut,
+		MethodDelete:  n.handleDelete,
+		MethodMicros:  n.handleMicros,
+		MethodDecay:   n.handleDecay,
+		MethodStats:   n.handleStats,
+		MethodPing:    func([]byte) ([]byte, error) { return nil, nil },
+		MethodCoord:   n.handleCoord,
+		MethodList:    n.handleList,
+		MethodMetrics: n.handleMetrics,
 	}
 	for name, h := range handlers {
-		if err := n.server.Handle(name, h); err != nil {
+		if err := n.server.Handle(name, n.instrument(name, h)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// instrument wraps a handler with per-method counters and a latency
+// histogram (inclusive of any emulated WAN delay — the latency a client
+// of this method actually experiences server-side).
+func (n *Node) instrument(method string, h transport.Handler) transport.Handler {
+	reqs := n.reg.Counter("daemon_rpc_" + method + "_total")
+	errs := n.reg.Counter("daemon_rpc_" + method + "_errors_total")
+	lat := n.reg.Histogram("daemon_rpc_"+method+"_ms", metrics.LatencyBuckets())
+	total := n.reg.Counter("daemon_rpc_total")
+	totalErrs := n.reg.Counter("daemon_rpc_errors_total")
+	return func(body []byte) ([]byte, error) {
+		start := time.Now()
+		out, err := h(body)
+		lat.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		reqs.Inc()
+		total.Inc()
+		if err != nil {
+			errs.Inc()
+			totalErrs.Inc()
+		}
+		return out, err
+	}
+}
+
+func (n *Node) handleMetrics([]byte) ([]byte, error) {
+	b, err := metrics.MarshalSnapshot(n.reg.Snapshot())
+	if err != nil {
+		return nil, err
+	}
+	return transport.Marshal(MetricsResponse{JSON: b})
 }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves in a background
@@ -220,6 +276,8 @@ func (n *Node) handleGet(body []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		n.reg.Counter("daemon_summarized_accesses_total").Inc()
+		n.reg.Gauge("daemon_summarized_weight_total").Add(weight)
 	}
 	return transport.Marshal(GetResponse{Data: obj.Data, Version: obj.Version})
 }
@@ -256,6 +314,11 @@ func (n *Node) handleMicros([]byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The exported summary is the online algorithm's entire bandwidth
+	// cost; its cumulative wire size is the paper's O(k·m) claim made
+	// observable.
+	n.reg.Counter("daemon_summary_bytes_total").Add(int64(len(enc)))
+	n.reg.Histogram("daemon_summary_bytes", metrics.SizeBuckets()).Observe(float64(len(enc)))
 	return transport.Marshal(MicrosResponse{Encoded: enc})
 }
 

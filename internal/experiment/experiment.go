@@ -14,6 +14,7 @@ import (
 	"github.com/georep/georep/internal/coord"
 	"github.com/georep/georep/internal/geo"
 	"github.com/georep/georep/internal/latency"
+	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/placement"
 	"github.com/georep/georep/internal/stats"
 )
@@ -140,6 +141,15 @@ type Cell struct {
 // from a seed-derived RNG, so cells with equal parameters are comparable
 // across strategies (identical instances).
 func RunCell(worlds []*World, numDCs, k int, strategies []placement.Strategy) ([]Cell, error) {
+	return RunCellObserved(worlds, numDCs, k, strategies, nil)
+}
+
+// RunCellObserved is RunCell with instrumentation: every run's mean
+// access delay is also observed into reg as a per-strategy histogram
+// (experiment_delay_ms_<strategy>), turning the cell averages into full
+// placement-quality distributions with p50/p95/p99. A nil registry
+// records nothing.
+func RunCellObserved(worlds []*World, numDCs, k int, strategies []placement.Strategy, reg *metrics.Registry) ([]Cell, error) {
 	if len(worlds) == 0 {
 		return nil, fmt.Errorf("experiment: no worlds")
 	}
@@ -158,7 +168,10 @@ func RunCell(worlds []*World, numDCs, k int, strategies []placement.Strategy) ([
 			if err != nil {
 				return nil, fmt.Errorf("experiment: %s at dcs=%d k=%d: %w", s.Name(), numDCs, k, err)
 			}
-			delays[s.Name()] = append(delays[s.Name()], placement.MeanAccessDelay(in, reps))
+			d := placement.MeanAccessDelay(in, reps)
+			delays[s.Name()] = append(delays[s.Name()], d)
+			reg.Counter("experiment_runs_total").Inc()
+			reg.Histogram("experiment_delay_ms_"+s.Name(), metrics.LatencyBuckets()).Observe(d)
 		}
 	}
 	cells := make([]Cell, 0, len(strategies))

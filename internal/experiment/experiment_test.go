@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/placement"
 )
 
@@ -294,4 +296,56 @@ func TestCoordAccuracy(t *testing.T) {
 	if _, err := CoordAccuracy(nil, smallSetup()); err == nil {
 		t.Error("no worlds should fail")
 	}
+}
+
+// TestRunCellObservedRecordsDistributions checks that instrumented cell
+// runs populate per-strategy delay histograms, one observation per
+// world, matching the averaged cells.
+func TestRunCellObservedRecordsDistributions(t *testing.T) {
+	worlds, err := BuildWorlds(3, SetupConfig{
+		Nodes: 24, CoordAlgorithm: coord.AlgorithmRNP,
+		CoordDims: 2, CoordRounds: 30, NoiseFrac: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := []placement.Strategy{placement.Random{}, placement.Greedy{}}
+	reg := metrics.NewRegistry()
+	cells, err := RunCellObserved(worlds, 6, 2, strategies, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["experiment_runs_total"]; got != int64(len(worlds)*len(strategies)) {
+		t.Errorf("experiment_runs_total = %d, want %d", got, len(worlds)*len(strategies))
+	}
+	for _, c := range cells {
+		h, ok := s.Histograms["experiment_delay_ms_"+c.Strategy]
+		if !ok {
+			t.Fatalf("no histogram for strategy %s", c.Strategy)
+		}
+		if h.Count != int64(len(worlds)) {
+			t.Errorf("%s histogram count = %d, want %d", c.Strategy, h.Count, len(worlds))
+		}
+		if got := h.Sum / float64(h.Count); mathAbs(got-c.MeanMs) > 1e-9 {
+			t.Errorf("%s histogram mean %v != cell mean %v", c.Strategy, got, c.MeanMs)
+		}
+	}
+	// Uninstrumented RunCell returns identical cells.
+	plain, err := RunCell(worlds, 6, 2, strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != cells[i] {
+			t.Errorf("RunCell diverged from RunCellObserved: %+v vs %+v", plain[i], cells[i])
+		}
+	}
+}
+
+func mathAbs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }

@@ -8,6 +8,7 @@ import (
 
 	"github.com/georep/georep/internal/cluster"
 	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/vec"
 )
 
@@ -31,6 +32,11 @@ type Config struct {
 	// from exponential decay to exact CluStream windows covering the
 	// last WindowEpochs epochs; DecayFactor is then ignored.
 	WindowEpochs int
+	// Metrics, when non-nil, receives the manager's runtime counters and
+	// histograms (see the Observability section of README.md for the
+	// metric names). A nil registry disables instrumentation at the cost
+	// of one nil check per update.
+	Metrics *metrics.Registry
 }
 
 // newServer builds a server in the configured recency mode.
@@ -70,7 +76,45 @@ func (c Config) Validate() error {
 	if c.DecayFactor < 0 || c.DecayFactor > 1 {
 		return fmt.Errorf("replica: DecayFactor %v out of [0,1]", c.DecayFactor)
 	}
+	if c.WindowEpochs < 0 {
+		return fmt.Errorf("replica: WindowEpochs must be non-negative, got %d", c.WindowEpochs)
+	}
 	return nil
+}
+
+// managerMetrics holds the manager's metric handles, resolved once at
+// construction so the hot Route/Record path does no map lookups. The
+// zero value (nil handles) is a no-op.
+type managerMetrics struct {
+	accesses     *metrics.Counter
+	accessWeight *metrics.Gauge
+	routeMs      *metrics.Histogram
+	epochs       *metrics.Counter
+	migrations   *metrics.Counter
+	moved        *metrics.Counter
+	summaryBytes *metrics.Counter
+	summaryHist  *metrics.Histogram
+	k            *metrics.Gauge
+	estOldMs     *metrics.Gauge
+	estNewMs     *metrics.Gauge
+	estGainMs    *metrics.Gauge
+}
+
+func newManagerMetrics(r *metrics.Registry) managerMetrics {
+	return managerMetrics{
+		accesses:     r.Counter("replica_accesses_total"),
+		accessWeight: r.Gauge("replica_access_weight_total"),
+		routeMs:      r.Histogram("replica_route_predicted_ms", metrics.LatencyBuckets()),
+		epochs:       r.Counter("replica_epochs_total"),
+		migrations:   r.Counter("replica_migrations_total"),
+		moved:        r.Counter("replica_moved_replicas_total"),
+		summaryBytes: r.Counter("replica_summary_bytes_total"),
+		summaryHist:  r.Histogram("replica_summary_bytes_per_epoch", metrics.SizeBuckets()),
+		k:            r.Gauge("replica_k"),
+		estOldMs:     r.Gauge("replica_estimated_old_ms"),
+		estNewMs:     r.Gauge("replica_estimated_new_ms"),
+		estGainMs:    r.Gauge("replica_estimated_gain_ms"),
+	}
 }
 
 // Manager coordinates the replicas of one data object (or object group):
@@ -87,6 +131,7 @@ type Manager struct {
 	replicas   []int
 	epoch      int
 	migrations int
+	met        managerMetrics
 }
 
 // NewManager creates a manager over the given candidate data centers.
@@ -130,7 +175,9 @@ func NewManager(cfg Config, candidates []int, coords []coord.Coordinate, initial
 		k:          cfg.K,
 		servers:    make(map[int]*Server, cfg.K),
 		replicas:   append([]int(nil), initial...),
+		met:        newManagerMetrics(cfg.Metrics),
 	}
+	m.met.k.Set(float64(cfg.K))
 	for _, rep := range m.replicas {
 		srv, err := cfg.newServer(rep)
 		if err != nil {
@@ -156,22 +203,30 @@ func (m *Manager) Migrations() int { return m.migrations }
 // Route returns the replica that should serve a client at the given
 // coordinate — the one with the smallest predicted RTT (§II-A).
 func (m *Manager) Route(client coord.Coordinate) int {
+	rep, _ := m.route(client)
+	return rep
+}
+
+func (m *Manager) route(client coord.Coordinate) (int, float64) {
 	best, bestD := m.replicas[0], math.Inf(1)
 	for _, rep := range m.replicas {
 		if d := client.DistanceTo(m.coords[rep]); d < bestD {
 			best, bestD = rep, d
 		}
 	}
-	return best
+	return best, bestD
 }
 
 // Record routes the access and folds it into the serving replica's
 // summary, returning the serving replica.
 func (m *Manager) Record(client coord.Coordinate, weight float64) (int, error) {
-	rep := m.Route(client)
+	rep, predMs := m.route(client)
 	if err := m.servers[rep].Record(client.Pos, weight); err != nil {
 		return rep, err
 	}
+	m.met.accesses.Inc()
+	m.met.accessWeight.Add(weight)
+	m.met.routeMs.Observe(predMs)
 	return rep, nil
 }
 
@@ -213,6 +268,10 @@ func (m *Manager) EndEpoch(r *rand.Rand) (Decision, error) {
 		}
 	}
 
+	m.met.epochs.Inc()
+	m.met.summaryBytes.Add(int64(collected))
+	m.met.summaryHist.Observe(float64(collected))
+
 	dec := Decision{
 		NewReplicas:    m.Replicas(),
 		K:              m.k,
@@ -248,6 +307,10 @@ func (m *Manager) EndEpoch(r *rand.Rand) (Decision, error) {
 	}
 	dec.EstimatedOldMs, dec.EstimatedNewMs = oldEst, newEst
 	dec.MovedReplicas = countMoved(m.replicas, proposed)
+	m.met.k.Set(float64(m.k))
+	m.met.estOldMs.Set(oldEst)
+	m.met.estNewMs.Set(newEst)
+	m.met.estGainMs.Set(oldEst - newEst)
 
 	forced := len(proposed) != len(m.replicas) // k changed: must reshape
 	if forced || m.approveMigration(oldEst, newEst, demand, dec.MovedReplicas) {
@@ -258,6 +321,8 @@ func (m *Manager) EndEpoch(r *rand.Rand) (Decision, error) {
 		dec.NewReplicas = m.Replicas()
 		if dec.MovedReplicas > 0 || forced {
 			m.migrations++
+			m.met.migrations.Inc()
+			m.met.moved.Add(int64(dec.MovedReplicas))
 		}
 	}
 

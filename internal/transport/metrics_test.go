@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/georep/georep/internal/metrics"
+)
+
+func TestServerAndClientMetrics(t *testing.T) {
+	sreg := metrics.NewRegistry()
+	s, addr := startServer(t, WithMetrics(sreg))
+	registerEcho(t, s)
+
+	creg := metrics.NewRegistry()
+	c, err := Dial(addr, time.Second, WithClientMetrics(creg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		var resp echoResp
+		if _, err := c.Call("echo", echoReq{Text: "hi", N: i}, &resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One failing call: unknown method.
+	if _, err := c.Call("nope", nil, nil); err == nil {
+		t.Fatal("unknown method should fail")
+	}
+
+	ss := sreg.Snapshot()
+	if got := ss.Counters["transport_server_requests_total"]; got != calls+1 {
+		t.Errorf("server requests = %d, want %d", got, calls+1)
+	}
+	if got := ss.Counters["transport_server_errors_total"]; got != 1 {
+		t.Errorf("server errors = %d, want 1", got)
+	}
+	if ss.Counters["transport_server_bytes_in_total"] <= 0 {
+		t.Error("server bytes in not counted")
+	}
+	if ss.Counters["transport_server_bytes_out_total"] <= 0 {
+		t.Error("server bytes out not counted")
+	}
+	if h := ss.Histograms["transport_server_handle_ms"]; h.Count != calls+1 {
+		t.Errorf("server handle histogram count = %d, want %d", h.Count, calls+1)
+	}
+
+	cs := creg.Snapshot()
+	if got := cs.Counters["transport_client_calls_total"]; got != calls+1 {
+		t.Errorf("client calls = %d, want %d", got, calls+1)
+	}
+	if got := cs.Counters["transport_client_errors_total"]; got != 1 {
+		t.Errorf("client errors = %d, want 1", got)
+	}
+	if cs.Counters["transport_client_bytes_out_total"] <= 0 {
+		t.Error("client bytes out not counted")
+	}
+	if cs.Counters["transport_client_bytes_in_total"] <= 0 {
+		t.Error("client bytes in not counted")
+	}
+	if h := cs.Histograms["transport_client_rtt_ms"]; h.Count != calls+1 {
+		t.Errorf("client rtt histogram count = %d, want %d", h.Count, calls+1)
+	}
+	// Only successful calls with a response body are decode-timed.
+	if h := cs.Histograms["transport_client_decode_ms"]; h.Count != calls {
+		t.Errorf("client decode histogram count = %d, want %d", h.Count, calls)
+	}
+}
+
+// TestUninstrumentedPathsStillWork pins the nil-metrics default: servers
+// and clients without registries serve identically.
+func TestUninstrumentedPathsStillWork(t *testing.T) {
+	s, addr := startServer(t)
+	registerEcho(t, s)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var resp echoResp
+	if _, err := c.Call("echo", echoReq{Text: "x", N: 21}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != 42 {
+		t.Errorf("resp.N = %d, want 42", resp.N)
+	}
+	var remote *RemoteError
+	if _, err := c.Call("nope", nil, nil); !errors.As(err, &remote) {
+		t.Errorf("err = %v, want RemoteError", err)
+	}
+}

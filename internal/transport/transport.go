@@ -14,6 +14,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/georep/georep/internal/metrics"
 )
 
 // request and response are the wire frames; bodies are nested gob.
@@ -61,12 +63,42 @@ func (o delayOption) apply(s *Server) { s.delay = o.fn }
 // WithDelay installs an artificial per-request delay.
 func WithDelay(fn DelayFunc) ServerOption { return delayOption{fn: fn} }
 
+// serverMetrics are the server's metric handles, resolved once so the
+// per-request path does no registry lookups. Nil handles are no-ops.
+type serverMetrics struct {
+	requests *metrics.Counter
+	errors   *metrics.Counter
+	bytesIn  *metrics.Counter
+	bytesOut *metrics.Counter
+	handleMs *metrics.Histogram
+}
+
+func newServerMetrics(r *metrics.Registry) serverMetrics {
+	return serverMetrics{
+		requests: r.Counter("transport_server_requests_total"),
+		errors:   r.Counter("transport_server_errors_total"),
+		bytesIn:  r.Counter("transport_server_bytes_in_total"),
+		bytesOut: r.Counter("transport_server_bytes_out_total"),
+		handleMs: r.Histogram("transport_server_handle_ms", metrics.LatencyBuckets()),
+	}
+}
+
+type serverMetricsOption struct{ reg *metrics.Registry }
+
+func (o serverMetricsOption) apply(s *Server) { s.met = newServerMetrics(o.reg) }
+
+// WithMetrics instruments the server: request/error counts, request and
+// response body bytes, and handler latency (excluding any artificial
+// delay), all recorded into the given registry.
+func WithMetrics(reg *metrics.Registry) ServerOption { return serverMetricsOption{reg: reg} }
+
 // Server accepts connections and dispatches method calls. Each
 // connection is served by one goroutine, requests on it in order.
 type Server struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
 	delay    DelayFunc
+	met      serverMetrics
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
@@ -178,7 +210,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		h := s.handlers[req.Method]
 		s.mu.RUnlock()
 
+		s.met.requests.Inc()
+		s.met.bytesIn.Add(int64(len(req.Body)))
+
 		resp := response{ID: req.ID}
+		start := time.Now()
 		if h == nil {
 			resp.Err = fmt.Sprintf("transport: unknown method %q", req.Method)
 		} else if body, err := h(req.Body); err != nil {
@@ -186,6 +222,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		} else {
 			resp.Body = body
 		}
+		s.met.handleMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		if resp.Err != "" {
+			s.met.errors.Inc()
+		}
+		s.met.bytesOut.Add(int64(len(resp.Body)))
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -222,19 +263,61 @@ type Client struct {
 	enc    *gob.Encoder
 	dec    *gob.Decoder
 	nextID uint64
+	met    clientMetrics
 }
 
+// clientMetrics are the client's metric handles; nil handles are no-ops.
+type clientMetrics struct {
+	calls    *metrics.Counter
+	errors   *metrics.Counter
+	bytesOut *metrics.Counter
+	bytesIn  *metrics.Counter
+	encodeMs *metrics.Histogram
+	decodeMs *metrics.Histogram
+	rttMs    *metrics.Histogram
+}
+
+func newClientMetrics(r *metrics.Registry) clientMetrics {
+	return clientMetrics{
+		calls:    r.Counter("transport_client_calls_total"),
+		errors:   r.Counter("transport_client_errors_total"),
+		bytesOut: r.Counter("transport_client_bytes_out_total"),
+		bytesIn:  r.Counter("transport_client_bytes_in_total"),
+		encodeMs: r.Histogram("transport_client_encode_ms", metrics.LatencyBuckets()),
+		decodeMs: r.Histogram("transport_client_decode_ms", metrics.LatencyBuckets()),
+		rttMs:    r.Histogram("transport_client_rtt_ms", metrics.LatencyBuckets()),
+	}
+}
+
+// ClientOption configures a Client.
+type ClientOption interface {
+	applyClient(*Client)
+}
+
+type clientMetricsOption struct{ reg *metrics.Registry }
+
+func (o clientMetricsOption) applyClient(c *Client) { c.met = newClientMetrics(o.reg) }
+
+// WithClientMetrics instruments the client: call/error counts, body
+// bytes in/out, encode/decode time, and per-call RTT, recorded into the
+// given registry.
+func WithClientMetrics(reg *metrics.Registry) ClientOption { return clientMetricsOption{reg: reg} }
+
 // Dial connects to a server within the timeout.
-func Dial(addr string, timeout time.Duration) (*Client, error) {
+func Dial(addr string, timeout time.Duration, opts ...ClientOption) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return &Client{
+	c := &Client{
 		conn: conn,
 		enc:  gob.NewEncoder(conn),
 		dec:  gob.NewDecoder(conn),
-	}, nil
+	}
+	for _, o := range opts {
+		o.applyClient(c)
+	}
+	return c, nil
 }
 
 // RemoteError is a server-side failure relayed to the caller.
@@ -252,10 +335,15 @@ func (e *RemoteError) Error() string {
 // from the reply. It returns the measured round-trip time, the signal the
 // coordinate system feeds on.
 func (c *Client) Call(method string, req, resp any) (time.Duration, error) {
+	c.met.calls.Inc()
+	encStart := time.Now()
 	body, err := gobEncode(req)
 	if err != nil {
+		c.met.errors.Inc()
 		return 0, fmt.Errorf("transport: encode %s request: %w", method, err)
 	}
+	c.met.encodeMs.Observe(float64(time.Since(encStart)) / float64(time.Millisecond))
+	c.met.bytesOut.Add(int64(len(body)))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextID++
@@ -263,23 +351,32 @@ func (c *Client) Call(method string, req, resp any) (time.Duration, error) {
 
 	start := time.Now()
 	if err := c.enc.Encode(frame); err != nil {
+		c.met.errors.Inc()
 		return 0, fmt.Errorf("transport: send %s: %w", method, err)
 	}
 	var r response
 	if err := c.dec.Decode(&r); err != nil {
+		c.met.errors.Inc()
 		return 0, fmt.Errorf("transport: receive %s: %w", method, err)
 	}
 	rtt := time.Since(start)
+	c.met.rttMs.Observe(float64(rtt) / float64(time.Millisecond))
+	c.met.bytesIn.Add(int64(len(r.Body)))
 	if r.ID != frame.ID {
+		c.met.errors.Inc()
 		return rtt, fmt.Errorf("transport: response id %d for request %d", r.ID, frame.ID)
 	}
 	if r.Err != "" {
+		c.met.errors.Inc()
 		return rtt, &RemoteError{Method: method, Message: r.Err}
 	}
 	if resp != nil {
+		decStart := time.Now()
 		if err := gobDecode(r.Body, resp); err != nil {
+			c.met.errors.Inc()
 			return rtt, fmt.Errorf("transport: decode %s response: %w", method, err)
 		}
+		c.met.decodeMs.Observe(float64(time.Since(decStart)) / float64(time.Millisecond))
 	}
 	return rtt, nil
 }

@@ -3,7 +3,9 @@ package georep
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
+	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/replica"
 )
 
@@ -64,10 +66,26 @@ type EpochReport struct {
 // group) over a deployment: it routes accesses to the predicted-closest
 // replica, maintains the per-replica summaries, and migrates replicas at
 // epoch boundaries per the paper's Algorithm 1.
+//
+// A Manager is safe for concurrent use: accesses may be recorded from
+// many goroutines while another drives the epoch ticks. Every manager
+// maintains runtime metrics and a trace of recent epochs, exposed by
+// Snapshot.
 type Manager struct {
-	d     *Deployment
+	d    *Deployment
+	dims int
+
+	mu    sync.Mutex
 	inner *replica.Manager
-	dims  int
+
+	reg  *metrics.Registry
+	ring *metrics.TraceRing
+	// Ground-truth delay accumulated over the current epoch's accesses,
+	// guarded by mu; reset at each epoch boundary.
+	epochDelaySum float64
+	epochAccesses int64
+	actualMs      *metrics.Histogram
+	actualMeanMs  *metrics.Gauge
 }
 
 // NewManager creates a manager on the deployment.
@@ -85,10 +103,12 @@ func (d *Deployment) NewManager(cfg ManagerConfig) (*Manager, error) {
 			return nil, fmt.Errorf("georep: candidate %d out of range", c)
 		}
 	}
+	reg := metrics.NewRegistry()
 	rcfg := replica.Config{
-		K:    cfg.K,
-		M:    m,
-		Dims: dims,
+		K:       cfg.K,
+		M:       m,
+		Dims:    dims,
+		Metrics: reg,
 		Migration: replica.MigrationPolicy{
 			MinRelativeGain: cfg.MinRelativeGain,
 			CostPerByte:     cfg.MigrationCostPerByte,
@@ -108,17 +128,37 @@ func (d *Deployment) NewManager(cfg ManagerConfig) (*Manager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("georep: new manager: %w", err)
 	}
-	return &Manager{d: d, inner: inner, dims: dims}, nil
+	return &Manager{
+		d:            d,
+		inner:        inner,
+		dims:         dims,
+		reg:          reg,
+		ring:         metrics.NewTraceRing(64),
+		actualMs:     reg.Histogram("manager_actual_delay_ms", metrics.LatencyBuckets()),
+		actualMeanMs: reg.Gauge("manager_epoch_actual_mean_ms"),
+	}, nil
 }
 
 // Replicas returns the current replica locations.
-func (m *Manager) Replicas() []int { return m.inner.Replicas() }
+func (m *Manager) Replicas() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inner.Replicas()
+}
 
 // K returns the current replication degree.
-func (m *Manager) K() int { return m.inner.K() }
+func (m *Manager) K() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inner.K()
+}
 
 // Migrations returns how many epochs adopted a placement change.
-func (m *Manager) Migrations() int { return m.inner.Migrations() }
+func (m *Manager) Migrations() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inner.Migrations()
+}
 
 // RecordAccess routes one read from the client node to its predicted-
 // closest replica, folds it into that replica's summary, and returns the
@@ -129,21 +169,52 @@ func (m *Manager) RecordAccess(clientNode int, weight float64) (servedBy int, rt
 	if clientNode < 0 || clientNode >= m.d.matrix.N() {
 		return 0, 0, fmt.Errorf("georep: client node %d out of range", clientNode)
 	}
+	m.mu.Lock()
 	rep, err := m.inner.Record(m.d.coords[clientNode], weight)
 	if err != nil {
+		m.mu.Unlock()
 		return rep, 0, err
 	}
-	return rep, m.d.matrix.RTT(clientNode, rep), nil
+	rtt := m.d.matrix.RTT(clientNode, rep)
+	m.epochDelaySum += rtt
+	m.epochAccesses++
+	m.mu.Unlock()
+	m.actualMs.Observe(rtt)
+	return rep, rtt, nil
 }
 
 // EndEpoch runs the coordinator cycle: collect summaries, adapt k,
 // propose, migrate if approved, decay. The seed drives the weighted
 // k-means initialization.
 func (m *Manager) EndEpoch(seed int64) (EpochReport, error) {
+	m.mu.Lock()
 	dec, err := m.inner.EndEpoch(rand.New(rand.NewSource(seed)))
 	if err != nil {
+		m.mu.Unlock()
 		return EpochReport{}, fmt.Errorf("georep: end epoch: %w", err)
 	}
+	epoch := m.inner.Epoch()
+	actualMean := 0.0
+	if m.epochAccesses > 0 {
+		actualMean = m.epochDelaySum / float64(m.epochAccesses)
+	}
+	accesses := m.epochAccesses
+	m.epochDelaySum, m.epochAccesses = 0, 0
+	m.mu.Unlock()
+
+	m.actualMeanMs.Set(actualMean)
+	m.ring.Add(metrics.EpochTrace{
+		Epoch:          epoch,
+		Migrated:       dec.Migrate,
+		K:              dec.K,
+		Replicas:       append([]int(nil), dec.NewReplicas...),
+		EstimatedOldMs: dec.EstimatedOldMs,
+		EstimatedNewMs: dec.EstimatedNewMs,
+		ActualMeanMs:   actualMean,
+		Accesses:       accesses,
+		MovedReplicas:  dec.MovedReplicas,
+		SummaryBytes:   dec.CollectedBytes,
+	})
 	return EpochReport{
 		Migrated:       dec.Migrate,
 		Replicas:       dec.NewReplicas,
@@ -153,4 +224,72 @@ func (m *Manager) EndEpoch(seed int64) (EpochReport, error) {
 		MovedReplicas:  dec.MovedReplicas,
 		SummaryBytes:   dec.CollectedBytes,
 	}, nil
+}
+
+// HistogramStats summarizes one metrics histogram: observation count,
+// sum, observed extrema, and interpolated percentiles.
+type HistogramStats struct {
+	Count         int64
+	Sum           float64
+	Min, Max      float64
+	P50, P95, P99 float64
+}
+
+// EpochTrace is one retained epoch of the manager's decision history:
+// what Algorithm 1 estimated, what it decided, what it cost in summary
+// bytes and data copies, and the ground-truth delay clients actually saw.
+type EpochTrace struct {
+	Epoch          int
+	Migrated       bool
+	K              int
+	Replicas       []int
+	EstimatedOldMs float64
+	EstimatedNewMs float64
+	ActualMeanMs   float64
+	Accesses       int64
+	MovedReplicas  int
+	SummaryBytes   int
+}
+
+// ManagerSnapshot is a point-in-time view of a manager's runtime
+// metrics: counters and gauges by name, histogram summaries, and the
+// most recent epoch traces oldest-first. Metric names are documented in
+// the Observability section of README.md.
+type ManagerSnapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramStats
+	Epochs     []EpochTrace
+}
+
+// Snapshot captures the manager's metrics and recent epoch traces. It is
+// safe to call concurrently with accesses and epoch ticks.
+func (m *Manager) Snapshot() ManagerSnapshot {
+	s := m.reg.Snapshot()
+	out := ManagerSnapshot{
+		Counters:   s.Counters,
+		Gauges:     s.Gauges,
+		Histograms: make(map[string]HistogramStats, len(s.Histograms)),
+	}
+	for name, h := range s.Histograms {
+		out.Histograms[name] = HistogramStats{
+			Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+			P50: h.P50, P95: h.P95, P99: h.P99,
+		}
+	}
+	for _, e := range m.ring.Snapshot() {
+		out.Epochs = append(out.Epochs, EpochTrace{
+			Epoch:          e.Epoch,
+			Migrated:       e.Migrated,
+			K:              e.K,
+			Replicas:       e.Replicas,
+			EstimatedOldMs: e.EstimatedOldMs,
+			EstimatedNewMs: e.EstimatedNewMs,
+			ActualMeanMs:   e.ActualMeanMs,
+			Accesses:       e.Accesses,
+			MovedReplicas:  e.MovedReplicas,
+			SummaryBytes:   e.SummaryBytes,
+		})
+	}
+	return out
 }

@@ -1,0 +1,129 @@
+package georep
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestManagerConfigValidation drives NewManager through the config edge
+// cases: degenerate replication degrees, inverted k ranges, economic
+// policy halves, decay-vs-window interaction, and candidate mistakes.
+func TestManagerConfigValidation(t *testing.T) {
+	d := smallDeployment(t)
+	candidates := []int{0, 1, 2, 3, 4, 5}
+	base := func() ManagerConfig {
+		return ManagerConfig{K: 2, Candidates: candidates}
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(*ManagerConfig)
+		wantErr string // substring of the expected error; "" means valid
+	}{
+		{"happy path", func(c *ManagerConfig) {}, ""},
+		{"zero K", func(c *ManagerConfig) { c.K = 0 }, "K must be positive"},
+		{"negative K", func(c *ManagerConfig) { c.K = -3 }, "K must be positive"},
+		{"negative micro budget defaults", func(c *ManagerConfig) { c.MicroClusters = -1 }, ""},
+		{
+			"MaxReplicas below MinReplicas",
+			func(c *ManagerConfig) { c.MinReplicas, c.MaxReplicas = 3, 1 },
+			"invalid k range",
+		},
+		{
+			"K outside replica range",
+			func(c *ManagerConfig) { c.MinReplicas, c.MaxReplicas = 3, 4 },
+			"outside [3,4]",
+		},
+		{
+			"MaxReplicas beyond candidates",
+			func(c *ManagerConfig) { c.MinReplicas, c.MaxReplicas = 2, len(candidates)+1 },
+			"candidates",
+		},
+		{
+			"negative demand thresholds",
+			func(c *ManagerConfig) {
+				c.MinReplicas, c.MaxReplicas = 1, 3
+				c.GrowAbove, c.ShrinkBelow = -1, 0
+			},
+			"negative demand",
+		},
+		{
+			"shrink threshold above grow",
+			func(c *ManagerConfig) {
+				c.MinReplicas, c.MaxReplicas = 1, 3
+				c.GrowAbove, c.ShrinkBelow = 10, 20
+			},
+			"exceeds",
+		},
+		{"negative decay", func(c *ManagerConfig) { c.DecayFactor = -0.1 }, "DecayFactor"},
+		{"decay above one", func(c *ManagerConfig) { c.DecayFactor = 1.5 }, "DecayFactor"},
+		{"negative window", func(c *ManagerConfig) { c.WindowEpochs = -2 }, "WindowEpochs"},
+		// WindowEpochs wins over DecayFactor by design: both set is valid
+		// (decay is documented as ignored), even with a decay value that
+		// would be rejected on its own... but only an in-range one.
+		{
+			"window with decay set",
+			func(c *ManagerConfig) { c.WindowEpochs = 4; c.DecayFactor = 0.9 },
+			"",
+		},
+		{
+			"window with invalid decay still rejected",
+			func(c *ManagerConfig) { c.WindowEpochs = 4; c.DecayFactor = 2 },
+			"DecayFactor",
+		},
+		{"gain of one", func(c *ManagerConfig) { c.MinRelativeGain = 1 }, "MinRelativeGain"},
+		{"negative gain", func(c *ManagerConfig) { c.MinRelativeGain = -0.5 }, "MinRelativeGain"},
+		{
+			"economics half-configured",
+			func(c *ManagerConfig) { c.MigrationCostPerByte = 0.1 },
+			"CostPerByte set but",
+		},
+		{
+			"economics fully configured",
+			func(c *ManagerConfig) {
+				c.MigrationCostPerByte = 0.1
+				c.LatencyValuePerMsAccess = 0.01
+				c.ObjectBytes = 1 << 20
+			},
+			"",
+		},
+		{
+			"candidate out of range",
+			func(c *ManagerConfig) { c.Candidates = []int{0, 1, 9999} },
+			"out of range",
+		},
+		{
+			"initial replica not a candidate",
+			func(c *ManagerConfig) { c.InitialReplicas = []int{0, 7} },
+			"not a candidate",
+		},
+		{
+			"initial replica count mismatch",
+			func(c *ManagerConfig) { c.InitialReplicas = []int{0} },
+			"initial replicas",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mutate(&cfg)
+			m, err := d.NewManager(cfg)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if got := m.K(); got != cfg.K {
+					t.Errorf("K() = %d, want %d", got, cfg.K)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("config accepted, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
