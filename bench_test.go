@@ -288,8 +288,19 @@ func BenchmarkMicroClusterObserve(b *testing.B) {
 }
 
 // BenchmarkWeightedKMeans measures the coordinator's macro-clustering
-// step over k·m pseudo-points (§III-C).
+// step over k·m pseudo-points (§III-C) on the serial path.
 func BenchmarkWeightedKMeans(b *testing.B) {
+	benchWeightedKMeans(b, 1)
+}
+
+// BenchmarkWeightedKMeansParallel runs the same clustering with the
+// assignment step spread over all cores; centroids are identical, only
+// wall-clock differs.
+func BenchmarkWeightedKMeansParallel(b *testing.B) {
+	benchWeightedKMeans(b, 0)
+}
+
+func benchWeightedKMeans(b *testing.B, parallelism int) {
 	for _, n := range []int{30, 300, 3000} {
 		b.Run(benchName("points", n), func(b *testing.B) {
 			r := rand.New(rand.NewSource(1))
@@ -301,7 +312,8 @@ func BenchmarkWeightedKMeans(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := cluster.WeightedKMeans(rand.New(rand.NewSource(2)), pts, ws, 3, 0); err != nil {
+				if _, err := cluster.WeightedKMeansOpt(rand.New(rand.NewSource(2)), pts, ws, 3,
+					cluster.Options{Parallelism: parallelism}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -311,8 +323,26 @@ func BenchmarkWeightedKMeans(b *testing.B) {
 
 // BenchmarkOptimalSearch measures the exhaustive baseline the paper
 // calls impractical: C(candidates, k) placements evaluated against all
-// clients.
+// clients. Parallelism 0 uses every core.
 func BenchmarkOptimalSearch(b *testing.B) {
+	benchOptimalSearch(b, 0)
+}
+
+// BenchmarkOptimalSearchSerial pins the search to one worker, isolating
+// the win from delay memoization and branch-and-bound pruning alone —
+// compare against BenchmarkOptimalSearch for the parallel speedup on top.
+func BenchmarkOptimalSearchSerial(b *testing.B) {
+	benchOptimalSearch(b, 1)
+}
+
+// BenchmarkOptimalSearchParallel makes the all-cores configuration
+// explicit (identical to BenchmarkOptimalSearch today; kept as a stable
+// name for scripts/bench.sh).
+func BenchmarkOptimalSearchParallel(b *testing.B) {
+	benchOptimalSearch(b, 0)
+}
+
+func benchOptimalSearch(b *testing.B, parallelism int) {
 	ws := worlds(b)
 	w := ws[0]
 	for _, k := range []int{2, 3, 4} {
@@ -323,7 +353,7 @@ func BenchmarkOptimalSearch(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := (placement.Optimal{}).Place(nil, in); err != nil {
+				if _, err := (placement.Optimal{Parallelism: parallelism}).Place(nil, in); err != nil {
 					b.Fatal(err)
 				}
 			}

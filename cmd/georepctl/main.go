@@ -62,6 +62,7 @@ func run(args []string) error {
 		decayFactor = fs.Float64("factor", 0.5, "summary aging factor for decay")
 		minGain     = fs.Float64("min-gain", 0.05, "minimum relative estimated gain to apply a rebalance")
 		apply       = fs.Bool("apply", false, "execute the rebalance instead of printing the plan")
+		parallelism = fs.Int("parallelism", 0, "worker goroutines for rebalance clustering (0 = all cores, 1 = serial; same plan either way)")
 		timeout     = fs.Duration("timeout", 3*time.Second, "dial timeout per node")
 		metricFilt  = fs.String("metric", "", "substring filter for metrics names (metrics command)")
 	)
@@ -119,7 +120,7 @@ func run(args []string) error {
 		if *obj == "" {
 			return fmt.Errorf("rebalance needs -obj")
 		}
-		return fleet.rebalance(*obj, *k, *minGain, *apply)
+		return fleet.rebalance(*obj, *k, *minGain, *apply, *parallelism)
 	case "decay":
 		if *decayFactor <= 0 || *decayFactor > 1 {
 			return fmt.Errorf("decay needs -factor in (0,1]")
@@ -344,7 +345,7 @@ func (f *fleet) holders(obj string) ([]*member, error) {
 	return out, nil
 }
 
-func (f *fleet) rebalance(obj string, k int, minGain float64, apply bool) error {
+func (f *fleet) rebalance(obj string, k int, minGain float64, apply bool, parallelism int) error {
 	if k <= 0 || k > len(f.members) {
 		return fmt.Errorf("k=%d out of [1,%d]", k, len(f.members))
 	}
@@ -392,8 +393,8 @@ func (f *fleet) rebalance(obj string, k int, minGain float64, apply bool) error 
 		candidates = append(candidates, m.node)
 	}
 
-	proposed, err := replica.ProposePlacement(rand.New(rand.NewSource(time.Now().UnixNano())),
-		micros, k, candidates, coords)
+	proposed, err := replica.ProposePlacementOpt(rand.New(rand.NewSource(time.Now().UnixNano())),
+		micros, k, candidates, coords, cluster.Options{Parallelism: parallelism})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,167 @@
+// Determinism matrix: every parallelized kernel must return
+// byte-identical results regardless of GOMAXPROCS or the configured
+// parallelism. The parallel layer's contract (internal/parallel) is that
+// workers only place results at their own indices and every
+// floating-point reduction happens serially in index order, so a run at
+// GOMAXPROCS=8 with eight workers must be indistinguishable from the
+// serial path — these tests pin that property for the three kernels the
+// experiment harness depends on: the exhaustive optimal search, weighted
+// k-means, and whole experiment cells.
+package georep_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/experiment"
+	"github.com/georep/georep/internal/placement"
+	"github.com/georep/georep/internal/vec"
+)
+
+// execModes is the (GOMAXPROCS, parallelism) grid every kernel is
+// checked against. Parallelism 0 means "all cores", 1 forces the serial
+// path, 8 oversubscribes a single-core run.
+var execModes = []struct{ procs, par int }{
+	{1, 1}, {1, 8}, {8, 1}, {8, 2}, {8, 8}, {8, 0},
+}
+
+// runModes evaluates fp under every execution mode and fails the test on
+// the first fingerprint that differs from the serial (1,1) reference.
+func runModes(t *testing.T, name string, fp func(parallelism int) string) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var want string
+	for i, m := range execModes {
+		runtime.GOMAXPROCS(m.procs)
+		got := fp(m.par)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("%s: GOMAXPROCS=%d parallelism=%d diverged from serial run:\n got  %s\n want %s",
+				name, m.procs, m.par, got, want)
+		}
+	}
+}
+
+// deterministicInstance builds a placement instance over a synthetic
+// symmetric RTT matrix with 0.5ms-quantized delays so value ties between
+// placements actually occur and the tie-break order is exercised.
+func deterministicInstance(seed int64, nodes, numCand, k int) *placement.Instance {
+	r := rand.New(rand.NewSource(seed))
+	m := make([][]float64, nodes)
+	for i := range m {
+		m[i] = make([]float64, nodes)
+	}
+	for i := 0; i < nodes; i++ {
+		for j := i + 1; j < nodes; j++ {
+			d := math.Round(r.Float64()*200*2) / 2
+			m[i][j], m[j][i] = d, d
+		}
+	}
+	coords := make([]coord.Coordinate, nodes)
+	for i := range coords {
+		coords[i] = coord.Coordinate{Pos: vec.Of(r.NormFloat64(), r.NormFloat64()), Height: 0}
+	}
+	perm := r.Perm(nodes)
+	return &placement.Instance{
+		NumNodes:   nodes,
+		RTT:        func(i, j int) float64 { return m[i][j] },
+		Coords:     coords,
+		Candidates: append([]int(nil), perm[:numCand]...),
+		Clients:    append([]int(nil), perm[numCand:]...),
+		K:          k,
+	}
+}
+
+func TestOptimalPlaceDeterministicAcrossParallelism(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		in := deterministicInstance(seed, 30, 10, 3)
+		runModes(t, fmt.Sprintf("optimal seed=%d", seed), func(par int) string {
+			reps, err := (placement.Optimal{Parallelism: par}).Place(nil, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Include the full-precision objective so a placement that
+			// merely ties in print format still fails.
+			return fmt.Sprintf("%v %.17g", reps, placement.MeanAccessDelay(in, reps))
+		})
+	}
+}
+
+func TestOptimalPercentileDeterministicAcrossParallelism(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		in := deterministicInstance(seed, 25, 8, 3)
+		runModes(t, fmt.Sprintf("optimal-p95 seed=%d", seed), func(par int) string {
+			reps, err := (placement.OptimalPercentile{P: 95, Parallelism: par}).Place(nil, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("%v", reps)
+		})
+	}
+}
+
+func TestWeightedKMeansDeterministicAcrossParallelism(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 100 + r.Intn(400)
+		pts := make([]vec.Vec, n)
+		ws := make([]float64, n)
+		for i := range pts {
+			pts[i] = vec.Of(r.NormFloat64()*100, r.NormFloat64()*100, r.NormFloat64()*10)
+			ws[i] = float64(r.Intn(8)) // integer weights, including zeros
+		}
+		k := 2 + r.Intn(5)
+		runModes(t, fmt.Sprintf("kmeans seed=%d", seed), func(par int) string {
+			res, err := cluster.WeightedKMeansOpt(rand.New(rand.NewSource(seed*31)), pts, ws, k,
+				cluster.Options{Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("%d %v %v %v", res.Iterations, res.Centroids, res.Assignment, res.Weights)
+		})
+	}
+}
+
+func TestRunCellDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds worlds under six execution modes")
+	}
+	cfg := experiment.DefaultSetup()
+	cfg.Nodes = 40
+	cfg.CoordRounds = 30
+	strategies := []placement.Strategy{
+		placement.Random{},
+		placement.OfflineKMeans{},
+		placement.Optimal{},
+	}
+	prevPar := experiment.Parallelism
+	defer func() { experiment.Parallelism = prevPar }()
+	runModes(t, "runcell", func(par int) string {
+		experiment.Parallelism = par
+		// Rebuilding the worlds inside the mode loop also pins
+		// BuildWorlds itself: world generation must not depend on which
+		// worker built which seed.
+		worlds, err := experiment.BuildWorlds(3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells, err := experiment.RunCell(worlds, 8, 2, strategies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := fmt.Sprintf("%v", worlds[0].Coords[:3])
+		for _, c := range cells {
+			fp += fmt.Sprintf(" %s=%.17g±%.17g/%d", c.Strategy, c.MeanMs, c.StdDevMs, c.Runs)
+		}
+		return fp
+	})
+}

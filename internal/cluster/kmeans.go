@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
+	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/parallel"
 	"github.com/georep/georep/internal/vec"
 )
 
@@ -24,6 +27,25 @@ type KMeansResult struct {
 // points converges in far fewer.
 const defaultKMeansIters = 100
 
+// Options tunes a k-means run beyond the iteration cap.
+type Options struct {
+	// MaxIter bounds Lloyd iterations; zero means defaultKMeansIters.
+	MaxIter int
+	// Parallelism caps worker goroutines for the assignment step: 0
+	// means GOMAXPROCS, 1 forces the serial path. Results are identical
+	// at any setting — each point's assignment is independent, and the
+	// centroid accumulation always runs serially in point order.
+	Parallelism int
+	// Metrics, when non-nil, receives cluster_kmeans_runs_total and
+	// cluster_kmeans_iterations_total plus worker-pool accounting.
+	Metrics *metrics.Registry
+}
+
+// assignGrain is the minimum number of points a parallel assignment
+// chunk is worth; below it, per-chunk bookkeeping costs more than the
+// distance computations it spreads.
+const assignGrain = 64
+
 // WeightedKMeans clusters points into k groups minimizing the weighted
 // within-cluster sum of squared distances, using k-means++ seeding and
 // Lloyd iterations. This is Algorithm 1's macro-clustering step: each
@@ -33,6 +55,17 @@ const defaultKMeansIters = 100
 // Zero-weight points participate in assignment but exert no pull on
 // centroids. If k >= len(points), each point becomes its own centroid.
 func WeightedKMeans(r *rand.Rand, points []vec.Vec, weights []float64, k, maxIter int) (*KMeansResult, error) {
+	return WeightedKMeansOpt(r, points, weights, k, Options{MaxIter: maxIter})
+}
+
+// WeightedKMeansOpt is WeightedKMeans with explicit parallelism and
+// metrics plumbing. The Lloyd loop parallelizes the O(points·k)
+// assignment step in chunks, keeps centroids in one contiguous block for
+// cache locality, and reuses the accumulation buffers across iterations;
+// the weighted-mean reduction itself stays serial in point order, so
+// results are bit-identical to the serial implementation at any
+// parallelism level.
+func WeightedKMeansOpt(r *rand.Rand, points []vec.Vec, weights []float64, k int, opt Options) (*KMeansResult, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("cluster: k must be positive, got %d", k)
 	}
@@ -51,6 +84,7 @@ func WeightedKMeans(r *rand.Rand, points []vec.Vec, weights []float64, k, maxIte
 			return nil, fmt.Errorf("cluster: negative weight %v at %d", weights[i], i)
 		}
 	}
+	maxIter := opt.MaxIter
 	if maxIter <= 0 {
 		maxIter = defaultKMeansIters
 	}
@@ -70,17 +104,34 @@ func WeightedKMeans(r *rand.Rand, points []vec.Vec, weights []float64, k, maxIte
 		return res, nil
 	}
 
-	centroids := seedPlusPlus(r, points, weights, k)
+	// Centroids and per-iteration accumulators live in contiguous blocks
+	// (vec.Block) allocated once and reused across iterations: the Lloyd
+	// loop itself allocates nothing.
+	centroids := vec.Block(k, dims)
+	for c, seed := range seedPlusPlus(r, points, weights, k) {
+		centroids[c].CopyFrom(seed)
+	}
+	prev := vec.Block(k, dims)
+	sums := vec.Block(k, dims)
+	wsum := make([]float64, k)
+	counts := make([]int, k)
+	scratchMean := vec.New(dims)
 	assign := make([]int, len(points))
 	for i := range assign {
 		assign[i] = -1
 	}
+	popt := parallel.Options{Workers: opt.Parallelism, Metrics: opt.Metrics}
 
-	res := &KMeansResult{}
-	for iter := 0; iter < maxIter; iter++ {
-		res.Iterations = iter + 1
-		changed := false
-		for i, p := range points {
+	// Assignment: each point independently picks its nearest centroid, so
+	// chunking across workers cannot change any result — ties break on
+	// the lowest centroid index either way. Spans and the chunk closure
+	// are hoisted so iterations allocate nothing.
+	var changed atomic.Bool
+	spans := parallel.Chunks(len(points), opt.Parallelism, assignGrain)
+	assignChunk := func(ci int) {
+		chunkChanged := false
+		for i := spans[ci].Lo; i < spans[ci].Hi; i++ {
+			p := points[i]
 			best, bestD2 := 0, math.Inf(1)
 			for c, cent := range centroids {
 				if d2 := p.Dist2(cent); d2 < bestD2 {
@@ -89,19 +140,35 @@ func WeightedKMeans(r *rand.Rand, points []vec.Vec, weights []float64, k, maxIte
 			}
 			if assign[i] != best {
 				assign[i] = best
-				changed = true
+				chunkChanged = true
 			}
 		}
-		if !changed && iter > 0 {
+		if chunkChanged {
+			changed.Store(true)
+		}
+	}
+
+	res := &KMeansResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		changed.Store(false)
+		parallel.ForEach(len(spans), popt, assignChunk)
+		if !changed.Load() {
+			// No point moved: the previous iteration's centroids are
+			// already the weighted means of these members.
 			break
 		}
 
-		// Recompute centroids as weighted means of their members.
-		sums := make([]vec.Vec, k)
-		wsum := make([]float64, k)
-		counts := make([]int, k)
+		// Recompute centroids as weighted means of their members. This
+		// reduction stays serial in point order on purpose: float addition
+		// order is part of the determinism contract.
 		for c := range sums {
-			sums[c] = vec.New(dims)
+			for d := range sums[c] {
+				sums[c][d] = 0
+			}
+			wsum[c] = 0
+			counts[c] = 0
+			prev[c].CopyFrom(centroids[c])
 		}
 		for i, p := range points {
 			c := assign[i]
@@ -113,27 +180,48 @@ func WeightedKMeans(r *rand.Rand, points []vec.Vec, weights []float64, k, maxIte
 		for c := range centroids {
 			switch {
 			case wsum[c] > 0:
-				centroids[c] = sums[c].Scale(1 / wsum[c])
+				s := 1 / wsum[c]
+				for d := range centroids[c] {
+					centroids[c][d] = s * sums[c][d]
+				}
 			case counts[c] > 0:
 				// Members exist but all carry zero weight: use the plain
 				// mean so the cluster still represents them.
-				mean := vec.New(dims)
+				for d := range scratchMean {
+					scratchMean[d] = 0
+				}
 				n := 0
 				for i, p := range points {
 					if assign[i] == c {
-						mean.AddInPlace(p)
+						scratchMean.AddInPlace(p)
 						n++
 					}
 				}
-				mean.ScaleInPlace(1 / float64(n))
-				centroids[c] = mean
+				scratchMean.ScaleInPlace(1 / float64(n))
+				centroids[c].CopyFrom(scratchMean)
 			default:
 				// Empty cluster: reseed at the point farthest from its
 				// current centroid, the standard fix for dead centroids.
-				centroids[c] = farthestPoint(points, centroids, assign).Clone()
+				centroids[c].CopyFrom(farthestPoint(points, centroids, assign))
 			}
 		}
+
+		moved := false
+		for c := range centroids {
+			if !centroids[c].Equal(prev[c]) {
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			// Centroids are a fixed point, so the next assignment pass
+			// could not change anything: converged inputs exit after one
+			// recompute instead of paying a full extra assignment sweep.
+			break
+		}
 	}
+	opt.Metrics.Counter("cluster_kmeans_runs_total").Inc()
+	opt.Metrics.Counter("cluster_kmeans_iterations_total").Add(int64(res.Iterations))
 
 	res.Centroids = centroids
 	res.Assignment = assign
@@ -247,6 +335,12 @@ func WSSQ(res *KMeansResult, points []vec.Vec, weights []float64) float64 {
 // micro-cluster contributes its centroid as position and its Weight
 // (falling back to Count when no weights were recorded) as mass.
 func MacroCluster(r *rand.Rand, micros []Micro, k int) (*KMeansResult, error) {
+	return MacroClusterOpt(r, micros, k, Options{})
+}
+
+// MacroClusterOpt is MacroCluster with explicit parallelism/metrics
+// plumbing for coordinators that run many rebalance cycles.
+func MacroClusterOpt(r *rand.Rand, micros []Micro, k int, opt Options) (*KMeansResult, error) {
 	if len(micros) == 0 {
 		return nil, fmt.Errorf("cluster: no micro-clusters to macro-cluster")
 	}
@@ -259,5 +353,5 @@ func MacroCluster(r *rand.Rand, micros []Micro, k int) (*KMeansResult, error) {
 			weights[i] = float64(micros[i].Count)
 		}
 	}
-	return WeightedKMeans(r, points, weights, k, 0)
+	return WeightedKMeansOpt(r, points, weights, k, opt)
 }

@@ -273,3 +273,174 @@ func TestQuickKMeansWeightConservation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// referenceWeightedKMeans is the seed implementation of the Lloyd loop
+// (per-iteration allocations, `!changed && iter > 0` convergence check),
+// kept verbatim as the behavioral reference for the optimized version.
+func referenceWeightedKMeans(r *rand.Rand, points []vec.Vec, weights []float64, k, maxIter int) *KMeansResult {
+	if maxIter <= 0 {
+		maxIter = defaultKMeansIters
+	}
+	dims := points[0].Dim()
+	centroids := seedPlusPlus(r, points, weights, k)
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+	res := &KMeansResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		changed := false
+		for i, p := range points {
+			best, bestD2 := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d2 := p.Dist2(cent); d2 < bestD2 {
+					best, bestD2 = c, d2
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		sums := make([]vec.Vec, k)
+		wsum := make([]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = vec.New(dims)
+		}
+		for i, p := range points {
+			c := assign[i]
+			w := weights[i]
+			sums[c].AddScaled(w, p)
+			wsum[c] += w
+			counts[c]++
+		}
+		for c := range centroids {
+			switch {
+			case wsum[c] > 0:
+				centroids[c] = sums[c].Scale(1 / wsum[c])
+			case counts[c] > 0:
+				mean := vec.New(dims)
+				n := 0
+				for i, p := range points {
+					if assign[i] == c {
+						mean.AddInPlace(p)
+						n++
+					}
+				}
+				mean.ScaleInPlace(1 / float64(n))
+				centroids[c] = mean
+			default:
+				centroids[c] = farthestPoint(points, centroids, assign).Clone()
+			}
+		}
+	}
+	res.Centroids = centroids
+	res.Assignment = assign
+	res.Weights = make([]float64, k)
+	for i := range points {
+		res.Weights[assign[i]] += weights[i]
+	}
+	return res
+}
+
+func sameClustering(t *testing.T, label string, got, want *KMeansResult) {
+	t.Helper()
+	if len(got.Centroids) != len(want.Centroids) {
+		t.Fatalf("%s: %d centroids, want %d", label, len(got.Centroids), len(want.Centroids))
+	}
+	for c := range got.Centroids {
+		if !got.Centroids[c].Equal(want.Centroids[c]) {
+			t.Fatalf("%s: centroid %d = %v, want %v", label, c, got.Centroids[c], want.Centroids[c])
+		}
+		if got.Weights[c] != want.Weights[c] {
+			t.Fatalf("%s: weight %d = %v, want %v", label, c, got.Weights[c], want.Weights[c])
+		}
+	}
+	for i := range got.Assignment {
+		if got.Assignment[i] != want.Assignment[i] {
+			t.Fatalf("%s: assignment %d = %d, want %d", label, i, got.Assignment[i], want.Assignment[i])
+		}
+	}
+}
+
+// TestWeightedKMeansMatchesReference checks that the buffer-reusing,
+// flat-block, early-exit Lloyd loop returns byte-identical centroids,
+// assignments, and weights to the seed implementation across many
+// random inputs and at several parallelism levels.
+func TestWeightedKMeansMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + r.Intn(400)
+		k := 1 + r.Intn(6)
+		pts := make([]vec.Vec, n)
+		ws := make([]float64, n)
+		for i := range pts {
+			pts[i] = vec.Of(r.NormFloat64()*100, r.NormFloat64()*100, r.NormFloat64()*10)
+			ws[i] = float64(r.Intn(4)) // zeros included, and plenty of ties
+		}
+		want := referenceWeightedKMeans(rand.New(rand.NewSource(seed*37)), pts, ws, k, 0)
+		for _, par := range []int{1, 4} {
+			got, err := WeightedKMeansOpt(rand.New(rand.NewSource(seed*37)), pts, ws, k, Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("seed %d par %d: %v", seed, par, err)
+			}
+			sameClustering(t, "seed "+string(rune('0'+seed))+" clustering", got, want)
+			if got.Iterations > want.Iterations {
+				t.Fatalf("seed %d par %d: %d iterations, reference took %d", seed, par, got.Iterations, want.Iterations)
+			}
+		}
+	}
+}
+
+// TestConvergedInputExitsAfterOneRecompute is the regression test for
+// the convergence check: on input whose k-means++ seeds are already the
+// weighted means (duplicated points), the old `!changed && iter > 0`
+// check burned a full extra assignment pass; the fixed loop detects the
+// centroid fixed point and exits after a single recompute, with
+// identical centroids.
+func TestConvergedInputExitsAfterOneRecompute(t *testing.T) {
+	pts := []vec.Vec{vec.Of(0, 0), vec.Of(0, 0), vec.Of(10, 10), vec.Of(10, 10)}
+	ws := []float64{1, 1, 1, 1}
+	want := referenceWeightedKMeans(rand.New(rand.NewSource(5)), pts, ws, 2, 0)
+	got, err := WeightedKMeans(rand.New(rand.NewSource(5)), pts, ws, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameClustering(t, "converged input", got, want)
+	if got.Iterations != 1 {
+		t.Fatalf("converged input took %d iterations, want 1", got.Iterations)
+	}
+	if want.Iterations <= got.Iterations {
+		t.Fatalf("reference took %d iterations, expected more than the fixed loop's %d", want.Iterations, got.Iterations)
+	}
+}
+
+// TestWeightedKMeansLloydLoopDoesNotAllocate pins the hoisted-buffer
+// optimization: beyond seeding and result construction, iterations reuse
+// one set of accumulators.
+func TestWeightedKMeansLloydLoopDoesNotAllocate(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	const n = 300
+	pts := make([]vec.Vec, n)
+	ws := make([]float64, n)
+	for i := range pts {
+		pts[i] = vec.Of(r.NormFloat64()*100, r.NormFloat64()*100, r.NormFloat64()*10)
+		ws[i] = r.Float64() * 10
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := WeightedKMeansOpt(rand.New(rand.NewSource(3)), pts, ws, 3, Options{Parallelism: 1}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Seeding, the centroid/sum blocks, the result, and the rand.Rand
+	// account for ~20 allocations; the seed implementation burned 3+k per
+	// Lloyd iteration on top (200+ for this input).
+	if allocs > 40 {
+		t.Fatalf("WeightedKMeansOpt allocates %.0f times per run, want <= 40", allocs)
+	}
+}

@@ -15,9 +15,18 @@ import (
 	"github.com/georep/georep/internal/geo"
 	"github.com/georep/georep/internal/latency"
 	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/parallel"
 	"github.com/georep/georep/internal/placement"
 	"github.com/georep/georep/internal/stats"
 )
+
+// Parallelism caps the worker goroutines used for world building and
+// (world × strategy) cell evaluation: 0 means GOMAXPROCS, 1 forces
+// serial execution. Every cell draws its randomness from an RNG derived
+// from the world seed and the strategy index — never from shared state —
+// and all floating-point reductions run in world order, so figures are
+// byte-identical at any parallelism level and any GOMAXPROCS.
+var Parallelism = 0
 
 // SetupConfig describes how each seed's world is built.
 type SetupConfig struct {
@@ -77,18 +86,22 @@ func BuildWorld(seed int64, cfg SetupConfig) (*World, error) {
 	return &World{Seed: seed, Matrix: m, Coords: emb.Coords, Placements: places}, nil
 }
 
-// BuildWorlds builds `runs` worlds with seeds 1..runs.
+// BuildWorlds builds `runs` worlds with seeds 1..runs. Worlds are built
+// concurrently (each seed's generation and embedding is self-contained),
+// which is the dominant setup cost of every figure.
 func BuildWorlds(runs int, cfg SetupConfig) ([]*World, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("experiment: runs must be positive, got %d", runs)
 	}
 	worlds := make([]*World, runs)
-	for i := range worlds {
-		w, err := BuildWorld(int64(i+1), cfg)
+	errs := make([]error, runs)
+	parallel.ForEach(runs, parallel.Options{Workers: Parallelism}, func(i int) {
+		worlds[i], errs[i] = BuildWorld(int64(i+1), cfg)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		worlds[i] = w
 	}
 	return worlds, nil
 }
@@ -156,25 +169,57 @@ func RunCellObserved(worlds []*World, numDCs, k int, strategies []placement.Stra
 	if len(strategies) == 0 {
 		return nil, fmt.Errorf("experiment: no strategies")
 	}
-	delays := make(map[string][]float64, len(strategies))
-	for _, w := range worlds {
-		in, err := w.Instance(rand.New(rand.NewSource(w.Seed*1000+int64(numDCs))), numDCs, k)
+	popt := parallel.Options{Workers: Parallelism, Metrics: reg}
+
+	// Derive each world's placement instance. The candidate split depends
+	// only on the world seed and numDCs, never on evaluation order.
+	ins := make([]*placement.Instance, len(worlds))
+	errs := make([]error, len(worlds))
+	parallel.ForEach(len(worlds), popt, func(wi int) {
+		w := worlds[wi]
+		ins[wi], errs[wi] = w.Instance(rand.New(rand.NewSource(w.Seed*1000+int64(numDCs))), numDCs, k)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		for si, s := range strategies {
-			r := rand.New(rand.NewSource(w.Seed*7919 + int64(si)))
-			reps, err := s.Place(r, in)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: %s at dcs=%d k=%d: %w", s.Name(), numDCs, k, err)
-			}
-			d := placement.MeanAccessDelay(in, reps)
-			delays[s.Name()] = append(delays[s.Name()], d)
-			reg.Counter("experiment_runs_total").Inc()
-			reg.Histogram("experiment_delay_ms_"+s.Name(), metrics.LatencyBuckets()).Observe(d)
+	}
+
+	// Evaluate every (world × strategy) cell concurrently. Each cell gets
+	// its own RNG seeded from (world seed, strategy index), so the grid
+	// is reproducible regardless of which worker runs which cell.
+	nS := len(strategies)
+	grid := make([]float64, len(worlds)*nS)
+	cellErrs := make([]error, len(worlds)*nS)
+	parallel.ForEach(len(grid), popt, func(t int) {
+		wi, si := t/nS, t%nS
+		s := instrumented(strategies[si], reg)
+		r := rand.New(rand.NewSource(worlds[wi].Seed*7919 + int64(si)))
+		reps, err := s.Place(r, ins[wi])
+		if err != nil {
+			cellErrs[t] = fmt.Errorf("experiment: %s at dcs=%d k=%d: %w", s.Name(), numDCs, k, err)
+			return
+		}
+		d := placement.MeanAccessDelay(ins[wi], reps)
+		grid[t] = d
+		reg.Counter("experiment_runs_total").Inc()
+		reg.Histogram("experiment_delay_ms_"+s.Name(), metrics.LatencyBuckets()).Observe(d)
+	})
+	for _, err := range cellErrs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	cells := make([]Cell, 0, len(strategies))
+
+	// Reduce in world order — the same float summation order as the
+	// serial loop, so cell means are byte-identical at any parallelism.
+	delays := make(map[string][]float64, nS)
+	for wi := range worlds {
+		for si, s := range strategies {
+			delays[s.Name()] = append(delays[s.Name()], grid[wi*nS+si])
+		}
+	}
+	cells := make([]Cell, 0, nS)
 	for _, s := range strategies {
 		xs := delays[s.Name()]
 		cells = append(cells, Cell{
@@ -185,6 +230,29 @@ func RunCellObserved(worlds []*World, numDCs, k int, strategies []placement.Stra
 		})
 	}
 	return cells, nil
+}
+
+// instrumented threads the cell registry into strategies that expose
+// search counters (the exhaustive optima), so combinations visited and
+// pruned surface through the same Snapshot()/metrics paths as the delay
+// histograms. Strategies that already carry a registry keep it.
+func instrumented(s placement.Strategy, reg *metrics.Registry) placement.Strategy {
+	if reg == nil {
+		return s
+	}
+	switch t := s.(type) {
+	case placement.Optimal:
+		if t.Metrics == nil {
+			t.Metrics = reg
+		}
+		return t
+	case placement.OptimalPercentile:
+		if t.Metrics == nil {
+			t.Metrics = reg
+		}
+		return t
+	}
+	return s
 }
 
 // Series is one line of a figure.

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
+	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/stats"
 )
 
@@ -38,12 +40,20 @@ func PercentileAccessDelay(in *Instance, replicas []int, p float64) (float64, er
 }
 
 // OptimalPercentile exhaustively minimizes the p-th percentile of client
-// delays — ground truth for tail-latency placement.
+// delays — ground truth for tail-latency placement. Like Optimal, the
+// search is sharded across a worker pool and pruned with an admissible
+// lower bound (a percentile is monotone in the pointwise per-client
+// delays, so the bound of search.go applies unchanged).
 type OptimalPercentile struct {
 	// P is the percentile to minimize, e.g. 95.
 	P float64
 	// MaxCombinations guards the search; zero means the default.
 	MaxCombinations int
+	// Parallelism caps the worker goroutines: 0 means GOMAXPROCS, 1
+	// forces the serial path.
+	Parallelism int
+	// Metrics, when non-nil, receives search and worker-pool counters.
+	Metrics *metrics.Registry
 }
 
 // Name implements Strategy.
@@ -64,39 +74,28 @@ func (s OptimalPercentile) Place(_ *rand.Rand, in *Instance) ([]int, error) {
 	if c := Binomial(len(in.Candidates), in.K); c > limit {
 		return nil, fmt.Errorf("placement: percentile search needs %d combinations, limit %d", c, limit)
 	}
+	return searchCombos(in, s.Parallelism, s.Metrics, percentileObjective(s.P)), nil
+}
 
-	best := make([]int, in.K)
-	bestVal := math.Inf(1)
-	combo := make([]int, in.K)
-	replicas := make([]int, in.K)
-	var firstErr error
-	var visit func(start, depth int)
-	visit = func(start, depth int) {
-		if depth == in.K {
-			for i, ci := range combo {
-				replicas[i] = in.Candidates[ci]
-			}
-			v, err := PercentileAccessDelay(in, replicas, s.P)
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			if v < bestVal {
-				bestVal = v
-				copy(best, replicas)
-			}
-			return
+// percentileObjective returns an objectiveFn computing the p-th
+// percentile of the delay vector with arithmetic identical to
+// stats.Percentile (sort, then linear interpolation between the two
+// neighboring order statistics), but sorting into a reused scratch
+// buffer instead of allocating per leaf.
+func percentileObjective(p float64) objectiveFn {
+	return func(delays, scratch []float64) float64 {
+		copy(scratch, delays)
+		sort.Float64s(scratch)
+		if len(scratch) == 1 {
+			return scratch[0]
 		}
-		for i := start; i <= len(in.Candidates)-(in.K-depth); i++ {
-			combo[depth] = i
-			visit(i+1, depth+1)
+		rank := p / 100 * float64(len(scratch)-1)
+		lo := int(math.Floor(rank))
+		hi := int(math.Ceil(rank))
+		if lo == hi {
+			return scratch[lo]
 		}
+		frac := rank - float64(lo)
+		return scratch[lo]*(1-frac) + scratch[hi]*frac
 	}
-	visit(0, 0)
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return best, nil
 }

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/vec"
 )
 
@@ -144,11 +145,20 @@ func (Random) Place(r *rand.Rand, in *Instance) ([]int, error) {
 
 // Optimal exhaustively evaluates every K-combination of candidates
 // against the true RTTs and returns the best — the paper's impractical
-// upper bound.
+// upper bound. The search shards the combination tree by first-candidate
+// index across a worker pool and cuts subtrees with an admissible
+// branch-and-bound lower bound (see search.go); the result is
+// byte-identical to the naive serial enumeration at any parallelism.
 type Optimal struct {
 	// MaxCombinations guards against accidental combinatorial blowups;
 	// zero means DefaultMaxCombinations.
 	MaxCombinations int
+	// Parallelism caps the worker goroutines: 0 means GOMAXPROCS, 1
+	// forces the serial path (which still memoizes and prunes).
+	Parallelism int
+	// Metrics, when non-nil, receives search counters (combinations
+	// visited/pruned) and worker-pool accounting.
+	Metrics *metrics.Registry
 }
 
 // DefaultMaxCombinations bounds the exhaustive search; C(30,7) ≈ 2M
@@ -170,30 +180,7 @@ func (o Optimal) Place(_ *rand.Rand, in *Instance) ([]int, error) {
 	if c := Binomial(len(in.Candidates), in.K); c > limit {
 		return nil, fmt.Errorf("placement: optimal search needs %d combinations, limit %d", c, limit)
 	}
-
-	best := make([]int, in.K)
-	bestDelay := math.Inf(1)
-	combo := make([]int, in.K)
-	replicas := make([]int, in.K)
-	var visit func(start, depth int)
-	visit = func(start, depth int) {
-		if depth == in.K {
-			for i, ci := range combo {
-				replicas[i] = in.Candidates[ci]
-			}
-			if d := MeanAccessDelay(in, replicas); d < bestDelay {
-				bestDelay = d
-				copy(best, replicas)
-			}
-			return
-		}
-		for i := start; i <= len(in.Candidates)-(in.K-depth); i++ {
-			combo[depth] = i
-			visit(i+1, depth+1)
-		}
-	}
-	visit(0, 0)
-	return best, nil
+	return searchCombos(in, o.Parallelism, o.Metrics, meanObjective), nil
 }
 
 // Binomial returns C(n, k), saturating at math.MaxInt on overflow.

@@ -1,0 +1,211 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/stats"
+	"github.com/georep/georep/internal/vec"
+)
+
+// randomSearchInstance builds a placement instance over a random
+// symmetric RTT matrix. Duplicate delays are likely (values are rounded
+// to 0.5ms steps) so ties between placements actually occur and the
+// first-wins tie-break is exercised.
+func randomSearchInstance(r *rand.Rand, nodes, numCand, k int) *Instance {
+	m := make([][]float64, nodes)
+	for i := range m {
+		m[i] = make([]float64, nodes)
+	}
+	for i := 0; i < nodes; i++ {
+		for j := i + 1; j < nodes; j++ {
+			d := math.Round(r.Float64()*200*2) / 2
+			m[i][j], m[j][i] = d, d
+		}
+	}
+	coords := make([]coord.Coordinate, nodes)
+	for i := range coords {
+		coords[i] = coord.Coordinate{Pos: vec.Of(r.NormFloat64(), r.NormFloat64()), Height: 0}
+	}
+	perm := r.Perm(nodes)
+	cands := append([]int(nil), perm[:numCand]...)
+	clients := append([]int(nil), perm[numCand:]...)
+	return &Instance{
+		NumNodes:   nodes,
+		RTT:        func(i, j int) float64 { return m[i][j] },
+		Coords:     coords,
+		Candidates: cands,
+		Clients:    clients,
+		K:          k,
+	}
+}
+
+// naiveOptimal is the seed implementation: enumerate every combination
+// and call MeanAccessDelay at each leaf. Kept as the reference the
+// sharded branch-and-bound search must match byte for byte.
+func naiveOptimal(in *Instance) []int {
+	best := make([]int, in.K)
+	bestDelay := math.Inf(1)
+	combo := make([]int, in.K)
+	replicas := make([]int, in.K)
+	var visit func(start, depth int)
+	visit = func(start, depth int) {
+		if depth == in.K {
+			for i, ci := range combo {
+				replicas[i] = in.Candidates[ci]
+			}
+			if d := MeanAccessDelay(in, replicas); d < bestDelay {
+				bestDelay = d
+				copy(best, replicas)
+			}
+			return
+		}
+		for i := start; i <= len(in.Candidates)-(in.K-depth); i++ {
+			combo[depth] = i
+			visit(i+1, depth+1)
+		}
+	}
+	visit(0, 0)
+	return best
+}
+
+// naiveOptimalPercentile is the corresponding percentile reference.
+func naiveOptimalPercentile(t *testing.T, in *Instance, p float64) []int {
+	t.Helper()
+	best := make([]int, in.K)
+	bestVal := math.Inf(1)
+	combo := make([]int, in.K)
+	replicas := make([]int, in.K)
+	var visit func(start, depth int)
+	visit = func(start, depth int) {
+		if depth == in.K {
+			for i, ci := range combo {
+				replicas[i] = in.Candidates[ci]
+			}
+			v, err := PercentileAccessDelay(in, replicas, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < bestVal {
+				bestVal = v
+				copy(best, replicas)
+			}
+			return
+		}
+		for i := start; i <= len(in.Candidates)-(in.K-depth); i++ {
+			combo[depth] = i
+			visit(i+1, depth+1)
+		}
+	}
+	visit(0, 0)
+	return best
+}
+
+func TestOptimalMatchesNaiveEnumeration(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		nodes := 20 + r.Intn(20)
+		numCand := 6 + r.Intn(8)
+		k := 1 + r.Intn(4)
+		if k > numCand {
+			k = numCand
+		}
+		in := randomSearchInstance(r, nodes, numCand, k)
+		want := naiveOptimal(in)
+		for _, par := range []int{1, 2, 8} {
+			got, err := (Optimal{Parallelism: par}).Place(nil, in)
+			if err != nil {
+				t.Fatalf("seed %d par %d: %v", seed, par, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d par %d: got %v (%.10f ms), naive %v (%.10f ms)",
+					seed, par, got, MeanAccessDelay(in, got), want, MeanAccessDelay(in, want))
+			}
+		}
+	}
+}
+
+func TestOptimalPercentileMatchesNaiveEnumeration(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		in := randomSearchInstance(r, 25, 8, 3)
+		for _, p := range []float64{50, 95} {
+			want := naiveOptimalPercentile(t, in, p)
+			for _, par := range []int{1, 8} {
+				got, err := (OptimalPercentile{P: p, Parallelism: par}).Place(nil, in)
+				if err != nil {
+					t.Fatalf("seed %d p %g par %d: %v", seed, p, par, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d p %g par %d: got %v, naive %v", seed, p, par, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchAccountsEveryCombination checks the branch-and-bound
+// bookkeeping: every one of the C(n,K) combinations is either visited or
+// attributed to a pruned subtree, and pruning actually fires on a
+// non-trivial instance.
+func TestSearchAccountsEveryCombination(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	in := randomSearchInstance(r, 40, 12, 4)
+	reg := metrics.NewRegistry()
+	if _, err := (Optimal{Parallelism: 2, Metrics: reg}).Place(nil, in); err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	visited := s.Counters["placement_search_visited_total"]
+	pruned := s.Counters["placement_search_pruned_total"]
+	total := int64(Binomial(12, 4))
+	if visited+pruned != total {
+		t.Fatalf("visited %d + pruned %d = %d, want C(12,4) = %d", visited, pruned, visited+pruned, total)
+	}
+	if pruned == 0 {
+		t.Fatalf("expected the lower bound to prune at least one subtree (visited %d)", visited)
+	}
+	if s.Counters["parallel_tasks_total"] == 0 {
+		t.Fatalf("worker-pool task counter not wired")
+	}
+}
+
+// TestSearchObjectiveValuesUnchanged pins the objective arithmetic: the
+// value of the returned placement, recomputed through the public
+// evaluators, equals the seed implementation's leaf arithmetic.
+func TestSearchObjectiveValuesUnchanged(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	in := randomSearchInstance(r, 30, 9, 3)
+	reps, err := (Optimal{}).Place(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := naiveOptimal(in)
+	if got, want := MeanAccessDelay(in, reps), MeanAccessDelay(in, naive); got != want {
+		t.Fatalf("mean delay %v != naive %v", got, want)
+	}
+
+	// And the percentile objective replicates stats.Percentile bit for bit.
+	delays := make([]float64, len(in.Clients))
+	for i, u := range in.Clients {
+		best := math.Inf(1)
+		for _, rep := range reps {
+			if d := in.RTT(u, rep); d < best {
+				best = d
+			}
+		}
+		delays[i] = best
+	}
+	want, err := stats.Percentile(delays, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]float64, len(delays))
+	if got := percentileObjective(95)(delays, scratch); got != want {
+		t.Fatalf("percentileObjective = %v, stats.Percentile = %v", got, want)
+	}
+}

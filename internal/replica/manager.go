@@ -32,6 +32,10 @@ type Config struct {
 	// from exponential decay to exact CluStream windows covering the
 	// last WindowEpochs epochs; DecayFactor is then ignored.
 	WindowEpochs int
+	// Parallelism caps the worker goroutines of the epoch-end
+	// macro-clustering (0 = GOMAXPROCS, 1 = serial). Decisions are
+	// identical at any setting.
+	Parallelism int
 	// Metrics, when non-nil, receives the manager's runtime counters and
 	// histograms (see the Observability section of README.md for the
 	// metric names). A nil registry disables instrumentation at the cost
@@ -291,7 +295,8 @@ func (m *Manager) EndEpoch(r *rand.Rand) (Decision, error) {
 	}
 	dec.K = m.k
 
-	proposed, err := ProposePlacement(r, micros, m.k, m.candidates, m.coords)
+	proposed, err := ProposePlacementOpt(r, micros, m.k, m.candidates, m.coords,
+		cluster.Options{Parallelism: m.cfg.Parallelism, Metrics: m.cfg.Metrics})
 	if err != nil {
 		return dec, err
 	}

@@ -246,7 +246,15 @@ func EstimateMeanDelay(micros []cluster.Micro, replicas []int, coords []coord.Co
 // exported for coordinators that collect summaries over the network (the
 // georepd daemon) rather than through a Manager.
 func ProposePlacement(r *rand.Rand, micros []cluster.Micro, k int, candidates []int, coords []coord.Coordinate) ([]int, error) {
-	res, err := cluster.MacroCluster(r, micros, k)
+	return ProposePlacementOpt(r, micros, k, candidates, coords, cluster.Options{})
+}
+
+// ProposePlacementOpt is ProposePlacement with explicit k-means options:
+// parallelism for the macro-clustering assignment step and a metrics
+// registry for iteration counters. The proposal is identical at any
+// parallelism level.
+func ProposePlacementOpt(r *rand.Rand, micros []cluster.Micro, k int, candidates []int, coords []coord.Coordinate, opt cluster.Options) ([]int, error) {
+	res, err := cluster.MacroClusterOpt(r, micros, k, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -183,6 +183,26 @@ func (v Vec) Equal(w Vec) bool {
 	return true
 }
 
+// CopyFrom overwrites v with the components of w without allocating.
+func (v Vec) CopyFrom(w Vec) {
+	checkDim(v, w)
+	copy(v, w)
+}
+
+// Block allocates k vectors of dimension d backed by one contiguous
+// float64 slab and returns the views. Iterating the views in order walks
+// memory linearly, which is why hot centroid arrays (k-means) use it
+// instead of k separate allocations. Each view is capacity-capped so an
+// append on one cannot clobber its neighbor.
+func Block(k, d int) []Vec {
+	flat := make([]float64, k*d)
+	views := make([]Vec, k)
+	for i := range views {
+		views[i] = Vec(flat[i*d : (i+1)*d : (i+1)*d])
+	}
+	return views
+}
+
 // Mean returns the arithmetic mean of the given vectors. All vectors must
 // share a dimension; an empty input returns nil.
 func Mean(vs []Vec) Vec {

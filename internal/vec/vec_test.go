@@ -217,3 +217,40 @@ func TestQuickMeanMinimizesSSQ(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestBlockViewsAreContiguousAndIndependent(t *testing.T) {
+	views := Block(3, 2)
+	if len(views) != 3 {
+		t.Fatalf("Block(3,2) returned %d views", len(views))
+	}
+	for i, v := range views {
+		if v.Dim() != 2 {
+			t.Fatalf("view %d has dim %d, want 2", i, v.Dim())
+		}
+		v[0], v[1] = float64(i), float64(-i)
+	}
+	for i, v := range views {
+		if v[0] != float64(i) || v[1] != float64(-i) {
+			t.Fatalf("view %d corrupted: %v", i, v)
+		}
+	}
+	// Appending to one view must not clobber the next (capacity capped).
+	grown := append(views[0], 99)
+	_ = grown
+	if views[1][0] != 1 {
+		t.Fatalf("append through view 0 clobbered view 1: %v", views[1])
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	dst := New(3)
+	src := Of(1, 2, 3)
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatalf("CopyFrom gave %v, want %v", dst, src)
+	}
+	src[0] = 42
+	if dst[0] != 1 {
+		t.Fatalf("CopyFrom aliased the source")
+	}
+}

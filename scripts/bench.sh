@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_parallel.json: re-runs the parallel-compute-layer
+# benchmarks (exhaustive placement search, weighted k-means) and records
+# the numbers next to a frozen pre-parallelization baseline so the
+# speedup from memoization + branch-and-bound + sharding stays visible
+# in-repo.
+#
+# Usage: scripts/bench.sh            # writes BENCH_parallel.json
+#        BENCHTIME=50x scripts/bench.sh   # steadier numbers, slower
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-10x}"
+OUT="${OUT:-BENCH_parallel.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run=NONE \
+  -bench='^(BenchmarkOptimalSearch|BenchmarkOptimalSearchSerial|BenchmarkOptimalSearchParallel|BenchmarkWeightedKMeans|BenchmarkWeightedKMeansParallel)$' \
+  -benchmem -benchtime="$BENCHTIME" . | tee "$TMP" >&2
+
+{
+cat <<'BASELINE'
+{
+  "note": "ns_per_op of the parallel compute layer vs the frozen serial seed. Regenerate with scripts/bench.sh; the baseline block is the pre-parallelization implementation (naive per-leaf MeanAccessDelay search, allocating Lloyd loop) and must not be edited.",
+  "baseline": {
+    "cpu": "Intel(R) Xeon(R) Processor @ 2.10GHz (1 core)",
+    "BenchmarkOptimalSearch/k=2": {"ns_per_op": 192282, "bytes_per_op": 664, "allocs_per_op": 6},
+    "BenchmarkOptimalSearch/k=3": {"ns_per_op": 1929204, "bytes_per_op": 688, "allocs_per_op": 6},
+    "BenchmarkOptimalSearch/k=4": {"ns_per_op": 9205078, "bytes_per_op": 712, "allocs_per_op": 6},
+    "BenchmarkWeightedKMeans/points=30": {"ns_per_op": 14843, "bytes_per_op": 6384, "allocs_per_op": 18},
+    "BenchmarkWeightedKMeans/points=300": {"ns_per_op": 189172, "bytes_per_op": 16992, "allocs_per_op": 207},
+    "BenchmarkWeightedKMeans/points=3000": {"ns_per_op": 1128664, "bytes_per_op": 57504, "allocs_per_op": 99}
+  },
+BASELINE
+
+echo "  \"benchtime\": \"$BENCHTIME\","
+echo "  \"goos\": \"$(go env GOOS)\", \"goarch\": \"$(go env GOARCH)\","
+echo '  "current": {'
+
+awk '
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+  ns = ""; bytes = ""; allocs = ""
+  for (i = 2; i <= NF; i++) {
+    if ($i == "ns/op")     ns = $(i-1)
+    if ($i == "B/op")      bytes = $(i-1)
+    if ($i == "allocs/op") allocs = $(i-1)
+  }
+  if (ns == "") next
+  line = sprintf("    \"%s\": {\"ns_per_op\": %s", name, ns)
+  if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+  if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+  line = line "}"
+  if (n++) printf(",\n")
+  printf("%s", line)
+}
+END { printf("\n") }
+' "$TMP"
+
+echo '  }'
+echo '}'
+} > "$OUT"
+
+echo "wrote $OUT" >&2
