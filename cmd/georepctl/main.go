@@ -39,6 +39,7 @@ import (
 	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/replica"
 	"github.com/georep/georep/internal/store"
+	"github.com/georep/georep/internal/transport"
 	"github.com/georep/georep/internal/vec"
 )
 
@@ -64,6 +65,8 @@ func run(args []string) error {
 		apply       = fs.Bool("apply", false, "execute the rebalance instead of printing the plan")
 		parallelism = fs.Int("parallelism", 0, "worker goroutines for rebalance clustering (0 = all cores, 1 = serial; same plan either way)")
 		timeout     = fs.Duration("timeout", 3*time.Second, "dial timeout per node")
+		callTimeout = fs.Duration("call-timeout", 0, "per-RPC deadline (0 = transport default)")
+		retries     = fs.Int("retries", 0, "max attempts per idempotent RPC with exponential backoff (0 = no retries)")
 		metricFilt  = fs.String("metric", "", "substring filter for metrics names (metrics command)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -88,7 +91,17 @@ func run(args []string) error {
 		return fmt.Errorf("-nodes is required")
 	}
 
-	fleet, err := dialFleet(strings.Split(*nodesFlag, ","), *timeout)
+	var opts []transport.ClientOption
+	if *callTimeout > 0 {
+		opts = append(opts, transport.WithCallTimeout(*callTimeout))
+	}
+	if *retries > 1 {
+		p := transport.DefaultRetryPolicy()
+		p.MaxAttempts = *retries
+		opts = append(opts, transport.WithRetryPolicy(p))
+	}
+
+	fleet, err := dialFleet(strings.Split(*nodesFlag, ","), *timeout, opts...)
 	if err != nil {
 		return err
 	}
@@ -146,22 +159,27 @@ type fleet struct {
 	byNode  map[int]*member
 }
 
-func dialFleet(addrs []string, timeout time.Duration) (*fleet, error) {
+// dialFleet connects to every reachable daemon. Nodes that cannot be
+// dialed or that stall the identifying coord call are skipped with a
+// warning rather than failing the fleet — a coordinator that dies
+// because one node is down would be useless exactly when it matters.
+func dialFleet(addrs []string, timeout time.Duration, opts ...transport.ClientOption) (*fleet, error) {
 	f := &fleet{byNode: make(map[int]*member)}
 	for _, addr := range addrs {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
 			continue
 		}
-		c, err := daemon.DialNode(addr, timeout)
+		c, err := daemon.DialNode(addr, timeout, opts...)
 		if err != nil {
-			f.close()
-			return nil, err
+			fmt.Fprintf(os.Stderr, "georepctl: skipping unreachable node %s: %v\n", addr, err)
+			continue
 		}
 		cr, err := c.Coord()
 		if err != nil {
-			f.close()
-			return nil, err
+			fmt.Fprintf(os.Stderr, "georepctl: skipping unreachable node %s: %v\n", addr, err)
+			c.Close()
+			continue
 		}
 		m := &member{
 			addr:   addr,
@@ -177,7 +195,7 @@ func dialFleet(addrs []string, timeout time.Duration) (*fleet, error) {
 		f.byNode[m.node] = m
 	}
 	if len(f.members) == 0 {
-		return nil, fmt.Errorf("no nodes given")
+		return nil, fmt.Errorf("no reachable nodes")
 	}
 	return f, nil
 }

@@ -12,6 +12,7 @@
 //	georepd -addr 127.0.0.1:7001 -node 0 -m 10 -dims 3
 //	georepd -addr 127.0.0.1:7002 -node 1 -matrix matrix.txt   # emulate WAN RTTs
 //	georepd -addr 127.0.0.1:7001 -metrics-addr 127.0.0.1:9090 # JSON metrics over HTTP
+//	georepd -addr 127.0.0.1:7001 -fault-plan "crash 0@2-4"    # chaos-test this node
 //
 // With -metrics-addr the daemon also serves its metrics registry as an
 // expvar-style JSON document over HTTP at /metrics (and /debug/vars):
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"github.com/georep/georep/internal/daemon"
+	"github.com/georep/georep/internal/faults"
 	"github.com/georep/georep/internal/latency"
 )
 
@@ -65,9 +67,22 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		coordFlag   = fs.String("coord", "", "this node's network coordinate as comma-separated floats, e.g. \"12.5,-3.1,40.2\"")
 		height      = fs.Float64("height", 0, "height component of this node's coordinate")
 		metricsAddr = fs.String("metrics-addr", "", "HTTP address serving the JSON metrics snapshot; empty disables")
+		faultPlan   = fs.String("fault-plan", "", "inject faults from a plan DSL, e.g. \"crash 2@5-8; drop *>0:0.2@1-10\" (see internal/faults); the decay RPC advances the epoch")
+		faultSeed   = fs.Int64("fault-seed", 1, "seed for -fault-plan coin flips")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var inj *faults.Injector
+	if *faultPlan != "" {
+		plan, err := faults.Parse(*faultSeed, *faultPlan)
+		if err != nil {
+			return err
+		}
+		if inj, err = faults.NewInjector(plan); err != nil {
+			return err
+		}
 	}
 
 	var delay daemon.DelayFunc
@@ -107,12 +122,14 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 	}
 
 	n, err := daemon.NewNode(daemon.Config{
-		ID:            *nodeID,
-		MicroClusters: *micro,
-		Dims:          *dims,
-		Delay:         delay,
-		Coordinate:    selfCoord,
-		Height:        *height,
+		ID:                       *nodeID,
+		MicroClusters:            *micro,
+		Dims:                     *dims,
+		Delay:                    delay,
+		Coordinate:               selfCoord,
+		Height:                   *height,
+		Faults:                   inj,
+		AdvanceFaultEpochOnDecay: inj != nil,
 	})
 	if err != nil {
 		return err
@@ -121,6 +138,9 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		return err
 	}
 	fmt.Printf("georepd node %d listening on %s\n", *nodeID, n.Addr())
+	if inj != nil {
+		fmt.Printf("fault injection active (seed %d): %s\n", *faultSeed, *faultPlan)
+	}
 
 	var metricsURL string
 	var metricsSrv *http.Server

@@ -17,6 +17,7 @@
 //	replicasim -fig routing         # §III-A: predicted-closest-replica routing accuracy
 //	replicasim -fig tail            # ablation: mean vs p95 placement objectives
 //	replicasim -fig strategies      # all seven strategies vs k (heuristic comparison)
+//	replicasim -fig failures        # robustness: mean delay under a seeded fault plan
 //	replicasim -table 2             # Table II: online vs offline clustering cost
 //	replicasim -fig 2 -runs 5       # faster, noisier
 package main
@@ -42,7 +43,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("replicasim", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "", "figure to reproduce: 1, 2, 3, rnp, drift, quorum, threshold, capacity, readwrite, routing, tail or strategies")
+		fig       = fs.String("fig", "", "figure to reproduce: 1, 2, 3, rnp, drift, quorum, threshold, capacity, readwrite, routing, tail, strategies or failures")
 		table     = fs.String("table", "", "table to reproduce: 2")
 		all       = fs.Bool("all", false, "reproduce every figure and table")
 		runs      = fs.Int("runs", 30, "simulation runs to average over (paper: 30)")
@@ -52,6 +53,8 @@ func run(args []string) error {
 		maxK      = fs.Int("maxk", 7, "largest degree of replication in Figure 2/3")
 		seedTable = fs.Int64("seed", 1, "seed for Table II workload generation")
 		csv       = fs.Bool("csv", false, "emit figures as CSV instead of aligned text")
+		faultPlan = fs.String("fault-plan", "", "override the failures scenario with a fault-plan DSL string (see internal/faults)")
+		faultSeed = fs.Int64("fault-seed", 1, "seed for the failures scenario")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,7 +72,7 @@ func run(args []string) error {
 		return err
 	}
 
-	needWorlds := *all || (*fig != "" && *fig != "drift" && *fig != "threshold")
+	needWorlds := *all || (*fig != "" && *fig != "drift" && *fig != "threshold" && *fig != "failures")
 	var worlds []*experiment.World
 	if needWorlds {
 		start := time.Now()
@@ -178,6 +181,16 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(experiment.RenderRouting(rows))
+	}
+	if *all || *fig == "failures" {
+		cfg := experiment.DefaultFailureConfig()
+		cfg.Setup.CoordAlgorithm = setup.CoordAlgorithm
+		cfg.Plan = *faultPlan
+		res, err := experiment.Failure(*faultSeed, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderFailure(res))
 	}
 	if *all || *table == "2" {
 		rows, err := experiment.Table2(rand.New(rand.NewSource(*seedTable)), experiment.DefaultCostConfig())

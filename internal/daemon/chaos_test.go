@@ -1,0 +1,219 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+
+	"github.com/georep/georep/internal/faults"
+	"github.com/georep/georep/internal/store"
+	"github.com/georep/georep/internal/transport"
+)
+
+// chaosFleet starts n daemons on a 1-D coordinate line sharing one fault
+// injector (the test drives its epoch), preloads one object everywhere,
+// and returns the nodes plus retry-enabled clients.
+func chaosFleet(t *testing.T, n int, inj *faults.Injector, opts ...transport.ClientOption) ([]*Node, []*Client) {
+	t.Helper()
+	nodes := make([]*Node, n)
+	clients := make([]*Client, n)
+	for i := 0; i < n; i++ {
+		node, err := NewNode(Config{
+			ID:            i,
+			MicroClusters: 4,
+			Dims:          2,
+			Coordinate:    []float64{float64(i * 50), 0},
+			Faults:        inj,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		if err := node.Store().Put(store.Object{ID: "obj", Data: []byte("payload"), Version: 1}); err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		c, err := DialNode(node.Addr(), time.Second, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		clients[i] = c
+	}
+	return nodes, clients
+}
+
+// TestChaosCrashFailover is the live half of the acceptance scenario: a
+// seeded fault plan crashes replica 2 for three epochs; every Get must
+// still succeed by failing over, no call may hang past its deadline
+// budget, and the coordinator-side summary collection must see exactly
+// the crashed replica as unreachable during the crash window.
+func TestChaosCrashFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test sleeps through timeouts")
+	}
+	plan, err := faults.Parse(7, "crash 2@2-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callTimeout = 150 * time.Millisecond
+	_, clients := chaosFleet(t, 4, inj,
+		transport.WithCallTimeout(callTimeout)) // no retries: failover is the redundancy
+
+	fo, err := NewFailover(clients...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fo.LearnCoords(); err != nil {
+		t.Fatal(err)
+	}
+
+	gets, failures := 0, 0
+	unreachableByEpoch := make(map[int][]int)
+	for epoch := 0; epoch < 6; epoch++ {
+		inj.SetEpoch(epoch)
+		// Clients spread across the line; the one at x=100 is nearest to
+		// the (crashing) replica 2 and must fail over during the window.
+		for _, x := range []float64{0, 60, 100, 140} {
+			start := time.Now()
+			_, served, _, err := fo.Get(9, []float64{x, 0}, "obj")
+			elapsed := time.Since(start)
+			gets++
+			if err != nil {
+				failures++
+				t.Errorf("epoch %d client x=%v: get failed: %v", epoch, x, err)
+			}
+			// A single crashed replica can cost at most one call timeout
+			// before failover; anything near the full fleet's budget is a
+			// hang.
+			if elapsed > 3*callTimeout {
+				t.Errorf("epoch %d client x=%v: get took %v (hang?)", epoch, x, elapsed)
+			}
+			if epoch >= 2 && epoch <= 4 && served == 2 {
+				t.Errorf("epoch %d: crashed replica 2 served a get", epoch)
+			}
+		}
+		// Coordinator-side collection: which replicas answer a summary
+		// fetch this epoch?
+		var unreachable []int
+		for i, c := range clients {
+			if _, _, err := c.Micros(); err != nil {
+				unreachable = append(unreachable, i)
+			}
+		}
+		unreachableByEpoch[epoch] = unreachable
+	}
+
+	if failures > 0 {
+		t.Fatalf("%d/%d gets failed; acceptance requires >=99%% success", failures, gets)
+	}
+	for epoch := 0; epoch < 6; epoch++ {
+		un := unreachableByEpoch[epoch]
+		if epoch >= 2 && epoch <= 4 {
+			if len(un) != 1 || un[0] != 2 {
+				t.Errorf("epoch %d: unreachable = %v, want [2]", epoch, un)
+			}
+		} else if len(un) != 0 {
+			t.Errorf("epoch %d: unreachable = %v, want none", epoch, un)
+		}
+	}
+	if inj.Dropped() == 0 {
+		t.Error("injector dropped nothing; crash window never engaged")
+	}
+}
+
+// TestChaosFlakyLinkRetry exercises the retry path: a wildcard-source
+// drop rule loses 30% of the traffic into replica 1, and a retrying
+// client must still complete every call.
+func TestChaosFlakyLinkRetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test sleeps through timeouts")
+	}
+	plan, err := faults.Parse(11, "drop *>1:0.3@0-99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, clients := chaosFleet(t, 2, inj,
+		transport.WithCallTimeout(80*time.Millisecond),
+		transport.WithRetryPolicy(transport.RetryPolicy{
+			MaxAttempts: 5, BaseDelay: 5 * time.Millisecond, Multiplier: 2,
+		}))
+
+	ok := 0
+	const total = 40
+	for i := 0; i < total; i++ {
+		if _, _, err := clients[1].Get(0, []float64{0, 0}, "obj"); err == nil {
+			ok++
+		}
+	}
+	// P(5 consecutive drops) = 0.3^5 ≈ 0.24% per call; the seeded plan
+	// makes the exact outcome reproducible, and 40 calls stay >= 99%
+	// in expectation. Require all-but-one to guard the acceptance bar.
+	if ok < total-1 {
+		t.Fatalf("%d/%d gets succeeded through a 30%% lossy link", ok, total)
+	}
+}
+
+// TestChaosDecayEpochAdvance checks the georepd wiring: with
+// AdvanceFaultEpochOnDecay the injector steps forward on every decay
+// RPC, even one swallowed by a crash window.
+func TestChaosDecayEpochAdvance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test sleeps through timeouts")
+	}
+	plan, err := faults.Parse(3, "crash 0@1-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewNode(Config{
+		ID: 0, MicroClusters: 4, Dims: 2,
+		Faults:                   inj,
+		AdvanceFaultEpochOnDecay: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	c, err := DialNode(node.Addr(), time.Second, transport.WithCallTimeout(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Epoch 0: decay succeeds and advances the injector to epoch 1.
+	if err := c.Decay(0.5); err != nil {
+		t.Fatalf("decay at epoch 0: %v", err)
+	}
+	if got := inj.Epoch(); got != 1 {
+		t.Fatalf("epoch after first decay = %d, want 1", got)
+	}
+	// Epoch 1: the node is crashed; the decay stalls into the call
+	// timeout but the attempt still advances the schedule.
+	if err := c.Decay(0.5); err == nil {
+		t.Fatal("decay during crash window succeeded")
+	}
+	if got := inj.Epoch(); got != 2 {
+		t.Fatalf("epoch after crashed decay = %d, want 2", got)
+	}
+	// Epoch 2: recovered.
+	if err := c.Decay(0.5); err != nil {
+		t.Fatalf("decay after recovery: %v", err)
+	}
+}

@@ -15,9 +15,23 @@ type Client struct {
 	addr string
 }
 
-// DialNode connects to a daemon.
-func DialNode(addr string, timeout time.Duration) (*Client, error) {
-	c, err := transport.Dial(addr, timeout)
+// IdempotentMethods lists the daemon methods safe to retry on transport
+// failure: every method except decay, whose repeated application would
+// age the summary twice.
+func IdempotentMethods() []string {
+	return []string{MethodGet, MethodPut, MethodDelete, MethodMicros,
+		MethodStats, MethodPing, MethodCoord, MethodList, MethodMetrics}
+}
+
+// DialNode connects to a daemon. Additional transport options (retry
+// policy, call timeout, circuit breaker) apply on top of the defaults;
+// the protocol's idempotent methods are pre-marked so a retry policy
+// takes effect without further configuration.
+func DialNode(addr string, timeout time.Duration, opts ...transport.ClientOption) (*Client, error) {
+	all := append([]transport.ClientOption{
+		transport.WithIdempotent(IdempotentMethods()...),
+	}, opts...)
+	c, err := transport.Dial(addr, timeout, all...)
 	if err != nil {
 		return nil, err
 	}

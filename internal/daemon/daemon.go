@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/faults"
 	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/store"
 	"github.com/georep/georep/internal/transport"
@@ -119,6 +120,20 @@ type Config struct {
 	Coordinate []float64
 	// Height is the height component of the node's coordinate.
 	Height float64
+	// Faults, when non-nil, injects the plan's node-level faults into
+	// this daemon: while the node is crashed (or a wildcard-source link
+	// rule drops the traversal) incoming requests are silently swallowed
+	// — the client sees a stall, exactly as if the process were dead —
+	// and latency spikes delay the reply. Partitions and source-specific
+	// link rules need both endpoints and are the caller's concern (the
+	// coordinator applies them via its unreachable set).
+	Faults *faults.Injector
+	// AdvanceFaultEpochOnDecay moves the injector one epoch forward each
+	// time a decay request arrives (even a dropped one): the coordinator
+	// sends exactly one decay per epoch, so the node's fault schedule
+	// stays in step without an out-of-band clock. Leave false when the
+	// test driver sets the epoch explicitly on a shared injector.
+	AdvanceFaultEpochOnDecay bool
 }
 
 // Node is one running storage daemon.
@@ -146,11 +161,15 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	reg := metrics.NewRegistry()
 	n := &Node{
-		cfg:    cfg,
-		store:  store.New(),
-		server: transport.NewServer(transport.WithMetrics(reg)),
-		reg:    reg,
+		cfg:   cfg,
+		store: store.New(),
+		reg:   reg,
 	}
+	srvOpts := []transport.ServerOption{transport.WithMetrics(reg)}
+	if cfg.Faults != nil {
+		srvOpts = append(srvOpts, transport.WithServerFaults(n.faultAction))
+	}
+	n.server = transport.NewServer(srvOpts...)
 	sum, err := cluster.NewSummarizer(cfg.MicroClusters, cfg.Dims)
 	if err != nil {
 		return nil, err
@@ -213,6 +232,20 @@ func (n *Node) instrument(method string, h transport.Handler) transport.Handler 
 			totalErrs.Inc()
 		}
 		return out, err
+	}
+}
+
+// faultAction consults the injector for one incoming request. The node
+// is the destination; the source is unknown at this layer, so only
+// crash windows and wildcard-source link rules apply.
+func (n *Node) faultAction(method string) transport.FaultAction {
+	if method == MethodDecay && n.cfg.AdvanceFaultEpochOnDecay {
+		defer n.cfg.Faults.AdvanceEpoch()
+	}
+	v := n.cfg.Faults.Verdict(faults.Wild, n.cfg.ID)
+	return transport.FaultAction{
+		Drop:  v.Drop,
+		Delay: time.Duration(v.ExtraMs * float64(time.Millisecond)),
 	}
 }
 

@@ -1,0 +1,108 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/georep/georep/internal/transport"
+)
+
+// Failover reads from a replica fleet with graceful degradation: Get
+// tries replicas in proximity order (nearest predicted RTT first) and
+// falls over to the next on any transport-level failure, so one
+// crashed or partitioned replica costs latency, not availability.
+type Failover struct {
+	clients []*Client
+	pos     [][]float64 // learned replica coordinates; nil = unknown
+}
+
+// NewFailover wraps an already-dialed replica fleet. The given order is
+// the fallback proximity order until LearnCoords succeeds.
+func NewFailover(clients ...*Client) (*Failover, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("daemon: failover needs at least one replica")
+	}
+	return &Failover{clients: clients, pos: make([][]float64, len(clients))}, nil
+}
+
+// Clients returns the wrapped fleet in its original order.
+func (f *Failover) Clients() []*Client { return f.clients }
+
+// Close closes every replica client, returning the first error.
+func (f *Failover) Close() error {
+	var first error
+	for _, c := range f.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// LearnCoords asks every replica for its network coordinate so Get can
+// order replicas by predicted proximity to the reading client. Replicas
+// that cannot be reached (or report no coordinate) keep an unknown
+// position and sort last; they are still tried. Returns an error only
+// if no replica answered.
+func (f *Failover) LearnCoords() error {
+	answered := 0
+	for i, c := range f.clients {
+		resp, err := c.Coord()
+		if err != nil || len(resp.Pos) == 0 {
+			continue
+		}
+		f.pos[i] = resp.Pos
+		answered++
+	}
+	if answered == 0 {
+		return errors.New("daemon: no replica reported a coordinate")
+	}
+	return nil
+}
+
+// order returns replica indices nearest-first for the given client
+// coordinate. Unknown positions rank last, keeping their fleet order.
+func (f *Failover) order(clientCoord []float64) []int {
+	idx := make([]int, len(f.clients))
+	dist := make([]float64, len(f.clients))
+	for i := range f.clients {
+		idx[i] = i
+		dist[i] = math.Inf(1)
+		if p := f.pos[i]; len(p) == len(clientCoord) && len(p) > 0 {
+			var d2 float64
+			for j := range p {
+				diff := clientCoord[j] - p[j]
+				d2 += diff * diff
+			}
+			dist[i] = math.Sqrt(d2)
+		}
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return dist[idx[a]] < dist[idx[b]] })
+	return idx
+}
+
+// Get reads the object for a client, trying replicas nearest-first and
+// failing over on transport-level errors. An application error (the
+// replica answered, e.g. object not found) is returned immediately —
+// the node is alive and further replicas would say the same. Returns
+// the response, the index of the serving replica in the fleet, and the
+// RTT of the successful attempt.
+func (f *Failover) Get(client int, clientCoord []float64, object string) (GetResponse, int, time.Duration, error) {
+	var errs []error
+	for _, i := range f.order(clientCoord) {
+		resp, rtt, err := f.clients[i].Get(client, clientCoord, object)
+		if err == nil {
+			return resp, i, rtt, nil
+		}
+		var remote *transport.RemoteError
+		if errors.As(err, &remote) {
+			return GetResponse{}, i, rtt, err
+		}
+		errs = append(errs, fmt.Errorf("replica %d (%s): %w", i, f.clients[i].Addr(), err))
+	}
+	return GetResponse{}, -1, 0, fmt.Errorf("daemon: all %d replicas failed: %w",
+		len(f.clients), errors.Join(errs...))
+}

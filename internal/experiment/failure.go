@@ -1,0 +1,428 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/faults"
+	"github.com/georep/georep/internal/replica"
+	"github.com/georep/georep/internal/simnet"
+	"github.com/georep/georep/internal/stats"
+	"github.com/georep/georep/internal/vec"
+	"github.com/georep/georep/internal/workload"
+)
+
+// The failure experiment measures what the paper's evaluation leaves
+// out: mean access delay while things break. The same workload runs
+// twice through the discrete-event simulator — once healthy, once under
+// a seeded fault plan (replica crash mid-run, the largest client region
+// partitioned away, a flapping lossy link) — and clients fail over to
+// the next-nearest replica after a timeout, so the faulty curve shows
+// delay inflation and availability loss rather than simply erroring
+// out. The coordinator runs degraded epochs against the same plan:
+// summaries of unreachable replicas fall back to stale cached ones, and
+// below the quorum no migration is committed.
+
+// FailureConfig parameterizes the failure experiment.
+type FailureConfig struct {
+	// Setup builds the world (matrix + coordinates).
+	Setup SetupConfig
+	// NumDCs candidate data centers are drawn from the world's nodes.
+	NumDCs int
+	// K replicas are maintained with M micro-clusters each.
+	K, M int
+	// Epochs is the experiment length; the default scenario needs >= 6.
+	Epochs int
+	// AccessesPerEpoch is the number of simulated client reads per epoch.
+	AccessesPerEpoch int
+	// MinRelativeGain gates migration.
+	MinRelativeGain float64
+	// DecayFactor ages summaries between epochs (0 → manager default).
+	DecayFactor float64
+	// Quorum is the fresh-summary fraction required to migrate (0 →
+	// manager default of 0.5).
+	Quorum float64
+	// TimeoutMs is the simulated client's per-attempt timeout before it
+	// fails over to the next replica (default 250ms).
+	TimeoutMs float64
+	// Plan optionally overrides the fault scenario with a DSL string
+	// (see faults.Parse). Empty derives the default three-phase scenario
+	// from the world: crash the first replica mid-run, partition the
+	// largest client region, and flap a lossy link into another replica.
+	Plan string
+}
+
+// DefaultFailureConfig returns a moderate failure scenario.
+func DefaultFailureConfig() FailureConfig {
+	setup := DefaultSetup()
+	setup.Nodes = 120
+	return FailureConfig{
+		Setup:            setup,
+		NumDCs:           12,
+		K:                3,
+		M:                8,
+		Epochs:           12,
+		AccessesPerEpoch: 1500,
+		MinRelativeGain:  0.05,
+		DecayFactor:      0.3,
+		Quorum:           0.6,
+		TimeoutMs:        250,
+	}
+}
+
+func (c FailureConfig) validate() error {
+	if c.NumDCs <= 0 || c.NumDCs >= c.Setup.Nodes {
+		return fmt.Errorf("experiment: failure NumDCs %d out of (0,%d)", c.NumDCs, c.Setup.Nodes)
+	}
+	if c.K <= 0 || c.K > c.NumDCs {
+		return fmt.Errorf("experiment: failure K %d out of (0,%d]", c.K, c.NumDCs)
+	}
+	if c.M <= 0 {
+		return fmt.Errorf("experiment: failure M must be positive, got %d", c.M)
+	}
+	if c.AccessesPerEpoch <= 0 {
+		return fmt.Errorf("experiment: failure needs positive accesses")
+	}
+	if c.Epochs < 6 && c.Plan == "" {
+		return fmt.Errorf("experiment: default failure scenario needs >= 6 epochs, got %d", c.Epochs)
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("experiment: failure needs positive epochs")
+	}
+	if c.TimeoutMs < 0 {
+		return fmt.Errorf("experiment: negative failover timeout %v", c.TimeoutMs)
+	}
+	return nil
+}
+
+// FailureRow is one epoch's outcome under both runs.
+type FailureRow struct {
+	Epoch int
+	// HealthyMs is the mean measured delay with no faults injected.
+	HealthyMs float64
+	// FaultyMs is the mean measured delay under the fault plan,
+	// including failover timeouts (failed gets are excluded; see
+	// FailedGets).
+	FaultyMs float64
+	// FailoverGets counts faulty-run gets that needed at least one
+	// failover attempt; FailedGets counts gets no replica served.
+	FailoverGets int
+	FailedGets   int
+	// Degraded and QuorumOK describe the faulty run's epoch decision.
+	Degraded bool
+	QuorumOK bool
+	// Migrated reports whether the faulty-run manager moved replicas.
+	Migrated bool
+	// Replicas is the faulty-run placement after the epoch.
+	Replicas []int
+}
+
+// FailureResult aggregates the failure experiment.
+type FailureResult struct {
+	Rows          []FailureRow
+	MeanHealthyMs float64
+	MeanFaultyMs  float64
+	// DegradedEpochs and QuorumBlockedEpochs count faulty-run epochs
+	// that ran on a partial view / refused to migrate.
+	DegradedEpochs      int
+	QuorumBlockedEpochs int
+	// DroppedLegs is the number of simulated one-way legs the injector
+	// consumed.
+	DroppedLegs uint64
+	// Plan is the fault scenario in DSL form, for reproduction.
+	Plan string
+}
+
+// Failure runs the experiment for one seed.
+func Failure(seed int64, cfg FailureConfig) (*FailureResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TimeoutMs == 0 {
+		cfg.TimeoutMs = 250
+	}
+	w, err := BuildWorld(seed, cfg.Setup)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed * 31))
+
+	cand := stats.SampleWithoutReplacement(rng, w.Matrix.N(), cfg.NumDCs)
+	isCand := make(map[int]bool, len(cand))
+	for _, c := range cand {
+		isCand[c] = true
+	}
+	var clientNodes, clientRegions []int
+	regionMembers := map[int][]int{}
+	for i := 0; i < w.Matrix.N(); i++ {
+		if isCand[i] {
+			continue
+		}
+		clientNodes = append(clientNodes, i)
+		region := w.Placements[i].Region
+		clientRegions = append(clientRegions, region)
+		regionMembers[region] = append(regionMembers[region], i)
+	}
+
+	initial, err := randomPlacement(rng, cand, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-generate the per-epoch workload once so the healthy and faulty
+	// passes replay byte-identical access sequences.
+	clientSpecs, err := workload.UniformClients(clientNodes, clientRegions)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(rng, workload.Spec{
+		Clients:         clientSpecs,
+		Objects:         1,
+		ZipfExponent:    0,
+		MeanObjectBytes: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	epochs := make([][]workload.Access, cfg.Epochs)
+	for e := range epochs {
+		if epochs[e], err = gen.Epoch(rng, cfg.AccessesPerEpoch, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	healthy, err := runFailurePass(seed, cfg, w, cand, initial, epochs, nil)
+	if err != nil {
+		return nil, err
+	}
+	// The default plan targets the placement actually entering the crash
+	// epoch. Both passes are deterministic and identical until the first
+	// fault, so the healthy pass's trajectory predicts the faulty one's.
+	plan, err := buildFailurePlan(seed, cfg, healthy.rows, regionMembers)
+	if err != nil {
+		return nil, err
+	}
+	inj, err := faults.NewInjector(plan)
+	if err != nil {
+		return nil, err
+	}
+	faulty, err := runFailurePass(seed, cfg, w, cand, initial, epochs, inj)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FailureResult{Plan: plan.String(), DroppedLegs: faulty.droppedLegs}
+	for e := 0; e < cfg.Epochs; e++ {
+		row := faulty.rows[e]
+		row.HealthyMs = healthy.rows[e].FaultyMs // healthy pass fills the same field
+		res.Rows = append(res.Rows, row)
+		res.MeanHealthyMs += row.HealthyMs
+		res.MeanFaultyMs += row.FaultyMs
+		if row.Degraded {
+			res.DegradedEpochs++
+		}
+		if !row.QuorumOK {
+			res.QuorumBlockedEpochs++
+		}
+	}
+	res.MeanHealthyMs /= float64(cfg.Epochs)
+	res.MeanFaultyMs /= float64(cfg.Epochs)
+	return res, nil
+}
+
+// buildFailurePlan derives the default three-phase scenario unless the
+// config overrides it with a DSL plan. healthyRows is the fault-free
+// pass's trajectory; crash targets come from the placement entering the
+// crash epoch so the outage actually hits live replicas.
+func buildFailurePlan(seed int64, cfg FailureConfig, healthyRows []FailureRow, regionMembers map[int][]int) (*faults.Plan, error) {
+	if cfg.Plan != "" {
+		return faults.Parse(seed, cfg.Plan)
+	}
+	third := cfg.Epochs / 3
+	reps := healthyRows[third-1].Replicas
+	p := &faults.Plan{Seed: seed}
+	// Phase 1: two replicas crash together at epoch `third`, pushing the
+	// coordinator below quorum — which freezes the placement, so the
+	// first crash (lasting two more epochs) keeps degrading collection.
+	p.Crashes = append(p.Crashes, faults.Crash{Node: reps[0], From: third, To: third + 2})
+	if len(reps) > 1 {
+		p.Crashes = append(p.Crashes, faults.Crash{Node: reps[1], From: third, To: third})
+	}
+	// Phase 2: the largest client region is cut off from the world.
+	largest := -1
+	for r, members := range regionMembers {
+		if largest == -1 || len(members) > len(regionMembers[largest]) ||
+			(len(members) == len(regionMembers[largest]) && r < largest) {
+			largest = r
+		}
+	}
+	if largest >= 0 {
+		p.Partitions = append(p.Partitions, faults.Partition{
+			A: append([]int(nil), regionMembers[largest]...), From: 2 * third, To: 2*third + 1,
+		})
+	}
+	// Phase 3: a flapping lossy link into the last replica — total loss
+	// on alternating epochs near the end of the run.
+	for e := 2*third + 2; e < cfg.Epochs; e += 2 {
+		p.Links = append(p.Links, faults.LinkFault{
+			Src: faults.Wild, Dst: reps[len(reps)-1], From: e, To: e, DropProb: 1,
+		})
+	}
+	return p, p.Validate()
+}
+
+// failurePass is one simulated run (healthy when inj is nil).
+type failurePass struct {
+	rows        []FailureRow
+	droppedLegs uint64
+}
+
+func runFailurePass(seed int64, cfg FailureConfig, w *World, cand, initial []int,
+	epochs [][]workload.Access, inj *faults.Injector) (*failurePass, error) {
+	mgr, err := replica.NewManager(replica.Config{
+		K: cfg.K, M: cfg.M, Dims: cfg.Setup.CoordDims,
+		Migration:   replica.MigrationPolicy{MinRelativeGain: cfg.MinRelativeGain},
+		DecayFactor: cfg.DecayFactor,
+		Quorum:      cfg.Quorum,
+	}, cand, w.Coords, initial)
+	if err != nil {
+		return nil, err
+	}
+
+	sim := simnet.New(func(a, b simnet.NodeID) float64 {
+		return w.Matrix.RTT(int(a), int(b))
+	})
+	for i := 0; i < w.Matrix.N(); i++ {
+		handler := func(s *simnet.Simulator, from simnet.NodeID, req any) any { return req }
+		if err := sim.AddNode(simnet.NodeID(i), nil, handler); err != nil {
+			return nil, err
+		}
+	}
+	if inj != nil {
+		sim.SetFaults(func(from, to simnet.NodeID) (bool, float64) {
+			v := inj.Verdict(int(from), int(to))
+			return v.Drop, v.ExtraMs
+		})
+	}
+
+	const epochMs = 60_000.0
+	offsetRng := rand.New(rand.NewSource(seed * 97))
+	pass := &failurePass{}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		inj.SetEpoch(epoch)
+		var delay stats.Accumulator
+		failovers, failed := 0, 0
+		for _, a := range epochs[epoch] {
+			a := a
+			// Client-side proximity order over the current placement;
+			// after a timeout the client retries the next replica.
+			order := proximityOrder(w.Coords[a.Client], mgr.Replicas(), w.Coords)
+			pos := w.Coords[a.Client].Pos
+			start := offsetRng.Float64() * epochMs
+			settled := new(bool)
+			if err := sim.After(start, func() {
+				// The chain start is the simulator clock at first attempt:
+				// the clock is cumulative across epochs, so the scheduling
+				// offset alone would misstate the delay.
+				attempt(sim, mgr, a, pos, order, 0, sim.Now(), cfg.TimeoutMs,
+					settled, &delay, &failovers, &failed)
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := sim.Run(0); err != nil {
+			return nil, err
+		}
+
+		var reachable func(int) bool
+		if inj != nil {
+			reachable = func(node int) bool {
+				return !inj.NodeDown(node) && !inj.Partitioned(faults.External, node)
+			}
+		}
+		dec, err := mgr.EndEpochDegraded(rand.New(rand.NewSource(seed*100+int64(epoch))), reachable)
+		if err != nil {
+			return nil, err
+		}
+		pass.rows = append(pass.rows, FailureRow{
+			Epoch:        epoch,
+			FaultyMs:     delay.Mean(),
+			FailoverGets: failovers,
+			FailedGets:   failed,
+			Degraded:     dec.Degraded,
+			QuorumOK:     dec.QuorumOK,
+			Migrated:     dec.Migrate && dec.MovedReplicas > 0,
+			Replicas:     append([]int(nil), dec.NewReplicas...),
+		})
+	}
+	pass.droppedLegs = sim.DroppedLegs()
+	return pass, nil
+}
+
+// attempt issues one simulated get against order[i], arming a timeout
+// that fails over to order[i+1]. The measured delay spans the whole
+// chain — timeouts spent on dead replicas inflate it, as they would a
+// real client's. The first reply settles the chain; a straggler reply
+// arriving after its timeout already triggered a failover is discarded.
+func attempt(sim *simnet.Simulator, mgr *replica.Manager, a workload.Access, pos vec.Vec,
+	order []int, i int, chainStart, timeoutMs float64, settled *bool,
+	delay *stats.Accumulator, failovers, failed *int) {
+	if i >= len(order) {
+		*settled = true // a straggler reply can no longer un-fail the get
+		*failed++
+		return
+	}
+	if i == 1 {
+		*failovers++
+	}
+	rep := order[i]
+	err := sim.Call(simnet.NodeID(a.Client), simnet.NodeID(rep), nil,
+		func(_ any, rtt float64) {
+			if *settled {
+				return
+			}
+			*settled = true
+			delay.Add(sim.Now() - chainStart)
+			// Only the serving replica learns about the access.
+			_ = mgr.RecordAt(rep, pos, a.Bytes)
+		})
+	if err != nil {
+		*failed++
+		return
+	}
+	_ = sim.After(timeoutMs, func() {
+		if !*settled {
+			attempt(sim, mgr, a, pos, order, i+1, chainStart, timeoutMs, settled, delay, failovers, failed)
+		}
+	})
+}
+
+// proximityOrder sorts the replica set nearest-first in coordinate
+// space — the order a coordinate-routed client would try them in.
+func proximityOrder(client coord.Coordinate, replicas []int, coords []coord.Coordinate) []int {
+	out := append([]int(nil), replicas...)
+	sort.Slice(out, func(i, j int) bool {
+		return client.DistanceTo(coords[out[i]]) < client.DistanceTo(coords[out[j]])
+	})
+	return out
+}
+
+// RenderFailure formats a failure result as aligned text.
+func RenderFailure(res *FailureResult) string {
+	var b strings.Builder
+	b.WriteString("Failures: mean access delay under a seeded fault plan\n")
+	fmt.Fprintf(&b, "plan: %s\n", res.Plan)
+	fmt.Fprintf(&b, "%-8s%12s%12s%10s%8s%10s%10s  %s\n",
+		"epoch", "healthy ms", "faulty ms", "failover", "failed", "degraded", "quorum", "replicas")
+	for _, r := range res.Rows {
+		fmt.Fprintf(&b, "%-8d%12.1f%12.1f%10d%8d%10v%10v  %v\n",
+			r.Epoch, r.HealthyMs, r.FaultyMs, r.FailoverGets, r.FailedGets,
+			r.Degraded, r.QuorumOK, r.Replicas)
+	}
+	fmt.Fprintf(&b, "mean: healthy %.1f ms vs faulty %.1f ms, %d degraded epochs (%d below quorum), %d legs dropped\n",
+		res.MeanHealthyMs, res.MeanFaultyMs, res.DegradedEpochs, res.QuorumBlockedEpochs, res.DroppedLegs)
+	return b.String()
+}

@@ -1,0 +1,178 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickFailureConfig() FailureConfig {
+	cfg := DefaultFailureConfig()
+	cfg.Setup.Nodes = 60
+	cfg.Setup.CoordRounds = 120
+	cfg.NumDCs = 8
+	cfg.Epochs = 9
+	cfg.AccessesPerEpoch = 300
+	return cfg
+}
+
+func TestFailureValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*FailureConfig)
+	}{
+		{"numDCs zero", func(c *FailureConfig) { c.NumDCs = 0 }},
+		{"numDCs too big", func(c *FailureConfig) { c.NumDCs = c.Setup.Nodes }},
+		{"k zero", func(c *FailureConfig) { c.K = 0 }},
+		{"k > DCs", func(c *FailureConfig) { c.K = c.NumDCs + 1 }},
+		{"m zero", func(c *FailureConfig) { c.M = 0 }},
+		{"no accesses", func(c *FailureConfig) { c.AccessesPerEpoch = 0 }},
+		{"default plan too short", func(c *FailureConfig) { c.Epochs = 4 }},
+		{"negative timeout", func(c *FailureConfig) { c.TimeoutMs = -1 }},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := quickFailureConfig()
+			tt.mut(&cfg)
+			if _, err := Failure(1, cfg); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+func TestFailureScenario(t *testing.T) {
+	cfg := quickFailureConfig()
+	res, err := Failure(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != cfg.Epochs {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), cfg.Epochs)
+	}
+	if res.Plan == "" {
+		t.Error("result carries no plan string")
+	}
+	if res.DroppedLegs == 0 {
+		t.Error("fault plan dropped no simulated legs")
+	}
+	if res.DegradedEpochs == 0 {
+		t.Error("crash window produced no degraded epochs")
+	}
+	if res.QuorumBlockedEpochs == 0 {
+		t.Error("double-crash epoch never fell below quorum")
+	}
+	// Failures cost latency: the faulty run must not beat healthy by more
+	// than noise, and across the whole run it should be strictly worse
+	// (every timeout-then-failover chain adds at least TimeoutMs).
+	if res.MeanFaultyMs <= res.MeanHealthyMs {
+		t.Errorf("faulty mean %.1f should exceed healthy mean %.1f",
+			res.MeanFaultyMs, res.MeanHealthyMs)
+	}
+	sawFailover := false
+	for _, r := range res.Rows {
+		if r.HealthyMs <= 0 || r.FaultyMs <= 0 {
+			t.Errorf("epoch %d has non-positive delays: %+v", r.Epoch, r)
+		}
+		if len(r.Replicas) != cfg.K {
+			t.Errorf("epoch %d has %d replicas, want %d", r.Epoch, len(r.Replicas), cfg.K)
+		}
+		if r.FailoverGets > 0 {
+			sawFailover = true
+		}
+		// The acceptance bar: no epoch below quorum commits a migration.
+		if !r.QuorumOK && r.Migrated {
+			t.Errorf("epoch %d migrated below quorum", r.Epoch)
+		}
+		// Degradation implies a missing summary, which implies the epoch
+		// where it happened is marked — a below-quorum epoch is always
+		// degraded.
+		if !r.QuorumOK && !r.Degraded {
+			t.Errorf("epoch %d below quorum but not degraded", r.Epoch)
+		}
+	}
+	if !sawFailover {
+		t.Error("no get ever failed over despite a crashed replica")
+	}
+}
+
+func TestFailurePlacementFrozenBelowQuorum(t *testing.T) {
+	cfg := quickFailureConfig()
+	res, err := Failure(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Rows {
+		if r.QuorumOK || i == 0 {
+			continue
+		}
+		prev := res.Rows[i-1].Replicas
+		if len(prev) != len(r.Replicas) {
+			t.Fatalf("epoch %d: replica count changed below quorum", r.Epoch)
+		}
+		for j := range prev {
+			if prev[j] != r.Replicas[j] {
+				t.Errorf("epoch %d: placement changed below quorum: %v -> %v",
+					r.Epoch, prev, r.Replicas)
+				break
+			}
+		}
+	}
+}
+
+func TestFailureDeterministic(t *testing.T) {
+	cfg := quickFailureConfig()
+	cfg.Epochs = 6
+	a, err := Failure(5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Failure(5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Plan != b.Plan {
+		t.Fatalf("plans differ:\n%s\n%s", a.Plan, b.Plan)
+	}
+	if a.DroppedLegs != b.DroppedLegs {
+		t.Fatalf("dropped legs differ: %d vs %d", a.DroppedLegs, b.DroppedLegs)
+	}
+	for i := range a.Rows {
+		// FailureRow holds a slice; compare fields explicitly.
+		if a.Rows[i].FaultyMs != b.Rows[i].FaultyMs ||
+			a.Rows[i].HealthyMs != b.Rows[i].HealthyMs ||
+			a.Rows[i].FailoverGets != b.Rows[i].FailoverGets ||
+			a.Rows[i].FailedGets != b.Rows[i].FailedGets ||
+			a.Rows[i].Degraded != b.Rows[i].Degraded ||
+			a.Rows[i].QuorumOK != b.Rows[i].QuorumOK {
+			t.Fatalf("epoch %d differs across identical runs:\n%+v\n%+v",
+				i, a.Rows[i], b.Rows[i])
+		}
+	}
+}
+
+func TestFailurePlanOverride(t *testing.T) {
+	cfg := quickFailureConfig()
+	cfg.Epochs = 3
+	cfg.Plan = "crash 0@1-1"
+	res, err := Failure(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "crash 0@1") {
+		t.Errorf("plan override lost: %q", res.Plan)
+	}
+}
+
+func TestRenderFailure(t *testing.T) {
+	cfg := quickFailureConfig()
+	res, err := Failure(7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderFailure(res)
+	for _, want := range []string{"plan:", "healthy", "faulty", "degraded", "mean:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

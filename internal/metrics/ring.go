@@ -28,6 +28,11 @@ type EpochTrace struct {
 	MovedReplicas int `json:"moved_replicas"`
 	// SummaryBytes is the wire size of the collected summaries.
 	SummaryBytes int `json:"summary_bytes"`
+	// Degraded reports that at least one replica's summary could not be
+	// collected and the epoch ran on a partial or stale view.
+	Degraded bool `json:"degraded,omitempty"`
+	// MissingSummaries lists the replicas that were unreachable.
+	MissingSummaries []int `json:"missing_summaries,omitempty"`
 }
 
 // TraceRing is a bounded ring of the most recent epoch traces. It is

@@ -32,6 +32,12 @@ type Config struct {
 	// from exponential decay to exact CluStream windows covering the
 	// last WindowEpochs epochs; DecayFactor is then ignored.
 	WindowEpochs int
+	// Quorum is the fraction of replicas whose fresh summaries the
+	// coordinator requires before it will adapt k or migrate (default
+	// 0.5). Below quorum the epoch still completes — reusing last-known
+	// summaries with staleness decay for the estimate — but the decision
+	// is marked degraded and no placement change is committed.
+	Quorum float64
 	// Parallelism caps the worker goroutines of the epoch-end
 	// macro-clustering (0 = GOMAXPROCS, 1 = serial). Decisions are
 	// identical at any setting.
@@ -54,6 +60,9 @@ func (c Config) newServer(node int) (*Server, error) {
 func (c *Config) fillDefaults() {
 	if c.DecayFactor == 0 {
 		c.DecayFactor = 0.5
+	}
+	if c.Quorum == 0 {
+		c.Quorum = 0.5
 	}
 	if c.KPolicy.Min == 0 && c.KPolicy.Max == 0 {
 		c.KPolicy.Min, c.KPolicy.Max = c.K, c.K
@@ -83,6 +92,9 @@ func (c Config) Validate() error {
 	if c.WindowEpochs < 0 {
 		return fmt.Errorf("replica: WindowEpochs must be non-negative, got %d", c.WindowEpochs)
 	}
+	if c.Quorum < 0 || c.Quorum > 1 {
+		return fmt.Errorf("replica: Quorum %v out of [0,1]", c.Quorum)
+	}
 	return nil
 }
 
@@ -102,6 +114,9 @@ type managerMetrics struct {
 	estOldMs     *metrics.Gauge
 	estNewMs     *metrics.Gauge
 	estGainMs    *metrics.Gauge
+	degraded     *metrics.Counter
+	missing      *metrics.Counter
+	quorumBlock  *metrics.Counter
 }
 
 func newManagerMetrics(r *metrics.Registry) managerMetrics {
@@ -118,6 +133,9 @@ func newManagerMetrics(r *metrics.Registry) managerMetrics {
 		estOldMs:     r.Gauge("replica_estimated_old_ms"),
 		estNewMs:     r.Gauge("replica_estimated_new_ms"),
 		estGainMs:    r.Gauge("replica_estimated_gain_ms"),
+		degraded:     r.Counter("replica_degraded_epochs_total"),
+		missing:      r.Counter("replica_missing_summaries_total"),
+		quorumBlock:  r.Counter("replica_quorum_blocked_migrations_total"),
 	}
 }
 
@@ -136,6 +154,17 @@ type Manager struct {
 	epoch      int
 	migrations int
 	met        managerMetrics
+	// lastKnown caches each replica's most recent successfully collected
+	// summary so an unreachable replica can still contribute a stale,
+	// staleness-decayed view to the epoch decision.
+	lastKnown map[int]staleSummary
+}
+
+// staleSummary is a cached summary with its age in epochs (0 = collected
+// this epoch).
+type staleSummary struct {
+	micros []cluster.Micro
+	age    int
 }
 
 // NewManager creates a manager over the given candidate data centers.
@@ -180,6 +209,7 @@ func NewManager(cfg Config, candidates []int, coords []coord.Coordinate, initial
 		servers:    make(map[int]*Server, cfg.K),
 		replicas:   append([]int(nil), initial...),
 		met:        newManagerMetrics(cfg.Metrics),
+		lastKnown:  make(map[int]staleSummary),
 	}
 	m.met.k.Set(float64(cfg.K))
 	for _, rep := range m.replicas {
@@ -249,13 +279,44 @@ func (m *Manager) RecordAt(rep int, clientPos vec.Vec, weight float64) error {
 // k to demand, propose a placement, apply it if the migration policy
 // approves, and age the summaries. It returns the decision either way.
 func (m *Manager) EndEpoch(r *rand.Rand) (Decision, error) {
+	return m.EndEpochDegraded(r, nil)
+}
+
+// EndEpochDegraded is EndEpoch under partial failure: reachable reports
+// whether a replica's summary can be collected this epoch (nil = all
+// reachable). Unreachable replicas contribute their last-known summary
+// with its weight scaled by DecayFactor^age — stale demand counts, but
+// less the older it is. When fewer than Quorum·k fresh summaries arrive
+// the epoch is recorded as degraded: the coordinator still estimates
+// delays from what it has, but refuses to adapt k or commit a migration
+// from a below-quorum view of the world.
+func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) (Decision, error) {
 	m.epoch++
 
-	// Collect summaries (accounting wire bytes as the real system would).
+	// Collect summaries (accounting wire bytes as the real system would),
+	// falling back to staleness-decayed cached ones for unreachable nodes.
 	var micros []cluster.Micro
 	var collected int
 	var demand float64
+	var missing []int
+	fresh := 0
 	for _, rep := range m.replicas {
+		if reachable != nil && !reachable(rep) {
+			missing = append(missing, rep)
+			lk, ok := m.lastKnown[rep]
+			if !ok {
+				continue // never collected: nothing to reuse
+			}
+			lk.age++
+			m.lastKnown[rep] = lk
+			scale := math.Pow(m.cfg.DecayFactor, float64(lk.age))
+			for _, mc := range lk.micros {
+				mc.Weight *= scale
+				micros = append(micros, mc)
+				demand += mc.Weight
+			}
+			continue
+		}
 		srv := m.servers[rep]
 		enc, err := srv.ExportEncoded()
 		if err != nil {
@@ -266,20 +327,42 @@ func (m *Manager) EndEpoch(r *rand.Rand) (Decision, error) {
 		if err != nil {
 			return Decision{}, err
 		}
+		m.lastKnown[rep] = staleSummary{micros: ms, age: 0}
+		fresh++
 		micros = append(micros, ms...)
 		for i := range ms {
 			demand += ms[i].Weight
 		}
 	}
+	quorumOK := float64(fresh) >= m.cfg.Quorum*float64(len(m.replicas))
 
 	m.met.epochs.Inc()
 	m.met.summaryBytes.Add(int64(collected))
 	m.met.summaryHist.Observe(float64(collected))
+	if len(missing) > 0 {
+		m.met.degraded.Inc()
+		m.met.missing.Add(int64(len(missing)))
+	}
 
 	dec := Decision{
-		NewReplicas:    m.Replicas(),
-		K:              m.k,
-		CollectedBytes: collected,
+		NewReplicas:      m.Replicas(),
+		K:                m.k,
+		CollectedBytes:   collected,
+		Degraded:         len(missing) > 0,
+		MissingSummaries: missing,
+		QuorumOK:         quorumOK,
+	}
+	if !quorumOK {
+		// Too few live summaries to trust any decision: estimate for the
+		// record, change nothing, and age only the replicas that heard
+		// from us (the unreachable ones never received the decay command).
+		m.met.quorumBlock.Inc()
+		if len(micros) > 0 {
+			if est, err := EstimateMeanDelay(micros, m.replicas, m.coords); err == nil {
+				dec.EstimatedOldMs, dec.EstimatedNewMs = est, est
+			}
+		}
+		return dec, m.decaySummaries(reachable)
 	}
 	if len(micros) == 0 {
 		return dec, nil // silent epoch: nothing to learn from
@@ -332,12 +415,22 @@ func (m *Manager) EndEpoch(r *rand.Rand) (Decision, error) {
 	}
 
 	// Age the surviving summaries so the next epoch reflects recent use.
-	for _, srv := range m.servers {
+	return dec, m.decaySummaries(reachable)
+}
+
+// decaySummaries ages the summaries of every replica the coordinator can
+// reach; an unreachable replica keeps its un-decayed state until it
+// rejoins (it never heard the decay command).
+func (m *Manager) decaySummaries(reachable func(node int) bool) error {
+	for rep, srv := range m.servers {
+		if reachable != nil && !reachable(rep) {
+			continue
+		}
 		if err := srv.Decay(m.cfg.DecayFactor); err != nil {
-			return dec, err
+			return err
 		}
 	}
-	return dec, nil
+	return nil
 }
 
 // approveMigration applies the MigrationPolicy to an estimated gain.
@@ -379,6 +472,11 @@ func (m *Manager) applyPlacement(newReps []int) error {
 		next[rep] = srv
 	}
 	m.servers = next
+	for rep := range m.lastKnown {
+		if _, kept := next[rep]; !kept {
+			delete(m.lastKnown, rep)
+		}
+	}
 	m.replicas = append(m.replicas[:0], newReps...)
 	sort.Ints(m.replicas)
 	return nil

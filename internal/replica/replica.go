@@ -198,6 +198,15 @@ type Decision struct {
 	// CollectedBytes is the wire size of the micro-cluster summaries the
 	// coordinator consumed this epoch.
 	CollectedBytes int
+	// Degraded reports that at least one replica's summary could not be
+	// collected this epoch and a stale (or no) view was used instead.
+	Degraded bool
+	// MissingSummaries lists the replicas that were unreachable.
+	MissingSummaries []int
+	// QuorumOK reports whether enough fresh summaries arrived to permit
+	// k adaptation and migration (see Config.Quorum). When false the
+	// placement is guaranteed unchanged.
+	QuorumOK bool
 }
 
 // EstimateMeanDelay returns the access-weighted mean predicted delay of

@@ -69,15 +69,25 @@ func (h *eventHeap) Pop() any {
 // no randomness.
 type LatencyFunc func(from, to NodeID) float64
 
+// FaultFunc rules on one one-way leg at send time: drop loses the
+// message entirely (the destination handler never runs; for a Call the
+// completion callback never fires — timeouts are the caller's concern),
+// extraMs delays delivery on top of the propagation latency. It is
+// typically backed by a seeded faults.Injector so the same scenario
+// replays identically, but any function works.
+type FaultFunc func(from, to NodeID) (drop bool, extraMs float64)
+
 // Simulator owns the virtual clock and event queue. It is single-
 // threaded by design: handlers run inline during Run.
 type Simulator struct {
 	rtt       LatencyFunc
+	faults    FaultFunc
 	nodes     map[NodeID]*node
 	queue     eventHeap
 	clock     float64
 	seq       uint64
 	delivered uint64
+	dropped   uint64
 	running   bool
 }
 
@@ -96,11 +106,20 @@ func (s *Simulator) AddNode(id NodeID, onMessage MessageHandler, onRequest Reque
 	return nil
 }
 
+// SetFaults installs (or, with nil, removes) the fault hook consulted
+// for every one-way leg. Faults apply from the next send; messages
+// already in flight are unaffected.
+func (s *Simulator) SetFaults(f FaultFunc) { s.faults = f }
+
 // Now returns the current virtual time in milliseconds.
 func (s *Simulator) Now() float64 { return s.clock }
 
 // Delivered returns the number of one-way deliveries performed so far.
 func (s *Simulator) Delivered() uint64 { return s.delivered }
+
+// DroppedLegs returns the number of one-way legs lost to injected
+// faults so far.
+func (s *Simulator) DroppedLegs() uint64 { return s.dropped }
 
 // After schedules fn to run delay milliseconds from now.
 func (s *Simulator) After(delay float64, fn func()) error {
@@ -124,6 +143,14 @@ func (s *Simulator) Send(from, to NodeID, payload any) error {
 	if err != nil {
 		return err
 	}
+	if s.faults != nil {
+		drop, extra := s.faults(from, to)
+		if drop {
+			s.dropped++
+			return nil // lost in the network, like a real datagram
+		}
+		oneWay += extra
+	}
 	s.push(s.clock+oneWay, func() {
 		s.delivered++
 		if n, ok := s.nodes[to]; ok && n.onMessage != nil {
@@ -142,12 +169,24 @@ type Reply func(resp any, rttMs float64)
 // response, and done runs at the caller after the second half. If the
 // destination has no request handler, done never runs (a timeout is the
 // caller's concern; the paper's algorithms only contact live replicas).
+// Injected faults rule on each leg independently, at the virtual time
+// that leg starts: a dropped request or a dropped response both leave
+// the caller waiting forever, exactly like a lost packet.
 func (s *Simulator) Call(from, to NodeID, req any, done Reply) error {
 	oneWay, err := s.oneWay(from, to)
 	if err != nil {
 		return err
 	}
+	base := oneWay
 	sendTime := s.clock
+	if s.faults != nil {
+		drop, extra := s.faults(from, to)
+		if drop {
+			s.dropped++
+			return nil
+		}
+		oneWay += extra
+	}
 	s.push(s.clock+oneWay, func() {
 		s.delivered++
 		n, ok := s.nodes[to]
@@ -155,7 +194,16 @@ func (s *Simulator) Call(from, to NodeID, req any, done Reply) error {
 			return
 		}
 		resp := n.onRequest(s, from, req)
-		s.push(s.clock+oneWay, func() {
+		back := base
+		if s.faults != nil {
+			drop, extra := s.faults(to, from)
+			if drop {
+				s.dropped++
+				return
+			}
+			back += extra
+		}
+		s.push(s.clock+back, func() {
 			s.delivered++
 			if done != nil {
 				done(resp, s.clock-sendTime)

@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"syscall"
+	"time"
+)
+
+// ErrClientClosed is returned by Call when the client was closed, either
+// before the call or concurrently with it.
+var ErrClientClosed = errors.New("transport: client closed")
+
+// ErrCircuitOpen is returned by Call while the client's circuit breaker
+// is open: the target has failed repeatedly and calls fail fast until
+// the cooldown elapses.
+var ErrCircuitOpen = errors.New("transport: circuit open")
+
+// RetryPolicy controls automatic retries of failed calls. Retries apply
+// only to methods marked idempotent (WithIdempotent) and only to
+// transport-level failures (timeouts, dead connections) — application
+// errors relayed from the server are never retried, and neither is a
+// method that might have executed twice with different outcomes.
+//
+// Backoff is exponential with jitter: attempt i (1-based) waits
+// BaseDelay·Multiplier^(i-1), capped at MaxDelay, then scaled by a
+// uniform factor in [1-JitterFrac, 1+JitterFrac].
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first
+	// (1 or 0 disables retries).
+	MaxAttempts int
+	// BaseDelay is the first backoff (default 20ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per attempt (default 2).
+	Multiplier float64
+	// JitterFrac spreads the backoff to avoid retry synchronization
+	// (default 0.2; 0 keeps schedules exact, useful in tests).
+	JitterFrac float64
+	// Budget caps the total retries a client may spend across all its
+	// calls, so a dead target cannot soak unbounded time (0 = no cap).
+	Budget int
+}
+
+// DefaultRetryPolicy is a conservative production policy: three
+// attempts, 20ms → 2s exponential backoff with 20% jitter, and at most
+// 64 retries per client lifetime.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 20 * time.Millisecond,
+		MaxDelay: 2 * time.Second, Multiplier: 2, JitterFrac: 0.2, Budget: 64}
+}
+
+// Validate checks the policy.
+func (p RetryPolicy) Validate() error {
+	if p.MaxAttempts < 0 {
+		return fmt.Errorf("transport: MaxAttempts %d negative", p.MaxAttempts)
+	}
+	if p.BaseDelay < 0 || p.MaxDelay < 0 {
+		return fmt.Errorf("transport: negative retry delays %v/%v", p.BaseDelay, p.MaxDelay)
+	}
+	if p.Multiplier < 0 {
+		return fmt.Errorf("transport: Multiplier %v negative", p.Multiplier)
+	}
+	if p.JitterFrac < 0 || p.JitterFrac > 1 {
+		return fmt.Errorf("transport: JitterFrac %v out of [0,1]", p.JitterFrac)
+	}
+	if p.Budget < 0 {
+		return fmt.Errorf("transport: Budget %d negative", p.Budget)
+	}
+	return nil
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 20 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = 2
+	}
+	return p
+}
+
+// Backoff returns the wait before retry number attempt (1-based). rng
+// supplies the jitter; a nil rng disables it.
+func (p RetryPolicy) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.JitterFrac > 0 && rng != nil {
+		d *= 1 - p.JitterFrac + 2*p.JitterFrac*rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Breaker configures the client's per-target circuit breaker: after
+// Threshold consecutive transport-level failures the circuit opens and
+// calls fail fast with ErrCircuitOpen for Cooldown; the first call
+// after the cooldown is a probe that closes the circuit on success.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the circuit
+	// (0 disables the breaker).
+	Threshold int
+	// Cooldown is how long the circuit stays open (default 1s).
+	Cooldown time.Duration
+}
+
+// Validate checks the breaker configuration.
+func (b Breaker) Validate() error {
+	if b.Threshold < 0 {
+		return fmt.Errorf("transport: breaker threshold %d negative", b.Threshold)
+	}
+	if b.Cooldown < 0 {
+		return fmt.Errorf("transport: breaker cooldown %v negative", b.Cooldown)
+	}
+	return nil
+}
+
+// IsRetryable classifies an error from Call: true for transport-level
+// failures where the request may simply be resent on a fresh connection
+// (timeouts, resets, dead connections), false for everything the server
+// actually answered (RemoteError) and for local encode/decode bugs.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var remote *RemoteError
+	if errors.As(err, &remote) {
+		return false
+	}
+	if errors.Is(err, ErrClientClosed) || errors.Is(err, ErrCircuitOpen) {
+		return false
+	}
+	var netErr net.Error
+	if errors.As(err, &netErr) && netErr.Timeout() {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	for _, errno := range []syscall.Errno{syscall.ECONNRESET, syscall.ECONNREFUSED,
+		syscall.ECONNABORTED, syscall.EPIPE, syscall.ETIMEDOUT} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}

@@ -11,6 +11,8 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -70,6 +72,7 @@ type serverMetrics struct {
 	errors   *metrics.Counter
 	bytesIn  *metrics.Counter
 	bytesOut *metrics.Counter
+	dropped  *metrics.Counter
 	handleMs *metrics.Histogram
 }
 
@@ -79,6 +82,7 @@ func newServerMetrics(r *metrics.Registry) serverMetrics {
 		errors:   r.Counter("transport_server_errors_total"),
 		bytesIn:  r.Counter("transport_server_bytes_in_total"),
 		bytesOut: r.Counter("transport_server_bytes_out_total"),
+		dropped:  r.Counter("transport_server_dropped_total"),
 		handleMs: r.Histogram("transport_server_handle_ms", metrics.LatencyBuckets()),
 	}
 }
@@ -92,12 +96,37 @@ func (o serverMetricsOption) apply(s *Server) { s.met = newServerMetrics(o.reg) 
 // delay), all recorded into the given registry.
 func WithMetrics(reg *metrics.Registry) ServerOption { return serverMetricsOption{reg: reg} }
 
+// FaultAction is a fault-injection ruling on one inbound request.
+type FaultAction struct {
+	// Drop silences the server: the request is consumed but never
+	// answered, which a client observes as a stall (and must escape via
+	// its call deadline). This models a crashed or partitioned node far
+	// more faithfully than an error reply, which would prove the node
+	// alive.
+	Drop bool
+	// Delay postpones handling, modelling a latency spike.
+	Delay time.Duration
+}
+
+// ServerFaultFunc rules on each inbound request by method name.
+type ServerFaultFunc func(method string) FaultAction
+
+type serverFaultsOption struct{ fn ServerFaultFunc }
+
+func (o serverFaultsOption) apply(s *Server) { s.faults = o.fn }
+
+// WithServerFaults installs a fault-injection hook consulted before
+// every request. Nil actions deliver normally. Used to run seeded
+// fault plans (internal/faults) against live processes.
+func WithServerFaults(fn ServerFaultFunc) ServerOption { return serverFaultsOption{fn: fn} }
+
 // Server accepts connections and dispatches method calls. Each
 // connection is served by one goroutine, requests on it in order.
 type Server struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
 	delay    DelayFunc
+	faults   ServerFaultFunc
 	met      serverMetrics
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
@@ -203,6 +232,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // connection closed or corrupt; drop it
 		}
+		if s.faults != nil {
+			switch act := s.faults(req.Method); {
+			case act.Drop:
+				s.met.dropped.Inc()
+				continue // consume silently: the caller sees a stall
+			case act.Delay > 0:
+				time.Sleep(act.Delay)
+			}
+		}
 		if s.delay != nil {
 			time.Sleep(s.delay(req.Method))
 		}
@@ -255,37 +293,84 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Client is a synchronous RPC client over one TCP connection. Calls are
-// serialized; use one client per concurrent caller.
+// DefaultCallTimeout bounds each call attempt unless WithCallTimeout
+// overrides it. A stalled server can therefore never hang a client
+// forever: the deadline fires, the connection is declared broken, and
+// the retry policy (if any) takes over on a fresh connection.
+const DefaultCallTimeout = 10 * time.Second
+
+// Client is a synchronous RPC client to one target address. Calls are
+// serialized; use one client per concurrent caller. Close may be called
+// from any goroutine, including concurrently with an in-flight Call,
+// which then returns ErrClientClosed.
+//
+// Each call attempt is bounded by the call timeout via read/write
+// deadlines. With a RetryPolicy installed, idempotent methods (marked
+// via WithIdempotent) are retried on transport-level failures with
+// exponential backoff, re-dialing broken connections; with a Breaker
+// installed, repeated failures open a circuit that fails fast instead
+// of burning a timeout per call.
 type Client struct {
-	mu     sync.Mutex
+	addr        string
+	dialTimeout time.Duration
+	callTimeout time.Duration
+	retry       RetryPolicy
+	breaker     Breaker
+	idempotent  map[string]bool
+	met         clientMetrics
+
+	// Test seams; real clients use the clock.
+	now   func() time.Time
+	sleep func(time.Duration)
+	rng   *rand.Rand
+
+	// mu serializes calls and guards the retry/breaker state.
+	mu          sync.Mutex
+	nextID      uint64
+	retriesLeft int // remaining retry budget; -1 = unlimited
+	consecFails int
+	openUntil   time.Time
+
+	// connMu guards the connection so Close never has to wait for an
+	// in-flight call: closing the conn unblocks any pending I/O.
+	connMu sync.Mutex
 	conn   net.Conn
 	enc    *gob.Encoder
 	dec    *gob.Decoder
-	nextID uint64
-	met    clientMetrics
+	broken bool // conn must be re-dialed before reuse
+	closed bool
 }
 
 // clientMetrics are the client's metric handles; nil handles are no-ops.
 type clientMetrics struct {
-	calls    *metrics.Counter
-	errors   *metrics.Counter
-	bytesOut *metrics.Counter
-	bytesIn  *metrics.Counter
-	encodeMs *metrics.Histogram
-	decodeMs *metrics.Histogram
-	rttMs    *metrics.Histogram
+	calls        *metrics.Counter
+	errors       *metrics.Counter
+	retries      *metrics.Counter
+	redials      *metrics.Counter
+	timeouts     *metrics.Counter
+	breakerOpens *metrics.Counter
+	breakerFast  *metrics.Counter
+	bytesOut     *metrics.Counter
+	bytesIn      *metrics.Counter
+	encodeMs     *metrics.Histogram
+	decodeMs     *metrics.Histogram
+	rttMs        *metrics.Histogram
 }
 
 func newClientMetrics(r *metrics.Registry) clientMetrics {
 	return clientMetrics{
-		calls:    r.Counter("transport_client_calls_total"),
-		errors:   r.Counter("transport_client_errors_total"),
-		bytesOut: r.Counter("transport_client_bytes_out_total"),
-		bytesIn:  r.Counter("transport_client_bytes_in_total"),
-		encodeMs: r.Histogram("transport_client_encode_ms", metrics.LatencyBuckets()),
-		decodeMs: r.Histogram("transport_client_decode_ms", metrics.LatencyBuckets()),
-		rttMs:    r.Histogram("transport_client_rtt_ms", metrics.LatencyBuckets()),
+		calls:        r.Counter("transport_client_calls_total"),
+		errors:       r.Counter("transport_client_errors_total"),
+		retries:      r.Counter("transport_client_retries_total"),
+		redials:      r.Counter("transport_client_redials_total"),
+		timeouts:     r.Counter("transport_client_timeouts_total"),
+		breakerOpens: r.Counter("transport_client_breaker_opens_total"),
+		breakerFast:  r.Counter("transport_client_breaker_fastfails_total"),
+		bytesOut:     r.Counter("transport_client_bytes_out_total"),
+		bytesIn:      r.Counter("transport_client_bytes_in_total"),
+		encodeMs:     r.Histogram("transport_client_encode_ms", metrics.LatencyBuckets()),
+		decodeMs:     r.Histogram("transport_client_decode_ms", metrics.LatencyBuckets()),
+		rttMs:        r.Histogram("transport_client_rtt_ms", metrics.LatencyBuckets()),
 	}
 }
 
@@ -294,29 +379,83 @@ type ClientOption interface {
 	applyClient(*Client)
 }
 
-type clientMetricsOption struct{ reg *metrics.Registry }
+type clientOptionFunc func(*Client)
 
-func (o clientMetricsOption) applyClient(c *Client) { c.met = newClientMetrics(o.reg) }
+func (f clientOptionFunc) applyClient(c *Client) { f(c) }
 
-// WithClientMetrics instruments the client: call/error counts, body
-// bytes in/out, encode/decode time, and per-call RTT, recorded into the
-// given registry.
-func WithClientMetrics(reg *metrics.Registry) ClientOption { return clientMetricsOption{reg: reg} }
+// WithClientMetrics instruments the client: call/error/retry counts,
+// body bytes in/out, encode/decode time, and per-call RTT, recorded
+// into the given registry.
+func WithClientMetrics(reg *metrics.Registry) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.met = newClientMetrics(reg) })
+}
 
-// Dial connects to a server within the timeout.
+// WithCallTimeout bounds each call attempt (default DefaultCallTimeout);
+// d <= 0 disables deadlines entirely (not recommended outside tests).
+func WithCallTimeout(d time.Duration) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.callTimeout = d })
+}
+
+// WithRetryPolicy installs automatic retries for idempotent methods.
+// The policy is validated by Dial.
+func WithRetryPolicy(p RetryPolicy) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.retry = p })
+}
+
+// WithBreaker installs a per-target circuit breaker. The configuration
+// is validated by Dial.
+func WithBreaker(b Breaker) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.breaker = b })
+}
+
+// WithIdempotent marks methods safe to retry: executing them more than
+// once must be indistinguishable from executing them once. Only marked
+// methods are ever retried.
+func WithIdempotent(methods ...string) ClientOption {
+	return clientOptionFunc(func(c *Client) {
+		if c.idempotent == nil {
+			c.idempotent = make(map[string]bool, len(methods))
+		}
+		for _, m := range methods {
+			c.idempotent[m] = true
+		}
+	})
+}
+
+// Dial connects to a server within the timeout. The address and timeout
+// are retained for automatic re-dials of broken connections.
 func Dial(addr string, timeout time.Duration, opts ...ClientOption) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
-	}
 	c := &Client{
-		conn: conn,
-		enc:  gob.NewEncoder(conn),
-		dec:  gob.NewDecoder(conn),
+		addr:        addr,
+		dialTimeout: timeout,
+		callTimeout: DefaultCallTimeout,
+		now:         time.Now,
+		sleep:       time.Sleep,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for _, o := range opts {
 		o.applyClient(c)
 	}
+	if err := c.retry.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.breaker.Validate(); err != nil {
+		return nil, err
+	}
+	if c.breaker.Threshold > 0 && c.breaker.Cooldown == 0 {
+		c.breaker.Cooldown = time.Second
+	}
+	c.retriesLeft = c.retry.Budget
+	if c.retry.Budget == 0 {
+		c.retriesLeft = -1
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
 	return c, nil
 }
 
@@ -333,7 +472,8 @@ func (e *RemoteError) Error() string {
 
 // Call invokes a method: req is gob-encoded, resp (if non-nil) decoded
 // from the reply. It returns the measured round-trip time, the signal the
-// coordinate system feeds on.
+// coordinate system feeds on. With a retry policy installed, the RTT is
+// that of the successful (or final) attempt.
 func (c *Client) Call(method string, req, resp any) (time.Duration, error) {
 	c.met.calls.Inc()
 	encStart := time.Now()
@@ -343,37 +483,101 @@ func (c *Client) Call(method string, req, resp any) (time.Duration, error) {
 		return 0, fmt.Errorf("transport: encode %s request: %w", method, err)
 	}
 	c.met.encodeMs.Observe(float64(time.Since(encStart)) / float64(time.Millisecond))
-	c.met.bytesOut.Add(int64(len(body)))
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	maxAttempts := c.retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		if c.breaker.Threshold > 0 && c.now().Before(c.openUntil) {
+			c.met.breakerFast.Inc()
+			c.met.errors.Inc()
+			return 0, fmt.Errorf("transport: call %s to %s: %w", method, c.addr, ErrCircuitOpen)
+		}
+		rtt, err := c.attempt(method, body, resp)
+		if err == nil {
+			c.consecFails = 0
+			return rtt, nil
+		}
+		c.met.errors.Inc()
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			// The server answered: the target is healthy, the request
+			// failed at the application layer. Never retried.
+			c.consecFails = 0
+			return rtt, err
+		}
+		if !errors.Is(err, ErrClientClosed) {
+			c.consecFails++
+			if c.breaker.Threshold > 0 && c.consecFails >= c.breaker.Threshold {
+				c.openUntil = c.now().Add(c.breaker.Cooldown)
+				c.consecFails = 0
+				c.met.breakerOpens.Inc()
+			}
+		}
+		if !IsRetryable(err) || !c.idempotent[method] ||
+			attempt >= maxAttempts || c.retriesLeft == 0 ||
+			(c.breaker.Threshold > 0 && c.now().Before(c.openUntil)) {
+			return rtt, err
+		}
+		if c.retriesLeft > 0 {
+			c.retriesLeft--
+		}
+		c.met.retries.Inc()
+		c.sleep(c.retry.Backoff(attempt, c.rng))
+	}
+}
+
+// attempt performs one request/response exchange, re-dialing first if
+// the connection is broken. Transport-level failures mark the
+// connection broken: a response to a timed-out request must never be
+// mistaken for the answer to its retry, so retries always run on a
+// fresh gob stream.
+func (c *Client) attempt(method string, body []byte, resp any) (time.Duration, error) {
+	conn, enc, dec, err := c.liveConn()
+	if err != nil {
+		return 0, err
+	}
+	c.met.bytesOut.Add(int64(len(body)))
 	c.nextID++
 	frame := request{ID: c.nextID, Method: method, Body: body}
 
 	start := time.Now()
-	if err := c.enc.Encode(frame); err != nil {
-		c.met.errors.Inc()
-		return 0, fmt.Errorf("transport: send %s: %w", method, err)
+	if c.callTimeout > 0 {
+		if err := conn.SetWriteDeadline(start.Add(c.callTimeout)); err != nil {
+			return 0, c.breakConn(fmt.Errorf("transport: deadline %s: %w", method, err))
+		}
+	}
+	if err := enc.Encode(frame); err != nil {
+		return 0, c.breakConn(fmt.Errorf("transport: send %s: %w", method, err))
+	}
+	if c.callTimeout > 0 {
+		if err := conn.SetReadDeadline(start.Add(c.callTimeout)); err != nil {
+			return 0, c.breakConn(fmt.Errorf("transport: deadline %s: %w", method, err))
+		}
 	}
 	var r response
-	if err := c.dec.Decode(&r); err != nil {
-		c.met.errors.Inc()
-		return 0, fmt.Errorf("transport: receive %s: %w", method, err)
+	if err := dec.Decode(&r); err != nil {
+		return 0, c.breakConn(fmt.Errorf("transport: receive %s: %w", method, err))
+	}
+	if c.callTimeout > 0 {
+		_ = conn.SetDeadline(time.Time{})
 	}
 	rtt := time.Since(start)
 	c.met.rttMs.Observe(float64(rtt) / float64(time.Millisecond))
 	c.met.bytesIn.Add(int64(len(r.Body)))
 	if r.ID != frame.ID {
-		c.met.errors.Inc()
-		return rtt, fmt.Errorf("transport: response id %d for request %d", r.ID, frame.ID)
+		return rtt, c.breakConn(fmt.Errorf("transport: %s: response id %d for request %d: %w",
+			method, r.ID, frame.ID, io.ErrUnexpectedEOF))
 	}
 	if r.Err != "" {
-		c.met.errors.Inc()
 		return rtt, &RemoteError{Method: method, Message: r.Err}
 	}
 	if resp != nil {
 		decStart := time.Now()
 		if err := gobDecode(r.Body, resp); err != nil {
-			c.met.errors.Inc()
 			return rtt, fmt.Errorf("transport: decode %s response: %w", method, err)
 		}
 		c.met.decodeMs.Observe(float64(time.Since(decStart)) / float64(time.Millisecond))
@@ -381,9 +585,77 @@ func (c *Client) Call(method string, req, resp any) (time.Duration, error) {
 	return rtt, nil
 }
 
-// Close closes the connection.
+// liveConn returns a usable connection, re-dialing if the previous one
+// broke. Only Call (serialized by mu) mutates the connection; Close may
+// close it concurrently, which pending I/O surfaces as an error that
+// breakConn then maps to ErrClientClosed.
+func (c *Client) liveConn() (net.Conn, *gob.Encoder, *gob.Decoder, error) {
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		return nil, nil, nil, ErrClientClosed
+	}
+	if !c.broken {
+		conn, enc, dec := c.conn, c.enc, c.dec
+		c.connMu.Unlock()
+		return conn, enc, dec, nil
+	}
+	c.connMu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("transport: redial %s: %w", c.addr, err)
+	}
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		conn.Close()
+		return nil, nil, nil, ErrClientClosed
+	}
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	c.broken = false
+	c.connMu.Unlock()
+	c.met.redials.Inc()
+	return conn, c.enc, c.dec, nil
+}
+
+// breakConn marks the connection unusable and classifies the error: a
+// concurrent Close surfaces as ErrClientClosed, a deadline expiry is
+// counted as a timeout, anything else passes through.
+func (c *Client) breakConn(err error) error {
+	c.connMu.Lock()
+	c.broken = true
+	closed := c.closed
+	c.connMu.Unlock()
+	if closed {
+		return ErrClientClosed
+	}
+	var netErr net.Error
+	if errors.As(err, &netErr) && netErr.Timeout() {
+		c.met.timeouts.Inc()
+	}
+	return err
+}
+
+// Close closes the connection and fails any in-flight or future calls
+// with ErrClientClosed. It is idempotent and never blocks on an
+// in-flight call.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn.Close()
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.connMu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
 }

@@ -41,6 +41,11 @@ type ManagerConfig struct {
 	// time windows: each epoch's decision sees exactly the accesses of
 	// the last WindowEpochs epochs. DecayFactor is then ignored.
 	WindowEpochs int
+	// Quorum is the fraction of replicas whose fresh summaries must be
+	// collected before an epoch may adapt k or migrate (default 0.5).
+	// Below quorum the epoch completes degraded: estimates are computed
+	// from stale summaries but no placement change is committed.
+	Quorum float64
 }
 
 // EpochReport describes what one epoch's coordination cycle concluded.
@@ -60,6 +65,15 @@ type EpochReport struct {
 	// SummaryBytes is the wire size of the collected micro-cluster
 	// summaries — the online approach's entire bandwidth cost.
 	SummaryBytes int
+	// Degraded reports that at least one replica's summary could not be
+	// collected and the epoch ran on a partial or stale view.
+	Degraded bool
+	// MissingSummaries lists the replicas that were unreachable.
+	MissingSummaries []int
+	// QuorumOK reports whether enough fresh summaries arrived to permit
+	// k adaptation and migration; false guarantees the placement did
+	// not change this epoch.
+	QuorumOK bool
 }
 
 // Manager is the live replica-placement loop for one object (or object
@@ -123,6 +137,7 @@ func (d *Deployment) NewManager(cfg ManagerConfig) (*Manager, error) {
 		},
 		DecayFactor:  cfg.DecayFactor,
 		WindowEpochs: cfg.WindowEpochs,
+		Quorum:       cfg.Quorum,
 	}
 	inner, err := replica.NewManager(rcfg, cfg.Candidates, d.coords, cfg.InitialReplicas)
 	if err != nil {
@@ -187,8 +202,25 @@ func (m *Manager) RecordAccess(clientNode int, weight float64) (servedBy int, rt
 // propose, migrate if approved, decay. The seed drives the weighted
 // k-means initialization.
 func (m *Manager) EndEpoch(seed int64) (EpochReport, error) {
+	return m.EndEpochWithOutages(seed, nil)
+}
+
+// EndEpochWithOutages is EndEpoch under partial failure: summaries of
+// the listed unreachable nodes cannot be collected, so the coordinator
+// falls back to their last-known summaries with staleness decay. Below
+// the configured quorum of fresh summaries the epoch is recorded as
+// degraded and no placement change is committed.
+func (m *Manager) EndEpochWithOutages(seed int64, unreachable []int) (EpochReport, error) {
+	var reachable func(int) bool
+	if len(unreachable) > 0 {
+		down := make(map[int]bool, len(unreachable))
+		for _, n := range unreachable {
+			down[n] = true
+		}
+		reachable = func(node int) bool { return !down[node] }
+	}
 	m.mu.Lock()
-	dec, err := m.inner.EndEpoch(rand.New(rand.NewSource(seed)))
+	dec, err := m.inner.EndEpochDegraded(rand.New(rand.NewSource(seed)), reachable)
 	if err != nil {
 		m.mu.Unlock()
 		return EpochReport{}, fmt.Errorf("georep: end epoch: %w", err)
@@ -211,18 +243,23 @@ func (m *Manager) EndEpoch(seed int64) (EpochReport, error) {
 		EstimatedOldMs: dec.EstimatedOldMs,
 		EstimatedNewMs: dec.EstimatedNewMs,
 		ActualMeanMs:   actualMean,
-		Accesses:       accesses,
-		MovedReplicas:  dec.MovedReplicas,
-		SummaryBytes:   dec.CollectedBytes,
+		Accesses:         accesses,
+		MovedReplicas:    dec.MovedReplicas,
+		SummaryBytes:     dec.CollectedBytes,
+		Degraded:         dec.Degraded,
+		MissingSummaries: append([]int(nil), dec.MissingSummaries...),
 	})
 	return EpochReport{
-		Migrated:       dec.Migrate,
-		Replicas:       dec.NewReplicas,
-		K:              dec.K,
-		EstimatedOldMs: dec.EstimatedOldMs,
-		EstimatedNewMs: dec.EstimatedNewMs,
-		MovedReplicas:  dec.MovedReplicas,
-		SummaryBytes:   dec.CollectedBytes,
+		Migrated:         dec.Migrate,
+		Replicas:         dec.NewReplicas,
+		K:                dec.K,
+		EstimatedOldMs:   dec.EstimatedOldMs,
+		EstimatedNewMs:   dec.EstimatedNewMs,
+		MovedReplicas:    dec.MovedReplicas,
+		SummaryBytes:     dec.CollectedBytes,
+		Degraded:         dec.Degraded,
+		MissingSummaries: append([]int(nil), dec.MissingSummaries...),
+		QuorumOK:         dec.QuorumOK,
 	}, nil
 }
 
@@ -239,16 +276,18 @@ type HistogramStats struct {
 // what Algorithm 1 estimated, what it decided, what it cost in summary
 // bytes and data copies, and the ground-truth delay clients actually saw.
 type EpochTrace struct {
-	Epoch          int
-	Migrated       bool
-	K              int
-	Replicas       []int
-	EstimatedOldMs float64
-	EstimatedNewMs float64
-	ActualMeanMs   float64
-	Accesses       int64
-	MovedReplicas  int
-	SummaryBytes   int
+	Epoch            int
+	Migrated         bool
+	K                int
+	Replicas         []int
+	EstimatedOldMs   float64
+	EstimatedNewMs   float64
+	ActualMeanMs     float64
+	Accesses         int64
+	MovedReplicas    int
+	SummaryBytes     int
+	Degraded         bool
+	MissingSummaries []int
 }
 
 // ManagerSnapshot is a point-in-time view of a manager's runtime
@@ -279,16 +318,18 @@ func (m *Manager) Snapshot() ManagerSnapshot {
 	}
 	for _, e := range m.ring.Snapshot() {
 		out.Epochs = append(out.Epochs, EpochTrace{
-			Epoch:          e.Epoch,
-			Migrated:       e.Migrated,
-			K:              e.K,
-			Replicas:       e.Replicas,
-			EstimatedOldMs: e.EstimatedOldMs,
-			EstimatedNewMs: e.EstimatedNewMs,
-			ActualMeanMs:   e.ActualMeanMs,
-			Accesses:       e.Accesses,
-			MovedReplicas:  e.MovedReplicas,
-			SummaryBytes:   e.SummaryBytes,
+			Epoch:            e.Epoch,
+			Migrated:         e.Migrated,
+			K:                e.K,
+			Replicas:         e.Replicas,
+			EstimatedOldMs:   e.EstimatedOldMs,
+			EstimatedNewMs:   e.EstimatedNewMs,
+			ActualMeanMs:     e.ActualMeanMs,
+			Accesses:         e.Accesses,
+			MovedReplicas:    e.MovedReplicas,
+			SummaryBytes:     e.SummaryBytes,
+			Degraded:         e.Degraded,
+			MissingSummaries: e.MissingSummaries,
 		})
 	}
 	return out

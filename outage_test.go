@@ -1,0 +1,84 @@
+package georep
+
+import "testing"
+
+// TestEndEpochWithOutages exercises the public degraded-epoch path: an
+// unreachable replica marks the epoch degraded in the report and the
+// trace ring, and a below-quorum view never changes the placement.
+func TestEndEpochWithOutages(t *testing.T) {
+	d := smallDeployment(t)
+	candidates, clients := splitNodes(d, 6)
+	// Quorum 0.6 of 3 replicas requires 2 fresh summaries (the check is
+	// fresh >= quorum·k, so 0.6·3 = 1.8 → 2-of-3 passes, 1-of-3 fails).
+	m, err := d.NewManager(ManagerConfig{K: 3, Candidates: candidates, Quorum: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, _, err := m.RecordAccess(clients[i%len(clients)], 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	record(200)
+	rep, err := m.EndEpoch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded || !rep.QuorumOK {
+		t.Fatalf("healthy epoch reported degraded: %+v", rep)
+	}
+
+	// Two of three replicas unreachable: below the 67% quorum.
+	record(200)
+	before := m.Replicas()
+	down := before[:2]
+	rep, err = m.EndEpochWithOutages(2, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded || rep.QuorumOK || rep.Migrated {
+		t.Fatalf("below-quorum epoch: %+v", rep)
+	}
+	if len(rep.MissingSummaries) != 2 {
+		t.Errorf("MissingSummaries = %v", rep.MissingSummaries)
+	}
+	after := m.Replicas()
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatalf("placement changed below quorum: %v -> %v", before, after)
+		}
+	}
+
+	snap := m.Snapshot()
+	if snap.Counters["replica_degraded_epochs_total"] != 1 {
+		t.Errorf("degraded epochs counter = %d, want 1", snap.Counters["replica_degraded_epochs_total"])
+	}
+	if snap.Counters["replica_quorum_blocked_migrations_total"] != 1 {
+		t.Errorf("quorum-blocked counter = %d", snap.Counters["replica_quorum_blocked_migrations_total"])
+	}
+	var traced *EpochTrace
+	for i := range snap.Epochs {
+		if snap.Epochs[i].Degraded {
+			traced = &snap.Epochs[i]
+		}
+	}
+	if traced == nil {
+		t.Fatal("no degraded epoch in the trace ring")
+	}
+	if len(traced.MissingSummaries) != 2 {
+		t.Errorf("trace MissingSummaries = %v", traced.MissingSummaries)
+	}
+
+	// One of three unreachable meets quorum again: the epoch may migrate.
+	record(200)
+	rep, err = m.EndEpochWithOutages(3, before[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded || !rep.QuorumOK {
+		t.Fatalf("degraded-but-quorate epoch: %+v", rep)
+	}
+}
