@@ -15,13 +15,13 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/georep/georep/internal/accesstrace"
 	"github.com/georep/georep/internal/cluster"
 	"github.com/georep/georep/internal/coord"
 	"github.com/georep/georep/internal/experiment"
 	"github.com/georep/georep/internal/latency"
 	"github.com/georep/georep/internal/placement"
 	"github.com/georep/georep/internal/replica"
-	"github.com/georep/georep/internal/trace"
 	"github.com/georep/georep/internal/vec"
 )
 
@@ -419,10 +419,10 @@ func BenchmarkTraceReplay(b *testing.B) {
 	for i := range candidates {
 		candidates[i] = i
 	}
-	var events []trace.Event
+	var events []accesstrace.Event
 	r := rand.New(rand.NewSource(3))
 	for i := 0; i < 2000; i++ {
-		events = append(events, trace.Event{
+		events = append(events, accesstrace.Event{
 			TimeMs: float64(i),
 			Client: 15 + r.Intn(105),
 			Group:  "g",
@@ -436,7 +436,7 @@ func BenchmarkTraceReplay(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := trace.Replay(events, gm, w.Coords, w.Matrix.RTT, trace.ReplayConfig{
+		if _, err := accesstrace.Replay(events, gm, w.Coords, w.Matrix.RTT, accesstrace.ReplayConfig{
 			EpochMs: 500,
 		}); err != nil {
 			b.Fatal(err)

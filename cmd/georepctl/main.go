@@ -9,9 +9,12 @@
 //	georepctl -nodes ... put   -obj key -data "payload" [-version 2]
 //	georepctl -nodes ... get   -obj key
 //	georepctl -nodes ... read  -obj key -client 7 -client-coord "10,-3,42"
-//	georepctl -nodes ... rebalance -obj key -k 2 [-min-gain 0.05] [-apply]
+//	georepctl -nodes ... rebalance -obj key -k 2 [-min-gain 0.05] [-apply] [-trace-out t.jsonl]
 //	georepctl -nodes ... decay -factor 0.5
 //	georepctl -nodes ... metrics [-metric daemon_rpc]
+//	georepctl -nodes ... trace [-anomalous] [-trace-id id] [-o tree|chrome|jsonl]
+//	georepctl -nodes ... spans [-kind collect] [-top 10]
+//	georepctl trace -in run.jsonl                # render an exported trace file
 //
 // read acts as a client at the given coordinate: it fetches the object
 // from the predicted-closest holder, which records the access in that
@@ -20,15 +23,27 @@
 // Rebalance prints the proposed placement and its estimated improvement;
 // with -apply it executes the migration via put/delete RPCs and ages the
 // summaries. Nodes must have been started with -coord so the coordinator
-// knows where they sit in latency space.
+// knows where they sit in latency space. Every rebalance cycle is traced
+// as one span tree — collect per holder, k-means, decision, migration —
+// and unreachable holders degrade the cycle (named on an errored collect
+// span, the trace pinned anomalous) instead of failing it; -trace-out
+// merges the coordinator's spans with the daemons' server-side legs into
+// a JSONL file that `georepctl trace -in` or about://tracing renders.
+//
+// trace fetches the span trees retained by the daemons' flight
+// recorders (or reads an exported JSONL file with -in) and renders them
+// as indented trees, Chrome trace_event JSON, or raw JSONL. spans ranks
+// the slowest spans by duration, optionally filtered by kind.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -39,6 +54,7 @@ import (
 	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/replica"
 	"github.com/georep/georep/internal/store"
+	"github.com/georep/georep/internal/trace"
 	"github.com/georep/georep/internal/transport"
 	"github.com/georep/georep/internal/vec"
 )
@@ -68,6 +84,13 @@ func run(args []string) error {
 		callTimeout = fs.Duration("call-timeout", 0, "per-RPC deadline (0 = transport default)")
 		retries     = fs.Int("retries", 0, "max attempts per idempotent RPC with exponential backoff (0 = no retries)")
 		metricFilt  = fs.String("metric", "", "substring filter for metrics names (metrics command)")
+		traceIn     = fs.String("in", "", "trace/spans: read span trees from a JSONL file instead of the fleet")
+		traceFmt    = fs.String("o", "tree", "trace output format: tree, chrome or jsonl")
+		traceID     = fs.String("trace-id", "", "trace: show only this trace id")
+		anomOnly    = fs.Bool("anomalous", false, "trace: show only anomalous traces")
+		topN        = fs.Int("top", 10, "spans: how many of the slowest spans to list")
+		kindFilt    = fs.String("kind", "", "spans: keep only spans of this kind (epoch, collect, kmeans, decide, migrate, client, attempt, server, failover)")
+		traceOut    = fs.String("trace-out", "", "rebalance: export the cycle's span tree, merged with the daemons' server-side legs, as JSONL to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,7 +101,7 @@ func run(args []string) error {
 	rest := fs.Args()
 	if len(rest) == 0 {
 		fs.Usage()
-		return fmt.Errorf("need a command: status, get, put, read, rebalance, decay, metrics")
+		return fmt.Errorf("need a command: status, get, put, read, rebalance, decay, metrics, trace, spans")
 	}
 	cmd := rest[0]
 	if err := fs.Parse(rest[1:]); err != nil {
@@ -87,11 +110,30 @@ func run(args []string) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
+
+	// trace and spans can work entirely from an exported file.
+	fromFile := *traceIn != "" && (cmd == "trace" || cmd == "spans")
+	if fromFile {
+		traces, err := readTraceFile(*traceIn)
+		if err != nil {
+			return err
+		}
+		if cmd == "trace" {
+			return writeTraces(os.Stdout, traces, *traceFmt, *traceID, *anomOnly)
+		}
+		return topSpans(os.Stdout, traces, *kindFilt, *topN)
+	}
 	if *nodesFlag == "" {
 		return fmt.Errorf("-nodes is required")
 	}
 
-	var opts []transport.ClientOption
+	// The coordinator records its own side of every traced cycle; the
+	// clients are dialed with the tracer so RPC legs land in the same
+	// trees. Untraced commands record nothing.
+	rec := trace.NewFlightRecorder(trace.DefaultRecent, trace.DefaultAnomalous)
+	tracer := trace.New(rec, "ctl")
+
+	opts := []transport.ClientOption{transport.WithClientTracer(tracer)}
 	if *callTimeout > 0 {
 		opts = append(opts, transport.WithCallTimeout(*callTimeout))
 	}
@@ -106,6 +148,7 @@ func run(args []string) error {
 		return err
 	}
 	defer fleet.close()
+	fleet.tracer, fleet.rec = tracer, rec
 
 	switch cmd {
 	case "status":
@@ -133,7 +176,7 @@ func run(args []string) error {
 		if *obj == "" {
 			return fmt.Errorf("rebalance needs -obj")
 		}
-		return fleet.rebalance(*obj, *k, *minGain, *apply, *parallelism)
+		return fleet.rebalance(*obj, *k, *minGain, *apply, *parallelism, *traceOut)
 	case "decay":
 		if *decayFactor <= 0 || *decayFactor > 1 {
 			return fmt.Errorf("decay needs -factor in (0,1]")
@@ -141,6 +184,18 @@ func run(args []string) error {
 		return fleet.decay(*decayFactor)
 	case "metrics":
 		return fleet.metrics(os.Stdout, *metricFilt)
+	case "trace":
+		traces, err := fleet.gatherTraces()
+		if err != nil {
+			return err
+		}
+		return writeTraces(os.Stdout, traces, *traceFmt, *traceID, *anomOnly)
+	case "spans":
+		traces, err := fleet.gatherTraces()
+		if err != nil {
+			return err
+		}
+		return topSpans(os.Stdout, traces, *kindFilt, *topN)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -157,6 +212,12 @@ type member struct {
 type fleet struct {
 	members []*member
 	byNode  map[int]*member
+	// down records addresses that could not be dialed or identified, so
+	// a traced rebalance can name them instead of silently shrinking the
+	// fleet.
+	down   map[string]error
+	tracer *trace.Tracer
+	rec    *trace.FlightRecorder
 }
 
 // dialFleet connects to every reachable daemon. Nodes that cannot be
@@ -164,7 +225,7 @@ type fleet struct {
 // warning rather than failing the fleet — a coordinator that dies
 // because one node is down would be useless exactly when it matters.
 func dialFleet(addrs []string, timeout time.Duration, opts ...transport.ClientOption) (*fleet, error) {
-	f := &fleet{byNode: make(map[int]*member)}
+	f := &fleet{byNode: make(map[int]*member), down: make(map[string]error)}
 	for _, addr := range addrs {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
@@ -173,11 +234,13 @@ func dialFleet(addrs []string, timeout time.Duration, opts ...transport.ClientOp
 		c, err := daemon.DialNode(addr, timeout, opts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "georepctl: skipping unreachable node %s: %v\n", addr, err)
+			f.down[addr] = err
 			continue
 		}
 		cr, err := c.Coord()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "georepctl: skipping unreachable node %s: %v\n", addr, err)
+			f.down[addr] = err
 			c.Close()
 			continue
 		}
@@ -345,6 +408,97 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
+// gatherTraces fetches every reachable node's retained span trees and
+// merges them by trace id, so a tree whose spans are scattered across
+// daemons reassembles. Nodes running without a flight recorder
+// contribute nothing.
+func (f *fleet) gatherTraces() ([]trace.Trace, error) {
+	sets := make([][]trace.Trace, 0, len(f.members))
+	for _, m := range f.members {
+		ts, err := m.client.Trace()
+		if err != nil {
+			return nil, fmt.Errorf("traces from node %d (%s): %w", m.node, m.addr, err)
+		}
+		sets = append(sets, ts)
+	}
+	return trace.Merge(sets...), nil
+}
+
+// readTraceFile loads span trees from a JSONL export.
+func readTraceFile(path string) ([]trace.Trace, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return trace.ReadJSONL(fh)
+}
+
+// writeTraces renders traces in the requested format, optionally
+// narrowed to one trace id or to anomalous traces only.
+func writeTraces(w io.Writer, traces []trace.Trace, format, id string, anomOnly bool) error {
+	var kept []trace.Trace
+	for _, t := range traces {
+		if id != "" && t.TraceID != id {
+			continue
+		}
+		if anomOnly && t.Anomaly == "" {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	if len(kept) == 0 {
+		fmt.Fprintln(w, "no matching traces")
+		return nil
+	}
+	switch format {
+	case "tree":
+		for _, t := range kept {
+			fmt.Fprint(w, trace.RenderTree(t))
+		}
+		return nil
+	case "chrome":
+		return trace.WriteChromeTrace(w, kept)
+	case "jsonl":
+		return trace.WriteJSONL(w, kept)
+	default:
+		return fmt.Errorf("unknown trace format %q (want tree, chrome or jsonl)", format)
+	}
+}
+
+// topSpans lists the slowest spans across all traces, optionally
+// filtered by kind.
+func topSpans(w io.Writer, traces []trace.Trace, kind string, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("spans needs -top > 0")
+	}
+	var spans []trace.Span
+	for _, t := range traces {
+		for _, s := range t.Spans {
+			if kind == "" || s.Kind == kind {
+				spans = append(spans, s)
+			}
+		}
+	}
+	if len(spans) == 0 {
+		fmt.Fprintln(w, "no matching spans")
+		return nil
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].DurNs > spans[j].DurNs })
+	if len(spans) > n {
+		spans = spans[:n]
+	}
+	fmt.Fprintf(w, "%-12s%-24s%-10s%12s  %s\n", "kind", "name", "node", "ms", "trace")
+	for _, s := range spans {
+		line := fmt.Sprintf("%-12s%-24s%-10s%12.3f  %s", s.Kind, s.Name, s.Node, float64(s.DurNs)/1e6, s.TraceID)
+		if s.Err != "" {
+			line += "  ERR: " + s.Err
+		}
+		fmt.Fprintln(w, line)
+	}
+	return nil
+}
+
 // holders returns the members currently storing the object.
 func (f *fleet) holders(obj string) ([]*member, error) {
 	var out []*member
@@ -363,7 +517,7 @@ func (f *fleet) holders(obj string) ([]*member, error) {
 	return out, nil
 }
 
-func (f *fleet) rebalance(obj string, k int, minGain float64, apply bool, parallelism int) error {
+func (f *fleet) rebalance(obj string, k int, minGain float64, apply bool, parallelism int, traceOut string) error {
 	if k <= 0 || k > len(f.members) {
 		return fmt.Errorf("k=%d out of [1,%d]", k, len(f.members))
 	}
@@ -380,21 +534,59 @@ func (f *fleet) rebalance(obj string, k int, minGain float64, apply bool, parall
 		return fmt.Errorf("object %q not found on any node", obj)
 	}
 
-	// Collect summaries from the current holders.
+	// One rebalance cycle is one span tree, mirroring the manager's
+	// epoch span model: collect per holder, kmeans, decide, migrate.
+	root := f.tracer.StartRoot("rebalance "+obj, trace.KindEpoch)
+	defer root.End()
+	root.SetAttr("object", obj)
+	root.SetAttr("k", strconv.Itoa(k))
+
+	// Collect summaries from the current holders. An unreachable holder
+	// degrades the cycle — named on its errored collect span, the cycle
+	// pinned anomalous — rather than failing it.
 	var micros []cluster.Micro
 	var summaryBytes int
-	var current []int
+	var current, missing []int
 	for _, m := range holders {
-		ms, n, err := m.client.Micros()
+		sp := f.tracer.Start(root.Context(), fmt.Sprintf("collect %d", m.node), trace.KindCollect)
+		sp.SetAttr("replica", strconv.Itoa(m.node))
+		ctx := trace.ContextWithSpan(context.Background(), sp)
+		current = append(current, m.node)
+		ms, n, err := m.client.MicrosCtx(ctx)
 		if err != nil {
-			return err
+			sp.SetErrString(fmt.Sprintf("holder %d (%s) unreachable: %v", m.node, m.addr, err))
+			sp.End()
+			fmt.Fprintf(os.Stderr, "georepctl: no summary from node %d (%s): %v\n", m.node, m.addr, err)
+			missing = append(missing, m.node)
+			continue
 		}
+		sp.SetAttr("bytes", strconv.Itoa(n))
+		sp.End()
 		micros = append(micros, ms...)
 		summaryBytes += n
-		current = append(current, m.node)
+	}
+	// Nodes that never made it into the fleet still get named: they may
+	// hold a replica we cannot see, so the cycle is degraded either way.
+	downAddrs := make([]string, 0, len(f.down))
+	for addr := range f.down {
+		downAddrs = append(downAddrs, addr)
+	}
+	sort.Strings(downAddrs)
+	for _, addr := range downAddrs {
+		sp := f.tracer.Start(root.Context(), "collect "+addr, trace.KindCollect)
+		sp.SetErrString(fmt.Sprintf("node at %s unreachable: %v", addr, f.down[addr]))
+		sp.End()
+	}
+	if len(missing) > 0 {
+		root.SetAttr("missing", fmt.Sprint(missing))
+	}
+	if len(missing) > 0 || len(downAddrs) > 0 {
+		root.MarkAnomalous("degraded")
 	}
 	if len(micros) == 0 {
-		return fmt.Errorf("no access summaries yet; let clients read %q first", obj)
+		err := fmt.Errorf("no access summaries reachable; let clients read %q first or retry", obj)
+		root.SetErr(err)
+		return err
 	}
 
 	// Dense coordinate table indexed by node id.
@@ -411,23 +603,52 @@ func (f *fleet) rebalance(obj string, k int, minGain float64, apply bool, parall
 		candidates = append(candidates, m.node)
 	}
 
+	ksp := f.tracer.Start(root.Context(), "kmeans", trace.KindKMeans)
+	ksp.SetAttr("micros", strconv.Itoa(len(micros)))
 	proposed, err := replica.ProposePlacementOpt(rand.New(rand.NewSource(time.Now().UnixNano())),
 		micros, k, candidates, coords, cluster.Options{Parallelism: parallelism})
 	if err != nil {
+		ksp.SetErr(err)
+		ksp.End()
+		root.SetErr(err)
 		return err
 	}
+	ksp.End()
+	dsp := f.tracer.Start(root.Context(), "decide", trace.KindDecide)
 	oldEst, err := replica.EstimateMeanDelay(micros, current, coords)
+	if err == nil {
+		var newEst float64
+		newEst, err = replica.EstimateMeanDelay(micros, proposed, coords)
+		if err == nil {
+			gain := 0.0
+			if oldEst > 0 {
+				gain = (oldEst - newEst) / oldEst
+			}
+			dsp.SetAttr("gain_ms", fmt.Sprintf("%.3f", oldEst-newEst))
+			dsp.End()
+			err = f.applyRebalance(obj, root, holders, current, proposed,
+				oldEst, newEst, gain, minGain, apply, summaryBytes)
+		}
+	}
 	if err != nil {
+		dsp.SetErr(err)
+		dsp.End()
+		root.SetErr(err)
 		return err
 	}
-	newEst, err := replica.EstimateMeanDelay(micros, proposed, coords)
-	if err != nil {
-		return err
+	if traceOut != "" {
+		root.End()
+		if err := f.exportTrace(traceOut); err != nil {
+			return err
+		}
 	}
-	gain := 0.0
-	if oldEst > 0 {
-		gain = (oldEst - newEst) / oldEst
-	}
+	return nil
+}
+
+// applyRebalance prints the proposal and, with apply, executes the
+// migration under a migrate span.
+func (f *fleet) applyRebalance(obj string, root *trace.ActiveSpan, holders []*member,
+	current, proposed []int, oldEst, newEst, gain, minGain float64, apply bool, summaryBytes int) error {
 	fmt.Printf("object %q: current %v (est %.1f ms) → proposed %v (est %.1f ms), gain %.1f%%, %dB summaries\n",
 		obj, current, oldEst, proposed, newEst, 100*gain, summaryBytes)
 
@@ -447,30 +668,67 @@ func (f *fleet) rebalance(obj string, k int, minGain float64, apply bool, parall
 	if err != nil {
 		return err
 	}
+	msp := f.tracer.Start(root.Context(), "migrate", trace.KindMigrate)
+	msp.SetAttr("ops", strconv.Itoa(len(ops)))
+	defer msp.End()
+	ctx := trace.ContextWithSpan(context.Background(), msp)
 	for _, op := range ops {
 		if op.Copy {
 			src, dst := f.byNode[op.Source], f.byNode[op.Target]
-			resp, _, err := src.client.Get(-1, nil, obj)
+			resp, _, err := src.client.GetCtx(ctx, -1, nil, obj)
 			if err != nil {
+				msp.SetErr(err)
 				return err
 			}
-			if err := dst.client.Put(obj, resp.Data, resp.Version+1); err != nil {
+			if err := dst.client.PutCtx(ctx, obj, resp.Data, resp.Version+1); err != nil {
+				msp.SetErr(err)
 				return err
 			}
 			fmt.Printf("copied %q: node %d → node %d\n", obj, op.Source, op.Target)
 		} else {
-			if err := f.byNode[op.Target].client.Delete(obj); err != nil {
+			if err := f.byNode[op.Target].client.DeleteCtx(ctx, obj); err != nil {
+				msp.SetErr(err)
 				return err
 			}
 			fmt.Printf("deleted %q at node %d\n", obj, op.Target)
 		}
 	}
+	root.MarkAnomalous("migrated")
 	// Age the summaries so the next cycle reflects fresh demand.
 	for _, m := range holders {
-		if err := m.client.Decay(0.5); err != nil {
+		if err := m.client.DecayCtx(ctx, 0.5); err != nil {
+			msp.SetErr(err)
 			return err
 		}
 	}
 	fmt.Println("migration complete")
+	return nil
+}
+
+// exportTrace merges the coordinator's recorded spans with every
+// reachable daemon's server-side legs and writes the result as JSONL.
+func (f *fleet) exportTrace(path string) error {
+	sets := [][]trace.Trace{f.rec.Traces()}
+	for _, m := range f.members {
+		ts, err := m.client.Trace()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "georepctl: no traces from node %d (%s): %v\n", m.node, m.addr, err)
+			continue
+		}
+		sets = append(sets, ts)
+	}
+	merged := trace.Merge(sets...)
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSONL(fh, merged); err != nil {
+		fh.Close()
+		return err
+	}
+	if err := fh.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d span trees to %s\n", len(merged), path)
 	return nil
 }

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/georep/georep/internal/daemon"
+	"github.com/georep/georep/internal/trace"
+	"github.com/georep/georep/internal/transport"
+)
+
+// startTracedFleet is startTestFleet with flight recorders enabled, so
+// the daemons retain the server-side legs of traced RPCs. It returns
+// the nodes too, so tests can kill one.
+func startTracedFleet(t *testing.T) (string, []*daemon.Node) {
+	t.Helper()
+	coords := [][]float64{{0, 0}, {100, 0}, {0, 100}}
+	var addrs string
+	var nodes []*daemon.Node
+	for i, pos := range coords {
+		n, err := daemon.NewNode(daemon.Config{
+			ID: i, MicroClusters: 6, Dims: 2,
+			Coordinate: pos, Height: 1,
+			Trace: trace.NewFlightRecorder(trace.DefaultRecent, trace.DefaultAnomalous),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		if i > 0 {
+			addrs += ","
+		}
+		addrs += n.Addr()
+		nodes = append(nodes, n)
+	}
+	return addrs, nodes
+}
+
+// TestCtlTracedRebalance kills one node out of three and checks that a
+// rebalance still succeeds as a degraded cycle whose exported span tree
+// names the dead node, spans multiple processes, and renders in every
+// output format.
+func TestCtlTracedRebalance(t *testing.T) {
+	addrs, nodes := startTracedFleet(t)
+	if err := run([]string{"-nodes", addrs, "put", "-obj", "o", "-data", "payload"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		err := run([]string{"-nodes", addrs, "read", "-obj", "o",
+			"-client", "9", "-client-coord", "2,98"})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Node 1 dies; the cycle must degrade, not fail.
+	deadAddr := splitAddrs(addrs)[1]
+	nodes[1].Close()
+	out := filepath.Join(t.TempDir(), "rebalance.jsonl")
+	err := run([]string{"-nodes", addrs, "rebalance", "-obj", "o", "-k", "1",
+		"-trace-out", out})
+	if err != nil {
+		t.Fatalf("degraded rebalance failed: %v", err)
+	}
+
+	traces, err := readTraceFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cycle *trace.Trace
+	for i := range traces {
+		for _, s := range traces[i].Spans {
+			if s.Name == "rebalance o" {
+				cycle = &traces[i]
+			}
+		}
+	}
+	if cycle == nil {
+		t.Fatalf("no rebalance trace in export: %+v", traces)
+	}
+	if cycle.Anomaly != "degraded" {
+		t.Fatalf("anomaly = %q, want degraded (lost in export?)", cycle.Anomaly)
+	}
+	nodesSeen := make(map[string]bool)
+	var namedDead, sawKMeans bool
+	for _, s := range cycle.Spans {
+		nodesSeen[s.Node] = true
+		if s.Kind == trace.KindCollect && strings.Contains(s.Err, deadAddr) &&
+			strings.Contains(s.Err, "unreachable") {
+			namedDead = true
+		}
+		if s.Kind == trace.KindKMeans {
+			sawKMeans = true
+		}
+	}
+	if !namedDead {
+		t.Errorf("no collect span names dead node %s: %+v", deadAddr, cycle.Spans)
+	}
+	if !sawKMeans {
+		t.Errorf("no kmeans span: %+v", cycle.Spans)
+	}
+	if len(nodesSeen) < 2 {
+		t.Errorf("trace spans only %v, want ctl + daemon legs", nodesSeen)
+	}
+	if !nodesSeen["ctl"] {
+		t.Errorf("no coordinator spans: %v", nodesSeen)
+	}
+
+	// Every render path, through the command parser where possible.
+	if err := run([]string{"trace", "-in", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"trace", "-in", out, "-o", "chrome", "-anomalous"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"trace", "-in", out, "-o", "jsonl", "-trace-id", cycle.TraceID}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"spans", "-in", out, "-kind", "collect", "-top", "3"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var tree strings.Builder
+	if err := writeTraces(&tree, traces, "tree", "", true); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rebalance o", "degraded", "unreachable", deadAddr} {
+		if !strings.Contains(tree.String(), want) {
+			t.Errorf("rendered tree missing %q:\n%s", want, tree.String())
+		}
+	}
+
+	var table strings.Builder
+	if err := topSpans(&table, traces, "collect", 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "collect") || !strings.Contains(table.String(), "ERR:") {
+		t.Errorf("spans table missing collect rows or error:\n%s", table.String())
+	}
+}
+
+// TestCtlTraceFromFleet drives a traced rebalance, then fetches the
+// daemons' retained spans over the trace RPC via the trace and spans
+// subcommands.
+func TestCtlTraceFromFleet(t *testing.T) {
+	addrs, _ := startTracedFleet(t)
+	if err := run([]string{"-nodes", addrs, "put", "-obj", "f", "-data", "x"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		err := run([]string{"-nodes", addrs, "read", "-obj", "f",
+			"-client", "3", "-client-coord", "1,1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run([]string{"-nodes", addrs, "rebalance", "-obj", "f", "-k", "1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := dialFleet(splitAddrs(addrs), time.Second,
+		transport.WithClientTracer(trace.New(trace.NewFlightRecorder(4, 4), "ctl")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.close()
+	traces, err := f.gatherTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawServe bool
+	for _, tr := range traces {
+		for _, s := range tr.Spans {
+			if s.Name == "serve.micros" && strings.HasPrefix(s.Node, "node") {
+				sawServe = true
+			}
+		}
+	}
+	if !sawServe {
+		t.Fatalf("daemons retained no serve.micros span from the traced rebalance: %+v", traces)
+	}
+
+	// End-to-end through the parser.
+	if err := run([]string{"-nodes", addrs, "trace"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-nodes", addrs, "spans", "-kind", "server"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtlTraceErrors(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "nope.jsonl")
+	if err := run([]string{"trace", "-in", missing}); err == nil {
+		t.Error("missing trace file should fail")
+	}
+	good := filepath.Join(dir, "t.jsonl")
+	spans := `{"trace_id":"t1","span_id":"s1","name":"epoch","kind":"epoch","start_ns":1,"dur_ns":2}` + "\n"
+	if err := os.WriteFile(good, []byte(spans), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"trace", "-in", good, "-o", "bogus"}); err == nil {
+		t.Error("unknown -o format should fail")
+	}
+	if err := run([]string{"spans", "-in", good, "-top", "0"}); err == nil {
+		t.Error("-top 0 should fail")
+	}
+	// Filters that match nothing succeed with a notice, not an error.
+	if err := run([]string{"trace", "-in", good, "-trace-id", "absent"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"spans", "-in", good, "-kind", "migrate"}); err != nil {
+		t.Fatal(err)
+	}
+}

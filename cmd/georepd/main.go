@@ -11,20 +11,36 @@
 //
 //	georepd -addr 127.0.0.1:7001 -node 0 -m 10 -dims 3
 //	georepd -addr 127.0.0.1:7002 -node 1 -matrix matrix.txt   # emulate WAN RTTs
-//	georepd -addr 127.0.0.1:7001 -metrics-addr 127.0.0.1:9090 # JSON metrics over HTTP
+//	georepd -addr 127.0.0.1:7001 -metrics-addr 127.0.0.1:9090 # observability over HTTP
 //	georepd -addr 127.0.0.1:7001 -fault-plan "crash 0@2-4"    # chaos-test this node
+//	georepd -addr 127.0.0.1:7001 -log info,transport=debug    # per-component log levels
 //
-// With -metrics-addr the daemon also serves its metrics registry as an
-// expvar-style JSON document over HTTP at /metrics (and /debug/vars):
-// RPC counts and errors per method, transport bytes in/out, handler
-// latency histograms with p50/p95/p99, and summary-export sizes.
+// With -metrics-addr the daemon serves an observability surface over
+// HTTP:
+//
+//	/metrics       Prometheus text exposition (scrape this)
+//	/metrics.json  the same registry as an expvar-style JSON document
+//	/debug/vars    alias of /metrics.json
+//	/trace         retained span trees as JSONL (?format=chrome for
+//	               Chrome trace_event / Perfetto)
+//	/healthz       liveness probe
+//	/debug/pprof/  Go profiling endpoints (only with -pprof)
+//
+// The metrics cover RPC counts and errors per method, transport bytes
+// in/out, handler latency histograms with p50/p95/p99, and summary-
+// export sizes. Tracing (-trace, on by default) retains recent span
+// trees plus complete trees for anomalous requests in a bounded flight
+// recorder; fetch them here, via the trace RPC (georepctl trace), or
+// both.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -35,6 +51,9 @@ import (
 	"github.com/georep/georep/internal/daemon"
 	"github.com/georep/georep/internal/faults"
 	"github.com/georep/georep/internal/latency"
+	"github.com/georep/georep/internal/logging"
+	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/trace"
 )
 
 func main() {
@@ -66,11 +85,19 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		scale       = fs.Float64("timescale", 1.0, "emulated delay multiplier (0.1 = 10x faster demos)")
 		coordFlag   = fs.String("coord", "", "this node's network coordinate as comma-separated floats, e.g. \"12.5,-3.1,40.2\"")
 		height      = fs.Float64("height", 0, "height component of this node's coordinate")
-		metricsAddr = fs.String("metrics-addr", "", "HTTP address serving the JSON metrics snapshot; empty disables")
+		metricsAddr = fs.String("metrics-addr", "", "HTTP address serving /metrics, /metrics.json, /trace and /healthz; empty disables")
 		faultPlan   = fs.String("fault-plan", "", "inject faults from a plan DSL, e.g. \"crash 2@5-8; drop *>0:0.2@1-10\" (see internal/faults); the decay RPC advances the epoch")
 		faultSeed   = fs.Int64("fault-seed", 1, "seed for -fault-plan coin flips")
+		logSpec     = fs.String("log", "info", "log levels: default[,component=level ...] with components daemon and transport, e.g. \"warn,transport=debug\"")
+		traceOn     = fs.Bool("trace", true, "retain recent and anomalous span trees in a flight recorder, served at /trace and the trace RPC")
+		pprofOn     = fs.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ on -metrics-addr")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logCfg, err := logging.Parse(*logSpec)
+	if err != nil {
 		return err
 	}
 
@@ -121,6 +148,10 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		}
 	}
 
+	var rec *trace.FlightRecorder
+	if *traceOn {
+		rec = trace.NewFlightRecorder(trace.DefaultRecent, trace.DefaultAnomalous)
+	}
 	n, err := daemon.NewNode(daemon.Config{
 		ID:                       *nodeID,
 		MicroClusters:            *micro,
@@ -130,6 +161,9 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		Height:                   *height,
 		Faults:                   inj,
 		AdvanceFaultEpochOnDecay: inj != nil,
+		Trace:                    rec,
+		Logger:                   logCfg.Logger(os.Stderr, "daemon"),
+		TransportLogger:          logCfg.Logger(os.Stderr, "transport"),
 	})
 	if err != nil {
 		return err
@@ -151,16 +185,7 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 			return fmt.Errorf("metrics listen %s: %w", *metricsAddr, err)
 		}
 		metricsURL = ln.Addr().String()
-		serve := func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			if err := n.Metrics().WriteJSON(w); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
-		}
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", serve)
-		mux.HandleFunc("/debug/vars", serve)
-		metricsSrv = &http.Server{Handler: mux}
+		metricsSrv = &http.Server{Handler: newObsMux(n, rec, *pprofOn)}
 		go func() { _ = metricsSrv.Serve(ln) }()
 		fmt.Printf("metrics on http://%s/metrics\n", metricsURL)
 	}
@@ -174,4 +199,65 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		_ = metricsSrv.Close()
 	}
 	return n.Close()
+}
+
+// newObsMux builds the daemon's HTTP observability surface. Responses
+// that require marshalling are rendered to a buffer first, so a failure
+// becomes a clean 500 rather than a truncated 200.
+func newObsMux(n *daemon.Node, rec *trace.FlightRecorder, pprofOn bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		if err := metrics.WritePrometheus(&buf, n.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	})
+	serveJSON := func(w http.ResponseWriter, _ *http.Request) {
+		body, err := metrics.MarshalSnapshot(n.Snapshot())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	}
+	mux.HandleFunc("/metrics.json", serveJSON)
+	mux.HandleFunc("/debug/vars", serveJSON)
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if rec == nil {
+			http.Error(w, "tracing disabled (-trace=false)", http.StatusNotFound)
+			return
+		}
+		traces := rec.Traces()
+		var buf bytes.Buffer
+		var err error
+		ct := "application/x-ndjson"
+		if r.URL.Query().Get("format") == "chrome" {
+			ct = "application/json"
+			err = trace.WriteChromeTrace(&buf, traces)
+		} else {
+			err = trace.WriteJSONL(&buf, traces)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", ct)
+		_, _ = w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
 }

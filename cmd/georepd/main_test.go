@@ -1,15 +1,20 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/georep/georep/internal/daemon"
 	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/trace"
+	"github.com/georep/georep/internal/transport"
 )
 
 // startDaemon runs the daemon in a goroutine and returns its addresses
@@ -100,8 +105,8 @@ func TestDaemonWithMatrixDelay(t *testing.T) {
 	}
 }
 
-// TestMetricsEndpoint drives RPCs at a daemon and asserts the HTTP
-// metrics endpoint serves a JSON snapshot whose counters advance.
+// TestMetricsEndpoint drives RPCs at a daemon and asserts the JSON
+// metrics endpoints serve a snapshot whose counters advance.
 func TestMetricsEndpoint(t *testing.T) {
 	bound, stop := startDaemon(t, []string{
 		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0",
@@ -151,7 +156,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		return s
 	}
 
-	s := fetch("/metrics")
+	s := fetch("/metrics.json")
 	if got := s.Counters["daemon_rpc_get_total"]; got != reads {
 		t.Errorf("daemon_rpc_get_total = %d, want %d", got, reads)
 	}
@@ -174,6 +179,181 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestPrometheusEndpoint asserts /metrics speaks the text exposition
+// format: typed families, sane values, and counters matching traffic.
+func TestPrometheusEndpoint(t *testing.T) {
+	bound, stop := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0", "-dims", "2",
+	})
+	defer stop()
+
+	c, err := daemon.DialNode(bound.RPC, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("k", []byte("v"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(1, []float64{1, 1}, "k"); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + bound.Metrics + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE daemon_rpc_get_total counter",
+		"daemon_rpc_get_total 1",
+		"# TYPE daemon_rpc_get_ms histogram",
+		`daemon_rpc_get_ms_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestHealthzEndpoint: the liveness probe answers 200 ok.
+func TestHealthzEndpoint(t *testing.T) {
+	bound, stop := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0",
+	})
+	defer stop()
+	resp, err := http.Get("http://" + bound.Metrics + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz: %s %q", resp.Status, body)
+	}
+}
+
+// TestTraceEndpoint: traced traffic surfaces as JSONL span trees at
+// /trace and as trace_event JSON with ?format=chrome; -trace=false
+// turns the endpoint into a 404.
+func TestTraceEndpoint(t *testing.T) {
+	bound, stop := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0", "-node", "5", "-dims", "2",
+	})
+	defer stop()
+
+	rec := trace.NewFlightRecorder(8, 4)
+	tr := trace.New(rec, "probe")
+	c, err := daemon.DialNode(bound.RPC, time.Second, transport.WithClientTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("k", []byte("v"), 1); err != nil {
+		t.Fatal(err)
+	}
+	root := tr.StartRoot("probe", trace.KindEpoch)
+	ctx := trace.ContextWithSpan(context.Background(), root)
+	if _, _, err := c.GetCtx(ctx, 1, []float64{1, 1}, "k"); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	resp, err := http.Get("http://" + bound.Metrics + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace = %s", resp.Status)
+	}
+	traces, err := trace.ReadJSONL(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, tt := range traces {
+		for _, s := range tt.Spans {
+			if s.Name == "serve.get" && s.Node == "node5" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no serve.get span from node5 in %d traces", len(traces))
+	}
+
+	chromeResp, err := http.Get("http://" + bound.Metrics + "/trace?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chromeResp.Body.Close()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(chromeResp.Body).Decode(&doc); err != nil {
+		t.Fatalf("chrome format: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace empty")
+	}
+
+	// Tracing off: endpoint 404s, daemon still serves RPCs.
+	boundOff, stopOff := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0", "-trace=false",
+	})
+	defer stopOff()
+	offResp, err := http.Get("http://" + boundOff.Metrics + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	offResp.Body.Close()
+	if offResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled /trace = %s, want 404", offResp.Status)
+	}
+}
+
+// TestPprofOptIn: /debug/pprof/ is absent by default and served with
+// -pprof.
+func TestPprofOptIn(t *testing.T) {
+	bound, stop := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0",
+	})
+	resp, err := http.Get("http://" + bound.Metrics + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	stop()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without -pprof = %s, want 404", resp.Status)
+	}
+
+	bound, stop = startDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0", "-pprof",
+	})
+	defer stop()
+	resp, err = http.Get("http://" + bound.Metrics + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with -pprof = %s, want 200", resp.Status)
+	}
+}
+
 func TestDaemonArgErrors(t *testing.T) {
 	sig := make(chan os.Signal)
 	cases := [][]string{
@@ -182,6 +362,8 @@ func TestDaemonArgErrors(t *testing.T) {
 		{"-matrix", "/nonexistent"},                // missing matrix
 		{"-m", "0"},                                // invalid budget
 		{"-unknown-flag"},                          // flag error
+		{"-log", "loud"},                           // unknown log level
+		{"-log", "=debug"},                         // empty component
 		{"-addr", "256.256.256.256:99999"},         // unbindable address
 		{"-metrics-addr", "256.256.256.256:99999"}, // unbindable metrics address
 	}

@@ -31,6 +31,7 @@ import (
 
 	"github.com/georep/georep/internal/coord"
 	"github.com/georep/georep/internal/experiment"
+	"github.com/georep/georep/internal/trace"
 )
 
 func main() {
@@ -43,18 +44,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("replicasim", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "", "figure to reproduce: 1, 2, 3, rnp, drift, quorum, threshold, capacity, readwrite, routing, tail, strategies or failures")
-		table     = fs.String("table", "", "table to reproduce: 2")
-		all       = fs.Bool("all", false, "reproduce every figure and table")
-		runs      = fs.Int("runs", 30, "simulation runs to average over (paper: 30)")
-		nodes     = fs.Int("nodes", 226, "testbed size (paper: 226 PlanetLab nodes)")
-		algo      = fs.String("coord", "rnp", "coordinate algorithm: rnp or vivaldi")
-		micro     = fs.Int("m", 10, "micro-clusters per replica for the online strategy")
-		maxK      = fs.Int("maxk", 7, "largest degree of replication in Figure 2/3")
-		seedTable = fs.Int64("seed", 1, "seed for Table II workload generation")
-		csv       = fs.Bool("csv", false, "emit figures as CSV instead of aligned text")
-		faultPlan = fs.String("fault-plan", "", "override the failures scenario with a fault-plan DSL string (see internal/faults)")
-		faultSeed = fs.Int64("fault-seed", 1, "seed for the failures scenario")
+		fig         = fs.String("fig", "", "figure to reproduce: 1, 2, 3, rnp, drift, quorum, threshold, capacity, readwrite, routing, tail, strategies or failures")
+		table       = fs.String("table", "", "table to reproduce: 2")
+		all         = fs.Bool("all", false, "reproduce every figure and table")
+		runs        = fs.Int("runs", 30, "simulation runs to average over (paper: 30)")
+		nodes       = fs.Int("nodes", 226, "testbed size (paper: 226 PlanetLab nodes)")
+		algo        = fs.String("coord", "rnp", "coordinate algorithm: rnp or vivaldi")
+		micro       = fs.Int("m", 10, "micro-clusters per replica for the online strategy")
+		maxK        = fs.Int("maxk", 7, "largest degree of replication in Figure 2/3")
+		seedTable   = fs.Int64("seed", 1, "seed for Table II workload generation")
+		csv         = fs.Bool("csv", false, "emit figures as CSV instead of aligned text")
+		faultPlan   = fs.String("fault-plan", "", "override the failures scenario with a fault-plan DSL string (see internal/faults)")
+		faultSeed   = fs.Int64("fault-seed", 1, "seed for the failures scenario")
+		traceOut    = fs.String("trace-out", "", "write the failures run's per-epoch span trees as JSONL to this file")
+		traceChrome = fs.String("trace-chrome", "", "write the failures run's span trees in Chrome trace_event format to this file (load via chrome://tracing or Perfetto)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -186,11 +189,21 @@ func run(args []string) error {
 		cfg := experiment.DefaultFailureConfig()
 		cfg.Setup.CoordAlgorithm = setup.CoordAlgorithm
 		cfg.Plan = *faultPlan
+		var rec *trace.FlightRecorder
+		if *traceOut != "" || *traceChrome != "" {
+			rec = trace.NewFlightRecorder(trace.DefaultRecent, trace.DefaultAnomalous)
+			cfg.Trace = rec
+		}
 		res, err := experiment.Failure(*faultSeed, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiment.RenderFailure(res))
+		if rec != nil {
+			if err := exportTraces(rec.Traces(), *traceOut, *traceChrome); err != nil {
+				return err
+			}
+		}
 	}
 	if *all || *table == "2" {
 		rows, err := experiment.Table2(rand.New(rand.NewSource(*seedTable)), experiment.DefaultCostConfig())
@@ -198,6 +211,41 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(experiment.RenderCostTable(rows))
+	}
+	return nil
+}
+
+// exportTraces writes the collected span trees to the requested files:
+// JSONL (one span per line, replayable via trace.ReadJSONL and
+// georepctl trace -in) and Chrome trace_event JSON.
+func exportTraces(traces []trace.Trace, jsonlPath, chromePath string) error {
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteJSONL(f, traces); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d span trees to %s\n", len(traces), jsonlPath)
+	}
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeTrace(f, traces); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace of %d trees to %s\n", len(traces), chromePath)
 	}
 	return nil
 }

@@ -1,11 +1,14 @@
 package daemon
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"time"
 
 	"github.com/georep/georep/internal/cluster"
 	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/trace"
 	"github.com/georep/georep/internal/transport"
 )
 
@@ -20,7 +23,8 @@ type Client struct {
 // age the summary twice.
 func IdempotentMethods() []string {
 	return []string{MethodGet, MethodPut, MethodDelete, MethodMicros,
-		MethodStats, MethodPing, MethodCoord, MethodList, MethodMetrics}
+		MethodStats, MethodPing, MethodCoord, MethodList, MethodMetrics,
+		MethodTrace}
 }
 
 // DialNode connects to a daemon. Additional transport options (retry
@@ -53,8 +57,14 @@ func (c *Client) Ping() (time.Duration, error) {
 // Get reads an object on behalf of a client node, returning the payload
 // and the observed RTT (including any emulated wide-area delay).
 func (c *Client) Get(client int, clientCoord []float64, object string) (GetResponse, time.Duration, error) {
+	return c.GetCtx(context.Background(), client, clientCoord, object)
+}
+
+// GetCtx is Get with trace propagation: a span context carried by ctx
+// travels in the request frame (see transport.CallContext).
+func (c *Client) GetCtx(ctx context.Context, client int, clientCoord []float64, object string) (GetResponse, time.Duration, error) {
 	var resp GetResponse
-	rtt, err := c.c.Call(MethodGet, GetRequest{
+	rtt, err := c.c.CallContext(ctx, MethodGet, GetRequest{
 		Client:      client,
 		ClientCoord: clientCoord,
 		Object:      object,
@@ -67,7 +77,12 @@ func (c *Client) Get(client int, clientCoord []float64, object string) (GetRespo
 
 // Put stores an object version.
 func (c *Client) Put(object string, data []byte, version uint64) error {
-	if _, err := c.c.Call(MethodPut, PutRequest{Object: object, Data: data, Version: version}, nil); err != nil {
+	return c.PutCtx(context.Background(), object, data, version)
+}
+
+// PutCtx is Put with trace propagation.
+func (c *Client) PutCtx(ctx context.Context, object string, data []byte, version uint64) error {
+	if _, err := c.c.CallContext(ctx, MethodPut, PutRequest{Object: object, Data: data, Version: version}, nil); err != nil {
 		return fmt.Errorf("daemon: put %s to %s: %w", object, c.addr, err)
 	}
 	return nil
@@ -75,7 +90,12 @@ func (c *Client) Put(object string, data []byte, version uint64) error {
 
 // Delete removes an object.
 func (c *Client) Delete(object string) error {
-	if _, err := c.c.Call(MethodDelete, DeleteRequest{Object: object}, nil); err != nil {
+	return c.DeleteCtx(context.Background(), object)
+}
+
+// DeleteCtx is Delete with trace propagation.
+func (c *Client) DeleteCtx(ctx context.Context, object string) error {
+	if _, err := c.c.CallContext(ctx, MethodDelete, DeleteRequest{Object: object}, nil); err != nil {
 		return fmt.Errorf("daemon: delete %s at %s: %w", object, c.addr, err)
 	}
 	return nil
@@ -84,8 +104,14 @@ func (c *Client) Delete(object string) error {
 // Micros fetches the node's micro-cluster summary, decoded, along with
 // its wire size in bytes.
 func (c *Client) Micros() ([]cluster.Micro, int, error) {
+	return c.MicrosCtx(context.Background())
+}
+
+// MicrosCtx is Micros with trace propagation, so the per-replica
+// summary-collection RPCs of a traced epoch show their daemon legs.
+func (c *Client) MicrosCtx(ctx context.Context) ([]cluster.Micro, int, error) {
 	var resp MicrosResponse
-	if _, err := c.c.Call(MethodMicros, nil, &resp); err != nil {
+	if _, err := c.c.CallContext(ctx, MethodMicros, nil, &resp); err != nil {
 		return nil, 0, fmt.Errorf("daemon: micros from %s: %w", c.addr, err)
 	}
 	ms, err := cluster.DecodeMicros(resp.Encoded)
@@ -97,7 +123,12 @@ func (c *Client) Micros() ([]cluster.Micro, int, error) {
 
 // Decay ages the node's summary.
 func (c *Client) Decay(factor float64) error {
-	if _, err := c.c.Call(MethodDecay, DecayRequest{Factor: factor}, nil); err != nil {
+	return c.DecayCtx(context.Background(), factor)
+}
+
+// DecayCtx is Decay with trace propagation.
+func (c *Client) DecayCtx(ctx context.Context, factor float64) error {
+	if _, err := c.c.CallContext(ctx, MethodDecay, DecayRequest{Factor: factor}, nil); err != nil {
 		return fmt.Errorf("daemon: decay at %s: %w", c.addr, err)
 	}
 	return nil
@@ -128,6 +159,20 @@ func (c *Client) Metrics() (metrics.Snapshot, error) {
 		return metrics.Snapshot{}, fmt.Errorf("daemon: metrics from %s: %w", c.addr, err)
 	}
 	return metrics.UnmarshalSnapshot(resp.JSON)
+}
+
+// Trace fetches the node's retained span trees (empty when the node
+// runs without a flight recorder).
+func (c *Client) Trace() ([]trace.Trace, error) {
+	var resp TraceResponse
+	if _, err := c.c.Call(MethodTrace, nil, &resp); err != nil {
+		return nil, fmt.Errorf("daemon: trace from %s: %w", c.addr, err)
+	}
+	var traces []trace.Trace
+	if err := json.Unmarshal(resp.JSON, &traces); err != nil {
+		return nil, fmt.Errorf("daemon: decode traces from %s: %w", c.addr, err)
+	}
+	return traces, nil
 }
 
 // Stats fetches node statistics.

@@ -10,15 +10,19 @@
 package daemon
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"github.com/georep/georep/internal/cluster"
 	"github.com/georep/georep/internal/faults"
+	"github.com/georep/georep/internal/logging"
 	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/store"
+	"github.com/georep/georep/internal/trace"
 	"github.com/georep/georep/internal/transport"
 	"github.com/georep/georep/internal/vec"
 )
@@ -82,6 +86,12 @@ type (
 	MetricsResponse struct {
 		JSON []byte
 	}
+	// TraceResponse carries the node's retained span trees as a
+	// JSON-encoded []trace.Trace; empty (a JSON []) when the node runs
+	// without a flight recorder.
+	TraceResponse struct {
+		JSON []byte
+	}
 )
 
 // Method names of the daemon protocol.
@@ -96,6 +106,7 @@ const (
 	MethodCoord   = "coord"
 	MethodList    = "list"
 	MethodMetrics = "metrics"
+	MethodTrace   = "trace"
 )
 
 // DelayFunc returns the emulated RTT for serving a given client node;
@@ -134,6 +145,17 @@ type Config struct {
 	// stays in step without an out-of-band clock. Leave false when the
 	// test driver sets the epoch explicitly on a shared injector.
 	AdvanceFaultEpochOnDecay bool
+	// Trace, when non-nil, retains server-side spans for traced inbound
+	// requests (frames carrying a trace context). The trace RPC and the
+	// georepd /trace endpoint export the retained trees, so a
+	// coordinator can assemble the daemon legs of its epoch traces.
+	Trace *trace.FlightRecorder
+	// Logger receives daemon lifecycle and serve-loop events; nil
+	// discards them.
+	Logger *slog.Logger
+	// TransportLogger receives transport-server events (fault drops,
+	// unknown methods, handler errors); nil discards them.
+	TransportLogger *slog.Logger
 }
 
 // Node is one running storage daemon.
@@ -142,6 +164,7 @@ type Node struct {
 	store  *store.Store
 	server *transport.Server
 	reg    *metrics.Registry
+	log    *slog.Logger
 
 	mu       sync.Mutex
 	sum      *cluster.Summarizer
@@ -164,10 +187,18 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg:   cfg,
 		store: store.New(),
 		reg:   reg,
+		log:   logging.Or(cfg.Logger),
 	}
 	srvOpts := []transport.ServerOption{transport.WithMetrics(reg)}
 	if cfg.Faults != nil {
 		srvOpts = append(srvOpts, transport.WithServerFaults(n.faultAction))
+	}
+	if cfg.Trace != nil {
+		srvOpts = append(srvOpts,
+			transport.WithServerTracer(trace.New(cfg.Trace, fmt.Sprintf("node%d", cfg.ID))))
+	}
+	if cfg.TransportLogger != nil {
+		srvOpts = append(srvOpts, transport.WithServerLogger(cfg.TransportLogger))
 	}
 	n.server = transport.NewServer(srvOpts...)
 	sum, err := cluster.NewSummarizer(cfg.MicroClusters, cfg.Dims)
@@ -203,6 +234,7 @@ func (n *Node) registerHandlers() error {
 		MethodCoord:   n.handleCoord,
 		MethodList:    n.handleList,
 		MethodMetrics: n.handleMetrics,
+		MethodTrace:   n.handleTrace,
 	}
 	for name, h := range handlers {
 		if err := n.server.Handle(name, n.instrument(name, h)); err != nil {
@@ -257,17 +289,30 @@ func (n *Node) handleMetrics([]byte) ([]byte, error) {
 	return transport.Marshal(MetricsResponse{JSON: b})
 }
 
+func (n *Node) handleTrace([]byte) ([]byte, error) {
+	traces := n.cfg.Trace.Traces()
+	if traces == nil {
+		traces = []trace.Trace{}
+	}
+	b, err := json.Marshal(traces)
+	if err != nil {
+		return nil, err
+	}
+	return transport.Marshal(TraceResponse{JSON: b})
+}
+
 // Start listens on addr (e.g. "127.0.0.1:0") and serves in a background
 // goroutine until Close.
 func (n *Node) Start(addr string) error {
 	if err := n.server.Listen(addr); err != nil {
 		return err
 	}
+	n.log.Info("daemon listening", "node", n.cfg.ID, "addr", n.Addr())
 	go func() {
 		if err := n.server.Serve(); err != nil && !errors.Is(err, transport.ErrServerClosed) {
-			// The daemon has no logger dependency; a dead listener is
-			// surfaced to clients as connection errors.
-			_ = err
+			// A dead listener also surfaces to clients as connection
+			// errors, but the cause belongs in the node's own log.
+			n.log.Error("serve loop exited", "node", n.cfg.ID, "err", err)
 		}
 	}()
 	return nil

@@ -1,12 +1,15 @@
 package daemon
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
+	"github.com/georep/georep/internal/trace"
 	"github.com/georep/georep/internal/transport"
 )
 
@@ -17,6 +20,7 @@ import (
 type Failover struct {
 	clients []*Client
 	pos     [][]float64 // learned replica coordinates; nil = unknown
+	tracer  *trace.Tracer
 }
 
 // NewFailover wraps an already-dialed replica fleet. The given order is
@@ -30,6 +34,10 @@ func NewFailover(clients ...*Client) (*Failover, error) {
 
 // Clients returns the wrapped fleet in its original order.
 func (f *Failover) Clients() []*Client { return f.clients }
+
+// SetTracer makes GetContext record a failover span per read chain (a
+// nil tracer turns tracing off again).
+func (f *Failover) SetTracer(tr *trace.Tracer) { f.tracer = tr }
 
 // Close closes every replica client, returning the first error.
 func (f *Failover) Close() error {
@@ -91,18 +99,42 @@ func (f *Failover) order(clientCoord []float64) []int {
 // the response, the index of the serving replica in the fleet, and the
 // RTT of the successful attempt.
 func (f *Failover) Get(client int, clientCoord []float64, object string) (GetResponse, int, time.Duration, error) {
+	return f.GetContext(context.Background(), client, clientCoord, object)
+}
+
+// GetContext is Get with trace propagation: with a tracer set and a
+// span context in ctx, the whole read chain becomes one failover span,
+// each hop a traced RPC beneath it, so a trace shows exactly which
+// replicas were tried before one answered.
+func (f *Failover) GetContext(ctx context.Context, client int, clientCoord []float64, object string) (GetResponse, int, time.Duration, error) {
+	sp := f.tracer.Start(trace.FromContext(ctx), "failover.get", trace.KindFailover)
+	sp.SetAttr("object", object)
+	if sp != nil {
+		ctx = trace.ContextWithSpan(ctx, sp)
+	}
 	var errs []error
+	hops := 0
 	for _, i := range f.order(clientCoord) {
-		resp, rtt, err := f.clients[i].Get(client, clientCoord, object)
+		hops++
+		resp, rtt, err := f.clients[i].GetCtx(ctx, client, clientCoord, object)
 		if err == nil {
+			sp.SetAttr("hops", strconv.Itoa(hops))
+			sp.SetAttr("served_by", strconv.Itoa(i))
+			sp.End()
 			return resp, i, rtt, nil
 		}
 		var remote *transport.RemoteError
 		if errors.As(err, &remote) {
+			sp.SetAttr("hops", strconv.Itoa(hops))
+			sp.SetErr(err)
+			sp.End()
 			return GetResponse{}, i, rtt, err
 		}
 		errs = append(errs, fmt.Errorf("replica %d (%s): %w", i, f.clients[i].Addr(), err))
 	}
-	return GetResponse{}, -1, 0, fmt.Errorf("daemon: all %d replicas failed: %w",
-		len(f.clients), errors.Join(errs...))
+	err := fmt.Errorf("daemon: all %d replicas failed: %w", len(f.clients), errors.Join(errs...))
+	sp.SetAttr("hops", strconv.Itoa(hops))
+	sp.SetErr(err)
+	sp.End()
+	return GetResponse{}, -1, 0, err
 }

@@ -1,0 +1,171 @@
+package daemon
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/georep/georep/internal/store"
+	"github.com/georep/georep/internal/trace"
+	"github.com/georep/georep/internal/transport"
+)
+
+func startTracedNode(t *testing.T, id int) (*Node, *trace.FlightRecorder) {
+	t.Helper()
+	rec := trace.NewFlightRecorder(16, 8)
+	n, err := NewNode(Config{ID: id, MicroClusters: 8, Dims: 2, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n, rec
+}
+
+// TestTraceRPCExportsServerSpans drives a traced read and checks the
+// daemon's trace RPC returns the server-side leg of the tree.
+func TestTraceRPCExportsServerSpans(t *testing.T) {
+	n, _ := startTracedNode(t, 3)
+	if err := n.Store().Put(store.Object{ID: "obj", Data: []byte("v"), Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	cliRec := trace.NewFlightRecorder(16, 8)
+	tr := trace.New(cliRec, "coord", trace.WithRand(rand.New(rand.NewSource(1))))
+	c, err := DialNode(n.Addr(), 2*time.Second,
+		transport.WithCallTimeout(2*time.Second), transport.WithClientTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	root := tr.StartRoot("epoch", trace.KindEpoch)
+	ctx := trace.ContextWithSpan(context.Background(), root)
+	if _, _, err := c.GetCtx(ctx, 0, []float64{1, 2}, "obj"); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	traces, err := c.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0].TraceID != root.Context().TraceID {
+		t.Fatalf("daemon traces: %+v", traces)
+	}
+	var serve *trace.Span
+	for i, s := range traces[0].Spans {
+		if s.Name == "serve.get" {
+			serve = &traces[0].Spans[i]
+		}
+	}
+	if serve == nil {
+		t.Fatalf("no serve.get span: %+v", traces[0].Spans)
+	}
+	if serve.Node != "node3" {
+		t.Fatalf("server span node %q", serve.Node)
+	}
+	// merged with the client side it must form one connected tree
+	cli, _ := cliRec.Trace(root.Context().TraceID)
+	merged := trace.Merge([]trace.Trace{cli}, traces)
+	if len(merged) != 1 || len(merged[0].Spans) != 4 {
+		t.Fatalf("merged: %+v", merged)
+	}
+}
+
+// TestTraceRPCWithoutRecorder: a node without a flight recorder answers
+// the trace RPC with an empty list, not an error.
+func TestTraceRPCWithoutRecorder(t *testing.T) {
+	n, err := NewNode(Config{ID: 1, MicroClusters: 8, Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	c, err := DialNode(n.Addr(), 2*time.Second, transport.WithCallTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	traces, err := c.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 0 {
+		t.Fatalf("expected no traces, got %+v", traces)
+	}
+}
+
+// TestFailoverTraced: with the first replica dead, the failover span
+// records the hop count and the replica that served, and the failed
+// hop's client span carries the error.
+func TestFailoverTraced(t *testing.T) {
+	nLive, _ := startTracedNode(t, 1)
+	if err := nLive.Store().Put(store.Object{ID: "obj", Data: []byte("v"), Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	nDead, _ := startTracedNode(t, 0)
+
+	rec := trace.NewFlightRecorder(16, 8)
+	tr := trace.New(rec, "reader", trace.WithRand(rand.New(rand.NewSource(1))))
+	mkClient := func(addr string) *Client {
+		c, err := DialNode(addr, time.Second,
+			transport.WithCallTimeout(300*time.Millisecond), transport.WithClientTracer(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	// Dial both while alive, then kill replica 0 so its hop fails.
+	cDead, cLive := mkClient(nDead.Addr()), mkClient(nLive.Addr())
+	nDead.Close()
+
+	f, err := NewFailover(cDead, cLive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetTracer(tr)
+
+	root := tr.StartRoot("read", trace.KindEpoch)
+	ctx := trace.ContextWithSpan(context.Background(), root)
+	resp, served, _, err := f.GetContext(ctx, 0, nil, "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != 1 || string(resp.Data) != "v" {
+		t.Fatalf("served=%d data=%q", served, resp.Data)
+	}
+	root.End()
+
+	got, ok := rec.Trace(root.Context().TraceID)
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	var fo *trace.Span
+	for i, s := range got.Spans {
+		if s.Kind == trace.KindFailover {
+			fo = &got.Spans[i]
+		}
+	}
+	if fo == nil {
+		t.Fatalf("no failover span: %+v", got.Spans)
+	}
+	if fo.Attrs["hops"] != "2" || fo.Attrs["served_by"] != "1" {
+		t.Fatalf("failover attrs: %v", fo.Attrs)
+	}
+	var failedHop bool
+	for _, s := range got.Spans {
+		if s.Kind == trace.KindClient && s.ParentID == fo.SpanID && s.Err != "" {
+			failedHop = true
+		}
+	}
+	if !failedHop {
+		t.Fatalf("failed hop not traced: %+v", got.Spans)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/georep/georep/internal/replica"
 	"github.com/georep/georep/internal/simnet"
 	"github.com/georep/georep/internal/stats"
+	"github.com/georep/georep/internal/trace"
 	"github.com/georep/georep/internal/vec"
 	"github.com/georep/georep/internal/workload"
 )
@@ -53,6 +54,12 @@ type FailureConfig struct {
 	// from the world: crash the first replica mid-run, partition the
 	// largest client region, and flap a lossy link into another replica.
 	Plan string
+	// Trace optionally collects a synthetic span tree per faulty-pass
+	// epoch: the tree a live traced coordinator would have recorded,
+	// stamped with the discrete-event clock, with the fault that made a
+	// replica unreachable named on the errored collect span. Degraded,
+	// below-quorum and migrating epochs are pinned as anomalous.
+	Trace *trace.FlightRecorder
 }
 
 // DefaultFailureConfig returns a moderate failure scenario.
@@ -194,7 +201,7 @@ func Failure(seed int64, cfg FailureConfig) (*FailureResult, error) {
 		}
 	}
 
-	healthy, err := runFailurePass(seed, cfg, w, cand, initial, epochs, nil)
+	healthy, err := runFailurePass(seed, cfg, w, cand, initial, epochs, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +216,7 @@ func Failure(seed int64, cfg FailureConfig) (*FailureResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	faulty, err := runFailurePass(seed, cfg, w, cand, initial, epochs, inj)
+	faulty, err := runFailurePass(seed, cfg, w, cand, initial, epochs, inj, cfg.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -281,7 +288,7 @@ type failurePass struct {
 }
 
 func runFailurePass(seed int64, cfg FailureConfig, w *World, cand, initial []int,
-	epochs [][]workload.Access, inj *faults.Injector) (*failurePass, error) {
+	epochs [][]workload.Access, inj *faults.Injector, rec *trace.FlightRecorder) (*failurePass, error) {
 	mgr, err := replica.NewManager(replica.Config{
 		K: cfg.K, M: cfg.M, Dims: cfg.Setup.CoordDims,
 		Migration:   replica.MigrationPolicy{MinRelativeGain: cfg.MinRelativeGain},
@@ -310,9 +317,12 @@ func runFailurePass(seed int64, cfg FailureConfig, w *World, cand, initial []int
 
 	const epochMs = 60_000.0
 	offsetRng := rand.New(rand.NewSource(seed * 97))
+	idRng := rand.New(rand.NewSource(seed * 13))
 	pass := &failurePass{}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		inj.SetEpoch(epoch)
+		epochStart := sim.Now()
+		entering := append([]int(nil), mgr.Replicas()...)
 		var delay stats.Accumulator
 		failovers, failed := 0, 0
 		for _, a := range epochs[epoch] {
@@ -357,9 +367,125 @@ func runFailurePass(seed int64, cfg FailureConfig, w *World, cand, initial []int
 			Migrated:     dec.Migrate && dec.MovedReplicas > 0,
 			Replicas:     append([]int(nil), dec.NewReplicas...),
 		})
+		if rec != nil {
+			end := sim.Now()
+			if end <= epochStart {
+				end = epochStart + epochMs
+			}
+			synthEpochTrace(rec, idRng, epoch, epochStart, end, entering, dec, inj, cfg.TimeoutMs)
+		}
 	}
 	pass.droppedLegs = sim.DroppedLegs()
 	return pass, nil
+}
+
+// synthEpochTrace fabricates the span tree a live traced coordinator
+// would have recorded for one simulated epoch, stamped with the
+// discrete-event clock (sim milliseconds become span nanoseconds, so
+// traces from simulated and live runs render on a common axis). The
+// root epoch span covers the epoch's simulated window; summary
+// collection occupies its tail, one client-side collect span per
+// replica with a server-side summarize leg at the replica's node for
+// the ones that answered. A collect that failed names the fault that
+// caused it — crash, partition, or dropped link. Degraded,
+// below-quorum and migrating epochs are pinned as anomalous, mirroring
+// the live coordinator's policy.
+func synthEpochTrace(rec *trace.FlightRecorder, rng *rand.Rand, epoch int,
+	startMs, endMs float64, entering []int, dec replica.Decision, inj *faults.Injector, timeoutMs float64) {
+	traceID := trace.NewTraceID(rng)
+	ns := func(ms float64) int64 { return int64(ms * 1e6) }
+	missing := make(map[int]bool, len(dec.MissingSummaries))
+	for _, r := range dec.MissingSummaries {
+		missing[r] = true
+	}
+
+	root := trace.Span{
+		TraceID: traceID, SpanID: trace.NewSpanID(rng),
+		Name: fmt.Sprintf("epoch %d", epoch), Kind: trace.KindEpoch, Node: "sim-coord",
+		StartNs: ns(startMs), DurNs: ns(endMs - startMs),
+		Attrs: map[string]string{
+			"epoch": fmt.Sprint(epoch),
+			"k":     fmt.Sprint(dec.K),
+			"sim":   "true",
+		},
+	}
+	if len(dec.MissingSummaries) > 0 {
+		root.Attrs["missing"] = fmt.Sprint(dec.MissingSummaries)
+	}
+	rec.Record(root)
+
+	// Collection occupies the last tenth of the epoch window.
+	collectStart := endMs - (endMs-startMs)/10
+	collectEnd := collectStart
+	for _, rep := range entering {
+		sp := trace.Span{
+			TraceID: traceID, SpanID: trace.NewSpanID(rng), ParentID: root.SpanID,
+			Name: fmt.Sprintf("collect %d", rep), Kind: trace.KindCollect, Node: "sim-coord",
+			StartNs: ns(collectStart),
+			Attrs:   map[string]string{"replica": fmt.Sprint(rep)},
+		}
+		if missing[rep] {
+			sp.DurNs = ns(timeoutMs)
+			sp.Err = fmt.Sprintf("replica %d unreachable: %s", rep, faultCause(inj, rep))
+		} else {
+			rtt := 5 + rng.Float64()*45
+			sp.DurNs = ns(rtt)
+			serve := trace.Span{
+				TraceID: traceID, SpanID: trace.NewSpanID(rng), ParentID: sp.SpanID,
+				Name: "summarize", Kind: trace.KindServer, Node: fmt.Sprintf("dc%d", rep),
+				StartNs: ns(collectStart + rtt/2), DurNs: ns(rtt / 10),
+			}
+			rec.Record(serve)
+		}
+		rec.Record(sp)
+		if end := collectStart + float64(sp.DurNs)/1e6; end > collectEnd {
+			collectEnd = end
+		}
+	}
+
+	kmeans := trace.Span{
+		TraceID: traceID, SpanID: trace.NewSpanID(rng), ParentID: root.SpanID,
+		Name: "kmeans", Kind: trace.KindKMeans, Node: "sim-coord",
+		StartNs: ns(collectEnd), DurNs: ns(1 + rng.Float64()*4),
+	}
+	rec.Record(kmeans)
+	decideStart := collectEnd + float64(kmeans.DurNs)/1e6
+	rec.Record(trace.Span{
+		TraceID: traceID, SpanID: trace.NewSpanID(rng), ParentID: root.SpanID,
+		Name: "decide", Kind: trace.KindDecide, Node: "sim-coord",
+		StartNs: ns(decideStart), DurNs: ns(0.5),
+		Attrs: map[string]string{
+			"migrate": fmt.Sprint(dec.Migrate),
+			"moved":   fmt.Sprint(dec.MovedReplicas),
+			"gain_ms": fmt.Sprintf("%.3f", dec.EstimatedOldMs-dec.EstimatedNewMs),
+		},
+	})
+
+	switch {
+	case !dec.QuorumOK:
+		rec.MarkAnomalous(traceID, "below_quorum")
+	case dec.Degraded:
+		rec.MarkAnomalous(traceID, "degraded")
+	case dec.Migrate && dec.MovedReplicas > 0:
+		rec.MarkAnomalous(traceID, "migrated")
+	}
+}
+
+// faultCause names the injector condition that makes a node unreachable
+// from the coordinator, preferring the most specific explanation.
+func faultCause(inj *faults.Injector, node int) string {
+	switch {
+	case inj == nil:
+		return "no summary"
+	case inj.NodeDown(node):
+		return fmt.Sprintf("node dc%d crashed", node)
+	case inj.Partitioned(faults.External, node):
+		return fmt.Sprintf("dc%d partitioned from coordinator", node)
+	case inj.Verdict(faults.External, node).Drop:
+		return fmt.Sprintf("link to dc%d dropping", node)
+	default:
+		return "no summary"
+	}
 }
 
 // attempt issues one simulated get against order[i], arming a timeout

@@ -3,6 +3,8 @@ package experiment
 import (
 	"strings"
 	"testing"
+
+	"github.com/georep/georep/internal/trace"
 )
 
 func quickFailureConfig() FailureConfig {
@@ -173,6 +175,80 @@ func TestRenderFailure(t *testing.T) {
 	for _, want := range []string{"plan:", "healthy", "faulty", "degraded", "mean:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFailureSyntheticTraces: with a recorder attached the faulty pass
+// emits one span tree per epoch, degraded epochs are pinned anomalous,
+// and the errored collect spans name the faulted node.
+func TestFailureSyntheticTraces(t *testing.T) {
+	cfg := quickFailureConfig()
+	rec := trace.NewFlightRecorder(trace.DefaultRecent, trace.DefaultAnomalous)
+	cfg.Trace = rec
+	res, err := Failure(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != cfg.Epochs {
+		t.Fatalf("recorder holds %d traces, want %d", rec.Len(), cfg.Epochs)
+	}
+	if res.DegradedEpochs == 0 {
+		t.Fatal("scenario produced no degraded epochs; the trace assertions below are vacuous")
+	}
+	anom := rec.Anomalous()
+	if len(anom) == 0 {
+		t.Fatal("no anomalous traces pinned")
+	}
+	var sawNamedFault, multiNode bool
+	for _, tr := range anom {
+		if tr.Anomaly != "degraded" && tr.Anomaly != "below_quorum" && tr.Anomaly != "migrated" {
+			t.Errorf("unexpected anomaly %q", tr.Anomaly)
+		}
+		nodes := map[string]bool{}
+		for _, s := range tr.Spans {
+			nodes[s.Node] = true
+			if s.Kind == trace.KindCollect && s.Err != "" &&
+				(strings.Contains(s.Err, "crashed") || strings.Contains(s.Err, "partitioned") ||
+					strings.Contains(s.Err, "dropping")) {
+				sawNamedFault = true
+			}
+		}
+		if len(nodes) > 1 {
+			multiNode = true
+		}
+	}
+	if !sawNamedFault {
+		t.Error("no anomalous trace names the fault that caused it")
+	}
+	if !multiNode {
+		t.Error("no anomalous trace spans more than one node")
+	}
+	// Span timestamps ride the simulated clock: epoch roots must be
+	// strictly ordered and non-overlapping tree roots.
+	traces := rec.Traces()
+	var prevStart int64 = -1
+	for _, tr := range traces {
+		if s := tr.Start(); s <= prevStart {
+			t.Fatalf("epoch roots not ordered by sim time: %d after %d", s, prevStart)
+		} else {
+			prevStart = s
+		}
+	}
+	// Identical seeds and configs must produce identical span trees.
+	rec2 := trace.NewFlightRecorder(trace.DefaultRecent, trace.DefaultAnomalous)
+	cfg2 := quickFailureConfig()
+	cfg2.Trace = rec2
+	if _, err := Failure(1, cfg2); err != nil {
+		t.Fatal(err)
+	}
+	a, b := rec.Traces(), rec2.Traces()
+	if len(a) != len(b) {
+		t.Fatalf("trace counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].TraceID != b[i].TraceID || len(a[i].Spans) != len(b[i].Spans) {
+			t.Fatalf("trace %d differs across identical runs", i)
 		}
 	}
 }

@@ -1,0 +1,107 @@
+// Package logging configures log/slog for the georep binaries:
+// structured key=value logs with per-component levels, so a daemon can
+// run with quiet defaults while one noisy layer (say, transport) is
+// turned up to debug. A level spec looks like
+//
+//	info,transport=debug,daemon=warn
+//
+// — an optional bare default level plus component=level overrides.
+// Components used across the repo: "daemon", "transport", "replica".
+package logging
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Config is a parsed level spec.
+type Config struct {
+	Default    slog.Level
+	Components map[string]slog.Level
+}
+
+// Parse parses a level spec like "info,transport=debug". The empty spec
+// defaults every component to info.
+func Parse(spec string) (Config, error) {
+	cfg := Config{Default: slog.LevelInfo, Components: map[string]slog.Level{}}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, levelStr, found := strings.Cut(part, "=")
+		if !found {
+			lvl, err := parseLevel(part)
+			if err != nil {
+				return Config{}, err
+			}
+			cfg.Default = lvl
+			continue
+		}
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return Config{}, fmt.Errorf("logging: empty component in %q", part)
+		}
+		lvl, err := parseLevel(levelStr)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Components[name] = lvl
+	}
+	return cfg, nil
+}
+
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("logging: unknown level %q (want debug|info|warn|error)", s)
+}
+
+// Level returns the effective level for a component.
+func (c Config) Level(component string) slog.Level {
+	if lvl, ok := c.Components[component]; ok {
+		return lvl
+	}
+	return c.Default
+}
+
+// Logger builds a component logger writing text slog lines to w at the
+// component's effective level, tagged with component=<name>.
+func (c Config) Logger(w io.Writer, component string) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: c.Level(component)})
+	return slog.New(h).With("component", component)
+}
+
+// Nop returns a logger that discards everything — the default wherever
+// a *slog.Logger is optional, so call sites never nil-check.
+func Nop() *slog.Logger {
+	return slog.New(discardHandler{})
+}
+
+// discardHandler drops all records. (slog.DiscardHandler needs go 1.24;
+// go.mod pins 1.22.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// Or returns l if non-nil, else the nop logger.
+func Or(l *slog.Logger) *slog.Logger {
+	if l != nil {
+		return l
+	}
+	return Nop()
+}

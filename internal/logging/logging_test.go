@@ -1,0 +1,83 @@
+package logging
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseEmptyDefaultsInfo(t *testing.T) {
+	cfg, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Default != slog.LevelInfo {
+		t.Fatalf("default = %v", cfg.Default)
+	}
+	if cfg.Level("transport") != slog.LevelInfo {
+		t.Fatal("unknown component should inherit default")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := Parse("warn, transport=debug ,daemon=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Default != slog.LevelWarn {
+		t.Fatalf("default = %v", cfg.Default)
+	}
+	if cfg.Level("transport") != slog.LevelDebug {
+		t.Fatalf("transport = %v", cfg.Level("transport"))
+	}
+	if cfg.Level("daemon") != slog.LevelError {
+		t.Fatalf("daemon = %v", cfg.Level("daemon"))
+	}
+	if cfg.Level("replica") != slog.LevelWarn {
+		t.Fatalf("replica should fall back to default, got %v", cfg.Level("replica"))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"loud", "transport=verbose", "=debug"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoggerLevelAndComponentTag(t *testing.T) {
+	cfg, _ := Parse("info,transport=debug")
+	var daemonBuf, transportBuf strings.Builder
+
+	daemon := cfg.Logger(&daemonBuf, "daemon")
+	daemon.Debug("hidden")
+	daemon.Info("visible", "epoch", 3)
+	out := daemonBuf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("debug leaked at info level: %s", out)
+	}
+	if !strings.Contains(out, "visible") || !strings.Contains(out, "component=daemon") || !strings.Contains(out, "epoch=3") {
+		t.Fatalf("info line malformed: %s", out)
+	}
+
+	transport := cfg.Logger(&transportBuf, "transport")
+	transport.Debug("wire", "method", "get")
+	if !strings.Contains(transportBuf.String(), "wire") {
+		t.Fatal("transport=debug override not applied")
+	}
+}
+
+func TestNopDiscardsAndOr(t *testing.T) {
+	n := Nop()
+	n.Error("dropped", "k", "v") // must not panic, writes nowhere
+	n.WithGroup("g").With("a", 1).Info("also dropped")
+
+	if Or(nil) == nil {
+		t.Fatal("Or(nil) returned nil")
+	}
+	real := slog.Default()
+	if Or(real) != real {
+		t.Fatal("Or should pass through non-nil logger")
+	}
+}

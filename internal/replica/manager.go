@@ -5,10 +5,12 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 
 	"github.com/georep/georep/internal/cluster"
 	"github.com/georep/georep/internal/coord"
 	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/trace"
 	"github.com/georep/georep/internal/vec"
 )
 
@@ -47,6 +49,12 @@ type Config struct {
 	// metric names). A nil registry disables instrumentation at the cost
 	// of one nil check per update.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, records one span tree per epoch: the epoch
+	// root, a collect span per replica (errors naming unreachable
+	// nodes), the k-means macro-clustering, and the migration decision.
+	// Degraded, below-quorum, and migrating epochs are marked anomalous
+	// so the flight recorder pins their complete trees.
+	Tracer *trace.Tracer
 }
 
 // newServer builds a server in the configured recency mode.
@@ -292,6 +300,10 @@ func (m *Manager) EndEpoch(r *rand.Rand) (Decision, error) {
 // from a below-quorum view of the world.
 func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) (Decision, error) {
 	m.epoch++
+	root := m.cfg.Tracer.StartRoot(fmt.Sprintf("epoch %d", m.epoch), trace.KindEpoch)
+	defer root.End() // idempotent; covers every return path
+	root.SetAttr("epoch", strconv.Itoa(m.epoch))
+	root.SetAttr("k", strconv.Itoa(m.k))
 
 	// Collect summaries (accounting wire bytes as the real system would),
 	// falling back to staleness-decayed cached ones for unreachable nodes.
@@ -301,10 +313,14 @@ func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) 
 	var missing []int
 	fresh := 0
 	for _, rep := range m.replicas {
+		sp := m.cfg.Tracer.Start(root.Context(), fmt.Sprintf("collect %d", rep), trace.KindCollect)
+		sp.SetAttr("replica", strconv.Itoa(rep))
 		if reachable != nil && !reachable(rep) {
 			missing = append(missing, rep)
 			lk, ok := m.lastKnown[rep]
 			if !ok {
+				sp.SetErrString(fmt.Sprintf("replica %d unreachable: no cached summary", rep))
+				sp.End()
 				continue // never collected: nothing to reuse
 			}
 			lk.age++
@@ -315,16 +331,24 @@ func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) 
 				micros = append(micros, mc)
 				demand += mc.Weight
 			}
+			sp.SetErrString(fmt.Sprintf("replica %d unreachable: stale summary age %d", rep, lk.age))
+			sp.End()
 			continue
 		}
 		srv := m.servers[rep]
 		enc, err := srv.ExportEncoded()
 		if err != nil {
+			sp.SetErr(err)
+			sp.End()
+			root.SetErr(err)
 			return Decision{}, err
 		}
 		collected += len(enc)
 		ms, err := cluster.DecodeMicros(enc)
 		if err != nil {
+			sp.SetErr(err)
+			sp.End()
+			root.SetErr(err)
 			return Decision{}, err
 		}
 		m.lastKnown[rep] = staleSummary{micros: ms, age: 0}
@@ -333,8 +357,19 @@ func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) 
 		for i := range ms {
 			demand += ms[i].Weight
 		}
+		sp.SetAttr("bytes", strconv.Itoa(len(enc)))
+		sp.End()
 	}
 	quorumOK := float64(fresh) >= m.cfg.Quorum*float64(len(m.replicas))
+	switch {
+	case !quorumOK:
+		root.MarkAnomalous("below_quorum")
+	case len(missing) > 0:
+		root.MarkAnomalous("degraded")
+	}
+	if len(missing) > 0 {
+		root.SetAttr("missing", fmt.Sprint(missing))
+	}
 
 	m.met.epochs.Inc()
 	m.met.summaryBytes.Add(int64(collected))
@@ -378,19 +413,31 @@ func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) 
 	}
 	dec.K = m.k
 
+	km := m.cfg.Tracer.Start(root.Context(), "kmeans", trace.KindKMeans)
+	km.SetAttr("micros", strconv.Itoa(len(micros)))
 	proposed, err := ProposePlacementOpt(r, micros, m.k, m.candidates, m.coords,
 		cluster.Options{Parallelism: m.cfg.Parallelism, Metrics: m.cfg.Metrics})
+	km.SetErr(err)
+	km.End()
 	if err != nil {
+		root.SetErr(err)
 		return dec, err
 	}
 	dec.Proposed = append([]int(nil), proposed...)
 
+	ds := m.cfg.Tracer.Start(root.Context(), "decide", trace.KindDecide)
 	oldEst, err := EstimateMeanDelay(micros, m.replicas, m.coords)
 	if err != nil {
+		ds.SetErr(err)
+		ds.End()
+		root.SetErr(err)
 		return dec, err
 	}
 	newEst, err := EstimateMeanDelay(micros, proposed, m.coords)
 	if err != nil {
+		ds.SetErr(err)
+		ds.End()
+		root.SetErr(err)
 		return dec, err
 	}
 	dec.EstimatedOldMs, dec.EstimatedNewMs = oldEst, newEst
@@ -403,6 +450,9 @@ func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) 
 	forced := len(proposed) != len(m.replicas) // k changed: must reshape
 	if forced || m.approveMigration(oldEst, newEst, demand, dec.MovedReplicas) {
 		if err := m.applyPlacement(proposed); err != nil {
+			ds.SetErr(err)
+			ds.End()
+			root.SetErr(err)
 			return dec, err
 		}
 		dec.Migrate = true
@@ -411,8 +461,13 @@ func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) 
 			m.migrations++
 			m.met.migrations.Inc()
 			m.met.moved.Add(int64(dec.MovedReplicas))
+			root.MarkAnomalous("migrated")
 		}
 	}
+	ds.SetAttr("migrate", strconv.FormatBool(dec.Migrate))
+	ds.SetAttr("moved", strconv.Itoa(dec.MovedReplicas))
+	ds.SetAttr("gain_ms", strconv.FormatFloat(oldEst-newEst, 'f', 3, 64))
+	ds.End()
 
 	// Age the surviving summaries so the next epoch reflects recent use.
 	return dec, m.decaySummaries(reachable)

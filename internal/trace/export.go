@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteJSONL writes spans one JSON object per line — the interchange
+// format georepctl and the georepd /trace endpoint speak. Spans of one
+// trace stay contiguous; traces appear oldest-first. A trace's anomaly
+// flag rides along as a `# anomaly <trace-id> <reason>` comment line,
+// which readers unaware of the convention simply skip.
+func WriteJSONL(w io.Writer, traces []Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, t := range traces {
+		if t.Anomaly != "" {
+			if _, err := fmt.Fprintf(bw, "# anomaly %s %s\n", t.TraceID, t.Anomaly); err != nil {
+				return fmt.Errorf("trace: write anomaly marker: %w", err)
+			}
+		}
+		for _, s := range t.Spans {
+			if err := enc.Encode(s); err != nil {
+				return fmt.Errorf("trace: encode span: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses spans written by WriteJSONL (blank lines and `#`
+// comments allowed) and reassembles them into traces in first-seen
+// order. `# anomaly <trace-id> <reason>` comments restore the anomaly
+// flags; a marker may precede or follow its trace's spans.
+func ReadJSONL(r io.Reader) ([]Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	byID := make(map[string]*Trace)
+	anomalies := make(map[string]string)
+	var order []string
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(text, "# anomaly "); ok {
+			if id, reason, ok := strings.Cut(rest, " "); ok && anomalies[id] == "" {
+				anomalies[id] = reason
+			}
+			continue
+		}
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal([]byte(text), &s); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if s.TraceID == "" || s.SpanID == "" {
+			return nil, fmt.Errorf("trace: line %d: span missing ids", line)
+		}
+		t, ok := byID[s.TraceID]
+		if !ok {
+			t = &Trace{TraceID: s.TraceID}
+			byID[s.TraceID] = t
+			order = append(order, s.TraceID)
+		}
+		t.Spans = append(t.Spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	out := make([]Trace, 0, len(order))
+	for _, id := range order {
+		t := *byID[id]
+		t.Anomaly = anomalies[id]
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Merge combines trace sets from several processes (coordinator +
+// daemons) into one set keyed by trace ID, preserving first-seen trace
+// order and deduplicating spans by span ID. A non-empty anomaly from
+// any source wins.
+func Merge(sets ...[]Trace) []Trace {
+	byID := make(map[string]*Trace)
+	seen := make(map[string]map[string]bool)
+	var order []string
+	for _, set := range sets {
+		for _, t := range set {
+			dst, ok := byID[t.TraceID]
+			if !ok {
+				dst = &Trace{TraceID: t.TraceID}
+				byID[t.TraceID] = dst
+				seen[t.TraceID] = make(map[string]bool)
+				order = append(order, t.TraceID)
+			}
+			if dst.Anomaly == "" {
+				dst.Anomaly = t.Anomaly
+			}
+			for _, s := range t.Spans {
+				if seen[t.TraceID][s.SpanID] {
+					continue
+				}
+				seen[t.TraceID][s.SpanID] = true
+				dst.Spans = append(dst.Spans, s)
+			}
+		}
+	}
+	out := make([]Trace, 0, len(order))
+	for _, id := range order {
+		t := *byID[id]
+		sort.SliceStable(t.Spans, func(i, j int) bool { return t.Spans[i].StartNs < t.Spans[j].StartNs })
+		out = append(out, t)
+	}
+	return out
+}
+
+// chromeEvent is one Chrome trace_event ("X" = complete event, "M" =
+// metadata). Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the traces in Chrome trace_event JSON, ready
+// for about://tracing or Perfetto. Each node becomes a named "thread",
+// so the cross-node structure of an epoch reads as a swimlane diagram;
+// span attributes and errors surface under args.
+func WriteChromeTrace(w io.Writer, traces []Trace) error {
+	var events []chromeEvent
+	tids := make(map[string]int)
+	tid := func(node string) int {
+		if node == "" {
+			node = "unknown"
+		}
+		id, ok := tids[node]
+		if !ok {
+			id = len(tids) + 1
+			tids[node] = id
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: id,
+				Args: map[string]string{"name": node},
+			})
+		}
+		return id
+	}
+	for _, t := range traces {
+		for _, s := range t.Spans {
+			args := make(map[string]string, len(s.Attrs)+3)
+			for k, v := range s.Attrs {
+				args[k] = v
+			}
+			args["trace_id"] = s.TraceID
+			if s.Err != "" {
+				args["err"] = s.Err
+			}
+			if t.Anomaly != "" {
+				args["anomaly"] = t.Anomaly
+			}
+			events = append(events, chromeEvent{
+				Name: s.Name,
+				Cat:  s.Kind,
+				Ph:   "X",
+				Ts:   float64(s.StartNs) / 1e3,
+				Dur:  float64(s.DurNs) / 1e3,
+				Pid:  1,
+				Tid:  tid(s.Node),
+				Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: events})
+}
+
+// RenderTree pretty-prints one trace as an indented span tree, children
+// ordered by start time. Spans whose parent is not in the set (e.g. a
+// daemon-only view of a coordinator-rooted trace) render as extra
+// roots, so partial trees still read sensibly.
+func RenderTree(t Trace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s", t.TraceID)
+	if t.Anomaly != "" {
+		fmt.Fprintf(&b, "  [anomaly: %s]", t.Anomaly)
+	}
+	b.WriteByte('\n')
+
+	present := make(map[string]bool, len(t.Spans))
+	for _, s := range t.Spans {
+		present[s.SpanID] = true
+	}
+	children := make(map[string][]Span)
+	var roots []Span
+	for _, s := range t.Spans {
+		if s.ParentID != "" && present[s.ParentID] {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	byStart := func(ss []Span) {
+		sort.SliceStable(ss, func(i, j int) bool { return ss[i].StartNs < ss[j].StartNs })
+	}
+	byStart(roots)
+	var walk func(s Span, depth int)
+	walk = func(s Span, depth int) {
+		fmt.Fprintf(&b, "%s%s", strings.Repeat("  ", depth), s.Name)
+		if s.Node != "" {
+			fmt.Fprintf(&b, " @%s", s.Node)
+		}
+		fmt.Fprintf(&b, "  %.3fms", float64(s.DurNs)/1e6)
+		if len(s.Attrs) > 0 {
+			keys := make([]string, 0, len(s.Attrs))
+			for k := range s.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = k + "=" + s.Attrs[k]
+			}
+			fmt.Fprintf(&b, "  {%s}", strings.Join(parts, " "))
+		}
+		if s.Err != "" {
+			fmt.Fprintf(&b, "  ERR: %s", s.Err)
+		}
+		b.WriteByte('\n')
+		kids := children[s.SpanID]
+		byStart(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 1)
+	}
+	return b.String()
+}

@@ -1,0 +1,287 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// Trace is one assembled span tree.
+type Trace struct {
+	TraceID string `json:"trace_id"`
+	// Anomaly is why the trace was pinned ("" for plain recent traces):
+	// "degraded", "below_quorum", "migrated", "latency_above_p99", ...
+	Anomaly string `json:"anomaly,omitempty"`
+	Spans   []Span `json:"spans"`
+}
+
+// Start returns the earliest span start in the trace (0 when empty).
+func (t Trace) Start() int64 {
+	var min int64
+	for i, s := range t.Spans {
+		if i == 0 || s.StartNs < min {
+			min = s.StartNs
+		}
+	}
+	return min
+}
+
+// RootDur returns the duration of the trace's root span, or 0 if the
+// root is not in this (possibly partial, single-node) view.
+func (t Trace) RootDur() int64 {
+	for _, s := range t.Spans {
+		if s.Root() {
+			return s.DurNs
+		}
+	}
+	return 0
+}
+
+// FlightRecorder is a bounded, concurrency-safe store of recent span
+// trees. Two retention classes share it:
+//
+//   - recent: the last `recent` traces, evicted oldest-first as new
+//     traces arrive — the rolling "what just happened" window.
+//   - anomalous: traces marked anomalous (degraded epoch, below-quorum
+//     refusal, executed migration, root latency above the rolling p99)
+//     survive recent eviction in their own bounded set, so the epochs
+//     worth debugging are still there after a busy hour of boring ones.
+//
+// Spans may arrive for a trace in any order and from many goroutines;
+// per-trace span counts are capped so a runaway loop cannot hold the
+// process's memory hostage.
+type FlightRecorder struct {
+	mu        sync.Mutex
+	traces    map[string]*entry
+	order     []string // insertion order of trace IDs (for eviction)
+	recent    int
+	anomalous int
+	maxSpans  int
+
+	// rolling window of root-span durations for the p99 anomaly rule,
+	// kept twice: arrival order for eviction, sorted for O(log n)
+	// percentile reads on the Record hot path.
+	durs       []int64
+	sortedDurs []int64
+	maxDurs    int
+
+	totalSpans   int64
+	droppedSpans int64
+	evicted      int64
+}
+
+type entry struct {
+	spans   []Span
+	anomaly string
+	dropped int
+}
+
+// Retention defaults.
+const (
+	DefaultRecent    = 64
+	DefaultAnomalous = 32
+	defaultMaxSpans  = 512
+	defaultMaxDurs   = 256
+	minP99Samples    = 32
+)
+
+// NewFlightRecorder returns a recorder keeping the last `recent` traces
+// plus up to `anomalous` pinned anomalous traces (non-positive values
+// take the defaults).
+func NewFlightRecorder(recent, anomalous int) *FlightRecorder {
+	if recent <= 0 {
+		recent = DefaultRecent
+	}
+	if anomalous <= 0 {
+		anomalous = DefaultAnomalous
+	}
+	return &FlightRecorder{
+		traces:    make(map[string]*entry),
+		recent:    recent,
+		anomalous: anomalous,
+		maxSpans:  defaultMaxSpans,
+		maxDurs:   defaultMaxDurs,
+	}
+}
+
+// Record adds one completed span to its trace, creating the trace on
+// first sight and evicting the oldest retained trace of the relevant
+// class when over budget. Root spans feed the rolling p99 window; a
+// root slower than the current p99 pins its trace as anomalous.
+func (f *FlightRecorder) Record(s Span) {
+	if f == nil || s.TraceID == "" {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.traces[s.TraceID]
+	reclass := !ok // a new trace or a class flip can push a budget over
+	if !ok {
+		e = &entry{}
+		f.traces[s.TraceID] = e
+		f.order = append(f.order, s.TraceID)
+	}
+	if len(e.spans) >= f.maxSpans {
+		e.dropped++
+		f.droppedSpans++
+	} else {
+		e.spans = append(e.spans, s)
+		f.totalSpans++
+	}
+	if s.Root() {
+		if len(f.durs) >= minP99Samples && s.DurNs > f.p99Locked() && e.anomaly == "" {
+			e.anomaly = "latency_above_p99"
+			reclass = true
+		}
+		f.durs = append(f.durs, s.DurNs)
+		f.insertDurLocked(s.DurNs)
+		for len(f.durs) > f.maxDurs {
+			f.removeDurLocked(f.durs[0])
+			f.durs = f.durs[1:]
+		}
+	}
+	if reclass {
+		f.evictLocked()
+	}
+}
+
+// p99Locked estimates the 99th percentile of the rolling root-duration
+// window. Caller holds f.mu.
+func (f *FlightRecorder) p99Locked() int64 {
+	idx := (len(f.sortedDurs)*99 + 99) / 100
+	if idx > len(f.sortedDurs) {
+		idx = len(f.sortedDurs)
+	}
+	if idx < 1 {
+		idx = 1
+	}
+	return f.sortedDurs[idx-1]
+}
+
+// insertDurLocked adds v to the sorted window. Caller holds f.mu.
+func (f *FlightRecorder) insertDurLocked(v int64) {
+	i := sort.Search(len(f.sortedDurs), func(i int) bool { return f.sortedDurs[i] >= v })
+	f.sortedDurs = append(f.sortedDurs, 0)
+	copy(f.sortedDurs[i+1:], f.sortedDurs[i:])
+	f.sortedDurs[i] = v
+}
+
+// removeDurLocked drops one occurrence of v from the sorted window.
+// Caller holds f.mu.
+func (f *FlightRecorder) removeDurLocked(v int64) {
+	i := sort.Search(len(f.sortedDurs), func(i int) bool { return f.sortedDurs[i] >= v })
+	if i < len(f.sortedDurs) && f.sortedDurs[i] == v {
+		f.sortedDurs = append(f.sortedDurs[:i], f.sortedDurs[i+1:]...)
+	}
+}
+
+// MarkAnomalous pins a trace with a reason. The first reason wins;
+// unknown trace IDs are ignored (the trace may already be evicted).
+func (f *FlightRecorder) MarkAnomalous(traceID, reason string) {
+	if f == nil || traceID == "" || reason == "" {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if e, ok := f.traces[traceID]; ok && e.anomaly == "" {
+		e.anomaly = reason
+		f.evictLocked()
+	}
+}
+
+// evictLocked enforces both retention budgets, oldest-first within each
+// class. Caller holds f.mu.
+func (f *FlightRecorder) evictLocked() {
+	plain, anom := 0, 0
+	for _, id := range f.order {
+		if f.traces[id].anomaly != "" {
+			anom++
+		} else {
+			plain++
+		}
+	}
+	evict := func(anomalous bool) {
+		for i, id := range f.order {
+			if (f.traces[id].anomaly != "") == anomalous {
+				delete(f.traces, id)
+				f.order = append(f.order[:i], f.order[i+1:]...)
+				f.evicted++
+				return
+			}
+		}
+	}
+	for plain > f.recent {
+		evict(false)
+		plain--
+	}
+	for anom > f.anomalous {
+		evict(true)
+		anom--
+	}
+}
+
+// Len returns how many traces are currently retained.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.order)
+}
+
+// Stats reports recorder totals: spans recorded, spans dropped by the
+// per-trace cap, and traces evicted by retention.
+func (f *FlightRecorder) Stats() (spans, dropped, evicted int64) {
+	if f == nil {
+		return 0, 0, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.totalSpans, f.droppedSpans, f.evicted
+}
+
+// Traces returns every retained trace, oldest-first, spans in recorded
+// order. The result is a deep-enough copy: callers may sort and filter
+// freely.
+func (f *FlightRecorder) Traces() []Trace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Trace, 0, len(f.order))
+	for _, id := range f.order {
+		e := f.traces[id]
+		out = append(out, Trace{
+			TraceID: id,
+			Anomaly: e.anomaly,
+			Spans:   append([]Span(nil), e.spans...),
+		})
+	}
+	return out
+}
+
+// Trace returns one retained trace by ID.
+func (f *FlightRecorder) Trace(id string) (Trace, bool) {
+	if f == nil {
+		return Trace{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.traces[id]
+	if !ok {
+		return Trace{}, false
+	}
+	return Trace{TraceID: id, Anomaly: e.anomaly, Spans: append([]Span(nil), e.spans...)}, true
+}
+
+// Anomalous returns only the pinned traces, oldest-first.
+func (f *FlightRecorder) Anomalous() []Trace {
+	var out []Trace
+	for _, t := range f.Traces() {
+		if t.Anomaly != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

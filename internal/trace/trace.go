@@ -1,270 +1,326 @@
-// Package trace records and replays data-access traces. The paper closes
-// with "we also plan to carry out more realistic evaluation study based
-// on data accesses in actual applications" — this package is that hook: a
-// plain CSV trace format any application log can be converted into, a
-// generator that synthesizes traces from the workload model, and a replay
-// engine that drives the replica manager epoch by epoch and reports the
-// latencies clients would have seen.
+// Package trace is a span-based distributed tracing layer for the
+// replica-placement runtime. One coordinator epoch produces a single
+// span tree spanning every node it touched: the epoch root on the
+// coordinator, one collection span per replica (including retries,
+// circuit-breaker trips, and failover hops at the transport layer),
+// the k-means macro-clustering, and the migration decision. Trace and
+// span IDs travel in the transport wire frames (W3C-trace-context
+// style: a 16-byte trace ID and 8-byte span IDs, hex encoded), so the
+// server-side spans a daemon records slot into the same tree the
+// coordinator started.
+//
+// The package is dependency-free and nil-safe throughout: a nil
+// *Tracer or nil *ActiveSpan ignores every operation, so call sites
+// instrument unconditionally and pay one nil check when tracing is
+// off. Completed spans land in a Recorder — normally the bounded
+// FlightRecorder in recorder.go, which retains recent traces plus
+// complete trees for anomalous epochs.
 package trace
 
 import (
-	"bufio"
-	"fmt"
-	"io"
+	"context"
+	"encoding/binary"
+	"encoding/hex"
 	"math/rand"
-	"sort"
-	"strconv"
-	"strings"
-
-	"github.com/georep/georep/internal/coord"
-	"github.com/georep/georep/internal/replica"
-	"github.com/georep/georep/internal/stats"
-	"github.com/georep/georep/internal/workload"
+	"sync"
+	"time"
 )
 
-// Event is one recorded access.
-type Event struct {
-	// TimeMs is the event time in milliseconds from trace start.
-	TimeMs float64
-	// Client is the accessing node's index.
-	Client int
-	// Group names the object group accessed (the paper's virtual
-	// object).
-	Group string
-	// Bytes is the transfer size (summary weight).
-	Bytes float64
+// Span kinds used across the runtime. Kind is free-form; these are the
+// conventional values the tree renderer and georepctl understand.
+const (
+	KindEpoch    = "epoch"    // coordinator epoch root
+	KindCollect  = "collect"  // one replica's summary collection
+	KindKMeans   = "kmeans"   // weighted k-means macro-clustering
+	KindDecide   = "decide"   // migration decision
+	KindMigrate  = "migrate"  // executing one migration op
+	KindClient   = "client"   // client side of one RPC (all attempts)
+	KindAttempt  = "attempt"  // one RPC attempt on the wire
+	KindServer   = "server"   // server side of one RPC
+	KindFailover = "failover" // failover read chain across replicas
+)
+
+// Span is one completed operation in a trace. Times are Unix
+// nanoseconds so spans from different processes (and synthetic spans
+// stamped with a simulated clock) order on a common axis.
+type Span struct {
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	Kind     string `json:"kind,omitempty"`
+	// Node names the process that recorded the span ("coord", "node3",
+	// "sim"...), distinguishing the legs of a cross-node tree.
+	Node    string            `json:"node,omitempty"`
+	StartNs int64             `json:"start_ns"`
+	DurNs   int64             `json:"dur_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Err     string            `json:"err,omitempty"`
 }
 
-// Write serializes events as CSV: time_ms,client,group,bytes — one per
-// line, with a header. Groups containing commas are rejected.
-func Write(w io.Writer, events []Event) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "time_ms,client,group,bytes"); err != nil {
-		return err
-	}
-	for i, e := range events {
-		if strings.ContainsAny(e.Group, ",\n") {
-			return fmt.Errorf("trace: event %d group %q contains a delimiter", i, e.Group)
-		}
-		if _, err := fmt.Fprintf(bw, "%g,%d,%s,%g\n", e.TimeMs, e.Client, e.Group, e.Bytes); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+// End returns the span's end time in Unix nanoseconds.
+func (s Span) End() int64 { return s.StartNs + s.DurNs }
+
+// Root reports whether the span is a trace root (no parent).
+func (s Span) Root() bool { return s.ParentID == "" }
+
+// SpanContext identifies a position in a trace: the trace and the span
+// that new child spans should parent under. The zero value is invalid
+// and means "not traced".
+type SpanContext struct {
+	TraceID string
+	SpanID  string
 }
 
-// Read parses a CSV trace produced by Write (header optional). Events
-// are returned in file order; Replay sorts as needed.
-func Read(r io.Reader) ([]Event, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<26)
-	var events []Event
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		if lineNo == 1 && strings.HasPrefix(line, "time_ms") {
-			continue // header
-		}
-		parts := strings.Split(line, ",")
-		if len(parts) != 4 {
-			return nil, fmt.Errorf("trace: line %d has %d fields, want 4", lineNo, len(parts))
-		}
-		t, err := strconv.ParseFloat(parts[0], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d time: %w", lineNo, err)
-		}
-		client, err := strconv.Atoi(parts[1])
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d client: %w", lineNo, err)
-		}
-		bytes, err := strconv.ParseFloat(parts[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d bytes: %w", lineNo, err)
-		}
-		if t < 0 || client < 0 || bytes < 0 {
-			return nil, fmt.Errorf("trace: line %d has negative values", lineNo)
-		}
-		group := parts[2]
-		if group == "" {
-			return nil, fmt.Errorf("trace: line %d has empty group", lineNo)
-		}
-		events = append(events, Event{TimeMs: t, Client: client, Group: group, Bytes: bytes})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: read: %w", err)
-	}
-	return events, nil
+// Valid reports whether the context identifies a live trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != "" && sc.SpanID != "" }
+
+// Recorder receives completed spans. FlightRecorder is the standard
+// implementation; tests may supply their own.
+type Recorder interface {
+	Record(Span)
 }
 
-// GenerateConfig synthesizes a trace from the workload model.
-type GenerateConfig struct {
-	// DurationMs is the trace length.
-	DurationMs float64
-	// RatePerMs is the aggregate access rate (events per millisecond).
-	RatePerMs float64
-	// Groups maps group names to their share of traffic; empty means a
-	// single group "default" gets everything.
-	Groups map[string]float64
-	// Diurnal optionally modulates per-region activity over time.
-	Diurnal *workload.Diurnal
+// AnomalyMarker is an optional Recorder extension: marking a trace
+// anomalous pins its complete tree in retention (see FlightRecorder).
+type AnomalyMarker interface {
+	MarkAnomalous(traceID, reason string)
 }
 
-// Generate synthesizes an event trace with exponential inter-arrivals
-// (Poisson process) from a workload generator.
-func Generate(r *rand.Rand, gen *workload.Generator, cfg GenerateConfig) ([]Event, error) {
-	if cfg.DurationMs <= 0 || cfg.RatePerMs <= 0 {
-		return nil, fmt.Errorf("trace: need positive duration and rate, got %v ms at %v/ms",
-			cfg.DurationMs, cfg.RatePerMs)
-	}
-	groups := cfg.Groups
-	if len(groups) == 0 {
-		groups = map[string]float64{"default": 1}
-	}
-	names := make([]string, 0, len(groups))
-	for g, share := range groups {
-		if share < 0 {
-			return nil, fmt.Errorf("trace: group %q has negative share", g)
-		}
-		names = append(names, g)
-	}
-	sort.Strings(names)
-	var total float64
-	for _, g := range names {
-		total += groups[g]
-	}
-	if total <= 0 {
-		return nil, fmt.Errorf("trace: all group shares are zero")
-	}
-	pickGroup := func() string {
-		u := r.Float64() * total
-		for _, g := range names {
-			u -= groups[g]
-			if u < 0 {
-				return g
-			}
-		}
-		return names[len(names)-1]
-	}
+// Tracer mints spans for one process. It is safe for concurrent use; a
+// nil Tracer is a no-op.
+type Tracer struct {
+	rec   Recorder
+	node  string
+	clock func() int64
 
-	var events []Event
-	now := 0.0
-	for {
-		now += r.ExpFloat64() / cfg.RatePerMs
-		if now >= cfg.DurationMs {
-			break
-		}
-		var activity workload.Activity
-		if cfg.Diurnal != nil {
-			a, err := cfg.Diurnal.At(now)
-			if err != nil {
-				return nil, err
-			}
-			activity = a
-		}
-		batch, err := gen.Epoch(r, 1, activity)
-		if err != nil {
-			return nil, err
-		}
-		events = append(events, Event{
-			TimeMs: now,
-			Client: batch[0].Client,
-			Group:  pickGroup(),
-			Bytes:  batch[0].Bytes,
-		})
-	}
-	return events, nil
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
-// ReplayConfig drives a trace through a replica group manager.
-type ReplayConfig struct {
-	// EpochMs is the coordinator period: every EpochMs of trace time the
-	// manager collects summaries and may migrate.
-	EpochMs float64
-	// SeedBase derives the per-epoch clustering seeds.
-	SeedBase int64
+// Option configures a Tracer.
+type Option func(*Tracer)
+
+// WithRand fixes the ID-generation randomness, for deterministic tests
+// and seeded simulations.
+func WithRand(r *rand.Rand) Option {
+	return func(t *Tracer) { t.rng = r }
 }
 
-// ReplayResult summarizes a replay.
-type ReplayResult struct {
-	// Accesses is the number of events replayed.
-	Accesses int
-	// MeanDelayMs is the mean true RTT clients experienced across the
-	// whole trace (placement changes take effect mid-trace).
-	MeanDelayMs float64
-	// Epochs is how many coordinator cycles ran.
-	Epochs int
-	// Migrations counts adopted placement changes across groups.
-	Migrations int
-	// SummaryBytes is the cumulative wire cost of all collections.
-	SummaryBytes int
-	// FinalReplicas maps each group to its placement at trace end.
-	FinalReplicas map[string][]int
+// WithClock overrides the wall clock (Unix nanoseconds). Simulated
+// epochs use this to stamp spans with the discrete-event clock so
+// replicasim traces are directly comparable to live-daemon traces.
+func WithClock(clock func() int64) Option {
+	return func(t *Tracer) { t.clock = clock }
 }
 
-// Replay pushes events (sorted by time) through the group manager,
-// invoking the epoch cycle at every EpochMs boundary, and measures the
-// ground-truth delay of each access using rtt.
-func Replay(events []Event, gm *replica.GroupManager, coords []coord.Coordinate,
-	rtt func(client, replica int) float64, cfg ReplayConfig) (*ReplayResult, error) {
-	if cfg.EpochMs <= 0 {
-		return nil, fmt.Errorf("trace: EpochMs must be positive, got %v", cfg.EpochMs)
-	}
-	if len(events) == 0 {
-		return nil, fmt.Errorf("trace: no events")
-	}
-	sorted := append([]Event(nil), events...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].TimeMs < sorted[j].TimeMs })
-
-	res := &ReplayResult{FinalReplicas: make(map[string][]int)}
-	var delay stats.Accumulator
-	nextEpoch := cfg.EpochMs
-	endEpoch := func() error {
-		decs, err := gm.EndEpoch(rand.New(rand.NewSource(cfg.SeedBase + int64(res.Epochs))))
-		if err != nil {
-			return err
-		}
-		res.Epochs++
-		for _, dec := range decs {
-			if dec.Migrate && dec.MovedReplicas > 0 {
-				res.Migrations++
-			}
-			res.SummaryBytes += dec.CollectedBytes
-		}
+// New returns a tracer recording into rec under the given node name.
+// A nil rec yields a nil (no-op) tracer, so callers can pass an
+// optional recorder straight through.
+func New(rec Recorder, node string, opts ...Option) *Tracer {
+	if rec == nil {
 		return nil
 	}
+	t := &Tracer{
+		rec:   rec,
+		node:  node,
+		clock: func() int64 { return time.Now().UnixNano() },
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
 
-	for _, e := range sorted {
-		for e.TimeMs >= nextEpoch {
-			if err := endEpoch(); err != nil {
-				return nil, err
-			}
-			nextEpoch += cfg.EpochMs
-		}
-		if e.Client < 0 || e.Client >= len(coords) {
-			return nil, fmt.Errorf("trace: event client %d outside coordinate range", e.Client)
-		}
-		rep, err := gm.Record(e.Group, coords[e.Client], e.Bytes)
-		if err != nil {
-			return nil, err
-		}
-		delay.Add(rtt(e.Client, rep))
-		res.Accesses++
-	}
-	if err := endEpoch(); err != nil {
-		return nil, err
-	}
+// Enabled reports whether spans will be recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
 
-	res.MeanDelayMs = delay.Mean()
-	for _, g := range gm.Groups() {
-		reps, err := gm.Replicas(g)
-		if err != nil {
-			return nil, err
-		}
-		res.FinalReplicas[g] = reps
+// Node returns the tracer's node name ("" for a nil tracer).
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
 	}
-	return res, nil
+	return t.node
+}
+
+// ids returns n random bytes hex-encoded (n must be a multiple of 8).
+func (t *Tracer) ids(n int) string {
+	b := make([]byte, n)
+	t.mu.Lock()
+	for i := 0; i < n; i += 8 {
+		binary.BigEndian.PutUint64(b[i:], t.rng.Uint64())
+	}
+	t.mu.Unlock()
+	return hex.EncodeToString(b)
+}
+
+// StartRoot begins a new trace with a root span.
+func (t *Tracer) StartRoot(name, kind string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return t.start(t.ids(16), "", name, kind)
+}
+
+// Start begins a child span under parent. An invalid parent returns a
+// nil (no-op) span: a call that arrives untraced stays untraced.
+func (t *Tracer) Start(parent SpanContext, name, kind string) *ActiveSpan {
+	if t == nil || !parent.Valid() {
+		return nil
+	}
+	return t.start(parent.TraceID, parent.SpanID, name, kind)
+}
+
+func (t *Tracer) start(traceID, parentID, name, kind string) *ActiveSpan {
+	return &ActiveSpan{
+		t: t,
+		s: Span{
+			TraceID:  traceID,
+			SpanID:   t.ids(8),
+			ParentID: parentID,
+			Name:     name,
+			Kind:     kind,
+			Node:     t.node,
+			StartNs:  t.clock(),
+		},
+	}
+}
+
+// MarkAnomalous flags a trace for pinned retention if the recorder
+// supports it (FlightRecorder does).
+func (t *Tracer) MarkAnomalous(traceID, reason string) {
+	if t == nil || traceID == "" {
+		return
+	}
+	if m, ok := t.rec.(AnomalyMarker); ok {
+		m.MarkAnomalous(traceID, reason)
+	}
+}
+
+// ActiveSpan is a span being measured. All methods are nil-safe; End
+// records the completed span exactly once.
+type ActiveSpan struct {
+	t       *Tracer
+	mu      sync.Mutex
+	s       Span
+	anomaly string
+	ended   bool
+}
+
+// Context returns the span's context for propagation to children and
+// onto the wire. A nil span returns the invalid zero context.
+func (a *ActiveSpan) Context() SpanContext {
+	if a == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: a.s.TraceID, SpanID: a.s.SpanID}
+}
+
+// SetAttr attaches a key/value attribute.
+func (a *ActiveSpan) SetAttr(key, value string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.s.Attrs == nil {
+		a.s.Attrs = make(map[string]string, 4)
+	}
+	a.s.Attrs[key] = value
+	a.mu.Unlock()
+}
+
+// SetErr records a failure on the span (nil error is ignored).
+func (a *ActiveSpan) SetErr(err error) {
+	if a == nil || err == nil {
+		return
+	}
+	a.mu.Lock()
+	a.s.Err = err.Error()
+	a.mu.Unlock()
+}
+
+// SetErrString records a failure described as text ("" is ignored).
+func (a *ActiveSpan) SetErrString(msg string) {
+	if a == nil || msg == "" {
+		return
+	}
+	a.mu.Lock()
+	a.s.Err = msg
+	a.mu.Unlock()
+}
+
+// MarkAnomalous pins the whole trace in the flight recorder when the
+// span ends, with the given reason (degraded epoch, below quorum, ...).
+func (a *ActiveSpan) MarkAnomalous(reason string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.anomaly = reason
+	a.mu.Unlock()
+}
+
+// End completes the span and hands it to the recorder. Subsequent Ends
+// are ignored.
+func (a *ActiveSpan) End() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.ended {
+		a.mu.Unlock()
+		return
+	}
+	a.ended = true
+	a.s.DurNs = a.t.clock() - a.s.StartNs
+	if a.s.DurNs < 0 {
+		a.s.DurNs = 0
+	}
+	s, anomaly := a.s, a.anomaly
+	a.mu.Unlock()
+	a.t.rec.Record(s)
+	if anomaly != "" {
+		a.t.MarkAnomalous(s.TraceID, anomaly)
+	}
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the span context.
+func NewContext(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the span context from ctx (invalid if absent).
+func FromContext(ctx context.Context) SpanContext {
+	if ctx == nil {
+		return SpanContext{}
+	}
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}
+
+// ContextWithSpan returns ctx carrying the active span's context —
+// shorthand for NewContext(ctx, span.Context()).
+func ContextWithSpan(ctx context.Context, a *ActiveSpan) context.Context {
+	return NewContext(ctx, a.Context())
+}
+
+// NewTraceID mints a 16-byte hex trace ID from the given randomness,
+// for synthetic spans built outside a Tracer.
+func NewTraceID(r *rand.Rand) string { return randHex(r, 16) }
+
+// NewSpanID mints an 8-byte hex span ID.
+func NewSpanID(r *rand.Rand) string { return randHex(r, 8) }
+
+func randHex(r *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Intn(256))
+	}
+	return hex.EncodeToString(b)
 }

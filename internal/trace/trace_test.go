@@ -1,229 +1,213 @@
 package trace
 
 import (
-	"bytes"
+	"context"
+	"errors"
 	"math/rand"
-	"strings"
 	"testing"
-
-	"github.com/georep/georep/internal/coord"
-	"github.com/georep/georep/internal/replica"
-	"github.com/georep/georep/internal/vec"
-	"github.com/georep/georep/internal/workload"
 )
 
-func TestWriteReadRoundTrip(t *testing.T) {
-	events := []Event{
-		{TimeMs: 0.5, Client: 3, Group: "videos", Bytes: 1024},
-		{TimeMs: 10, Client: 7, Group: "images", Bytes: 2},
+// captureRecorder collects spans and anomaly marks in call order.
+type captureRecorder struct {
+	spans []Span
+	marks map[string]string
+}
+
+func (c *captureRecorder) Record(s Span) { c.spans = append(c.spans, s) }
+
+func (c *captureRecorder) MarkAnomalous(traceID, reason string) {
+	if c.marks == nil {
+		c.marks = make(map[string]string)
 	}
-	var buf bytes.Buffer
-	if err := Write(&buf, events); err != nil {
-		t.Fatal(err)
+	c.marks[traceID] = reason
+}
+
+func newTestTracer(rec Recorder) (*Tracer, *int64) {
+	now := new(int64)
+	return New(rec, "test",
+		WithRand(rand.New(rand.NewSource(1))),
+		WithClock(func() int64 { return *now }),
+	), now
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
 	}
-	back, err := Read(&buf)
-	if err != nil {
-		t.Fatal(err)
+	if tr.Node() != "" {
+		t.Fatal("nil tracer has node")
 	}
-	if len(back) != 2 || back[0] != events[0] || back[1] != events[1] {
-		t.Errorf("round trip: %+v", back)
+	sp := tr.StartRoot("x", KindEpoch)
+	if sp != nil {
+		t.Fatal("nil tracer returned span")
+	}
+	// every ActiveSpan method must tolerate nil
+	sp.SetAttr("k", "v")
+	sp.SetErr(errors.New("boom"))
+	sp.SetErrString("boom")
+	sp.MarkAnomalous("degraded")
+	sp.End()
+	if sp.Context().Valid() {
+		t.Fatal("nil span has valid context")
+	}
+	tr.MarkAnomalous("abc", "degraded")
+}
+
+func TestNewNilRecorderYieldsNilTracer(t *testing.T) {
+	if New(nil, "n") != nil {
+		t.Fatal("New(nil, ...) should return nil tracer")
 	}
 }
 
-func TestWriteRejectsDelimiterInGroup(t *testing.T) {
-	var buf bytes.Buffer
-	if err := Write(&buf, []Event{{Group: "a,b"}}); err == nil {
-		t.Error("comma in group should fail")
+func TestSpanTreeStructure(t *testing.T) {
+	rec := &captureRecorder{}
+	tr, now := newTestTracer(rec)
+
+	root := tr.StartRoot("epoch", KindEpoch)
+	rctx := root.Context()
+	if !rctx.Valid() {
+		t.Fatal("root context invalid")
+	}
+	if len(rctx.TraceID) != 32 || len(rctx.SpanID) != 16 {
+		t.Fatalf("want 16-byte trace id and 8-byte span id hex, got %q %q", rctx.TraceID, rctx.SpanID)
+	}
+
+	*now = 10
+	child := tr.Start(rctx, "collect", KindCollect)
+	child.SetAttr("replica", "dc3")
+	child.SetErr(errors.New("link down"))
+	*now = 25
+	child.End()
+	*now = 40
+	root.End()
+
+	if len(rec.spans) != 2 {
+		t.Fatalf("want 2 spans, got %d", len(rec.spans))
+	}
+	c, r := rec.spans[0], rec.spans[1]
+	if c.TraceID != r.TraceID {
+		t.Fatal("child and root trace ids differ")
+	}
+	if c.ParentID != r.SpanID {
+		t.Fatalf("child parent %q != root span %q", c.ParentID, r.SpanID)
+	}
+	if !r.Root() || c.Root() {
+		t.Fatal("Root() misclassifies spans")
+	}
+	if c.StartNs != 10 || c.DurNs != 15 {
+		t.Fatalf("child timing start=%d dur=%d", c.StartNs, c.DurNs)
+	}
+	if r.DurNs != 40 {
+		t.Fatalf("root dur %d", r.DurNs)
+	}
+	if c.Attrs["replica"] != "dc3" || c.Err != "link down" {
+		t.Fatalf("child attrs/err: %+v", c)
+	}
+	if c.Node != "test" {
+		t.Fatalf("node %q", c.Node)
+	}
+	if c.End() != 25 {
+		t.Fatalf("End() = %d", c.End())
 	}
 }
 
-func TestReadSkipsHeaderAndComments(t *testing.T) {
-	in := "time_ms,client,group,bytes\n# comment\n\n1,2,g,3\n"
-	events, err := Read(strings.NewReader(in))
-	if err != nil {
-		t.Fatal(err)
+func TestStartInvalidParentIsNoop(t *testing.T) {
+	rec := &captureRecorder{}
+	tr, _ := newTestTracer(rec)
+	if sp := tr.Start(SpanContext{}, "x", KindServer); sp != nil {
+		t.Fatal("invalid parent should give nil span")
 	}
-	if len(events) != 1 || events[0].Client != 2 {
-		t.Errorf("events = %+v", events)
-	}
-}
-
-func TestReadErrors(t *testing.T) {
-	cases := map[string]string{
-		"short row":   "1,2,g\n",
-		"bad time":    "x,2,g,3\n",
-		"bad client":  "1,x,g,3\n",
-		"bad bytes":   "1,2,g,x\n",
-		"negative":    "-1,2,g,3\n",
-		"empty group": "1,2,,3\n",
-		"neg client":  "1,-2,g,3\n",
-	}
-	for name, in := range cases {
-		t.Run(name, func(t *testing.T) {
-			if _, err := Read(strings.NewReader(in)); err == nil {
-				t.Errorf("input %q should fail", in)
-			}
-		})
-	}
-	// Empty input yields an empty (nil) trace without error.
-	events, err := Read(strings.NewReader(""))
-	if err != nil || len(events) != 0 {
-		t.Errorf("empty input: %v, %v", events, err)
+	if len(rec.spans) != 0 {
+		t.Fatal("no-op span recorded")
 	}
 }
 
-func testGenerator(t *testing.T) *workload.Generator {
-	t.Helper()
-	clients, err := workload.UniformClients([]int{4, 5, 6, 7}, []int{0, 0, 1, 1})
-	if err != nil {
-		t.Fatal(err)
+func TestEndIdempotentAndAnomalyForwarded(t *testing.T) {
+	rec := &captureRecorder{}
+	tr, _ := newTestTracer(rec)
+	sp := tr.StartRoot("epoch", KindEpoch)
+	sp.MarkAnomalous("degraded")
+	sp.End()
+	sp.End()
+	if len(rec.spans) != 1 {
+		t.Fatalf("double End recorded %d spans", len(rec.spans))
 	}
-	gen, err := workload.NewGenerator(rand.New(rand.NewSource(1)), workload.Spec{
-		Clients: clients, Objects: 3, ZipfExponent: 1,
-	})
-	if err != nil {
-		t.Fatal(err)
+	if rec.marks[rec.spans[0].TraceID] != "degraded" {
+		t.Fatalf("anomaly not forwarded: %v", rec.marks)
 	}
-	return gen
 }
 
-func TestGenerateTrace(t *testing.T) {
-	gen := testGenerator(t)
-	events, err := Generate(rand.New(rand.NewSource(2)), gen, GenerateConfig{
-		DurationMs: 1000,
-		RatePerMs:  0.5,
-		Groups:     map[string]float64{"hot": 3, "cold": 1},
-	})
-	if err != nil {
-		t.Fatal(err)
+func TestNegativeDurationClamped(t *testing.T) {
+	rec := &captureRecorder{}
+	tr, now := newTestTracer(rec)
+	*now = 100
+	sp := tr.StartRoot("epoch", KindEpoch)
+	*now = 50 // clock went backwards
+	sp.End()
+	if rec.spans[0].DurNs != 0 {
+		t.Fatalf("negative duration not clamped: %d", rec.spans[0].DurNs)
 	}
-	// Poisson with rate 0.5/ms over 1000ms ≈ 500 events.
-	if len(events) < 350 || len(events) > 650 {
-		t.Fatalf("got %d events, want ~500", len(events))
+}
+
+func TestContextPropagation(t *testing.T) {
+	if FromContext(context.Background()).Valid() {
+		t.Fatal("empty context yields valid span context")
 	}
-	prev := 0.0
-	groupCount := map[string]int{}
-	for _, e := range events {
-		if e.TimeMs < prev {
-			t.Fatal("events not in time order")
+	sc := SpanContext{TraceID: "t", SpanID: "s"}
+	ctx := NewContext(context.Background(), sc)
+	if got := FromContext(ctx); got != sc {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// invalid contexts are not stored
+	ctx2 := NewContext(context.Background(), SpanContext{TraceID: "only"})
+	if FromContext(ctx2).Valid() {
+		t.Fatal("invalid context stored")
+	}
+
+	rec := &captureRecorder{}
+	tr, _ := newTestTracer(rec)
+	sp := tr.StartRoot("epoch", KindEpoch)
+	ctx3 := ContextWithSpan(context.Background(), sp)
+	if FromContext(ctx3) != sp.Context() {
+		t.Fatal("ContextWithSpan mismatch")
+	}
+	if got := FromContext(ContextWithSpan(context.Background(), nil)); got.Valid() {
+		t.Fatal("nil span produced valid context")
+	}
+}
+
+func TestSyntheticIDs(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	tid, sid := NewTraceID(r), NewSpanID(r)
+	if len(tid) != 32 || len(sid) != 16 {
+		t.Fatalf("id lengths %d %d", len(tid), len(sid))
+	}
+	r2 := rand.New(rand.NewSource(7))
+	if NewTraceID(r2) != tid {
+		t.Fatal("seeded trace IDs not deterministic")
+	}
+}
+
+func TestTracerDeterministicWithSeed(t *testing.T) {
+	mk := func() []Span {
+		rec := &captureRecorder{}
+		tr, now := newTestTracer(rec)
+		root := tr.StartRoot("epoch", KindEpoch)
+		*now = 5
+		ch := tr.Start(root.Context(), "collect", KindCollect)
+		*now = 9
+		ch.End()
+		root.End()
+		return rec.spans
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("span counts differ")
+	}
+	for i := range a {
+		if a[i].TraceID != b[i].TraceID || a[i].SpanID != b[i].SpanID {
+			t.Fatalf("seeded runs diverge at span %d: %+v vs %+v", i, a[i], b[i])
 		}
-		prev = e.TimeMs
-		if e.TimeMs >= 1000 {
-			t.Fatalf("event beyond duration: %v", e.TimeMs)
-		}
-		groupCount[e.Group]++
-	}
-	if groupCount["hot"] <= groupCount["cold"] {
-		t.Errorf("group shares not respected: %v", groupCount)
-	}
-}
-
-func TestGenerateValidation(t *testing.T) {
-	gen := testGenerator(t)
-	r := rand.New(rand.NewSource(3))
-	if _, err := Generate(r, gen, GenerateConfig{DurationMs: 0, RatePerMs: 1}); err == nil {
-		t.Error("zero duration should fail")
-	}
-	if _, err := Generate(r, gen, GenerateConfig{DurationMs: 10, RatePerMs: 0}); err == nil {
-		t.Error("zero rate should fail")
-	}
-	if _, err := Generate(r, gen, GenerateConfig{
-		DurationMs: 10, RatePerMs: 1, Groups: map[string]float64{"g": -1},
-	}); err == nil {
-		t.Error("negative share should fail")
-	}
-	if _, err := Generate(r, gen, GenerateConfig{
-		DurationMs: 10, RatePerMs: 1, Groups: map[string]float64{"g": 0},
-	}); err == nil {
-		t.Error("all-zero shares should fail")
-	}
-}
-
-// replayFixture: candidates at x = 0,50,100,150 (nodes 0-3); clients at
-// x = 10 (node 4) and x = 140 (node 5).
-func replayFixture(t *testing.T) (*replica.GroupManager, []coord.Coordinate, func(int, int) float64) {
-	t.Helper()
-	xs := []float64{0, 50, 100, 150, 10, 140}
-	coords := make([]coord.Coordinate, len(xs))
-	for i, x := range xs {
-		coords[i] = coord.Coordinate{Pos: vec.Of(x, 0)}
-	}
-	gm, err := replica.NewGroupManager(replica.Config{K: 1, M: 4, Dims: 2},
-		[]int{0, 1, 2, 3}, coords)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rtt := func(a, b int) float64 {
-		d := xs[a] - xs[b]
-		if d < 0 {
-			d = -d
-		}
-		return d
-	}
-	return gm, coords, rtt
-}
-
-func TestReplayMigratesTowardTrace(t *testing.T) {
-	gm, coords, rtt := replayFixture(t)
-	// All accesses come from node 5 (x=140): after the first epoch the
-	// single replica should sit at candidate 3 (x=150).
-	var events []Event
-	for i := 0; i < 60; i++ {
-		events = append(events, Event{TimeMs: float64(i * 10), Client: 5, Group: "g", Bytes: 1})
-	}
-	res, err := Replay(events, gm, coords, rtt, ReplayConfig{EpochMs: 100})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Accesses != 60 {
-		t.Errorf("accesses = %d", res.Accesses)
-	}
-	if res.Epochs < 5 {
-		t.Errorf("epochs = %d, want >= 5 over 600ms at 100ms period", res.Epochs)
-	}
-	final := res.FinalReplicas["g"]
-	if len(final) != 1 || final[0] != 3 {
-		t.Errorf("final replicas = %v, want [3]", final)
-	}
-	if res.Migrations == 0 {
-		t.Error("expected at least one migration")
-	}
-	if res.SummaryBytes <= 0 {
-		t.Error("summary bytes not accounted")
-	}
-	// Initial placement (candidate 0) costs 140 per access; after the
-	// first migration it drops to 10, so the trace-wide mean must be far
-	// below 140.
-	if res.MeanDelayMs > 80 {
-		t.Errorf("mean delay %v too high — migration ineffective", res.MeanDelayMs)
-	}
-}
-
-func TestReplayOutOfOrderEventsSorted(t *testing.T) {
-	gm, coords, rtt := replayFixture(t)
-	events := []Event{
-		{TimeMs: 500, Client: 5, Group: "g", Bytes: 1},
-		{TimeMs: 1, Client: 4, Group: "g", Bytes: 1},
-	}
-	res, err := Replay(events, gm, coords, rtt, ReplayConfig{EpochMs: 100})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Accesses != 2 {
-		t.Errorf("accesses = %d", res.Accesses)
-	}
-}
-
-func TestReplayValidation(t *testing.T) {
-	gm, coords, rtt := replayFixture(t)
-	if _, err := Replay(nil, gm, coords, rtt, ReplayConfig{EpochMs: 100}); err == nil {
-		t.Error("no events should fail")
-	}
-	events := []Event{{TimeMs: 1, Client: 99, Group: "g", Bytes: 1}}
-	if _, err := Replay(events, gm, coords, rtt, ReplayConfig{EpochMs: 100}); err == nil {
-		t.Error("out-of-range client should fail")
-	}
-	if _, err := Replay(events, gm, coords, rtt, ReplayConfig{EpochMs: 0}); err == nil {
-		t.Error("zero epoch should fail")
 	}
 }

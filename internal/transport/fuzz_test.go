@@ -21,16 +21,39 @@ func FuzzTransportFrame(f *testing.F) {
 	}
 	good := buf.Bytes()
 	f.Add(good)
-	f.Add(good[:len(good)/2])          // truncated mid-frame
-	f.Add([]byte{})                    // empty
-	f.Add([]byte("garbage over TCP"))  // not gob at all
-	f.Add(bytes.Repeat(good, 3))       // several frames back to back
+	f.Add(good[:len(good)/2])                   // truncated mid-frame
+	f.Add([]byte{})                             // empty
+	f.Add([]byte("garbage over TCP"))           // not gob at all
+	f.Add(bytes.Repeat(good, 3))                // several frames back to back
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}) // absurd length prefix
 	var respBuf bytes.Buffer
 	if err := gob.NewEncoder(&respBuf).Encode(response{ID: 1, Body: []byte("ok")}); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(respBuf.Bytes()) // valid response frame (sent to both ends)
+
+	// Extended frames carrying trace propagation fields, well-formed and
+	// truncated, so the fuzzer explores the wider wire format too.
+	var tracedBuf bytes.Buffer
+	if err := gob.NewEncoder(&tracedBuf).Encode(request{
+		ID: 2, Method: "echo", Body: []byte("hi"),
+		TraceID:  "0af7651916cd43dd8448eb211c80319c",
+		SpanID:   "b7ad6b7169203331",
+		ParentID: "00f067aa0ba902b7",
+	}); err != nil {
+		f.Fatal(err)
+	}
+	traced := tracedBuf.Bytes()
+	f.Add(traced)
+	f.Add(traced[:len(traced)*2/3]) // truncated inside the trace fields
+	var tracedResp bytes.Buffer
+	if err := gob.NewEncoder(&tracedResp).Encode(response{
+		ID: 2, Body: []byte("ok"),
+		TraceID: "0af7651916cd43dd8448eb211c80319c", SpanID: "1f2e3d4c5b6a7988",
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tracedResp.Bytes())
 
 	// One shared server outlives all fuzz executions; if any input
 	// wedges or kills it, the subsequent well-formed call fails.

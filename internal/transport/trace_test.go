@@ -1,0 +1,329 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/georep/georep/internal/trace"
+)
+
+// legacyRequest/legacyResponse are the wire frames as they were before
+// trace propagation was added. gob matches fields by name, ignores
+// stream fields unknown to the receiver, and zero-fills receiver fields
+// absent from the stream — the properties the wire-compat guarantee
+// rests on.
+type legacyRequest struct {
+	ID     uint64
+	Method string
+	Body   []byte
+}
+
+type legacyResponse struct {
+	ID   uint64
+	Err  string
+	Body []byte
+}
+
+func startEchoServer(t *testing.T, opts ...ServerOption) *Server {
+	t.Helper()
+	srv := NewServer(opts...)
+	if err := srv.Handle("echo", func(b []byte) ([]byte, error) { return b, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func testTracer(node string) (*trace.FlightRecorder, *trace.Tracer) {
+	rec := trace.NewFlightRecorder(16, 8)
+	return rec, trace.New(rec, node, trace.WithRand(rand.New(rand.NewSource(1))))
+}
+
+// TestWireCompatLegacyClientToTracingServer proves a pre-trace peer can
+// call a tracing server: frames without trace fields are served
+// normally and produce no server spans.
+func TestWireCompatLegacyClientToTracingServer(t *testing.T) {
+	rec, tr := testTracer("srv")
+	srv := startEchoServer(t, WithServerTracer(tr))
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	body, err := Marshal([]byte("legacy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(conn).Encode(legacyRequest{ID: 9, Method: "echo", Body: body}); err != nil {
+		t.Fatalf("legacy frame rejected: %v", err)
+	}
+	var resp legacyResponse
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatalf("legacy client cannot decode tracing server's response: %v", err)
+	}
+	if resp.ID != 9 || resp.Err != "" {
+		t.Fatalf("response: %+v", resp)
+	}
+	var out []byte
+	if err := Unmarshal(resp.Body, &out); err != nil || string(out) != "legacy" {
+		t.Fatalf("echo body: %q err=%v", out, err)
+	}
+	if n := rec.Len(); n != 0 {
+		t.Fatalf("untraced legacy request produced %d server traces", n)
+	}
+}
+
+// TestWireCompatTracingClientToLegacyServer proves a tracing client
+// (trace fields on the wire) interops with a pre-trace server that has
+// never heard of those fields.
+func TestWireCompatTracingClientToLegacyServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		dec, enc := gob.NewDecoder(conn), gob.NewEncoder(conn)
+		for {
+			var req legacyRequest
+			if err := dec.Decode(&req); err != nil {
+				return
+			}
+			if err := enc.Encode(legacyResponse{ID: req.ID, Body: req.Body}); err != nil {
+				return
+			}
+		}
+	}()
+
+	rec, tr := testTracer("cli")
+	c, err := Dial(ln.Addr().String(), 2*time.Second,
+		WithCallTimeout(2*time.Second), WithClientTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	root := tr.StartRoot("compat", trace.KindEpoch)
+	ctx := trace.ContextWithSpan(context.Background(), root)
+	var out []byte
+	if _, err := c.CallContext(ctx, "echo", []byte("traced"), &out); err != nil {
+		t.Fatalf("traced call to legacy server: %v", err)
+	}
+	if string(out) != "traced" {
+		t.Fatalf("echo body %q", out)
+	}
+	root.End()
+
+	got, ok := rec.Trace(root.Context().TraceID)
+	if !ok {
+		t.Fatal("client trace missing")
+	}
+	// root + client span + one attempt, all client-side; no server span.
+	if len(got.Spans) != 3 {
+		t.Fatalf("spans: %+v", got.Spans)
+	}
+}
+
+// TestSpanPropagationAcrossWire checks a traced call assembles one tree
+// across both processes: client rpc span → attempt span → server span,
+// all sharing the trace ID minted at the client root.
+func TestSpanPropagationAcrossWire(t *testing.T) {
+	srvRec, srvTr := testTracer("srv")
+	srv := startEchoServer(t, WithServerTracer(srvTr))
+
+	cliRec, cliTr := testTracer("cli")
+	c, err := Dial(srv.Addr().String(), 2*time.Second,
+		WithCallTimeout(2*time.Second), WithClientTracer(cliTr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	root := cliTr.StartRoot("epoch", trace.KindEpoch)
+	ctx := trace.ContextWithSpan(context.Background(), root)
+	var out []byte
+	if _, err := c.CallContext(ctx, "echo", []byte("x"), &out); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	traceID := root.Context().TraceID
+
+	cli, ok := cliRec.Trace(traceID)
+	if !ok {
+		t.Fatal("client side missing")
+	}
+	srvSide, ok := srvRec.Trace(traceID)
+	if !ok {
+		t.Fatal("server side missing: trace context did not cross the wire")
+	}
+	merged := trace.Merge([]trace.Trace{cli}, []trace.Trace{srvSide})
+	if len(merged) != 1 {
+		t.Fatalf("merged into %d traces", len(merged))
+	}
+	spans := merged[0].Spans
+	if len(spans) != 4 { // root, rpc.echo, attempt 1, serve.echo
+		t.Fatalf("span count %d: %+v", len(spans), spans)
+	}
+	byName := map[string]trace.Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	rpc, attempt, serve := byName["rpc.echo"], byName["attempt 1"], byName["serve.echo"]
+	if rpc.ParentID != root.Context().SpanID {
+		t.Fatal("rpc span not under root")
+	}
+	if attempt.ParentID != rpc.SpanID {
+		t.Fatal("attempt span not under rpc span")
+	}
+	if serve.ParentID != attempt.SpanID {
+		t.Fatalf("server span parent %q, want attempt %q", serve.ParentID, attempt.SpanID)
+	}
+	if serve.Node != "srv" || rpc.Node != "cli" {
+		t.Fatalf("nodes: serve@%s rpc@%s", serve.Node, rpc.Node)
+	}
+}
+
+// TestUntracedCallRecordsNothing: without a span in ctx, nothing is
+// recorded on either side even with tracers installed.
+func TestUntracedCallRecordsNothing(t *testing.T) {
+	srvRec, srvTr := testTracer("srv")
+	srv := startEchoServer(t, WithServerTracer(srvTr))
+	cliRec, cliTr := testTracer("cli")
+	c, err := Dial(srv.Addr().String(), 2*time.Second,
+		WithCallTimeout(2*time.Second), WithClientTracer(cliTr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var out []byte
+	if _, err := c.Call("echo", []byte("x"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if cliRec.Len() != 0 || srvRec.Len() != 0 {
+		t.Fatalf("untraced call recorded spans: cli=%d srv=%d", cliRec.Len(), srvRec.Len())
+	}
+}
+
+// TestRetryVisibleAsAttemptSpans drops the first delivery via fault
+// injection and checks the trace shows two attempts: a failed first and
+// a successful second, plus the server span for the retry that landed.
+func TestRetryVisibleAsAttemptSpans(t *testing.T) {
+	var calls atomic.Int64
+	srvRec, srvTr := testTracer("srv")
+	srv := startEchoServer(t,
+		WithServerTracer(srvTr),
+		WithServerFaults(func(method string) FaultAction {
+			return FaultAction{Drop: calls.Add(1) == 1}
+		}))
+
+	cliRec, cliTr := testTracer("cli")
+	c, err := Dial(srv.Addr().String(), 2*time.Second,
+		WithCallTimeout(300*time.Millisecond),
+		WithClientTracer(cliTr),
+		WithIdempotent("echo"),
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond, Multiplier: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	root := cliTr.StartRoot("epoch", trace.KindEpoch)
+	ctx := trace.ContextWithSpan(context.Background(), root)
+	var out []byte
+	if _, err := c.CallContext(ctx, "echo", []byte("x"), &out); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	cli, _ := cliRec.Trace(root.Context().TraceID)
+	var attempts []trace.Span
+	for _, s := range cli.Spans {
+		if s.Kind == trace.KindAttempt {
+			attempts = append(attempts, s)
+		}
+	}
+	if len(attempts) != 2 {
+		t.Fatalf("attempt spans: %+v", attempts)
+	}
+	var failed, succeeded bool
+	for _, a := range attempts {
+		if a.Err != "" {
+			failed = true
+		} else {
+			succeeded = true
+		}
+	}
+	if !failed || !succeeded {
+		t.Fatalf("want one failed and one successful attempt: %+v", attempts)
+	}
+	// Server side: the dropped delivery and the served retry each have a
+	// span; the drop names the fault.
+	srvSide, ok := srvRec.Trace(root.Context().TraceID)
+	if !ok {
+		t.Fatal("server side missing")
+	}
+	var droppedSpan bool
+	for _, s := range srvSide.Spans {
+		if s.Err == "fault injection: request dropped" {
+			droppedSpan = true
+		}
+	}
+	if !droppedSpan {
+		t.Fatalf("fault drop not visible in server spans: %+v", srvSide.Spans)
+	}
+}
+
+// TestConcurrentTracedClients exercises tracer use from many clients in
+// parallel (run with -race).
+func TestConcurrentTracedClients(t *testing.T) {
+	srvRec, srvTr := testTracer("srv")
+	srv := startEchoServer(t, WithServerTracer(srvTr))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, tr := testTracer("cli")
+			c, err := Dial(srv.Addr().String(), 2*time.Second,
+				WithCallTimeout(2*time.Second), WithClientTracer(tr))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				root := tr.StartRoot("epoch", trace.KindEpoch)
+				ctx := trace.ContextWithSpan(context.Background(), root)
+				var out []byte
+				if _, err := c.CallContext(ctx, "echo", []byte("x"), &out); err != nil {
+					t.Error(err)
+				}
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if srvRec.Len() == 0 {
+		t.Fatal("no server traces recorded")
+	}
+}

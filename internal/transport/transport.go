@@ -8,29 +8,47 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/trace"
 )
 
 // request and response are the wire frames; bodies are nested gob.
+//
+// The trace fields are optional W3C-style span propagation: TraceID is
+// the 16-byte hex trace, SpanID the caller-side span the server should
+// parent under, ParentID that span's own parent (context only). gob
+// ignores fields the receiver does not know and zero-fills fields the
+// sender did not write, so frames interoperate with pre-trace peers in
+// both directions.
 type request struct {
-	ID     uint64
-	Method string
-	Body   []byte
+	ID       uint64
+	Method   string
+	Body     []byte
+	TraceID  string
+	SpanID   string
+	ParentID string
 }
 
+// response echoes the trace (and the server-side span it recorded) back
+// to the caller; both fields are empty when the request was untraced or
+// the server does not trace.
 type response struct {
-	ID   uint64
-	Err  string
-	Body []byte
+	ID      uint64
+	Err     string
+	Body    []byte
+	TraceID string
+	SpanID  string
 }
 
 // Handler serves one method: raw request body in, raw response body out.
@@ -120,6 +138,24 @@ func (o serverFaultsOption) apply(s *Server) { s.faults = o.fn }
 // fault plans (internal/faults) against live processes.
 func WithServerFaults(fn ServerFaultFunc) ServerOption { return serverFaultsOption{fn: fn} }
 
+type serverTracerOption struct{ tr *trace.Tracer }
+
+func (o serverTracerOption) apply(s *Server) { s.tracer = o.tr }
+
+// WithServerTracer records a server-side span for every traced inbound
+// request (frames carrying a trace context), parented under the
+// caller's wire span so coordinator and daemon spans assemble into one
+// cross-node tree. Untraced requests stay untraced.
+func WithServerTracer(tr *trace.Tracer) ServerOption { return serverTracerOption{tr: tr} }
+
+type serverLoggerOption struct{ log *slog.Logger }
+
+func (o serverLoggerOption) apply(s *Server) { s.log = o.log }
+
+// WithServerLogger installs a structured logger for server events:
+// fault drops/delays, unknown methods, and handler errors.
+func WithServerLogger(log *slog.Logger) ServerOption { return serverLoggerOption{log: log} }
+
 // Server accepts connections and dispatches method calls. Each
 // connection is served by one goroutine, requests on it in order.
 type Server struct {
@@ -128,6 +164,8 @@ type Server struct {
 	delay    DelayFunc
 	faults   ServerFaultFunc
 	met      serverMetrics
+	tracer   *trace.Tracer
+	log      *slog.Logger
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
@@ -232,12 +270,25 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // connection closed or corrupt; drop it
 		}
+		// A traced frame opens a server span parented under the caller's
+		// wire span; an untraced frame (old peer, tracing off) does not.
+		sp := s.tracer.Start(trace.SpanContext{TraceID: req.TraceID, SpanID: req.SpanID},
+			"serve."+req.Method, trace.KindServer)
 		if s.faults != nil {
 			switch act := s.faults(req.Method); {
 			case act.Drop:
 				s.met.dropped.Inc()
+				if s.log != nil {
+					s.log.Debug("request dropped by fault injection", "method", req.Method, "trace_id", req.TraceID)
+				}
+				sp.SetErrString("fault injection: request dropped")
+				sp.End()
 				continue // consume silently: the caller sees a stall
 			case act.Delay > 0:
+				if s.log != nil {
+					s.log.Debug("request delayed by fault injection", "method", req.Method, "delay", act.Delay)
+				}
+				sp.SetAttr("fault_delay", act.Delay.String())
 				time.Sleep(act.Delay)
 			}
 		}
@@ -251,10 +302,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.met.requests.Inc()
 		s.met.bytesIn.Add(int64(len(req.Body)))
 
-		resp := response{ID: req.ID}
+		resp := response{ID: req.ID, TraceID: req.TraceID}
+		if sp != nil {
+			resp.SpanID = sp.Context().SpanID
+		}
 		start := time.Now()
 		if h == nil {
 			resp.Err = fmt.Sprintf("transport: unknown method %q", req.Method)
+			if s.log != nil {
+				s.log.Warn("unknown method", "method", req.Method)
+			}
 		} else if body, err := h(req.Body); err != nil {
 			resp.Err = err.Error()
 		} else {
@@ -263,8 +320,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.met.handleMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 		if resp.Err != "" {
 			s.met.errors.Inc()
+			if s.log != nil {
+				s.log.Debug("handler error", "method", req.Method, "err", resp.Err)
+			}
 		}
 		s.met.bytesOut.Add(int64(len(resp.Body)))
+		sp.SetErrString(resp.Err)
+		sp.End()
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -318,6 +380,8 @@ type Client struct {
 	breaker     Breaker
 	idempotent  map[string]bool
 	met         clientMetrics
+	tracer      *trace.Tracer
+	log         *slog.Logger
 
 	// Test seams; real clients use the clock.
 	now   func() time.Time
@@ -408,6 +472,22 @@ func WithBreaker(b Breaker) ClientOption {
 	return clientOptionFunc(func(c *Client) { c.breaker = b })
 }
 
+// WithClientTracer records client-side spans for calls made with a
+// traced context (see CallContext): one span per call covering every
+// attempt, plus one child span per attempt on the wire. The attempt
+// span's context travels in the request frame, so the server's span
+// nests under the exact attempt that reached it — retries and redials
+// are visible as siblings.
+func WithClientTracer(tr *trace.Tracer) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.tracer = tr })
+}
+
+// WithClientLogger installs a structured logger for client events:
+// retries, breaker opens, and fast-fails.
+func WithClientLogger(log *slog.Logger) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.log = log })
+}
+
 // WithIdempotent marks methods safe to retry: executing them more than
 // once must be indistinguishable from executing them once. Only marked
 // methods are ever retried.
@@ -473,8 +553,20 @@ func (e *RemoteError) Error() string {
 // Call invokes a method: req is gob-encoded, resp (if non-nil) decoded
 // from the reply. It returns the measured round-trip time, the signal the
 // coordinate system feeds on. With a retry policy installed, the RTT is
-// that of the successful (or final) attempt.
+// that of the successful (or final) attempt. Call is never traced; use
+// CallContext with a span-carrying context to propagate a trace.
 func (c *Client) Call(method string, req, resp any) (time.Duration, error) {
+	return c.CallContext(context.Background(), method, req, resp)
+}
+
+// CallContext is Call with trace propagation: when ctx carries a span
+// context (trace.NewContext / trace.ContextWithSpan) and the client has
+// a tracer, the call records one client span covering all attempts plus
+// one child span per wire attempt, and each attempt's span context
+// travels in the request frame so the server's span joins the same
+// tree. The ctx is not consulted for cancellation — per-attempt
+// deadlines already bound every call (see WithCallTimeout).
+func (c *Client) CallContext(ctx context.Context, method string, req, resp any) (time.Duration, error) {
 	c.met.calls.Inc()
 	encStart := time.Now()
 	body, err := gobEncode(req)
@@ -483,6 +575,9 @@ func (c *Client) Call(method string, req, resp any) (time.Duration, error) {
 		return 0, fmt.Errorf("transport: encode %s request: %w", method, err)
 	}
 	c.met.encodeMs.Observe(float64(time.Since(encStart)) / float64(time.Millisecond))
+
+	span := c.tracer.Start(trace.FromContext(ctx), "rpc."+method, trace.KindClient)
+	span.SetAttr("target", c.addr)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -494,11 +589,22 @@ func (c *Client) Call(method string, req, resp any) (time.Duration, error) {
 		if c.breaker.Threshold > 0 && c.now().Before(c.openUntil) {
 			c.met.breakerFast.Inc()
 			c.met.errors.Inc()
-			return 0, fmt.Errorf("transport: call %s to %s: %w", method, c.addr, ErrCircuitOpen)
+			if c.log != nil {
+				c.log.Debug("breaker fast-fail", "method", method, "target", c.addr)
+			}
+			err := fmt.Errorf("transport: call %s to %s: %w", method, c.addr, ErrCircuitOpen)
+			span.SetAttr("breaker", "open")
+			span.SetErr(err)
+			span.End()
+			return 0, err
 		}
-		rtt, err := c.attempt(method, body, resp)
+		att := c.tracer.Start(span.Context(), fmt.Sprintf("attempt %d", attempt), trace.KindAttempt)
+		rtt, err := c.attempt(method, body, resp, att.Context(), span.Context().SpanID)
+		att.SetErr(err)
+		att.End()
 		if err == nil {
 			c.consecFails = 0
+			span.End()
 			return rtt, nil
 		}
 		c.met.errors.Inc()
@@ -507,6 +613,8 @@ func (c *Client) Call(method string, req, resp any) (time.Duration, error) {
 			// The server answered: the target is healthy, the request
 			// failed at the application layer. Never retried.
 			c.consecFails = 0
+			span.SetErr(err)
+			span.End()
 			return rtt, err
 		}
 		if !errors.Is(err, ErrClientClosed) {
@@ -515,17 +623,26 @@ func (c *Client) Call(method string, req, resp any) (time.Duration, error) {
 				c.openUntil = c.now().Add(c.breaker.Cooldown)
 				c.consecFails = 0
 				c.met.breakerOpens.Inc()
+				if c.log != nil {
+					c.log.Warn("breaker opened", "target", c.addr, "cooldown", c.breaker.Cooldown)
+				}
+				span.SetAttr("breaker", "opened")
 			}
 		}
 		if !IsRetryable(err) || !c.idempotent[method] ||
 			attempt >= maxAttempts || c.retriesLeft == 0 ||
 			(c.breaker.Threshold > 0 && c.now().Before(c.openUntil)) {
+			span.SetErr(err)
+			span.End()
 			return rtt, err
 		}
 		if c.retriesLeft > 0 {
 			c.retriesLeft--
 		}
 		c.met.retries.Inc()
+		if c.log != nil {
+			c.log.Debug("retrying", "method", method, "target", c.addr, "attempt", attempt, "err", err)
+		}
 		c.sleep(c.retry.Backoff(attempt, c.rng))
 	}
 }
@@ -535,7 +652,7 @@ func (c *Client) Call(method string, req, resp any) (time.Duration, error) {
 // connection broken: a response to a timed-out request must never be
 // mistaken for the answer to its retry, so retries always run on a
 // fresh gob stream.
-func (c *Client) attempt(method string, body []byte, resp any) (time.Duration, error) {
+func (c *Client) attempt(method string, body []byte, resp any, wire trace.SpanContext, parentID string) (time.Duration, error) {
 	conn, enc, dec, err := c.liveConn()
 	if err != nil {
 		return 0, err
@@ -543,6 +660,11 @@ func (c *Client) attempt(method string, body []byte, resp any) (time.Duration, e
 	c.met.bytesOut.Add(int64(len(body)))
 	c.nextID++
 	frame := request{ID: c.nextID, Method: method, Body: body}
+	if wire.Valid() {
+		frame.TraceID = wire.TraceID
+		frame.SpanID = wire.SpanID
+		frame.ParentID = parentID
+	}
 
 	start := time.Now()
 	if c.callTimeout > 0 {

@@ -7,6 +7,7 @@ import (
 
 	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/replica"
+	"github.com/georep/georep/internal/trace"
 )
 
 // ManagerConfig parameterizes a live replica manager.
@@ -46,6 +47,11 @@ type ManagerConfig struct {
 	// Below quorum the epoch completes degraded: estimates are computed
 	// from stale summaries but no placement change is committed.
 	Quorum float64
+	// Tracing enables the per-epoch span recorder: every EndEpoch
+	// produces a span tree (collect per replica, k-means, decision) in a
+	// bounded flight recorder, with degraded / below-quorum / migrating
+	// epochs pinned as anomalous. Retrieve trees via TraceRecorder.
+	Tracing bool
 }
 
 // EpochReport describes what one epoch's coordination cycle concluded.
@@ -94,6 +100,7 @@ type Manager struct {
 
 	reg  *metrics.Registry
 	ring *metrics.TraceRing
+	rec  *trace.FlightRecorder // nil unless ManagerConfig.Tracing
 	// Ground-truth delay accumulated over the current epoch's accesses,
 	// guarded by mu; reset at each epoch boundary.
 	epochDelaySum float64
@@ -118,6 +125,12 @@ func (d *Deployment) NewManager(cfg ManagerConfig) (*Manager, error) {
 		}
 	}
 	reg := metrics.NewRegistry()
+	var rec *trace.FlightRecorder
+	var tracer *trace.Tracer
+	if cfg.Tracing {
+		rec = trace.NewFlightRecorder(trace.DefaultRecent, trace.DefaultAnomalous)
+		tracer = trace.New(rec, "coord")
+	}
 	rcfg := replica.Config{
 		K:       cfg.K,
 		M:       m,
@@ -138,6 +151,7 @@ func (d *Deployment) NewManager(cfg ManagerConfig) (*Manager, error) {
 		DecayFactor:  cfg.DecayFactor,
 		WindowEpochs: cfg.WindowEpochs,
 		Quorum:       cfg.Quorum,
+		Tracer:       tracer,
 	}
 	inner, err := replica.NewManager(rcfg, cfg.Candidates, d.coords, cfg.InitialReplicas)
 	if err != nil {
@@ -149,10 +163,17 @@ func (d *Deployment) NewManager(cfg ManagerConfig) (*Manager, error) {
 		dims:         dims,
 		reg:          reg,
 		ring:         metrics.NewTraceRing(64),
+		rec:          rec,
 		actualMs:     reg.Histogram("manager_actual_delay_ms", metrics.LatencyBuckets()),
 		actualMeanMs: reg.Gauge("manager_epoch_actual_mean_ms"),
 	}, nil
 }
+
+// TraceRecorder returns the manager's span flight recorder, or nil when
+// the manager was built without ManagerConfig.Tracing. Each completed
+// epoch is one span tree; degraded, below-quorum, migrating and
+// latency-outlier epochs are pinned as anomalous.
+func (m *Manager) TraceRecorder() *trace.FlightRecorder { return m.rec }
 
 // Replicas returns the current replica locations.
 func (m *Manager) Replicas() []int {
@@ -236,13 +257,13 @@ func (m *Manager) EndEpochWithOutages(seed int64, unreachable []int) (EpochRepor
 
 	m.actualMeanMs.Set(actualMean)
 	m.ring.Add(metrics.EpochTrace{
-		Epoch:          epoch,
-		Migrated:       dec.Migrate,
-		K:              dec.K,
-		Replicas:       append([]int(nil), dec.NewReplicas...),
-		EstimatedOldMs: dec.EstimatedOldMs,
-		EstimatedNewMs: dec.EstimatedNewMs,
-		ActualMeanMs:   actualMean,
+		Epoch:            epoch,
+		Migrated:         dec.Migrate,
+		K:                dec.K,
+		Replicas:         append([]int(nil), dec.NewReplicas...),
+		EstimatedOldMs:   dec.EstimatedOldMs,
+		EstimatedNewMs:   dec.EstimatedNewMs,
+		ActualMeanMs:     actualMean,
 		Accesses:         accesses,
 		MovedReplicas:    dec.MovedReplicas,
 		SummaryBytes:     dec.CollectedBytes,

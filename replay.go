@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/georep/georep/internal/accesstrace"
 	"github.com/georep/georep/internal/replica"
-	"github.com/georep/georep/internal/trace"
 )
 
 // AccessEvent is one entry of an application access trace: who read
@@ -26,7 +26,7 @@ type AccessEvent struct {
 // ReadTrace parses a CSV access trace: `time_ms,client,group,bytes` per
 // line, optional header, `#` comments allowed.
 func ReadTrace(r io.Reader) ([]AccessEvent, error) {
-	events, err := trace.Read(r)
+	events, err := accesstrace.Read(r)
 	if err != nil {
 		return nil, fmt.Errorf("georep: %w", err)
 	}
@@ -39,11 +39,11 @@ func ReadTrace(r io.Reader) ([]AccessEvent, error) {
 
 // WriteTrace serializes events in the format ReadTrace parses.
 func WriteTrace(w io.Writer, events []AccessEvent) error {
-	conv := make([]trace.Event, len(events))
+	conv := make([]accesstrace.Event, len(events))
 	for i, e := range events {
-		conv[i] = trace.Event(e)
+		conv[i] = accesstrace.Event(e)
 	}
-	if err := trace.Write(w, conv); err != nil {
+	if err := accesstrace.Write(w, conv); err != nil {
 		return fmt.Errorf("georep: %w", err)
 	}
 	return nil
@@ -117,11 +117,11 @@ func (d *Deployment) Replay(events []AccessEvent, cfg ReplayConfig) (*ReplayResu
 	if err != nil {
 		return nil, fmt.Errorf("georep: replay: %w", err)
 	}
-	conv := make([]trace.Event, len(events))
+	conv := make([]accesstrace.Event, len(events))
 	for i, e := range events {
-		conv[i] = trace.Event(e)
+		conv[i] = accesstrace.Event(e)
 	}
-	res, err := trace.Replay(conv, gm, d.coords, d.matrix.RTT, trace.ReplayConfig{
+	res, err := accesstrace.Replay(conv, gm, d.coords, d.matrix.RTT, accesstrace.ReplayConfig{
 		EpochMs:  cfg.EpochMs,
 		SeedBase: cfg.Seed,
 	})
