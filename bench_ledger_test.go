@@ -1,0 +1,113 @@
+package georep_test
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/georep/georep/internal/ledger"
+	"github.com/georep/georep/internal/replica"
+)
+
+// BenchmarkLedgerOverhead measures what durable decision logging adds
+// to a manager epoch. The ledger writes one binary-encoded, CRC-framed
+// record per epoch (no fsync by default), so it should stay within a
+// few percent of a ledgerless epoch.
+//
+// disabled/enabled time the full cycle (100 recorded accesses plus
+// collect/kmeans/decide) for absolute numbers. The gated figure comes
+// from paired: the ledger cost is a handful of microseconds, smaller
+// than the run-to-run drift between separate benchmark processes on a
+// shared machine, so paired interleaves a ledgerless and a logging
+// epoch in one process and compares the MINIMUM EndEpoch latency of
+// each — the only timing a few-percent effect survives. scripts/
+// bench_ledger.sh turns paired's overhead_pct into a gate and records
+// everything in BENCH_ledger.json.
+func BenchmarkLedgerOverhead(b *testing.B) {
+	ws := worlds(b)
+	w := ws[0]
+	candidates := make([]int, 20)
+	for i := range candidates {
+		candidates[i] = i
+	}
+	// newEpoch builds a manager with a fresh epoch of demand, ready for
+	// EndEpoch.
+	newEpoch := func(b *testing.B, led *ledger.Ledger) *replica.Manager {
+		mgr, err := replica.NewManager(replica.Config{K: 3, M: 10, Dims: 3, Ledger: led},
+			candidates, w.Coords, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for c := 20; c < 120; c++ {
+			if _, err := mgr.Record(w.Coords[c], 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return mgr
+	}
+	epoch := func(b *testing.B, led *ledger.Ledger) {
+		// Both variants start from a settled heap: the sub-benchmarks run
+		// back to back in one process, and whichever runs second would
+		// otherwise inherit the first one's garbage as pure bias.
+		runtime.GC()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mgr := newEpoch(b, led)
+			if _, err := mgr.EndEpoch(rand.New(rand.NewSource(3))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		epoch(b, nil)
+	})
+	b.Run("enabled", func(b *testing.B) {
+		led, err := ledger.Open(b.TempDir(), ledger.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer led.Close()
+		epoch(b, led)
+		if led.Stats().AppendedRecords == 0 {
+			b.Fatal("enabled run appended no records")
+		}
+	})
+	b.Run("paired", func(b *testing.B) {
+		led, err := ledger.Open(b.TempDir(), ledger.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer led.Close()
+		minOff := time.Duration(math.MaxInt64)
+		minOn := time.Duration(math.MaxInt64)
+		runtime.GC()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := newEpoch(b, nil)
+			on := newEpoch(b, led)
+			s := time.Now()
+			if _, err := off.EndEpoch(rand.New(rand.NewSource(3))); err != nil {
+				b.Fatal(err)
+			}
+			if d := time.Since(s); d < minOff {
+				minOff = d
+			}
+			s = time.Now()
+			if _, err := on.EndEpoch(rand.New(rand.NewSource(3))); err != nil {
+				b.Fatal(err)
+			}
+			if d := time.Since(s); d < minOn {
+				minOn = d
+			}
+		}
+		b.StopTimer()
+		if led.Stats().AppendedRecords == 0 {
+			b.Fatal("paired run appended no records")
+		}
+		b.ReportMetric(100*(float64(minOn)-float64(minOff))/float64(minOff), "overhead_pct")
+		b.ReportMetric(float64(minOff), "ns_epoch_disabled_min")
+		b.ReportMetric(float64(minOn), "ns_epoch_enabled_min")
+	})
+}

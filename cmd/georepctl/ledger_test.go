@@ -1,0 +1,292 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/georep/georep/internal/audit"
+	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/experiment"
+	"github.com/georep/georep/internal/ledger"
+	"github.com/georep/georep/internal/vec"
+)
+
+// writeTestLedger fills dir with epochs structurally valid, auditable
+// decision records and returns the directory.
+func writeTestLedger(t *testing.T, epochs int) string {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := ledger.Open(dir, ledger.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 1; e <= epochs; e++ {
+		if err := l.Append(ctlTestRecord(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// ctlTestRecord is an auditable record whose demand cloud drifts with
+// the epoch, so regret, drift and quality are all non-trivial.
+func ctlTestRecord(e int) ledger.Record {
+	cands := []int{0, 1, 2, 3, 4}
+	coords := make([]coord.Coordinate, len(cands))
+	for i := range coords {
+		coords[i] = coord.Coordinate{Pos: vec.Vec{float64(12 * i), float64(3 * i)}, Height: 1}
+	}
+	m1 := cluster.NewMicro(2)
+	m1.Absorb(vec.Vec{float64(4 * e), 2}, 3)
+	m1.Absorb(vec.Vec{float64(4*e) + 2, 4}, 2)
+	m2 := cluster.NewMicro(2)
+	m2.Absorb(vec.Vec{40, float64(10 - e)}, 4)
+	return ledger.Record{
+		Epoch:           e,
+		K:               2,
+		Candidates:      cands,
+		CandidateCoords: coords,
+		PrevReplicas:    []int{0, 1},
+		Replicas:        []int{0, 1},
+		Proposed:        []int{0, 1},
+		MovedReplicas:   0,
+		EstimatedOldMs:  25,
+		EstimatedNewMs:  25,
+		ObservedMeanMs:  24 + float64(e),
+		Accesses:        100,
+		CollectedBytes:  256,
+		QuorumOK:        true,
+		Micros:          []cluster.Micro{m1, m2},
+	}
+}
+
+func TestLedgerCmdInspect(t *testing.T) {
+	dir := writeTestLedger(t, 5)
+	var buf bytes.Buffer
+	if err := ledgerCmd(&buf, dir, false, 0, "table"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"epoch", "observed", "[0 1]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 6 { // header + 5 records
+		t.Fatalf("want 6 lines, got %d:\n%s", got, out)
+	}
+
+	// -limit keeps only the newest records.
+	buf.Reset()
+	if err := ledgerCmd(&buf, dir, false, 2, "table"); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); strings.Contains(out, "\n1 ") || strings.Count(out, "\n") != 3 {
+		t.Fatalf("limit 2 should show the last 2 records:\n%s", out)
+	}
+}
+
+func TestLedgerCmdExportJSONL(t *testing.T) {
+	dir := writeTestLedger(t, 3)
+	var a, b bytes.Buffer
+	if err := ledgerCmd(&a, dir, false, 0, "jsonl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ledgerCmd(&b, dir, false, 0, "jsonl"); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("jsonl export is not deterministic")
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 JSONL lines, got %d", len(lines))
+	}
+	if !strings.Contains(lines[0], `"Epoch":1`) {
+		t.Fatalf("first line should be epoch 1: %s", lines[0])
+	}
+}
+
+func TestLedgerCmdVerify(t *testing.T) {
+	dir := writeTestLedger(t, 4)
+	var buf bytes.Buffer
+	if err := ledgerCmd(&buf, dir, true, 0, "table"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "clean") {
+		t.Fatalf("verify of intact ledger should report clean:\n%s", buf.String())
+	}
+
+	// Corrupt one byte mid-segment: verify must fail loudly.
+	segs, err := filepath.Glob(filepath.Join(dir, "ledger-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := ledgerCmd(&buf, dir, true, 0, "table"); err == nil {
+		t.Fatalf("verify of corrupted ledger should fail:\n%s", buf.String())
+	}
+}
+
+func TestLedgerCmdNeedsDir(t *testing.T) {
+	// ledger/audit are local commands: they must not demand -nodes, and
+	// they must demand -dir.
+	if err := run([]string{"ledger"}); err == nil || !strings.Contains(err.Error(), "-dir") {
+		t.Fatalf("want -dir error, got %v", err)
+	}
+	if err := run([]string{"audit"}); err == nil || !strings.Contains(err.Error(), "-dir") {
+		t.Fatalf("want -dir error, got %v", err)
+	}
+}
+
+func TestLedgerAndAuditViaRun(t *testing.T) {
+	dir := writeTestLedger(t, 3)
+	for _, args := range [][]string{
+		{"ledger", "-dir", dir},
+		{"-dir", dir, "ledger", "-verify"}, // flags before the command too
+		{"ledger", "-dir", dir, "-o", "jsonl", "-limit", "1"},
+		{"audit", "-dir", dir},
+		{"audit", "-dir", dir, "-o", "json", "-what-if", "3"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestAuditCmdTable(t *testing.T) {
+	dir := writeTestLedger(t, 5)
+	var buf bytes.Buffer
+	if err := auditCmd(&buf, dir, audit.Config{Seed: 1}, "table"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"regret-opt", "epochs: 5 audited", "mean:", "health:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("audit table missing %q:\n%s", want, out)
+		}
+	}
+
+	// A what-if replay is labelled as such.
+	buf.Reset()
+	if err := auditCmd(&buf, dir, audit.Config{Seed: 1, WhatIfK: 3}, "table"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "what-if: baselines replayed at k=3") {
+		t.Fatalf("what-if audit not labelled:\n%s", buf.String())
+	}
+}
+
+// TestAuditEndToEndDeterministic is the acceptance check: a seeded
+// simulation writes a real ledger; auditing it twice produces
+// byte-identical JSON reports.
+func TestAuditEndToEndDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	l, err := ledger.Open(dir, ledger.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := experiment.DefaultDriftConfig()
+	cfg.Setup.Nodes = 40
+	cfg.NumDCs = 8
+	cfg.K = 2
+	cfg.M = 4
+	cfg.Epochs = 5
+	cfg.AccessesPerEpoch = 300
+	cfg.Ledger = l
+	if _, err := experiment.Drift(1, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var a, b bytes.Buffer
+	acfg := audit.Config{Seed: 1}
+	if err := auditCmd(&a, dir, acfg, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := auditCmd(&b, dir, acfg, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 || a.String() != b.String() {
+		t.Fatal("audit JSON of a seeded run is not byte-deterministic")
+	}
+	if !strings.Contains(a.String(), `"RegretOptimalMs"`) {
+		t.Fatalf("audit JSON missing regret columns:\n%s", a.String())
+	}
+
+	// The simulated run also drives the online path end to end: the
+	// ledger must carry observed (simulated) delays, and the audit
+	// regret-vs-optimal must be non-negative on every epoch.
+	rep, err := auditReport(dir, acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AuditedEpochs != 5 {
+		t.Fatalf("want 5 audited epochs, got %d", rep.AuditedEpochs)
+	}
+	for _, row := range rep.Epochs {
+		if row.ObservedMs <= 0 || row.Accesses <= 0 {
+			t.Fatalf("epoch %d missing observed delay: %+v", row.Epoch, row)
+		}
+		if !row.OptimalSkipped && row.RegretOptimalMs < 0 {
+			t.Fatalf("epoch %d negative optimal regret: %+v", row.Epoch, row)
+		}
+	}
+}
+
+// auditReport mirrors auditCmd's read-then-run without rendering.
+func auditReport(dir string, cfg audit.Config) (*audit.Report, error) {
+	recs, err := ledger.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return audit.Run(recs, cfg)
+}
+
+func TestMetricsWatch(t *testing.T) {
+	nodes := startTestFleet(t)
+	f, err := dialFleet(strings.Split(nodes, ","), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.close()
+	var buf bytes.Buffer
+	if err := f.metricsWatch(&buf, "daemon_rpc", 100*time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "\033[H\033[2J"); got != 2 {
+		t.Fatalf("want 2 screen-clearing frames, got %d:\n%q", got, out)
+	}
+	if !strings.Contains(out, "node 0") || !strings.Contains(out, "daemon_rpc") {
+		t.Fatalf("watch frames missing metrics table:\n%s", out)
+	}
+}
+
+func TestMetricsWatchFlag(t *testing.T) {
+	nodes := startTestFleet(t)
+	// One-shot sanity that the -watch flag parses and terminates is not
+	// possible through run (it loops forever), so check the plain path
+	// still works alongside the new flag set.
+	if err := run([]string{"-nodes", nodes, "metrics", "-metric", "daemon_rpc"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,10 +11,12 @@
 //	georepctl -nodes ... read  -obj key -client 7 -client-coord "10,-3,42"
 //	georepctl -nodes ... rebalance -obj key -k 2 [-min-gain 0.05] [-apply] [-trace-out t.jsonl]
 //	georepctl -nodes ... decay -factor 0.5
-//	georepctl -nodes ... metrics [-metric daemon_rpc]
+//	georepctl -nodes ... metrics [-metric daemon_rpc] [-watch 2s]
 //	georepctl -nodes ... trace [-anomalous] [-trace-id id] [-o tree|chrome|jsonl]
 //	georepctl -nodes ... spans [-kind collect] [-top 10]
 //	georepctl trace -in run.jsonl                # render an exported trace file
+//	georepctl ledger -dir ./epochs [-limit 20] [-verify] [-o table|jsonl]
+//	georepctl audit  -dir ./epochs [-what-if 3] [-audit-seed 1] [-o table|json]
 //
 // read acts as a client at the given coordinate: it fetches the object
 // from the predicted-closest holder, which records the access in that
@@ -34,9 +36,19 @@
 // recorders (or reads an exported JSONL file with -in) and renders them
 // as indented trees, Chrome trace_event JSON, or raw JSONL. spans ranks
 // the slowest spans by duration, optionally filtered by kind.
+//
+// ledger and audit are local commands — they read an epoch-decision
+// ledger directory (written by a manager configured with a ledger, or
+// replicasim -ledger-out) and need no -nodes. ledger inspects, verifies
+// (full CRC walk, failing on unrecoverable bytes) or exports the raw
+// decision records; audit replays every epoch through the offline
+// k-means and exhaustive-optimal baselines and reports placement regret,
+// demand drift, and micro-cluster quality — the paper's online-vs-
+// offline comparison recomputed from decision provenance.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -48,6 +60,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/georep/georep/internal/audit"
 	"github.com/georep/georep/internal/cluster"
 	"github.com/georep/georep/internal/coord"
 	"github.com/georep/georep/internal/daemon"
@@ -85,12 +98,19 @@ func run(args []string) error {
 		retries     = fs.Int("retries", 0, "max attempts per idempotent RPC with exponential backoff (0 = no retries)")
 		metricFilt  = fs.String("metric", "", "substring filter for metrics names (metrics command)")
 		traceIn     = fs.String("in", "", "trace/spans: read span trees from a JSONL file instead of the fleet")
-		traceFmt    = fs.String("o", "tree", "trace output format: tree, chrome or jsonl")
+		traceFmt    = fs.String("o", "tree", "output format: trace tree|chrome|jsonl, ledger table|jsonl, audit table|json")
 		traceID     = fs.String("trace-id", "", "trace: show only this trace id")
 		anomOnly    = fs.Bool("anomalous", false, "trace: show only anomalous traces")
 		topN        = fs.Int("top", 10, "spans: how many of the slowest spans to list")
 		kindFilt    = fs.String("kind", "", "spans: keep only spans of this kind (epoch, collect, kmeans, decide, migrate, client, attempt, server, failover)")
 		traceOut    = fs.String("trace-out", "", "rebalance: export the cycle's span tree, merged with the daemons' server-side legs, as JSONL to this file")
+		watchEvery  = fs.Duration("watch", 0, "metrics: clear the screen and re-render every interval until interrupted (0 = print once)")
+		ledgerDir   = fs.String("dir", "", "ledger/audit: local ledger directory (as written by a ledger-configured manager or replicasim -ledger-out)")
+		verifyFlag  = fs.Bool("verify", false, "ledger: CRC-check every segment and fail if any bytes are unrecoverable")
+		limit       = fs.Int("limit", 0, "ledger: show only the last N records (0 = all)")
+		whatIfK     = fs.Int("what-if", 0, "audit: replay the offline baselines at this replication degree instead of each epoch's logged k")
+		auditSeed   = fs.Int64("audit-seed", 1, "audit: seed for the offline k-means baseline")
+		maxLeaves   = fs.Int("max-leaves", 0, "audit: skip the exhaustive optimal baseline when the search would exceed this many leaves (0 = default, negative = never skip)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,7 +121,7 @@ func run(args []string) error {
 	rest := fs.Args()
 	if len(rest) == 0 {
 		fs.Usage()
-		return fmt.Errorf("need a command: status, get, put, read, rebalance, decay, metrics, trace, spans")
+		return fmt.Errorf("need a command: status, get, put, read, rebalance, decay, metrics, trace, spans, ledger, audit")
 	}
 	cmd := rest[0]
 	if err := fs.Parse(rest[1:]); err != nil {
@@ -122,6 +142,18 @@ func run(args []string) error {
 			return writeTraces(os.Stdout, traces, *traceFmt, *traceID, *anomOnly)
 		}
 		return topSpans(os.Stdout, traces, *kindFilt, *topN)
+	}
+	// ledger and audit work entirely from a local ledger directory.
+	switch cmd {
+	case "ledger":
+		return ledgerCmd(os.Stdout, *ledgerDir, *verifyFlag, *limit, *traceFmt)
+	case "audit":
+		return auditCmd(os.Stdout, *ledgerDir, audit.Config{
+			Seed:             *auditSeed,
+			WhatIfK:          *whatIfK,
+			MaxOptimalLeaves: *maxLeaves,
+			Parallelism:      *parallelism,
+		}, *traceFmt)
 	}
 	if *nodesFlag == "" {
 		return fmt.Errorf("-nodes is required")
@@ -183,6 +215,9 @@ func run(args []string) error {
 		}
 		return fleet.decay(*decayFactor)
 	case "metrics":
+		if *watchEvery > 0 {
+			return fleet.metricsWatch(os.Stdout, *metricFilt, *watchEvery, 0)
+		}
 		return fleet.metrics(os.Stdout, *metricFilt)
 	case "trace":
 		traces, err := fleet.gatherTraces()
@@ -380,6 +415,28 @@ func (f *fleet) metrics(w io.Writer, filter string) error {
 		}
 	}
 	return nil
+}
+
+// metricsWatch re-renders the fleet metrics table every interval,
+// clearing the terminal between frames (top-style), until an RPC fails
+// or the process is interrupted. Each frame is rendered to a buffer
+// first so a partially fetched frame never tears the screen. iterations
+// caps the number of frames for tests; <= 0 runs forever.
+func (f *fleet) metricsWatch(w io.Writer, filter string, interval time.Duration, iterations int) error {
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	for i := 0; ; i++ {
+		var buf bytes.Buffer
+		if err := f.metrics(&buf, filter); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\033[H\033[2Jgeorepctl metrics  (every %s, ctrl-c to stop)\n%s", interval, buf.String())
+		if iterations > 0 && i+1 >= iterations {
+			return nil
+		}
+		time.Sleep(interval)
+	}
 }
 
 // decay ages every node's summary — an operator's manual epoch boundary.

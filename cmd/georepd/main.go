@@ -23,6 +23,8 @@
 //	/debug/vars    alias of /metrics.json
 //	/trace         retained span trees as JSONL (?format=chrome for
 //	               Chrome trace_event / Perfetto)
+//	/audit         continuous placement-regret audit report as JSON
+//	               (requires -ledger-dir)
 //	/healthz       liveness probe
 //	/debug/pprof/  Go profiling endpoints (only with -pprof)
 //
@@ -36,6 +38,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -48,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/georep/georep/internal/audit"
 	"github.com/georep/georep/internal/daemon"
 	"github.com/georep/georep/internal/faults"
 	"github.com/georep/georep/internal/latency"
@@ -91,6 +95,9 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		logSpec     = fs.String("log", "info", "log levels: default[,component=level ...] with components daemon and transport, e.g. \"warn,transport=debug\"")
 		traceOn     = fs.Bool("trace", true, "retain recent and anomalous span trees in a flight recorder, served at /trace and the trace RPC")
 		pprofOn     = fs.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ on -metrics-addr")
+		ledgerDir   = fs.String("ledger-dir", "", "continuously audit the epoch ledger in this directory: regret/drift/quality gauges join /metrics and the report is served at /audit")
+		auditEvery  = fs.Duration("audit-interval", 30*time.Second, "how often the -ledger-dir auditor re-reads the ledger")
+		auditSeed   = fs.Int64("audit-seed", 1, "seed for the auditor's offline k-means baseline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -176,16 +183,25 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		fmt.Printf("fault injection active (seed %d): %s\n", *faultSeed, *faultPlan)
 	}
 
+	var aw *audit.Watcher
+	if *ledgerDir != "" {
+		aw = audit.NewWatcher(*ledgerDir, *auditEvery, audit.Config{Seed: *auditSeed}, n.Metrics())
+		fmt.Printf("auditing ledger %s every %s\n", *ledgerDir, *auditEvery)
+	}
+
 	var metricsURL string
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
+			if aw != nil {
+				aw.Close()
+			}
 			n.Close()
 			return fmt.Errorf("metrics listen %s: %w", *metricsAddr, err)
 		}
 		metricsURL = ln.Addr().String()
-		metricsSrv = &http.Server{Handler: newObsMux(n, rec, *pprofOn)}
+		metricsSrv = &http.Server{Handler: newObsMux(n, rec, aw, *pprofOn)}
 		go func() { _ = metricsSrv.Serve(ln) }()
 		fmt.Printf("metrics on http://%s/metrics\n", metricsURL)
 	}
@@ -198,13 +214,16 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 	if metricsSrv != nil {
 		_ = metricsSrv.Close()
 	}
+	if aw != nil {
+		aw.Close()
+	}
 	return n.Close()
 }
 
 // newObsMux builds the daemon's HTTP observability surface. Responses
 // that require marshalling are rendered to a buffer first, so a failure
 // becomes a clean 500 rather than a truncated 200.
-func newObsMux(n *daemon.Node, rec *trace.FlightRecorder, pprofOn bool) *http.ServeMux {
+func newObsMux(n *daemon.Node, rec *trace.FlightRecorder, aw *audit.Watcher, pprofOn bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		var buf bytes.Buffer
@@ -247,6 +266,19 @@ func newObsMux(n *daemon.Node, rec *trace.FlightRecorder, pprofOn bool) *http.Se
 		}
 		w.Header().Set("Content-Type", ct)
 		_, _ = w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("/audit", func(w http.ResponseWriter, _ *http.Request) {
+		if aw == nil {
+			http.Error(w, "ledger auditing disabled (start with -ledger-dir)", http.StatusNotFound)
+			return
+		}
+		body, err := json.MarshalIndent(aw.Report(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

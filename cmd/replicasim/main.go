@@ -31,6 +31,7 @@ import (
 
 	"github.com/georep/georep/internal/coord"
 	"github.com/georep/georep/internal/experiment"
+	"github.com/georep/georep/internal/ledger"
 	"github.com/georep/georep/internal/trace"
 )
 
@@ -58,6 +59,7 @@ func run(args []string) error {
 		faultSeed   = fs.Int64("fault-seed", 1, "seed for the failures scenario")
 		traceOut    = fs.String("trace-out", "", "write the failures run's per-epoch span trees as JSONL to this file")
 		traceChrome = fs.String("trace-chrome", "", "write the failures run's span trees in Chrome trace_event format to this file (load via chrome://tracing or Perfetto)")
+		ledgerOut   = fs.String("ledger-out", "", "write the drift/failures run's epoch decisions as a durable ledger to this directory (audit with georepctl audit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,7 +126,15 @@ func run(args []string) error {
 	if *all || *fig == "drift" {
 		cfg := experiment.DefaultDriftConfig()
 		cfg.Setup.CoordAlgorithm = setup.CoordAlgorithm
+		led, closeLedger, err := openLedger(*ledgerOut, *fig == "drift")
+		if err != nil {
+			return err
+		}
+		cfg.Ledger = led
 		res, err := experiment.Drift(1, cfg)
+		if cerr := closeLedger(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}
@@ -194,7 +204,15 @@ func run(args []string) error {
 			rec = trace.NewFlightRecorder(trace.DefaultRecent, trace.DefaultAnomalous)
 			cfg.Trace = rec
 		}
+		led, closeLedger, err := openLedger(*ledgerOut, *fig == "failures")
+		if err != nil {
+			return err
+		}
+		cfg.Ledger = led
 		res, err := experiment.Failure(*faultSeed, cfg)
+		if cerr := closeLedger(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}
@@ -213,6 +231,22 @@ func run(args []string) error {
 		fmt.Println(experiment.RenderCostTable(rows))
 	}
 	return nil
+}
+
+// openLedger opens the -ledger-out directory for the figure that owns
+// it. enabled keeps -all runs from interleaving two experiments' epochs
+// in one ledger: only an explicitly requested drift/failures figure
+// writes. The returned close function is a no-op when disabled.
+func openLedger(dir string, enabled bool) (*ledger.Ledger, func() error, error) {
+	if dir == "" || !enabled {
+		return nil, func() error { return nil }, nil
+	}
+	l, err := ledger.Open(dir, ledger.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("recording epoch ledger to %s\n", dir)
+	return l, l.Close, nil
 }
 
 // exportTraces writes the collected span trees to the requested files:

@@ -1,0 +1,196 @@
+package audit
+
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/parallel"
+	"github.com/georep/georep/internal/placement"
+	"github.com/georep/georep/internal/vec"
+)
+
+// optimalPlacement finds the k-subset of candidates minimizing the
+// summary-estimated mean delay — the exact objective of
+// replica.EstimateMeanDelay, searched exhaustively. It is the weighted
+// sibling of internal/placement's client-level search: "clients" here
+// are micro-cluster centroids carrying their demand mass, so the
+// objective is the mass-weighted mean of each micro's closest-replica
+// delay.
+//
+// The determinism contract is inherited unchanged (see
+// internal/placement/search.go): the bound below is admissible because
+// the weighted mean is monotone in the pointwise delays (weights are
+// non-negative), subtrees are pruned only on strictly-worse bounds so
+// ties survive, and shards merge in first-index order with a strict '<'
+// — the returned placement is byte-identical to serial enumeration at
+// any parallelism.
+func optimalPlacement(micros []cluster.Micro, k int, candidates []int,
+	coords []coord.Coordinate, parallelism int, reg *metrics.Registry) []int {
+	// Collapse the summaries to weighted points, skipping massless ones
+	// exactly as the estimator does.
+	var weights []float64
+	var cents []vec.Vec
+	for i := range micros {
+		w := microMass(&micros[i])
+		if w == 0 {
+			continue
+		}
+		weights = append(weights, w)
+		cents = append(cents, micros[i].Centroid())
+	}
+	nCli := len(weights)
+	nCand := len(candidates)
+	if nCli == 0 || k >= nCand {
+		// Nothing to weigh, or every candidate hosts a replica: the
+		// candidate set itself (first k in order) is trivially optimal.
+		return append([]int(nil), candidates[:min(k, nCand)]...)
+	}
+	var totalMass float64
+	for _, w := range weights {
+		totalMass += w
+	}
+
+	// Delay matrix: dm[ci*nCli+u] is micro u's predicted delay to
+	// candidate ci — coordinate distance plus the candidate's access-link
+	// height, mirroring EstimateMeanDelay.
+	dm := make([]float64, nCand*nCli)
+	popt := parallel.Options{Workers: parallelism, Metrics: reg}
+	parallel.ForEach(nCand, popt, func(ci int) {
+		row := dm[ci*nCli : (ci+1)*nCli]
+		c := coords[candidates[ci]]
+		for u := 0; u < nCli; u++ {
+			row[u] = c.Pos.Dist(cents[u]) + c.Height
+		}
+	})
+
+	// obj reduces a per-micro min-delay vector to the weighted mean, in
+	// micro index order — the same summation order as the estimator.
+	obj := func(delays []float64) float64 {
+		var total float64
+		for u, d := range delays {
+			total += weights[u] * d
+		}
+		return total / totalMass
+	}
+
+	// Suffix minima: the admissible per-micro bound over the eligible
+	// candidate suffix.
+	sm := make([]float64, (nCand+1)*nCli)
+	for u := 0; u < nCli; u++ {
+		sm[nCand*nCli+u] = math.Inf(1)
+	}
+	for ci := nCand - 1; ci >= 0; ci-- {
+		row := dm[ci*nCli:]
+		next := sm[(ci+1)*nCli:]
+		cur := sm[ci*nCli:]
+		for u := 0; u < nCli; u++ {
+			v := row[u]
+			if next[u] < v {
+				v = next[u]
+			}
+			cur[u] = v
+		}
+	}
+
+	var sharedBits atomic.Uint64
+	sharedBits.Store(math.Float64bits(math.Inf(1)))
+	shrink := func(v float64) {
+		for {
+			old := sharedBits.Load()
+			if math.Float64frombits(old) <= v {
+				return
+			}
+			if sharedBits.CompareAndSwap(old, math.Float64bits(v)) {
+				return
+			}
+		}
+	}
+
+	type shardResult struct {
+		found   bool
+		val     float64
+		combo   []int
+		visited int64
+		pruned  int64
+	}
+	numShards := nCand - k + 1
+	results := parallel.Map(numShards, popt, func(i0 int) shardResult {
+		res := shardResult{val: math.Inf(1)}
+		vecs := make([][]float64, k)
+		for d := range vecs {
+			vecs[d] = make([]float64, nCli)
+		}
+		lb := make([]float64, nCli)
+		combo := make([]int, k)
+		best := make([]int, k)
+
+		combo[0] = i0
+		copy(vecs[0], dm[i0*nCli:(i0+1)*nCli])
+
+		var visit func(start, depth int)
+		visit = func(start, depth int) {
+			cur := vecs[depth-1]
+			if depth == k {
+				res.visited++
+				if v := obj(cur); v < res.val {
+					res.val = v
+					copy(best, combo)
+					res.found = true
+					shrink(v)
+				}
+				return
+			}
+			suffix := sm[start*nCli:]
+			for u := 0; u < nCli; u++ {
+				v := cur[u]
+				if suffix[u] < v {
+					v = suffix[u]
+				}
+				lb[u] = v
+			}
+			if obj(lb) > math.Float64frombits(sharedBits.Load()) {
+				res.pruned += int64(placement.Binomial(nCand-start, k-depth))
+				return
+			}
+			for i := start; i <= nCand-(k-depth); i++ {
+				next := vecs[depth]
+				row := dm[i*nCli:]
+				for u := 0; u < nCli; u++ {
+					v := cur[u]
+					if row[u] < v {
+						v = row[u]
+					}
+					next[u] = v
+				}
+				combo[depth] = i
+				visit(i+1, depth+1)
+			}
+		}
+		visit(i0+1, 1)
+		res.combo = best
+		return res
+	})
+
+	bestVal := math.Inf(1)
+	var bestCombo []int
+	var visited, pruned int64
+	for _, r := range results {
+		visited += r.visited
+		pruned += r.pruned
+		if r.found && r.val < bestVal {
+			bestVal = r.val
+			bestCombo = r.combo
+		}
+	}
+	reg.Counter("audit_search_visited_total").Add(visited)
+	reg.Counter("audit_search_pruned_total").Add(pruned)
+
+	out := make([]int, k)
+	for i, ci := range bestCombo {
+		out[i] = candidates[ci]
+	}
+	return out
+}

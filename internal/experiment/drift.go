@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"github.com/georep/georep/internal/ledger"
 	"github.com/georep/georep/internal/replica"
 	"github.com/georep/georep/internal/simnet"
 	"github.com/georep/georep/internal/stats"
@@ -36,6 +37,10 @@ type DriftConfig struct {
 	MinRelativeGain float64
 	// DecayFactor ages summaries between epochs (0 → manager default).
 	DecayFactor float64
+	// Ledger, when non-nil, durably records each epoch's decision with
+	// the measured mean delay, making the run auditable offline (see
+	// replicasim -ledger-out).
+	Ledger *ledger.Ledger
 }
 
 // DefaultDriftConfig returns a moderate-size drift scenario.
@@ -156,6 +161,7 @@ func Drift(seed int64, cfg DriftConfig) (*DriftResult, error) {
 		K: cfg.K, M: cfg.M, Dims: cfg.Setup.CoordDims,
 		Migration:   replica.MigrationPolicy{MinRelativeGain: cfg.MinRelativeGain},
 		DecayFactor: cfg.DecayFactor,
+		Ledger:      cfg.Ledger,
 	}, cand, w.Coords, initial)
 	if err != nil {
 		return nil, err
@@ -218,6 +224,7 @@ func Drift(seed int64, cfg DriftConfig) (*DriftResult, error) {
 			return nil, err
 		}
 
+		mgr.RecordObserved(adaptive.Mean(), int64(adaptive.N()))
 		dec, err := mgr.EndEpoch(rand.New(rand.NewSource(seed*100 + int64(epoch))))
 		if err != nil {
 			return nil, err

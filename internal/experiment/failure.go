@@ -8,6 +8,7 @@ import (
 
 	"github.com/georep/georep/internal/coord"
 	"github.com/georep/georep/internal/faults"
+	"github.com/georep/georep/internal/ledger"
 	"github.com/georep/georep/internal/replica"
 	"github.com/georep/georep/internal/simnet"
 	"github.com/georep/georep/internal/stats"
@@ -60,6 +61,10 @@ type FailureConfig struct {
 	// replica unreachable named on the errored collect span. Degraded,
 	// below-quorum and migrating epochs are pinned as anomalous.
 	Trace *trace.FlightRecorder
+	// Ledger, when non-nil, durably records the faulty pass's epoch
+	// decisions (the healthy pass is a baseline and is not logged), so
+	// the fault run can be audited offline.
+	Ledger *ledger.Ledger
 }
 
 // DefaultFailureConfig returns a moderate failure scenario.
@@ -201,7 +206,7 @@ func Failure(seed int64, cfg FailureConfig) (*FailureResult, error) {
 		}
 	}
 
-	healthy, err := runFailurePass(seed, cfg, w, cand, initial, epochs, nil, nil)
+	healthy, err := runFailurePass(seed, cfg, w, cand, initial, epochs, nil, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +221,7 @@ func Failure(seed int64, cfg FailureConfig) (*FailureResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	faulty, err := runFailurePass(seed, cfg, w, cand, initial, epochs, inj, cfg.Trace)
+	faulty, err := runFailurePass(seed, cfg, w, cand, initial, epochs, inj, cfg.Trace, cfg.Ledger)
 	if err != nil {
 		return nil, err
 	}
@@ -288,12 +293,13 @@ type failurePass struct {
 }
 
 func runFailurePass(seed int64, cfg FailureConfig, w *World, cand, initial []int,
-	epochs [][]workload.Access, inj *faults.Injector, rec *trace.FlightRecorder) (*failurePass, error) {
+	epochs [][]workload.Access, inj *faults.Injector, rec *trace.FlightRecorder, led *ledger.Ledger) (*failurePass, error) {
 	mgr, err := replica.NewManager(replica.Config{
 		K: cfg.K, M: cfg.M, Dims: cfg.Setup.CoordDims,
 		Migration:   replica.MigrationPolicy{MinRelativeGain: cfg.MinRelativeGain},
 		DecayFactor: cfg.DecayFactor,
 		Quorum:      cfg.Quorum,
+		Ledger:      led,
 	}, cand, w.Coords, initial)
 	if err != nil {
 		return nil, err
@@ -353,6 +359,7 @@ func runFailurePass(seed int64, cfg FailureConfig, w *World, cand, initial []int
 				return !inj.NodeDown(node) && !inj.Partitioned(faults.External, node)
 			}
 		}
+		mgr.RecordObserved(delay.Mean(), int64(delay.N()))
 		dec, err := mgr.EndEpochDegraded(rand.New(rand.NewSource(seed*100+int64(epoch))), reachable)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,595 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/vec"
+)
+
+// testRecord builds a structurally valid record for epoch e.
+func testRecord(e int) Record {
+	mic := cluster.NewMicro(3)
+	mic.Absorb(vec.Vec{float64(e), 1, 2}, 1)
+	mic.Absorb(vec.Vec{float64(e) + 1, 0, 2}, 2)
+	return Record{
+		Epoch:      e,
+		K:          2,
+		Candidates: []int{1, 4, 9},
+		CandidateCoords: []coord.Coordinate{
+			{Pos: vec.Vec{0, 0, 0}, Height: 1},
+			{Pos: vec.Vec{10, 0, 0}, Height: 2},
+			{Pos: vec.Vec{0, 10, 0}, Height: 0.5},
+		},
+		PrevReplicas:   []int{1, 4},
+		Replicas:       []int{4, 9},
+		Proposed:       []int{4, 9},
+		Migrate:        true,
+		MovedReplicas:  1,
+		EstimatedOldMs: 30.5,
+		EstimatedNewMs: 22.25,
+		ObservedMeanMs: 28.125,
+		Accesses:       100,
+		CollectedBytes: 512,
+		QuorumOK:       true,
+		Micros:         []cluster.Micro{mic},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	want := testRecord(7)
+	b, err := EncodeRecord(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRecord(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRecordValidateRejects(t *testing.T) {
+	cases := map[string]func(*Record){
+		"negative epoch":    func(r *Record) { r.Epoch = -1 },
+		"negative k":        func(r *Record) { r.K = -2 },
+		"negative accesses": func(r *Record) { r.Accesses = -1 },
+		"coord mismatch":    func(r *Record) { r.CandidateCoords = r.CandidateCoords[:1] },
+		"duplicate cand":    func(r *Record) { r.Candidates[1] = r.Candidates[0] },
+		"foreign replica":   func(r *Record) { r.Replicas = []int{33} },
+		"negative micro":    func(r *Record) { r.Micros[0].Weight = -1 },
+		"micro dims":        func(r *Record) { r.Micros[0].Sum2 = vec.Vec{1} },
+	}
+	for name, mutate := range cases {
+		rec := testRecord(1)
+		mutate(&rec)
+		b, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		if _, err := DecodeRecord(b); err == nil {
+			t.Errorf("%s: decode accepted invalid record", name)
+		}
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	for e := 1; e <= n; e++ {
+		if err := l.Append(testRecord(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("read %d records, wrote %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.Epoch != i+1 {
+			t.Fatalf("record %d has epoch %d, want %d", i, r.Epoch, i+1)
+		}
+	}
+	v, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Clean || v.Records != n || v.FirstEpoch != 1 || v.LastEpoch != n {
+		t.Fatalf("verify = %+v, want clean with %d records over epochs [1,%d]", v, n, n)
+	}
+}
+
+func TestReopenAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 1; e <= 3; e++ {
+		if err := l.Append(testRecord(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 4; e <= 6; e++ {
+		if err := l.Append(testRecord(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 || recs[5].Epoch != 6 {
+		t.Fatalf("after reopen got %d records (last epoch %d), want 6 ending at 6", len(recs), recs[len(recs)-1].Epoch)
+	}
+}
+
+func TestSegmentRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	// Tiny segments force a rotation every append or two; the total bound
+	// then forces old segments out.
+	l, err := Open(dir, Options{MaxSegmentBytes: 1 << 10, MaxTotalBytes: 4 << 10, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for e := 1; e <= n; e++ {
+		if err := l.Append(testRecord(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.ActiveSegment < 2 {
+		t.Fatalf("expected rotation, still on segment %d", st.ActiveSegment)
+	}
+	if st.Bytes > 6<<10 {
+		t.Fatalf("compaction did not bound the ledger: %d bytes across %d segments", st.Bytes, st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The surviving suffix must still read cleanly and end at epoch n.
+	recs, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || len(recs) == n {
+		t.Fatalf("expected a compacted strict suffix, got %d of %d records", len(recs), n)
+	}
+	if recs[len(recs)-1].Epoch != n {
+		t.Fatalf("suffix ends at epoch %d, want %d", recs[len(recs)-1].Epoch, n)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Epoch != recs[i-1].Epoch+1 {
+			t.Fatalf("gap in surviving epochs at %d: %d then %d", i, recs[i-1].Epoch, recs[i].Epoch)
+		}
+	}
+	if c := reg.Counter("ledger_compacted_segments_total").Value(); c == 0 {
+		t.Fatal("compaction counter never incremented")
+	}
+}
+
+// activeSegPath returns the highest-numbered segment file.
+func activeSegPath(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s: %v", dir, err)
+	}
+	return segPath(dir, segs[len(segs)-1])
+}
+
+// writeLedger writes n records and returns the directory.
+func writeLedger(t *testing.T, n int, opt Options) string {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 1; e <= n; e++ {
+		if err := l.Append(testRecord(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRecoverTruncatedFinalRecord(t *testing.T) {
+	for _, cut := range []int64{1, 3, 7, 20} {
+		dir := writeLedger(t, 5, Options{})
+		path := activeSegPath(t, dir)
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Chop into the final frame: header-only, mid-payload, etc.
+		if err := os.Truncate(path, fi.Size()-cut); err != nil {
+			t.Fatal(err)
+		}
+		v, err := Verify(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Clean || v.Records != 4 || v.LastEpoch != 4 {
+			t.Fatalf("cut %d: verify = %+v, want 4 records ending at epoch 4", cut, v)
+		}
+		// Reopen truncates the torn tail and appends cleanly after it.
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(testRecord(6)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []int{1, 2, 3, 4, 6}
+		if len(recs) != len(want) {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(recs), len(want))
+		}
+		for i, r := range recs {
+			if r.Epoch != want[i] {
+				t.Fatalf("cut %d: record %d has epoch %d, want %d", cut, i, r.Epoch, want[i])
+			}
+		}
+	}
+}
+
+func TestRecoverCorruptedCRCMidSegment(t *testing.T) {
+	dir := writeLedger(t, 6, Options{})
+	path := activeSegPath(t, dir)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk to the third record's payload and flip a byte in it: records
+	// 1-2 stay valid, 3 fails its CRC, 4-6 become untrusted suffix.
+	off := int64(len(segMagic))
+	for i := 0; i < 2; i++ {
+		plen := int64(binary.LittleEndian.Uint32(b[off : off+4]))
+		off += frameHeader + plen
+	}
+	b[off+frameHeader+5] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Clean || v.Records != 2 || v.LastEpoch != 2 || v.DroppedBytes == 0 {
+		t.Fatalf("verify = %+v, want 2 surviving records and dropped bytes", v)
+	}
+	recs, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Epoch != 2 {
+		t.Fatalf("read %d records after corruption, want the 2 before it", len(recs))
+	}
+	// Reopen recovers to the last valid record and keeps working.
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testRecord(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].Epoch != 9 {
+		t.Fatalf("post-recovery ledger = %d records ending %d, want 3 ending 9", len(recs), recs[len(recs)-1].Epoch)
+	}
+}
+
+func TestReopenEmptySegment(t *testing.T) {
+	dir := t.TempDir()
+	// Open creates segment 1 with only its header; close without writing.
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("empty ledger read %d records", len(recs))
+	}
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if recs, err = ReadDir(dir); err != nil || len(recs) != 1 {
+		t.Fatalf("after empty reopen: records=%d err=%v, want 1 record", len(recs), err)
+	}
+}
+
+func TestOpenRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "ledger-00000001.seg"), []byte("not a ledger"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("opened a directory whose segment has no magic")
+	}
+}
+
+func TestSyncEvery(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 1; e <= 3; e++ {
+		if err := l.Append(testRecord(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if recs, err := ReadDir(dir); err != nil || len(recs) != 3 {
+		t.Fatalf("synced ledger: records=%d err=%v", len(recs), err)
+	}
+}
+
+func TestAppendMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for e := 1; e <= 4; e++ {
+		if err := l.Append(testRecord(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("ledger_appends_total").Value(); got != 4 {
+		t.Fatalf("ledger_appends_total = %d, want 4", got)
+	}
+	if reg.Counter("ledger_appended_bytes_total").Value() == 0 {
+		t.Fatal("ledger_appended_bytes_total stayed zero")
+	}
+	if got := reg.Gauge("ledger_segments").Value(); got != 1 {
+		t.Fatalf("ledger_segments = %v, want 1", got)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var recs []Record
+	for e := 1; e <= 3; e++ {
+		recs = append(recs, testRecord(e))
+	}
+	var sb1, sb2 stringsBuilder
+	if err := WriteJSONL(&sb1, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&sb2, recs); err != nil {
+		t.Fatal(err)
+	}
+	if sb1.String() == "" || sb1.String() != sb2.String() {
+		t.Fatal("JSONL export is empty or non-deterministic")
+	}
+	if got := len(splitLines(sb1.String())); got != 3 {
+		t.Fatalf("exported %d lines, want 3", got)
+	}
+}
+
+// small local helpers to avoid importing strings/bytes just for tests
+type stringsBuilder struct{ b []byte }
+
+func (s *stringsBuilder) Write(p []byte) (int, error) { s.b = append(s.b, p...); return len(p), nil }
+func (s *stringsBuilder) String() string              { return string(s.b) }
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func TestVerifyEmptyDirErrors(t *testing.T) {
+	if _, err := Verify(t.TempDir()); err == nil {
+		t.Fatal("verify of an empty directory should error")
+	}
+}
+
+func TestSegmentNamesAreStable(t *testing.T) {
+	dir := writeLedger(t, 1, Options{})
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0] != 1 {
+		t.Fatalf("segments = %v, want [1]", segs)
+	}
+	if got := segPath(dir, 1); filepath.Base(got) != "ledger-00000001.seg" {
+		t.Fatalf("segment name %q", filepath.Base(got))
+	}
+	// Files that merely look similar are ignored.
+	for _, junk := range []string{"ledger-1.seg", "ledger-00000002.tmp", "other.seg"} {
+		if err := os.WriteFile(filepath.Join(dir, junk), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err = listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("junk files leaked into segment list: %v", segs)
+	}
+}
+
+func TestStats(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for e := 1; e <= 2; e++ {
+		if err := l.Append(testRecord(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Dir != dir || st.Segments != 1 || st.AppendedRecords != 2 || st.Bytes <= int64(len(segMagic)) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAppendAfterCloseErrors(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testRecord(1)); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatal("sync after close succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestTornHeaderOnlyTail(t *testing.T) {
+	dir := writeLedger(t, 2, Options{})
+	path := activeSegPath(t, dir)
+	// Append 5 garbage bytes: less than a frame header.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	v, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Clean || v.Records != 2 || v.DroppedBytes != 5 {
+		t.Fatalf("verify = %+v, want 2 records and 5 dropped bytes", v)
+	}
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery truncated the garbage; the ledger is clean again.
+	if v, err = Verify(dir); err != nil || !v.Clean {
+		t.Fatalf("post-recovery verify = %+v err=%v, want clean", v, err)
+	}
+}
+
+func TestOversizedFrameLengthRejected(t *testing.T) {
+	dir := writeLedger(t, 1, Options{})
+	path := activeSegPath(t, dir)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame header claiming a payload beyond the sanity limit.
+	hdr := make([]byte, frameHeader)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(maxFrameSize+1))
+	if _, err := f.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	v, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Clean || v.Records != 1 {
+		t.Fatalf("verify = %+v, want 1 record and a dropped tail", v)
+	}
+}
+
+func ExampleOpen() {
+	dir, _ := os.MkdirTemp("", "ledger")
+	defer os.RemoveAll(dir)
+	l, _ := Open(dir, Options{})
+	_ = l.Append(Record{Epoch: 1, K: 1, Candidates: []int{0},
+		CandidateCoords: []coord.Coordinate{{Pos: vec.Vec{0, 0}, Height: 0}},
+		Replicas:        []int{0}, QuorumOK: true})
+	_ = l.Close()
+	recs, _ := ReadDir(dir)
+	fmt.Println(len(recs), recs[0].Epoch)
+	// Output: 1 1
+}

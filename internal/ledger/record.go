@@ -1,0 +1,386 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/vec"
+)
+
+// Record is one coordinator epoch's full decision provenance: every
+// input Algorithm 1 consumed (the collected micro-cluster summaries,
+// the candidate set with its coordinates) and everything it concluded
+// (proposal, adopted placement, estimates, migration-cost gate verdict,
+// degraded/quorum flags) plus the ground-truth mean delay clients
+// actually observed during the epoch. A record is self-contained: an
+// auditor can re-run the offline k-means baseline and the exhaustive
+// optimal search from it alone, with no access to the deployment that
+// produced it.
+type Record struct {
+	// Epoch is the coordinator's epoch counter (1-based, as reported by
+	// replica.Manager.Epoch after the cycle).
+	Epoch int
+	// K is the replication degree after demand adaptation.
+	K int
+	// Candidates are the data-center node ids eligible to host replicas;
+	// CandidateCoords[i] is Candidates[i]'s network coordinate at the
+	// time of the decision. Recording the coordinates per epoch keeps the
+	// record replayable even as the embedding drifts.
+	Candidates      []int
+	CandidateCoords []coord.Coordinate
+	// PrevReplicas is the placement entering the epoch, Replicas the
+	// placement after the decision, Proposed what the macro-clustering
+	// suggested whether or not the migration gate adopted it.
+	PrevReplicas []int
+	Replicas     []int
+	Proposed     []int
+	// Migrate reports whether the proposal was adopted; MovedReplicas is
+	// how many locations required a data copy.
+	Migrate       bool
+	MovedReplicas int
+	// EstimatedOldMs / EstimatedNewMs are the summary-estimated mean
+	// delays of the previous and proposed placements.
+	EstimatedOldMs float64
+	EstimatedNewMs float64
+	// ObservedMeanMs is the measured mean access delay of the epoch's
+	// routed accesses (ground truth where the caller has it, e.g. the
+	// georep.Manager routing layer or the simulators); zero with
+	// Accesses == 0 when unknown.
+	ObservedMeanMs float64
+	// Accesses is how many accesses ObservedMeanMs averages over.
+	Accesses int64
+	// CollectedBytes is the wire size of the collected summaries.
+	CollectedBytes int
+	// Degraded / QuorumOK / MissingSummaries mirror the epoch decision's
+	// partial-failure flags.
+	Degraded         bool
+	QuorumOK         bool
+	MissingSummaries []int
+	// Micros are the micro-cluster summaries the decision consumed —
+	// the auditor's raw material.
+	Micros []cluster.Micro
+}
+
+// Validate checks the structural invariants DecodeRecord enforces on
+// untrusted bytes: non-negative counters, candidate/coordinate tables of
+// equal length, replicas drawn from the candidate set, and micro-cluster
+// mass and dimensionality consistency.
+func (r *Record) Validate() error {
+	if r.Epoch < 0 {
+		return fmt.Errorf("ledger: negative epoch %d", r.Epoch)
+	}
+	if r.K < 0 {
+		return fmt.Errorf("ledger: negative k %d", r.K)
+	}
+	if r.Accesses < 0 {
+		return fmt.Errorf("ledger: negative access count %d", r.Accesses)
+	}
+	if r.CollectedBytes < 0 {
+		return fmt.Errorf("ledger: negative collected bytes %d", r.CollectedBytes)
+	}
+	if r.MovedReplicas < 0 {
+		return fmt.Errorf("ledger: negative moved count %d", r.MovedReplicas)
+	}
+	if len(r.CandidateCoords) != len(r.Candidates) {
+		return fmt.Errorf("ledger: %d candidates but %d coordinates",
+			len(r.Candidates), len(r.CandidateCoords))
+	}
+	// Non-finite floats are rejected wholesale: a NaN delay or coordinate
+	// would silently poison every audit aggregate, and NaN also breaks
+	// the round-trip identity (NaN != NaN) the fuzz harness relies on.
+	if !finite(r.EstimatedOldMs) || !finite(r.EstimatedNewMs) || !finite(r.ObservedMeanMs) {
+		return fmt.Errorf("ledger: non-finite delay estimate")
+	}
+	for i := range r.CandidateCoords {
+		c := &r.CandidateCoords[i]
+		if !finite(c.Height) || !finiteVec(c.Pos) {
+			return fmt.Errorf("ledger: candidate coordinate %d is non-finite", i)
+		}
+	}
+	cand := make(map[int]bool, len(r.Candidates))
+	for _, c := range r.Candidates {
+		if cand[c] {
+			return fmt.Errorf("ledger: duplicate candidate %d", c)
+		}
+		cand[c] = true
+	}
+	for _, set := range [][]int{r.PrevReplicas, r.Replicas, r.Proposed} {
+		for _, rep := range set {
+			if !cand[rep] {
+				return fmt.Errorf("ledger: replica %d is not a candidate", rep)
+			}
+		}
+	}
+	for i := range r.Micros {
+		m := &r.Micros[i]
+		if m.Count < 0 || m.Weight < 0 {
+			return fmt.Errorf("ledger: micro %d has negative mass", i)
+		}
+		if m.Sum.Dim() != m.Sum2.Dim() {
+			return fmt.Errorf("ledger: micro %d has inconsistent dims %d vs %d",
+				i, m.Sum.Dim(), m.Sum2.Dim())
+		}
+		if !finite(m.Weight) || !finiteVec(m.Sum) || !finiteVec(m.Sum2) {
+			return fmt.Errorf("ledger: micro %d is non-finite", i)
+		}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func finiteVec(v vec.Vec) bool {
+	for _, x := range v {
+		if !finite(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// The record payload is a hand-rolled binary format rather than gob:
+// the ledger write sits on the coordinator's epoch path, and gob's
+// per-stream type descriptors cost more than the entire rest of the
+// append. Layout (version 1): a version byte, then the fields of Record
+// in declaration order — ints as varints, float64s as 8-byte
+// little-endian IEEE 754, slices as a uvarint count followed by
+// elements. Every record is self-contained and byte-deterministic for
+// a given Record value.
+const recordVersion = 1
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendInts(b []byte, xs []int) []byte {
+	b = binary.AppendUvarint(b, uint64(len(xs)))
+	for _, x := range xs {
+		b = binary.AppendVarint(b, int64(x))
+	}
+	return b
+}
+
+func appendVec(b []byte, v vec.Vec) []byte {
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	for _, x := range v {
+		b = appendF64(b, x)
+	}
+	return b
+}
+
+// appendRecord serializes r onto b. It allocates only when b lacks
+// capacity, so the ledger can reuse one scratch buffer across appends.
+func appendRecord(b []byte, r *Record) []byte {
+	b = append(b, recordVersion)
+	b = binary.AppendVarint(b, int64(r.Epoch))
+	b = binary.AppendVarint(b, int64(r.K))
+	b = appendInts(b, r.Candidates)
+	b = binary.AppendUvarint(b, uint64(len(r.CandidateCoords)))
+	for _, c := range r.CandidateCoords {
+		b = appendVec(b, c.Pos)
+		b = appendF64(b, c.Height)
+	}
+	b = appendInts(b, r.PrevReplicas)
+	b = appendInts(b, r.Replicas)
+	b = appendInts(b, r.Proposed)
+	b = appendBool(b, r.Migrate)
+	b = binary.AppendVarint(b, int64(r.MovedReplicas))
+	b = appendF64(b, r.EstimatedOldMs)
+	b = appendF64(b, r.EstimatedNewMs)
+	b = appendF64(b, r.ObservedMeanMs)
+	b = binary.AppendVarint(b, r.Accesses)
+	b = binary.AppendVarint(b, int64(r.CollectedBytes))
+	b = appendBool(b, r.Degraded)
+	b = appendBool(b, r.QuorumOK)
+	b = appendInts(b, r.MissingSummaries)
+	b = binary.AppendUvarint(b, uint64(len(r.Micros)))
+	for i := range r.Micros {
+		m := &r.Micros[i]
+		b = binary.AppendVarint(b, m.Count)
+		b = appendF64(b, m.Weight)
+		b = appendVec(b, m.Sum)
+		b = appendVec(b, m.Sum2)
+	}
+	return b
+}
+
+// recReader is an error-latching cursor over untrusted record bytes:
+// the first malformed read poisons it and every later read is a no-op,
+// so DecodeRecord checks one error at the end instead of twenty.
+type recReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *recReader) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("ledger: decode record: %s at byte %d", msg, d.off)
+	}
+}
+
+func (d *recReader) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *recReader) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b)-d.off < 8 {
+		d.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *recReader) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated bool")
+		return false
+	}
+	v := d.b[d.off]
+	d.off++
+	if v > 1 {
+		d.fail("bad bool")
+		return false
+	}
+	return v == 1
+}
+
+// count reads a slice length and bounds it by the bytes actually left
+// (each element takes at least minBytes), so a fuzzed length prefix
+// cannot force a huge allocation.
+func (d *recReader) count(minBytes int) int {
+	if d.err != nil {
+		return 0
+	}
+	n, w := binary.Uvarint(d.b[d.off:])
+	if w <= 0 {
+		d.fail("bad length prefix")
+		return 0
+	}
+	d.off += w
+	if n > uint64((len(d.b)-d.off)/minBytes) {
+		d.fail("length prefix exceeds remaining bytes")
+		return 0
+	}
+	return int(n)
+}
+
+func (d *recReader) ints() []int {
+	n := d.count(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(d.varint())
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+func (d *recReader) vec() vec.Vec {
+	n := d.count(8)
+	if n == 0 {
+		return nil
+	}
+	out := vec.New(n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// EncodeRecord serializes a record to the payload stored inside one
+// ledger frame. Encoding is infallible and byte-deterministic; the
+// error return is kept for call-site symmetry with DecodeRecord.
+func EncodeRecord(r Record) ([]byte, error) {
+	return appendRecord(make([]byte, 0, 256), &r), nil
+}
+
+// DecodeRecord reverses EncodeRecord and validates the result, so a
+// corrupted-but-CRC-valid or fuzzed payload surfaces as an error rather
+// than poisoning an audit.
+func DecodeRecord(b []byte) (Record, error) {
+	if len(b) == 0 {
+		return Record{}, fmt.Errorf("ledger: decode record: empty payload")
+	}
+	if b[0] != recordVersion {
+		return Record{}, fmt.Errorf("ledger: decode record: unknown version %d", b[0])
+	}
+	d := &recReader{b: b, off: 1}
+	var r Record
+	r.Epoch = int(d.varint())
+	r.K = int(d.varint())
+	r.Candidates = d.ints()
+	if n := d.count(9); n > 0 { // a coordinate is ≥ one empty vec + height
+		r.CandidateCoords = make([]coord.Coordinate, n)
+		for i := range r.CandidateCoords {
+			r.CandidateCoords[i].Pos = d.vec()
+			r.CandidateCoords[i].Height = d.f64()
+		}
+	}
+	r.PrevReplicas = d.ints()
+	r.Replicas = d.ints()
+	r.Proposed = d.ints()
+	r.Migrate = d.bool()
+	r.MovedReplicas = int(d.varint())
+	r.EstimatedOldMs = d.f64()
+	r.EstimatedNewMs = d.f64()
+	r.ObservedMeanMs = d.f64()
+	r.Accesses = d.varint()
+	r.CollectedBytes = int(d.varint())
+	r.Degraded = d.bool()
+	r.QuorumOK = d.bool()
+	r.MissingSummaries = d.ints()
+	if n := d.count(11); n > 0 { // a micro is ≥ count + weight + two empty vecs
+		r.Micros = make([]cluster.Micro, n)
+		for i := range r.Micros {
+			r.Micros[i].Count = d.varint()
+			r.Micros[i].Weight = d.f64()
+			r.Micros[i].Sum = d.vec()
+			r.Micros[i].Sum2 = d.vec()
+		}
+	}
+	if d.err != nil {
+		return Record{}, d.err
+	}
+	if d.off != len(d.b) {
+		return Record{}, fmt.Errorf("ledger: decode record: %d trailing bytes", len(d.b)-d.off)
+	}
+	if err := r.Validate(); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}

@@ -1,0 +1,38 @@
+package replica
+
+import (
+	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/ledger"
+)
+
+// appendLedger writes the completed epoch's provenance record. The
+// record aliases manager state without copying: Append serializes it
+// synchronously and retains nothing, and this runs on the epoch path
+// where an extra deep copy of every micro-cluster is measurable.
+func (m *Manager) appendLedger(prev []int, micros []cluster.Micro, dec Decision, obsMs float64, obsN int64) error {
+	coords := make([]coord.Coordinate, len(m.candidates))
+	for i, c := range m.candidates {
+		coords[i] = m.coords[c]
+	}
+	return m.cfg.Ledger.Append(ledger.Record{
+		Epoch:            m.epoch,
+		K:                dec.K,
+		Candidates:       m.candidates,
+		CandidateCoords:  coords,
+		PrevReplicas:     prev,
+		Replicas:         dec.NewReplicas,
+		Proposed:         dec.Proposed,
+		Migrate:          dec.Migrate,
+		MovedReplicas:    dec.MovedReplicas,
+		EstimatedOldMs:   dec.EstimatedOldMs,
+		EstimatedNewMs:   dec.EstimatedNewMs,
+		ObservedMeanMs:   obsMs,
+		Accesses:         obsN,
+		CollectedBytes:   dec.CollectedBytes,
+		Degraded:         dec.Degraded,
+		QuorumOK:         dec.QuorumOK,
+		MissingSummaries: dec.MissingSummaries,
+		Micros:           micros,
+	})
+}

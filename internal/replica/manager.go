@@ -9,6 +9,7 @@ import (
 
 	"github.com/georep/georep/internal/cluster"
 	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/ledger"
 	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/trace"
 	"github.com/georep/georep/internal/vec"
@@ -55,6 +56,11 @@ type Config struct {
 	// Degraded, below-quorum, and migrating epochs are marked anomalous
 	// so the flight recorder pins their complete trees.
 	Tracer *trace.Tracer
+	// Ledger, when non-nil, receives one durable record per completed
+	// epoch carrying the decision's full inputs and outcome, so an
+	// offline auditor can replay it (see internal/audit). An append
+	// failure fails the epoch: decision provenance is not best-effort.
+	Ledger *ledger.Ledger
 }
 
 // newServer builds a server in the configured recency mode.
@@ -166,6 +172,11 @@ type Manager struct {
 	// summary so an unreachable replica can still contribute a stale,
 	// staleness-decayed view to the epoch decision.
 	lastKnown map[int]staleSummary
+	// observedMs / observedAccesses hold the measured mean access delay
+	// the caller reported for the current epoch (see RecordObserved);
+	// consumed and reset by EndEpochDegraded when writing the ledger.
+	observedMs       float64
+	observedAccesses int64
 }
 
 // staleSummary is a cached summary with its age in epochs (0 = collected
@@ -283,6 +294,16 @@ func (m *Manager) RecordAt(rep int, clientPos vec.Vec, weight float64) error {
 	return srv.Record(clientPos, weight)
 }
 
+// RecordObserved reports the measured mean access delay of the epoch in
+// progress — ground truth from whatever routing layer the caller runs
+// (the georep manager's Read path, the simulators' delay models). It is
+// consumed by the next EndEpoch and written to the ledger record so the
+// auditor can compare estimates against reality. Calling it is optional;
+// without it the record carries Accesses == 0.
+func (m *Manager) RecordObserved(meanMs float64, accesses int64) {
+	m.observedMs, m.observedAccesses = meanMs, accesses
+}
+
 // EndEpoch runs the periodic coordinator cycle: collect summaries, adapt
 // k to demand, propose a placement, apply it if the migration policy
 // approves, and age the summaries. It returns the decision either way.
@@ -298,7 +319,7 @@ func (m *Manager) EndEpoch(r *rand.Rand) (Decision, error) {
 // the epoch is recorded as degraded: the coordinator still estimates
 // delays from what it has, but refuses to adapt k or commit a migration
 // from a below-quorum view of the world.
-func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) (Decision, error) {
+func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) (dec Decision, err error) {
 	m.epoch++
 	root := m.cfg.Tracer.StartRoot(fmt.Sprintf("epoch %d", m.epoch), trace.KindEpoch)
 	defer root.End() // idempotent; covers every return path
@@ -308,6 +329,19 @@ func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) 
 	// Collect summaries (accounting wire bytes as the real system would),
 	// falling back to staleness-decayed cached ones for unreachable nodes.
 	var micros []cluster.Micro
+	// The observed-delay window closes with this epoch whether or not the
+	// decision succeeds; consume it now. Every successful path — including
+	// quorum-blocked and silent epochs — then appends its record.
+	prev := m.Replicas()
+	obsMs, obsN := m.observedMs, m.observedAccesses
+	m.observedMs, m.observedAccesses = 0, 0
+	if m.cfg.Ledger != nil {
+		defer func() {
+			if err == nil {
+				err = m.appendLedger(prev, micros, dec, obsMs, obsN)
+			}
+		}()
+	}
 	var collected int
 	var demand float64
 	var missing []int
@@ -379,7 +413,7 @@ func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) 
 		m.met.missing.Add(int64(len(missing)))
 	}
 
-	dec := Decision{
+	dec = Decision{
 		NewReplicas:      m.Replicas(),
 		K:                m.k,
 		CollectedBytes:   collected,

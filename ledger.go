@@ -1,0 +1,24 @@
+package georep
+
+import "github.com/georep/georep/internal/ledger"
+
+// Ledger is the durable decision ledger: an append-only, CRC-framed,
+// crash-recoverable on-disk log of every manager epoch's decision
+// inputs and outcome. Pass one to ManagerConfig.Ledger to record a
+// manager's history, then audit it offline with `georepctl audit` (or
+// internal/audit as a library). The aliases re-export the internal
+// implementation so callers outside this module can open and configure
+// a ledger without reaching into internal packages.
+type Ledger = ledger.Ledger
+
+// LedgerOptions tunes segment rotation, total-size compaction and the
+// fsync policy; the zero value is production-ready (4 MiB segments,
+// 64 MiB ledger, no fsync).
+type LedgerOptions = ledger.Options
+
+// OpenLedger opens (creating or recovering) the decision ledger in dir.
+// The caller owns the returned ledger's lifecycle: Close it after the
+// last EndEpoch, and do not share one ledger between managers.
+func OpenLedger(dir string, opt LedgerOptions) (*Ledger, error) {
+	return ledger.Open(dir, opt)
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"github.com/georep/georep/internal/ledger"
 	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/replica"
 	"github.com/georep/georep/internal/trace"
@@ -52,6 +53,11 @@ type ManagerConfig struct {
 	// bounded flight recorder, with degraded / below-quorum / migrating
 	// epochs pinned as anomalous. Retrieve trees via TraceRecorder.
 	Tracing bool
+	// Ledger, when non-nil, durably records every epoch's decision
+	// inputs and outcome (including the observed mean access delay) for
+	// offline audit — see internal/ledger and internal/audit. The caller
+	// owns the ledger's lifecycle (Open/Close).
+	Ledger *ledger.Ledger
 }
 
 // EpochReport describes what one epoch's coordination cycle concluded.
@@ -80,6 +86,12 @@ type EpochReport struct {
 	// k adaptation and migration; false guarantees the placement did
 	// not change this epoch.
 	QuorumOK bool
+	// ActualMeanMs is the ground-truth mean access delay clients
+	// observed over the epoch (0 when Accesses is 0), and Accesses how
+	// many accesses it averages — the same observed figures the epoch's
+	// ledger record carries.
+	ActualMeanMs float64
+	Accesses     int64
 }
 
 // Manager is the live replica-placement loop for one object (or object
@@ -152,6 +164,7 @@ func (d *Deployment) NewManager(cfg ManagerConfig) (*Manager, error) {
 		WindowEpochs: cfg.WindowEpochs,
 		Quorum:       cfg.Quorum,
 		Tracer:       tracer,
+		Ledger:       cfg.Ledger,
 	}
 	inner, err := replica.NewManager(rcfg, cfg.Candidates, d.coords, cfg.InitialReplicas)
 	if err != nil {
@@ -241,18 +254,21 @@ func (m *Manager) EndEpochWithOutages(seed int64, unreachable []int) (EpochRepor
 		reachable = func(node int) bool { return !down[node] }
 	}
 	m.mu.Lock()
-	dec, err := m.inner.EndEpochDegraded(rand.New(rand.NewSource(seed)), reachable)
-	if err != nil {
-		m.mu.Unlock()
-		return EpochReport{}, fmt.Errorf("georep: end epoch: %w", err)
-	}
-	epoch := m.inner.Epoch()
+	// Close the observed-delay window before the epoch decision so the
+	// ledger record (written inside EndEpochDegraded) carries it.
 	actualMean := 0.0
 	if m.epochAccesses > 0 {
 		actualMean = m.epochDelaySum / float64(m.epochAccesses)
 	}
 	accesses := m.epochAccesses
 	m.epochDelaySum, m.epochAccesses = 0, 0
+	m.inner.RecordObserved(actualMean, accesses)
+	dec, err := m.inner.EndEpochDegraded(rand.New(rand.NewSource(seed)), reachable)
+	if err != nil {
+		m.mu.Unlock()
+		return EpochReport{}, fmt.Errorf("georep: end epoch: %w", err)
+	}
+	epoch := m.inner.Epoch()
 	m.mu.Unlock()
 
 	m.actualMeanMs.Set(actualMean)
@@ -281,6 +297,8 @@ func (m *Manager) EndEpochWithOutages(seed int64, unreachable []int) (EpochRepor
 		Degraded:         dec.Degraded,
 		MissingSummaries: append([]int(nil), dec.MissingSummaries...),
 		QuorumOK:         dec.QuorumOK,
+		ActualMeanMs:     actualMean,
+		Accesses:         accesses,
 	}, nil
 }
 
