@@ -84,6 +84,7 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		addr        = fs.String("addr", "127.0.0.1:0", "listen address")
 		nodeID      = fs.Int("node", 0, "this node's index in the deployment")
 		micro       = fs.Int("m", 10, "micro-cluster budget")
+		shards      = fs.Int("ingest-shards", 0, "partition the summary into this many client-hash shards (power of two) so concurrent reads don't serialize; 0 or 1 = unsharded")
 		dims        = fs.Int("dims", 3, "client coordinate dimensionality")
 		matrixPath  = fs.String("matrix", "", "RTT matrix file; reads are delayed by RTT(client,node) to emulate a WAN")
 		scale       = fs.Float64("timescale", 1.0, "emulated delay multiplier (0.1 = 10x faster demos)")
@@ -162,6 +163,7 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 	n, err := daemon.NewNode(daemon.Config{
 		ID:                       *nodeID,
 		MicroClusters:            *micro,
+		IngestShards:             *shards,
 		Dims:                     *dims,
 		Delay:                    delay,
 		Coordinate:               selfCoord,

@@ -18,6 +18,7 @@
 //	replicasim -fig tail            # ablation: mean vs p95 placement objectives
 //	replicasim -fig strategies      # all seven strategies vs k (heuristic comparison)
 //	replicasim -fig failures        # robustness: mean delay under a seeded fault plan
+//	replicasim -fig scale           # extension: planet-scale streaming ingest (see -clients, -rate)
 //	replicasim -table 2             # Table II: online vs offline clustering cost
 //	replicasim -fig 2 -runs 5       # faster, noisier
 package main
@@ -45,7 +46,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("replicasim", flag.ContinueOnError)
 	var (
-		fig         = fs.String("fig", "", "figure to reproduce: 1, 2, 3, rnp, drift, quorum, threshold, capacity, readwrite, routing, tail, strategies or failures")
+		fig         = fs.String("fig", "", "figure to reproduce: 1, 2, 3, rnp, drift, quorum, threshold, capacity, readwrite, routing, tail, strategies, failures or scale")
 		table       = fs.String("table", "", "table to reproduce: 2")
 		all         = fs.Bool("all", false, "reproduce every figure and table")
 		runs        = fs.Int("runs", 30, "simulation runs to average over (paper: 30)")
@@ -59,7 +60,10 @@ func run(args []string) error {
 		faultSeed   = fs.Int64("fault-seed", 1, "seed for the failures scenario")
 		traceOut    = fs.String("trace-out", "", "write the failures run's per-epoch span trees as JSONL to this file")
 		traceChrome = fs.String("trace-chrome", "", "write the failures run's span trees in Chrome trace_event format to this file (load via chrome://tracing or Perfetto)")
-		ledgerOut   = fs.String("ledger-out", "", "write the drift/failures run's epoch decisions as a durable ledger to this directory (audit with georepctl audit)")
+		ledgerOut   = fs.String("ledger-out", "", "write the drift/failures/scale run's epoch decisions as a durable ledger to this directory (audit with georepctl audit)")
+		clients     = fs.Int("clients", 0, "scale figure: synthetic client population (0 = default 100k)")
+		rate        = fs.Int("rate", 0, "scale figure: accesses generated per epoch (0 = default 50k)")
+		shards      = fs.Int("ingest-shards", 0, "scale figure: per-replica ingest shards, power of two (0 = default 8)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,7 +81,7 @@ func run(args []string) error {
 		return err
 	}
 
-	needWorlds := *all || (*fig != "" && *fig != "drift" && *fig != "threshold" && *fig != "failures")
+	needWorlds := *all || (*fig != "" && *fig != "drift" && *fig != "threshold" && *fig != "failures" && *fig != "scale")
 	var worlds []*experiment.World
 	if needWorlds {
 		start := time.Now()
@@ -222,6 +226,32 @@ func run(args []string) error {
 				return err
 			}
 		}
+	}
+	if *all || *fig == "scale" {
+		cfg := experiment.DefaultScaleConfig()
+		cfg.Setup.CoordAlgorithm = setup.CoordAlgorithm
+		if *clients > 0 {
+			cfg.Clients = *clients
+		}
+		if *rate > 0 {
+			cfg.Rate = *rate
+		}
+		if *shards > 0 {
+			cfg.IngestShards = *shards
+		}
+		led, closeLedger, err := openLedger(*ledgerOut, *fig == "scale")
+		if err != nil {
+			return err
+		}
+		cfg.Ledger = led
+		res, err := experiment.Scale(1, cfg)
+		if cerr := closeLedger(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderScale(res))
 	}
 	if *all || *table == "2" {
 		rows, err := experiment.Table2(rand.New(rand.NewSource(*seedTable)), experiment.DefaultCostConfig())

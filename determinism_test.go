@@ -131,6 +131,40 @@ func TestWeightedKMeansDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestScaleDeterministicAcrossParallelism pins the planet-scale path:
+// the streaming generator, sharded batch ingest, and batched simnet
+// delivery must all be execution-order independent, so the full scale
+// experiment (stream digest, per-epoch measured delays, placements)
+// fingerprints identically across the execution-mode grid.
+func TestScaleDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds worlds under six execution modes")
+	}
+	cfg := experiment.DefaultScaleConfig()
+	cfg.Setup.Nodes = 50
+	cfg.Setup.CoordRounds = 40
+	cfg.NumDCs = 8
+	cfg.Clients = 3000
+	cfg.Rate = 2000
+	cfg.BatchSize = 256
+	cfg.Epochs = 4
+	prevPar := experiment.Parallelism
+	defer func() { experiment.Parallelism = prevPar }()
+	runModes(t, "scale", func(par int) string {
+		experiment.Parallelism = par
+		res, err := experiment.Scale(5, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := res.StreamHash
+		for _, r := range res.Rows {
+			fp += fmt.Sprintf("|%d:%.17g:%d:%d:%v:%v",
+				r.Epoch, r.MeanMs, r.Accesses, r.Frames, r.Migrated, r.Replicas)
+		}
+		return fp
+	})
+}
+
 func TestRunCellDeterministicAcrossParallelism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds worlds under six execution modes")

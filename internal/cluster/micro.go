@@ -89,6 +89,65 @@ func (m *Micro) Absorb(p vec.Vec, weight float64) {
 	}
 }
 
+// dist2ToPoint returns the squared distance from the cluster centroid to
+// p without materializing the centroid — the allocation the old
+// Centroid().Dist2(p) call paid on every observation of the ingest hot
+// path. An empty cluster's centroid is the origin, matching Centroid.
+func (m *Micro) dist2ToPoint(p vec.Vec) float64 {
+	var s float64
+	if m.Count == 0 {
+		for d := range p {
+			s += p[d] * p[d]
+		}
+		return s
+	}
+	n := float64(m.Count)
+	for d := range p {
+		diff := m.Sum[d]/n - p[d]
+		s += diff * diff
+	}
+	return s
+}
+
+// centroidDist2 returns the squared distance between two clusters'
+// centroids without allocating. Empty clusters sit at the origin.
+func centroidDist2(a, b *Micro) float64 {
+	na, nb := float64(a.Count), float64(b.Count)
+	var s float64
+	for d := range a.Sum {
+		var ca, cb float64
+		if a.Count != 0 {
+			ca = a.Sum[d] / na
+		}
+		if b.Count != 0 {
+			cb = b.Sum[d] / nb
+		}
+		diff := ca - cb
+		s += diff * diff
+	}
+	return s
+}
+
+// absorbMicro folds b into a in place (a ← a ∪ b) without allocating.
+// The arithmetic is identical to MergeMicro, so callers switching from
+// the allocating form see byte-identical summaries.
+func absorbMicro(a, b *Micro) {
+	a.Count += b.Count
+	a.Weight += b.Weight
+	a.Sum.AddInPlace(b.Sum)
+	a.Sum2.AddInPlace(b.Sum2)
+}
+
+// clear zeroes the cluster for reuse, keeping its vector storage.
+func (m *Micro) clear() {
+	m.Count = 0
+	m.Weight = 0
+	for d := range m.Sum {
+		m.Sum[d] = 0
+		m.Sum2[d] = 0
+	}
+}
+
 // MergeMicro returns the cluster feature vector of a ∪ b. Feature vectors
 // are additive, which is what makes micro-clusters mergeable in O(d).
 func MergeMicro(a, b Micro) (Micro, error) {
@@ -141,6 +200,10 @@ type Summarizer struct {
 	opts        summarizerOptions
 	clusters    []Micro
 	observed    int64
+	// spare is a free list of retired Micro buffers. Once the summarizer
+	// has been at capacity, every new cluster is preceded by a merge that
+	// retires one, so the steady-state ingest path never allocates.
+	spare []Micro
 }
 
 // NewSummarizer returns a summarizer holding at most maxClusters
@@ -152,7 +215,15 @@ func NewSummarizer(maxClusters, dims int, opts ...SummarizerOption) (*Summarizer
 	if dims <= 0 {
 		return nil, fmt.Errorf("cluster: dims must be positive, got %d", dims)
 	}
-	s := &Summarizer{maxClusters: maxClusters, dims: dims}
+	s := &Summarizer{
+		maxClusters: maxClusters,
+		dims:        dims,
+		// Capacity maxClusters+1: Observe appends the over-budget cluster
+		// before merging, so the slice never grows past that and append
+		// never reallocates.
+		clusters: make([]Micro, 0, maxClusters+1),
+		spare:    make([]Micro, 0, maxClusters+1),
+	}
 	for _, o := range opts {
 		o.apply(&s.opts)
 	}
@@ -190,23 +261,44 @@ func (s *Summarizer) Observe(p vec.Vec, weight float64) error {
 		}
 	}
 
-	fresh := NewMicro(s.dims)
+	fresh := s.takeMicro()
 	fresh.Absorb(p, weight)
 	s.clusters = append(s.clusters, fresh)
 	if len(s.clusters) > s.maxClusters {
-		if err := s.mergeClosestPair(); err != nil {
-			return err
-		}
+		s.mergeClosestPair()
 	}
 	return nil
 }
 
+// takeMicro returns an empty micro-cluster, reusing a retired buffer when
+// one is available so the at-capacity ingest path is allocation-free.
+func (s *Summarizer) takeMicro() Micro {
+	if n := len(s.spare); n > 0 {
+		m := s.spare[n-1]
+		s.spare[n-1] = Micro{}
+		s.spare = s.spare[:n-1]
+		m.clear()
+		return m
+	}
+	return NewMicro(s.dims)
+}
+
+// retireMicro hands a micro-cluster's buffers back to the free list.
+func (s *Summarizer) retireMicro(m Micro) {
+	if m.Sum == nil {
+		return
+	}
+	s.spare = append(s.spare, m)
+}
+
 // nearest returns the index of the cluster whose centroid is closest to p
-// and the distance to it.
+// and the distance to it. It computes centroid distances in place — the
+// arithmetic is identical to Centroid().Dist2(p), just without the
+// intermediate vector.
 func (s *Summarizer) nearest(p vec.Vec) (int, float64) {
 	best, bestD2 := 0, math.Inf(1)
 	for i := range s.clusters {
-		d2 := s.clusters[i].Centroid().Dist2(p)
+		d2 := s.clusters[i].dist2ToPoint(p)
 		if d2 < bestD2 {
 			best, bestD2 = i, d2
 		}
@@ -214,31 +306,26 @@ func (s *Summarizer) nearest(p vec.Vec) (int, float64) {
 	return best, math.Sqrt(bestD2)
 }
 
-// mergeClosestPair merges the two clusters with the closest centroids.
-func (s *Summarizer) mergeClosestPair() error {
+// mergeClosestPair merges the two clusters with the closest centroids,
+// retiring the vacated buffers to the free list.
+func (s *Summarizer) mergeClosestPair() {
 	if len(s.clusters) < 2 {
-		return nil
-	}
-	centroids := make([]vec.Vec, len(s.clusters))
-	for i := range s.clusters {
-		centroids[i] = s.clusters[i].Centroid()
+		return
 	}
 	bi, bj, bestD2 := 0, 1, math.Inf(1)
 	for i := 0; i < len(s.clusters); i++ {
 		for j := i + 1; j < len(s.clusters); j++ {
-			if d2 := centroids[i].Dist2(centroids[j]); d2 < bestD2 {
+			if d2 := centroidDist2(&s.clusters[i], &s.clusters[j]); d2 < bestD2 {
 				bi, bj, bestD2 = i, j, d2
 			}
 		}
 	}
-	merged, err := MergeMicro(s.clusters[bi], s.clusters[bj])
-	if err != nil {
-		return err
-	}
-	s.clusters[bi] = merged
-	s.clusters[bj] = s.clusters[len(s.clusters)-1]
-	s.clusters = s.clusters[:len(s.clusters)-1]
-	return nil
+	absorbMicro(&s.clusters[bi], &s.clusters[bj])
+	s.retireMicro(s.clusters[bj])
+	last := len(s.clusters) - 1
+	s.clusters[bj] = s.clusters[last]
+	s.clusters[last] = Micro{}
+	s.clusters = s.clusters[:last]
 }
 
 // Clusters returns an independent copy of the current micro-clusters.
@@ -278,6 +365,7 @@ func (s *Summarizer) Decay(factor float64) error {
 		c := &s.clusters[i]
 		newCount := int64(math.Round(float64(c.Count) * factor))
 		if newCount <= 0 {
+			s.retireMicro(*c)
 			continue
 		}
 		// Scale Sum/Sum2 by the realized count ratio, not the nominal
@@ -290,12 +378,22 @@ func (s *Summarizer) Decay(factor float64) error {
 		c.Sum2.ScaleInPlace(ratio)
 		kept = append(kept, *c)
 	}
+	// Zero the trimmed tail so retired buffers are only reachable via the
+	// free list.
+	for i := len(kept); i < len(s.clusters); i++ {
+		s.clusters[i] = Micro{}
+	}
 	s.clusters = kept
 	return nil
 }
 
-// Reset discards all state, keeping the configuration.
+// Reset discards all state, keeping the configuration. Cluster buffers
+// are retained on the free list for reuse.
 func (s *Summarizer) Reset() {
-	s.clusters = nil
+	for i := range s.clusters {
+		s.retireMicro(s.clusters[i])
+		s.clusters[i] = Micro{}
+	}
+	s.clusters = s.clusters[:0]
 	s.observed = 0
 }

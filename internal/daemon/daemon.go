@@ -122,6 +122,11 @@ type Config struct {
 	MicroClusters int
 	// Dims is the client-coordinate dimensionality.
 	Dims int
+	// IngestShards, when > 1 (power of two), partitions the summary into
+	// client-hash shards so concurrent reads do not serialize on the
+	// node's mutex while folding into the summarizer; the exported
+	// summary is merged back down to the MicroClusters budget.
+	IngestShards int
 	// Delay emulates wide-area RTTs; nil serves at local speed.
 	Delay DelayFunc
 	// Coordinate is this node's own network coordinate, reported to
@@ -167,7 +172,8 @@ type Node struct {
 	log    *slog.Logger
 
 	mu       sync.Mutex
-	sum      *cluster.Summarizer
+	sum      *cluster.Summarizer // nil when sharded
+	shards   *cluster.Sharded    // nil when unsharded
 	accesses int64
 }
 
@@ -201,11 +207,19 @@ func NewNode(cfg Config) (*Node, error) {
 		srvOpts = append(srvOpts, transport.WithServerLogger(cfg.TransportLogger))
 	}
 	n.server = transport.NewServer(srvOpts...)
-	sum, err := cluster.NewSummarizer(cfg.MicroClusters, cfg.Dims)
-	if err != nil {
-		return nil, err
+	if cfg.IngestShards > 1 {
+		shards, err := cluster.NewSharded(cfg.IngestShards, cfg.MicroClusters, cfg.Dims)
+		if err != nil {
+			return nil, err
+		}
+		n.shards = shards
+	} else {
+		sum, err := cluster.NewSummarizer(cfg.MicroClusters, cfg.Dims)
+		if err != nil {
+			return nil, err
+		}
+		n.sum = sum
 	}
-	n.sum = sum
 	if err := n.registerHandlers(); err != nil {
 		return nil, err
 	}
@@ -347,10 +361,19 @@ func (n *Node) handleGet(body []byte) ([]byte, error) {
 		weight = float64(len(obj.Data))
 	}
 	if len(req.ClientCoord) == n.cfg.Dims {
-		n.mu.Lock()
-		err = n.sum.Observe(vec.Vec(req.ClientCoord), weight)
-		n.accesses++
-		n.mu.Unlock()
+		if n.shards != nil {
+			// Sharded ingest locks only the client's shard; the node
+			// mutex covers just the access counter.
+			err = n.shards.Observe(req.Client, vec.Vec(req.ClientCoord), weight)
+			n.mu.Lock()
+			n.accesses++
+			n.mu.Unlock()
+		} else {
+			n.mu.Lock()
+			err = n.sum.Observe(vec.Vec(req.ClientCoord), weight)
+			n.accesses++
+			n.mu.Unlock()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -386,9 +409,15 @@ func (n *Node) handleDelete(body []byte) ([]byte, error) {
 }
 
 func (n *Node) handleMicros([]byte) ([]byte, error) {
-	n.mu.Lock()
-	enc, err := cluster.EncodeMicros(n.sum.Clusters())
-	n.mu.Unlock()
+	var enc []byte
+	var err error
+	if n.shards != nil {
+		enc, err = cluster.EncodeMicros(n.shards.Summary())
+	} else {
+		n.mu.Lock()
+		enc, err = cluster.EncodeMicros(n.sum.Clusters())
+		n.mu.Unlock()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -404,6 +433,9 @@ func (n *Node) handleDecay(body []byte) ([]byte, error) {
 	var req DecayRequest
 	if err := transport.Unmarshal(body, &req); err != nil {
 		return nil, err
+	}
+	if n.shards != nil {
+		return nil, n.shards.Decay(req.Factor)
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()

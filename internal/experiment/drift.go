@@ -182,12 +182,15 @@ func Drift(seed int64, cfg DriftConfig) (*DriftResult, error) {
 	const epochMs = 60_000.0 // one simulated minute per epoch
 	res := &DriftResult{}
 	var totalBytes int
+	// One access buffer reused across epochs: the loop's only per-epoch
+	// allocations are the decision records themselves.
+	accesses := make([]workload.Access, 0, cfg.AccessesPerEpoch)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		activity, err := diurnal.At(float64(epoch))
 		if err != nil {
 			return nil, err
 		}
-		accesses, err := gen.Epoch(rng, cfg.AccessesPerEpoch, activity)
+		accesses, err = gen.EpochInto(rng, cfg.AccessesPerEpoch, activity, accesses)
 		if err != nil {
 			return nil, err
 		}

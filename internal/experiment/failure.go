@@ -199,9 +199,14 @@ func Failure(seed int64, cfg FailureConfig) (*FailureResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One contiguous slab backs every epoch's accesses: the pre-
+	// generation loop costs one allocation total instead of one per
+	// epoch, and both passes replay the same views of it.
+	slab := make([]workload.Access, cfg.Epochs*cfg.AccessesPerEpoch)
 	epochs := make([][]workload.Access, cfg.Epochs)
 	for e := range epochs {
-		if epochs[e], err = gen.Epoch(rng, cfg.AccessesPerEpoch, nil); err != nil {
+		view := slab[e*cfg.AccessesPerEpoch : (e+1)*cfg.AccessesPerEpoch]
+		if epochs[e], err = gen.EpochInto(rng, cfg.AccessesPerEpoch, nil, view); err != nil {
 			return nil, err
 		}
 	}

@@ -35,6 +35,12 @@ type Config struct {
 	// from exponential decay to exact CluStream windows covering the
 	// last WindowEpochs epochs; DecayFactor is then ignored.
 	WindowEpochs int
+	// IngestShards, when > 1, partitions each replica's summarizer
+	// across that many client-hash shards (power of two) so batched
+	// ingest locks per shard instead of per server; summaries are merged
+	// back down to M clusters at collection time. Incompatible with
+	// WindowEpochs: the exact-window summarizer is not sharded.
+	IngestShards int
 	// Quorum is the fraction of replicas whose fresh summaries the
 	// coordinator requires before it will adapt k or migrate (default
 	// 0.5). Below quorum the epoch still completes — reusing last-known
@@ -63,10 +69,13 @@ type Config struct {
 	Ledger *ledger.Ledger
 }
 
-// newServer builds a server in the configured recency mode.
+// newServer builds a server in the configured recency/sharding mode.
 func (c Config) newServer(node int) (*Server, error) {
 	if c.WindowEpochs > 0 {
 		return NewWindowedServer(node, c.M, c.Dims, c.WindowEpochs)
+	}
+	if c.IngestShards > 1 {
+		return NewShardedServer(node, c.IngestShards, c.M, c.Dims)
 	}
 	return NewServer(node, c.M, c.Dims)
 }
@@ -108,6 +117,15 @@ func (c Config) Validate() error {
 	}
 	if c.Quorum < 0 || c.Quorum > 1 {
 		return fmt.Errorf("replica: Quorum %v out of [0,1]", c.Quorum)
+	}
+	if c.IngestShards < 0 {
+		return fmt.Errorf("replica: IngestShards must be non-negative, got %d", c.IngestShards)
+	}
+	if c.IngestShards > 1 && c.IngestShards&(c.IngestShards-1) != 0 {
+		return fmt.Errorf("replica: IngestShards %d must be a power of two", c.IngestShards)
+	}
+	if c.IngestShards > 1 && c.WindowEpochs > 0 {
+		return fmt.Errorf("replica: IngestShards and WindowEpochs are mutually exclusive")
 	}
 	return nil
 }
@@ -162,7 +180,11 @@ type Manager struct {
 	cfg        Config
 	candidates []int
 	coords     []coord.Coordinate
-	k          int
+	// positions aliases coords' position vectors, indexed by node, so
+	// the batch ingest path resolves a client id to its coordinate with
+	// one slice read and no allocation.
+	positions []vec.Vec
+	k         int
 	servers    map[int]*Server
 	replicas   []int
 	epoch      int
@@ -220,10 +242,15 @@ func NewManager(cfg Config, candidates []int, coords []coord.Coordinate, initial
 		}
 	}
 
+	positions := make([]vec.Vec, len(coords))
+	for i := range coords {
+		positions[i] = coords[i].Pos
+	}
 	m := &Manager{
 		cfg:        cfg,
 		candidates: append([]int(nil), candidates...),
 		coords:     coords,
+		positions:  positions,
 		k:          cfg.K,
 		servers:    make(map[int]*Server, cfg.K),
 		replicas:   append([]int(nil), initial...),
@@ -292,6 +319,32 @@ func (m *Manager) RecordAt(rep int, clientPos vec.Vec, weight float64) error {
 		return fmt.Errorf("replica: node %d does not hold a replica", rep)
 	}
 	return srv.Record(clientPos, weight)
+}
+
+// RecordBatchAt folds a batch of accesses into a specific replica's
+// summary: clients[i] (a node index into the manager's coordinates)
+// accessed with weights[i]; nil weights means unit weight. This is the
+// planet-scale ingest hot path — one call per aggregated simnet frame —
+// and it allocates nothing in steady state.
+func (m *Manager) RecordBatchAt(rep int, clients []int, weights []float64) error {
+	srv, ok := m.servers[rep]
+	if !ok {
+		return fmt.Errorf("replica: node %d does not hold a replica", rep)
+	}
+	if err := srv.RecordBatch(clients, m.positions, weights); err != nil {
+		return err
+	}
+	m.met.accesses.Add(int64(len(clients)))
+	if weights != nil {
+		var w float64
+		for _, x := range weights {
+			w += x
+		}
+		m.met.accessWeight.Add(w)
+	} else {
+		m.met.accessWeight.Add(float64(len(clients)))
+	}
+	return nil
 }
 
 // RecordObserved reports the measured mean access delay of the epoch in

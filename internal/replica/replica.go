@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"github.com/georep/georep/internal/cluster"
 	"github.com/georep/georep/internal/coord"
@@ -27,9 +28,13 @@ type Server struct {
 	node     int
 	sum      *cluster.Summarizer
 	win      *cluster.WindowedSummarizer
+	shards   *cluster.Sharded
 	winEpoch float64 // virtual clock: one unit per epoch (windowed mode)
 	horizon  float64 // window length in epochs (windowed mode)
-	accesses int64
+	seq      int     // round-robin shard key for id-less single records
+	// accesses is atomic: sharded servers accept RecordBatch from
+	// concurrent goroutines.
+	accesses atomic.Int64
 }
 
 // NewServer creates the summarizer state for a replica hosted at the
@@ -56,6 +61,19 @@ func NewWindowedServer(node, m, dims, windowEpochs int) (*Server, error) {
 	return &Server{node: node, win: w, horizon: float64(windowEpochs)}, nil
 }
 
+// NewShardedServer creates a server whose summarizer is partitioned
+// across a power-of-two number of client-hash shards (see
+// cluster.Sharded): batched ingest locks only the touched shards, and
+// the shards are merged back down to the m-cluster budget at export
+// time. Recency uses exponential decay, as with NewServer.
+func NewShardedServer(node, shards, m, dims int) (*Server, error) {
+	sh, err := cluster.NewSharded(shards, m, dims)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{node: node, shards: sh}, nil
+}
+
 // Node returns the data-center node hosting this replica.
 func (s *Server) Node() int { return s.node }
 
@@ -64,15 +82,60 @@ func (s *Server) Node() int { return s.node }
 // the users").
 func (s *Server) Record(clientPos vec.Vec, weight float64) error {
 	var err error
-	if s.win != nil {
+	switch {
+	case s.win != nil:
 		err = s.win.Observe(clientPos, weight)
-	} else {
+	case s.shards != nil:
+		// The id-less single-record path spreads observations round-robin;
+		// any partition preserves the summary's additive totals.
+		err = s.shards.Observe(s.seq, clientPos, weight)
+		s.seq++
+	default:
 		err = s.sum.Observe(clientPos, weight)
 	}
 	if err == nil {
-		s.accesses++
+		s.accesses.Add(1)
 	}
 	return err
+}
+
+// RecordBatch folds a batch of accesses into the summary: clients[i]
+// accessed with weights[i], reading positions from pos[clients[i]]. A
+// nil weights slice means unit weights. On a sharded server this is the
+// lock-once-per-shard, allocation-free hot path; on decay and windowed
+// servers it degenerates to a loop over Record's summarizer, still
+// without allocating.
+func (s *Server) RecordBatch(clients []int, pos []vec.Vec, weights []float64) error {
+	if weights != nil && len(weights) != len(clients) {
+		return fmt.Errorf("replica: batch of %d clients with %d weights", len(clients), len(weights))
+	}
+	if s.shards != nil {
+		if err := s.shards.ObserveBatch(clients, pos, weights); err != nil {
+			return err
+		}
+		s.accesses.Add(int64(len(clients)))
+		return nil
+	}
+	for i, c := range clients {
+		if c < 0 || c >= len(pos) {
+			return fmt.Errorf("replica: client %d outside position table of %d", c, len(pos))
+		}
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		var err error
+		if s.win != nil {
+			err = s.win.Observe(pos[c], w)
+		} else {
+			err = s.sum.Observe(pos[c], w)
+		}
+		if err != nil {
+			return err
+		}
+		s.accesses.Add(1)
+	}
+	return nil
 }
 
 // Export returns a copy of the recency-scoped micro-clusters — what the
@@ -80,6 +143,9 @@ func (s *Server) Record(clientPos vec.Vec, weight float64) error {
 func (s *Server) Export() ([]cluster.Micro, error) {
 	if s.win != nil {
 		return s.win.Window(s.winEpoch, s.horizon)
+	}
+	if s.shards != nil {
+		return s.shards.Summary(), nil
 	}
 	return s.sum.Clusters(), nil
 }
@@ -95,7 +161,7 @@ func (s *Server) ExportEncoded() ([]byte, error) {
 }
 
 // Accesses returns the number of accesses recorded since creation.
-func (s *Server) Accesses() int64 { return s.accesses }
+func (s *Server) Accesses() int64 { return s.accesses.Load() }
 
 // Decay marks an epoch boundary. In decay mode the summary ages by
 // factor (1 keeps everything, smaller forgets faster); in windowed mode
@@ -108,6 +174,9 @@ func (s *Server) Decay(factor float64) error {
 		}
 		s.winEpoch++
 		return nil
+	}
+	if s.shards != nil {
+		return s.shards.Decay(factor)
 	}
 	return s.sum.Decay(factor)
 }

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{5, 0, 1, 3, 1}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(r)]++
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / draws
+		want := w / total
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("item %d: frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight item drawn %d times", counts[1])
+	}
+}
+
+func TestAliasReweight(t *testing.T) {
+	a, err := NewAlias([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reweight([]float64{0, 0, 10, 0}); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		if got := a.Draw(r); got != 2 {
+			t.Fatalf("draw %d after reweight to a point mass on 2", got)
+		}
+	}
+}
+
+func TestAliasReweightZeroAlloc(t *testing.T) {
+	weights := make([]float64, 4096)
+	for i := range weights {
+		weights[i] = float64(i%7) + 0.5
+	}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	allocs := testing.AllocsPerRun(100, func() {
+		weights[r.Intn(len(weights))] += 1
+		if err := a.Reweight(weights); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Reweight allocates %.1f/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		a.Draw(r)
+	})
+	if allocs > 0 {
+		t.Fatalf("Draw allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestAliasRejectsBadWeights(t *testing.T) {
+	bad := [][]float64{
+		nil,
+		{},
+		{0, 0, 0},
+		{-1, 2},
+		{math.NaN(), 1},
+		{math.Inf(1), 1},
+	}
+	for _, ws := range bad {
+		if _, err := NewAlias(ws); err == nil {
+			t.Errorf("weights %v: want error", ws)
+		}
+	}
+	a, err := NewAlias([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reweight([]float64{1, 2, 3}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestAliasDrawInRange: any valid weight vector yields in-range draws.
+func TestAliasDrawInRange(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	prop := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ws := make([]float64, len(raw))
+		ok := false
+		for i, w := range raw {
+			ws[i] = math.Abs(w)
+			if math.IsNaN(ws[i]) || math.IsInf(ws[i], 0) {
+				ws[i] = 0
+			}
+			if ws[i] > 0 {
+				ok = true
+			}
+		}
+		if !ok {
+			return true
+		}
+		a, err := NewAlias(ws)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			d := a.Draw(r)
+			if d < 0 || d >= len(ws) || ws[d] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -75,6 +75,10 @@ type Generator struct {
 	spec     Spec
 	zipf     *stats.Zipf
 	objBytes []float64
+	// weights/cdf are per-epoch scratch reused by EpochInto so the
+	// epoch loop does not re-allocate them every epoch.
+	weights []float64
+	cdf     []float64
 }
 
 // NewGenerator validates the spec and precomputes object popularity and
@@ -112,7 +116,22 @@ func (g *Generator) Epoch(r *rand.Rand, n int, activity Activity) ([]Access, err
 	if n < 0 {
 		return nil, fmt.Errorf("workload: negative access count %d", n)
 	}
-	weights := make([]float64, len(g.spec.Clients))
+	return g.EpochInto(r, n, activity, make([]Access, n))
+}
+
+// EpochInto is Epoch writing into a caller-provided buffer: out is
+// resized to n (reusing its capacity when possible) and returned. The
+// client-weight scratch lives on the generator, so a steady-state epoch
+// loop passing its previous buffer back in allocates nothing.
+func (g *Generator) EpochInto(r *rand.Rand, n int, activity Activity, out []Access) ([]Access, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("workload: negative access count %d", n)
+	}
+	if g.weights == nil {
+		g.weights = make([]float64, len(g.spec.Clients))
+		g.cdf = make([]float64, len(g.spec.Clients))
+	}
+	weights := g.weights
 	var total float64
 	for i, c := range g.spec.Clients {
 		w := c.Rate
@@ -131,14 +150,17 @@ func (g *Generator) Epoch(r *rand.Rand, n int, activity Activity) ([]Access, err
 	}
 
 	// CDF for O(log n) client draws.
-	cdf := make([]float64, len(weights))
+	cdf := g.cdf
 	acc := 0.0
 	for i, w := range weights {
 		acc += w
 		cdf[i] = acc / total
 	}
 
-	out := make([]Access, n)
+	if cap(out) < n {
+		out = make([]Access, n)
+	}
+	out = out[:n]
 	for i := range out {
 		u := r.Float64()
 		lo, hi := 0, len(cdf)-1

@@ -43,6 +43,10 @@ type ManagerConfig struct {
 	// time windows: each epoch's decision sees exactly the accesses of
 	// the last WindowEpochs epochs. DecayFactor is then ignored.
 	WindowEpochs int
+	// IngestShards, when > 1 (power of two), partitions each replica's
+	// summarizer into client-hash shards so concurrent batch ingest does
+	// not serialize on one lock. Mutually exclusive with WindowEpochs.
+	IngestShards int
 	// Quorum is the fraction of replicas whose fresh summaries must be
 	// collected before an epoch may adapt k or migrate (default 0.5).
 	// Below quorum the epoch completes degraded: estimates are computed
@@ -162,6 +166,7 @@ func (d *Deployment) NewManager(cfg ManagerConfig) (*Manager, error) {
 		},
 		DecayFactor:  cfg.DecayFactor,
 		WindowEpochs: cfg.WindowEpochs,
+		IngestShards: cfg.IngestShards,
 		Quorum:       cfg.Quorum,
 		Tracer:       tracer,
 		Ledger:       cfg.Ledger,
