@@ -1,0 +1,142 @@
+package georep_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/placement"
+	"github.com/georep/georep/internal/replica"
+)
+
+// BenchmarkMultiObjectEpoch measures the amortized per-object epoch cost
+// of the multi-object placement service against the naive loop it
+// replaces (one standalone coordinator epoch per object). Objects fall
+// into three demand classes, so at fleet scale the service collapses
+// thousands of per-object k-means solves into a handful of group solves
+// — after warm-up the dispatch loop mostly drift-skips — while the naive
+// loop pays a full solve per object per epoch.
+//
+// Only the epoch step is timed (demand feeding is identical in both
+// variants and runs with the clock stopped); ns_object is the timed cost
+// divided by objects. scripts/bench_multiobject.sh compares the two
+// variants at 10000 objects and gates on the ratio.
+func BenchmarkMultiObjectEpoch(b *testing.B) {
+	ws := worlds(b)
+	w := ws[0]
+	candidates := make([]int, 20)
+	for i := range candidates {
+		candidates[i] = i
+	}
+	const k, m, accesses = 3, 24, 30
+
+	// feed records one epoch of demand for object idx: accesses drawn
+	// from the object's class arc of client nodes, seeded per
+	// (epoch, object) so both variants replay identical workloads.
+	feed := func(b *testing.B, rec func(coord.Coordinate, float64) (int, error), epoch, idx int) {
+		r := rand.New(rand.NewSource(41_000_003 + int64(epoch)*1_000_003 + int64(idx)))
+		base := 20 + (idx%3)*33
+		for a := 0; a < accesses; a++ {
+			if _, err := rec(w.Coords[base+r.Intn(33)], 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("naive/objects=%d", n), func(b *testing.B) {
+			mgrs := make([]*replica.Manager, n)
+			for i := range mgrs {
+				var err error
+				mgrs[i], err = replica.NewManager(replica.Config{K: k, M: m, Dims: 3},
+					candidates, w.Coords, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			epoch := 0
+			run := func(timed bool) {
+				for i, mgr := range mgrs {
+					feed(b, mgr.Record, epoch, i)
+				}
+				if timed {
+					b.StartTimer()
+				}
+				for i, mgr := range mgrs {
+					r := rand.New(rand.NewSource(7 + int64(epoch)<<32 + int64(i)))
+					if _, err := mgr.EndEpoch(r); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if timed {
+					b.StopTimer()
+				}
+				epoch++
+			}
+			run(false)
+			run(false)
+			runtime.GC()
+			b.ResetTimer()
+			b.StopTimer()
+			for it := 0; it < b.N; it++ {
+				run(true)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns_object")
+		})
+		b.Run(fmt.Sprintf("amortized/objects=%d", n), func(b *testing.B) {
+			svc, err := placement.NewService(placement.ServiceConfig{
+				Object:         replica.Config{K: k, M: m, Dims: 3},
+				Candidates:     candidates,
+				Coords:         w.Coords,
+				Seed:           7,
+				GroupEpsilon:   0.25,
+				DriftThreshold: 0.05,
+				WarmStart:      true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			objs := make([]*placement.Object, n)
+			for i := range objs {
+				if objs[i], err = svc.Register(fmt.Sprintf("obj-%d", i), fmt.Sprintf("class-%d", i%3)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			epoch := 0
+			var last placement.EpochStats
+			run := func(timed bool) {
+				for i, o := range objs {
+					feed(b, o.Record, epoch, i)
+				}
+				if timed {
+					b.StartTimer()
+				}
+				st, err := svc.EndEpoch()
+				if timed {
+					b.StopTimer()
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = st
+				epoch++
+			}
+			run(false)
+			run(false)
+			runtime.GC()
+			b.ResetTimer()
+			b.StopTimer()
+			for it := 0; it < b.N; it++ {
+				run(true)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns_object")
+			b.ReportMetric(float64(last.Groups), "groups")
+			b.ReportMetric(float64(last.Solves), "solves")
+			if last.Decided != n {
+				b.Fatalf("only %d of %d objects decided in the last epoch", last.Decided, n)
+			}
+		})
+	}
+}

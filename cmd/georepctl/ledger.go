@@ -127,9 +127,22 @@ func renderAudit(w io.Writer, rep *audit.Report, cfg audit.Config) {
 		title = fmt.Sprintf("Audit what-if: baselines replayed at k=%d", cfg.WhatIfK)
 	}
 	fmt.Fprintln(w, title)
-	fmt.Fprintf(w, "%-8s%4s%10s%10s%10s%10s%12s%12s%9s%9s  %s\n",
-		"epoch", "k", "online", "kmeans", "optimal", "observed",
-		"regret-km", "regret-opt", "drift", "quality", "flags")
+	multi := false
+	for _, row := range rep.Epochs {
+		if row.ObjectID != "" {
+			multi = true
+			break
+		}
+	}
+	if multi {
+		fmt.Fprintf(w, "%-8s%-14s%4s%10s%10s%10s%10s%12s%12s%9s%9s%6s  %s\n",
+			"epoch", "object", "k", "online", "kmeans", "optimal", "observed",
+			"regret-km", "regret-opt", "drift", "quality", "disp", "flags")
+	} else {
+		fmt.Fprintf(w, "%-8s%4s%10s%10s%10s%10s%12s%12s%9s%9s  %s\n",
+			"epoch", "k", "online", "kmeans", "optimal", "observed",
+			"regret-km", "regret-opt", "drift", "quality", "flags")
+	}
 	for _, row := range rep.Epochs {
 		opt, regOpt := fmt.Sprintf("%10.1f", row.OptimalEstMs), fmt.Sprintf("%12.3f", row.RegretOptimalMs)
 		if row.OptimalSkipped {
@@ -148,9 +161,32 @@ func renderAudit(w io.Writer, rep *audit.Report, cfg audit.Config) {
 		if flags == "" {
 			flags = "-"
 		}
-		fmt.Fprintf(w, "%-8d%4d%10.1f%10.1f%s%10.1f%12.3f%s%9.2f%9.2f  %s\n",
-			row.Epoch, row.K, row.OnlineEstMs, row.KMeansEstMs, opt, row.ObservedMs,
-			row.RegretKMeansMs, regOpt, row.DriftMs, row.QualityMs, flags)
+		if multi {
+			fmt.Fprintf(w, "%-8d%-14s%4d%10.1f%10.1f%s%10.1f%12.3f%s%9.2f%9.2f%6d  %s\n",
+				row.Epoch, row.ObjectID, row.K, row.OnlineEstMs, row.KMeansEstMs, opt, row.ObservedMs,
+				row.RegretKMeansMs, regOpt, row.DriftMs, row.QualityMs, row.Displaced, flags)
+		} else {
+			fmt.Fprintf(w, "%-8d%4d%10.1f%10.1f%s%10.1f%12.3f%s%9.2f%9.2f  %s\n",
+				row.Epoch, row.K, row.OnlineEstMs, row.KMeansEstMs, opt, row.ObservedMs,
+				row.RegretKMeansMs, regOpt, row.DriftMs, row.QualityMs, flags)
+		}
+	}
+	if len(rep.Classes) > 1 || (len(rep.Classes) == 1 && rep.Classes[0].Class != "") {
+		fmt.Fprintln(w, "per-class regret:")
+		fmt.Fprintf(w, "  %-14s%8s%8s%12s%12s%10s\n",
+			"class", "objects", "epochs", "regret-km", "regret-opt", "displaced")
+		for _, c := range rep.Classes {
+			name := c.Class
+			if name == "" {
+				name = "(none)"
+			}
+			regOpt := fmt.Sprintf("%12.3f", c.MeanRegretOptimalMs)
+			if c.OptimalEpochs == 0 {
+				regOpt = fmt.Sprintf("%12s", "-")
+			}
+			fmt.Fprintf(w, "  %-14s%8d%8d%12.3f%s%10d\n",
+				name, c.Objects, c.Epochs, c.MeanRegretKMeansMs, regOpt, c.Displaced)
+		}
 	}
 	fmt.Fprintf(w, "epochs: %d audited, %d skipped, %d with exhaustive optimal, %d migrations\n",
 		rep.AuditedEpochs, rep.SkippedEpochs, rep.OptimalEpochs, rep.Migrations)
@@ -160,4 +196,7 @@ func renderAudit(w io.Writer, rep *audit.Report, cfg audit.Config) {
 		rep.MeanRegretKMeansMs, rep.MaxRegretKMeansMs, rep.MeanRegretOptimalMs, rep.MaxRegretOptimalMs)
 	fmt.Fprintf(w, "health: drift mean %.2f ms, micro-cluster quality mean %.2f ms\n",
 		rep.MeanDriftMs, rep.MeanQualityMs)
+	if rep.Displaced > 0 {
+		fmt.Fprintf(w, "capacity: %d replicas displaced across audited epochs\n", rep.Displaced)
+	}
 }

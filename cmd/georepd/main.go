@@ -85,6 +85,7 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		nodeID      = fs.Int("node", 0, "this node's index in the deployment")
 		micro       = fs.Int("m", 10, "micro-cluster budget")
 		shards      = fs.Int("ingest-shards", 0, "partition the summary into this many client-hash shards (power of two) so concurrent reads don't serialize; 0 or 1 = unsharded")
+		objects     = fs.Bool("objects", false, "maintain a per-object micro-cluster summary alongside the node-wide one, served by the micros RPC with an {Object} body (multi-object coordinators)")
 		dims        = fs.Int("dims", 3, "client coordinate dimensionality")
 		matrixPath  = fs.String("matrix", "", "RTT matrix file; reads are delayed by RTT(client,node) to emulate a WAN")
 		scale       = fs.Float64("timescale", 1.0, "emulated delay multiplier (0.1 = 10x faster demos)")
@@ -164,6 +165,7 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		ID:                       *nodeID,
 		MicroClusters:            *micro,
 		IngestShards:             *shards,
+		PerObjectSummaries:       *objects,
 		Dims:                     *dims,
 		Delay:                    delay,
 		Coordinate:               selfCoord,

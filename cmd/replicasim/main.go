@@ -19,6 +19,7 @@
 //	replicasim -fig strategies      # all seven strategies vs k (heuristic comparison)
 //	replicasim -fig failures        # robustness: mean delay under a seeded fault plan
 //	replicasim -fig scale           # extension: planet-scale streaming ingest (see -clients, -rate)
+//	replicasim -fig multiobject     # extension: fleet placement with demand-signature grouping (see -objects)
 //	replicasim -table 2             # Table II: online vs offline clustering cost
 //	replicasim -fig 2 -runs 5       # faster, noisier
 package main
@@ -46,7 +47,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("replicasim", flag.ContinueOnError)
 	var (
-		fig         = fs.String("fig", "", "figure to reproduce: 1, 2, 3, rnp, drift, quorum, threshold, capacity, readwrite, routing, tail, strategies, failures or scale")
+		fig         = fs.String("fig", "", "figure to reproduce: 1, 2, 3, rnp, drift, quorum, threshold, capacity, readwrite, routing, tail, strategies, failures, scale or multiobject")
 		table       = fs.String("table", "", "table to reproduce: 2")
 		all         = fs.Bool("all", false, "reproduce every figure and table")
 		runs        = fs.Int("runs", 30, "simulation runs to average over (paper: 30)")
@@ -64,6 +65,7 @@ func run(args []string) error {
 		clients     = fs.Int("clients", 0, "scale figure: synthetic client population (0 = default 100k)")
 		rate        = fs.Int("rate", 0, "scale figure: accesses generated per epoch (0 = default 50k)")
 		shards      = fs.Int("ingest-shards", 0, "scale figure: per-replica ingest shards, power of two (0 = default 8)")
+		objects     = fs.Int("objects", 0, "multiobject figure: fleet size (0 = default 200)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,7 +83,7 @@ func run(args []string) error {
 		return err
 	}
 
-	needWorlds := *all || (*fig != "" && *fig != "drift" && *fig != "threshold" && *fig != "failures" && *fig != "scale")
+	needWorlds := *all || (*fig != "" && *fig != "drift" && *fig != "threshold" && *fig != "failures" && *fig != "scale" && *fig != "multiobject")
 	var worlds []*experiment.World
 	if needWorlds {
 		start := time.Now()
@@ -252,6 +254,26 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(experiment.RenderScale(res))
+	}
+	if *all || *fig == "multiobject" {
+		cfg := experiment.DefaultMultiObjectConfig()
+		cfg.Setup.CoordAlgorithm = setup.CoordAlgorithm
+		if *objects > 0 {
+			cfg.Objects = *objects
+		}
+		led, closeLedger, err := openLedger(*ledgerOut, *fig == "multiobject")
+		if err != nil {
+			return err
+		}
+		cfg.Ledger = led
+		res, err := experiment.MultiObject(1, cfg)
+		if cerr := closeLedger(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderMultiObject(res))
 	}
 	if *all || *table == "2" {
 		rows, err := experiment.Table2(rand.New(rand.NewSource(*seedTable)), experiment.DefaultCostConfig())

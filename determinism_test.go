@@ -165,6 +165,40 @@ func TestScaleDeterministicAcrossParallelism(t *testing.T) {
 	})
 }
 
+// TestMultiObjectDeterministicAcrossParallelism pins the multi-object
+// path: grouped solves, warm-started incremental k-means, capacity
+// settlement, and the dual naive/amortized passes must all fingerprint
+// identically across the execution-mode grid — grouping leaders draw
+// their own seeded rand streams, so no scheduling order may leak into
+// placements, solve counts, or measured delays.
+func TestMultiObjectDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds worlds under six execution modes")
+	}
+	cfg := experiment.DefaultMultiObjectConfig()
+	cfg.Setup.Nodes = 40
+	cfg.Setup.CoordRounds = 30
+	cfg.NumDCs = 8
+	cfg.Objects = 30
+	cfg.AccessesPerObject = 20
+	cfg.Epochs = 3
+	prevPar := experiment.Parallelism
+	defer func() { experiment.Parallelism = prevPar }()
+	runModes(t, "multiobject", func(par int) string {
+		experiment.Parallelism = par
+		res, err := experiment.MultiObject(3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := fmt.Sprintf("%d/%d disp=%d", res.TotalSolves, res.TotalNaiveSolves, res.Displaced)
+		for _, r := range res.Rows {
+			fp += fmt.Sprintf("|%d:%d:%d:%d:%.17g:%.17g:%d:%d",
+				r.Epoch, r.Groups, r.Solves, r.DriftSkips, r.NaiveMeanMs, r.MeanMs, r.Migrated, r.Displaced)
+		}
+		return fp
+	})
+}
+
 func TestRunCellDeterministicAcrossParallelism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds worlds under six execution modes")

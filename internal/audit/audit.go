@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"github.com/georep/georep/internal/cluster"
 	"github.com/georep/georep/internal/coord"
@@ -66,6 +67,19 @@ type EpochAudit struct {
 	// i.e. Config.WhatIfK when set).
 	Epoch int
 	K     int
+	// ObjectID / Class echo the record's object identity (empty for
+	// single-object ledgers written before multi-object placement, and
+	// for coordinators running without a PlacementService). Drift is
+	// tracked per object: interleaved records from a fleet ledger do not
+	// pollute each other's centroid history.
+	ObjectID string
+	Class    string
+	// Displaced echoes how many of the epoch's replicas the capacity
+	// settlement moved off their demand-optimal data center. Displaced
+	// replicas are the mechanism behind per-class capacity regret: the
+	// online estimate already includes the displacement penalty while the
+	// offline baselines place without capacity limits.
+	Displaced int
 	// OnlineReplicas is the placement the coordinator ran with, and
 	// OnlineEstMs its estimated mean delay recomputed from the record's
 	// summaries.
@@ -107,6 +121,26 @@ type EpochAudit struct {
 	Migrated bool
 }
 
+// ClassRegret aggregates regret over the audited epochs of one object
+// class — the multi-object ledger's answer to "which workload archetype
+// pays for capacity pressure". Single-object ledgers fold into the ""
+// class.
+type ClassRegret struct {
+	// Class is the record's object class ("" for legacy records).
+	Class string
+	// Objects counts distinct object IDs seen in the class; Epochs counts
+	// audited epoch rows.
+	Objects int
+	Epochs  int
+	// MeanRegretKMeansMs averages the class's per-epoch k-means regret;
+	// MeanRegretOptimalMs the optimal regret over OptimalEpochs.
+	MeanRegretKMeansMs  float64
+	MeanRegretOptimalMs float64
+	OptimalEpochs       int
+	// Displaced sums capacity displacements across the class's epochs.
+	Displaced int
+}
+
 // Report aggregates an audit over a ledger.
 type Report struct {
 	// Epochs are the audited epochs, oldest-first.
@@ -132,24 +166,42 @@ type Report struct {
 	// MaxRegretKMeansMs / MaxRegretOptimalMs are the worst single epochs.
 	MaxRegretKMeansMs  float64
 	MaxRegretOptimalMs float64
+	// Classes breaks regret down per object class, sorted by class name,
+	// for multi-object ledgers (one entry with Class "" otherwise).
+	Classes []ClassRegret
+	// Displaced sums capacity displacements over all audited epochs.
+	Displaced int
 }
 
 // auditor carries the incremental state shared by Run and the Watcher:
-// the previous epoch's demand centroid (for drift) and the running
-// aggregates.
+// per-object previous demand centroids (for drift) and the running
+// aggregates, including the per-class regret breakdown.
 type auditor struct {
-	cfg          Config
-	prevCentroid vec.Vec
-	hasPrev      bool
-	rep          Report
-	epochsDone   *metrics.Counter
-	skipped      *metrics.Counter
+	cfg        Config
+	prevCent   map[string]vec.Vec // previous demand centroid per ObjectID
+	classes    map[string]*classAgg
+	rep        Report
+	epochsDone *metrics.Counter
+	skipped    *metrics.Counter
+}
+
+// classAgg is the running per-class aggregate; report() finalizes it
+// into ClassRegret rows.
+type classAgg struct {
+	objects       map[string]struct{}
+	epochs        int
+	regretKM      float64
+	regretOpt     float64
+	optimalEpochs int
+	displaced     int
 }
 
 func newAuditor(cfg Config) *auditor {
 	cfg.fillDefaults()
 	return &auditor{
 		cfg:        cfg,
+		prevCent:   make(map[string]vec.Vec),
+		classes:    make(map[string]*classAgg),
 		epochsDone: cfg.Metrics.Counter("audit_epochs_audited_total"),
 		skipped:    cfg.Metrics.Counter("audit_epochs_skipped_total"),
 	}
@@ -172,6 +224,29 @@ func Run(recs []ledger.Record, cfg Config) (*Report, error) {
 func (a *auditor) report() *Report {
 	rep := a.rep
 	rep.Epochs = append([]EpochAudit(nil), a.rep.Epochs...)
+	names := make([]string, 0, len(a.classes))
+	for name := range a.classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rep.Classes = make([]ClassRegret, 0, len(names))
+	for _, name := range names {
+		agg := a.classes[name]
+		row := ClassRegret{
+			Class:         name,
+			Objects:       len(agg.objects),
+			Epochs:        agg.epochs,
+			OptimalEpochs: agg.optimalEpochs,
+			Displaced:     agg.displaced,
+		}
+		if agg.epochs > 0 {
+			row.MeanRegretKMeansMs = agg.regretKM / float64(agg.epochs)
+		}
+		if agg.optimalEpochs > 0 {
+			row.MeanRegretOptimalMs = agg.regretOpt / float64(agg.optimalEpochs)
+		}
+		rep.Classes = append(rep.Classes, row)
+	}
 	if n := float64(rep.AuditedEpochs); n > 0 {
 		rep.MeanOnlineEstMs /= n
 		rep.MeanObservedMs /= n
@@ -221,6 +296,20 @@ func (a *auditor) audit(rec *ledger.Record) error {
 	if row.Migrated {
 		a.rep.Migrations++
 	}
+	a.rep.Displaced += row.Displaced
+	agg := a.classes[row.Class]
+	if agg == nil {
+		agg = &classAgg{objects: make(map[string]struct{})}
+		a.classes[row.Class] = agg
+	}
+	agg.objects[row.ObjectID] = struct{}{}
+	agg.epochs++
+	agg.regretKM += row.RegretKMeansMs
+	agg.displaced += row.Displaced
+	if !row.OptimalSkipped {
+		agg.optimalEpochs++
+		agg.regretOpt += row.RegretOptimalMs
+	}
 	return nil
 }
 
@@ -251,6 +340,9 @@ func (a *auditor) auditOne(rec *ledger.Record) (EpochAudit, bool, error) {
 	row := EpochAudit{
 		Epoch:          rec.Epoch,
 		K:              k,
+		ObjectID:       rec.ObjectID,
+		Class:          rec.Class,
+		Displaced:      rec.Displaced,
 		OnlineReplicas: append([]int(nil), rec.Replicas...),
 		ObservedMs:     rec.ObservedMeanMs,
 		Accesses:       rec.Accesses,
@@ -292,10 +384,10 @@ func (a *auditor) auditOne(rec *ledger.Record) (EpochAudit, bool, error) {
 		row.RegretOptimalMs = row.OnlineEstMs - row.OptimalEstMs
 	}
 
-	if a.hasPrev {
-		row.DriftMs = centroid.Dist(a.prevCentroid)
+	if prev, ok := a.prevCent[rec.ObjectID]; ok {
+		row.DriftMs = centroid.Dist(prev)
 	}
-	a.prevCentroid, a.hasPrev = centroid, true
+	a.prevCent[rec.ObjectID] = centroid
 	row.QualityMs = quality(rec.Micros)
 	return row, true, nil
 }

@@ -39,6 +39,65 @@ type Options struct {
 	// Metrics, when non-nil, receives cluster_kmeans_runs_total and
 	// cluster_kmeans_iterations_total plus worker-pool accounting.
 	Metrics *metrics.Registry
+	// Scratch, when non-nil, supplies the run's working memory so a
+	// caller solving every epoch reuses one set of buffers instead of
+	// re-allocating centroid blocks and accumulators per call. The
+	// returned result then ALIASES the scratch (Centroids, Assignment,
+	// Weights) and is valid only until the next run with the same
+	// scratch; copy anything that must outlive it. Arithmetic is
+	// byte-identical with or without scratch.
+	Scratch *KMeansScratch
+	// Warm, when it holds exactly k centroids of the points'
+	// dimensionality, seeds the Lloyd loop from these centroids instead
+	// of k-means++ and consumes NO randomness from r. This is the
+	// incremental path for demand that drifts slowly between epochs:
+	// convergence typically takes one or two iterations from last
+	// epoch's centroids. A mismatched Warm (wrong k or dims) falls back
+	// to k-means++ seeding.
+	Warm []vec.Vec
+}
+
+// KMeansScratch is the reusable working memory of WeightedKMeansOpt:
+// centroid/accumulator blocks sized to (k, dims) plus the
+// pseudo-point buffers MacroClusterOpt fills from micro-clusters. The
+// zero value is ready to use; buffers grow to the largest (k, dims,
+// points) seen and are reused afterwards.
+type KMeansScratch struct {
+	centroids []vec.Vec
+	prev      []vec.Vec
+	sums      []vec.Vec
+	wsum      []float64
+	counts    []int
+	mean      vec.Vec
+	assign    []int
+	wout      []float64
+	points    []vec.Vec
+	pweights  []float64
+	cbuf      []float64
+	k, dims   int
+}
+
+// ensure resizes the (k, dims)-shaped buffers when the problem shape
+// changes; same-shape calls reuse everything.
+func (s *KMeansScratch) ensure(k, dims int) {
+	if s.k != k || s.dims != dims || s.centroids == nil {
+		s.centroids = vec.Block(k, dims)
+		s.prev = vec.Block(k, dims)
+		s.sums = vec.Block(k, dims)
+		s.wsum = make([]float64, k)
+		s.counts = make([]int, k)
+		s.mean = vec.New(dims)
+		s.wout = make([]float64, k)
+		s.k, s.dims = k, dims
+	}
+}
+
+// assignFor returns the assignment buffer resized to n points.
+func (s *KMeansScratch) assignFor(n int) []int {
+	if cap(s.assign) < n {
+		s.assign = make([]int, n)
+	}
+	return s.assign[:n]
 }
 
 // assignGrain is the minimum number of points a parallel assignment
@@ -105,18 +164,36 @@ func WeightedKMeansOpt(r *rand.Rand, points []vec.Vec, weights []float64, k int,
 	}
 
 	// Centroids and per-iteration accumulators live in contiguous blocks
-	// (vec.Block) allocated once and reused across iterations: the Lloyd
-	// loop itself allocates nothing.
-	centroids := vec.Block(k, dims)
-	for c, seed := range seedPlusPlus(r, points, weights, k) {
-		centroids[c].CopyFrom(seed)
+	// (vec.Block) allocated once — or borrowed from opt.Scratch — and
+	// reused across iterations: the Lloyd loop itself allocates nothing.
+	var centroids, prev, sums []vec.Vec
+	var wsum []float64
+	var counts []int
+	var scratchMean vec.Vec
+	var assign []int
+	if sc := opt.Scratch; sc != nil {
+		sc.ensure(k, dims)
+		centroids, prev, sums = sc.centroids, sc.prev, sc.sums
+		wsum, counts, scratchMean = sc.wsum, sc.counts, sc.mean
+		assign = sc.assignFor(len(points))
+	} else {
+		centroids = vec.Block(k, dims)
+		prev = vec.Block(k, dims)
+		sums = vec.Block(k, dims)
+		wsum = make([]float64, k)
+		counts = make([]int, k)
+		scratchMean = vec.New(dims)
+		assign = make([]int, len(points))
 	}
-	prev := vec.Block(k, dims)
-	sums := vec.Block(k, dims)
-	wsum := make([]float64, k)
-	counts := make([]int, k)
-	scratchMean := vec.New(dims)
-	assign := make([]int, len(points))
+	if warmOK(opt.Warm, k, dims) {
+		for c := range centroids {
+			centroids[c].CopyFrom(opt.Warm[c])
+		}
+	} else {
+		for c, seed := range seedPlusPlus(r, points, weights, k) {
+			centroids[c].CopyFrom(seed)
+		}
+	}
 	for i := range assign {
 		assign[i] = -1
 	}
@@ -225,11 +302,31 @@ func WeightedKMeansOpt(r *rand.Rand, points []vec.Vec, weights []float64, k int,
 
 	res.Centroids = centroids
 	res.Assignment = assign
-	res.Weights = make([]float64, k)
+	if sc := opt.Scratch; sc != nil {
+		res.Weights = sc.wout
+		for c := range res.Weights {
+			res.Weights[c] = 0
+		}
+	} else {
+		res.Weights = make([]float64, k)
+	}
 	for i := range points {
 		res.Weights[assign[i]] += weights[i]
 	}
 	return res, nil
+}
+
+// warmOK reports whether warm centroids can seed a (k, dims) run.
+func warmOK(warm []vec.Vec, k, dims int) bool {
+	if len(warm) != k {
+		return false
+	}
+	for _, c := range warm {
+		if c.Dim() != dims {
+			return false
+		}
+	}
+	return true
 }
 
 // KMeans is WeightedKMeans with unit weights — the offline baseline that
@@ -344,10 +441,32 @@ func MacroClusterOpt(r *rand.Rand, micros []Micro, k int, opt Options) (*KMeansR
 	if len(micros) == 0 {
 		return nil, fmt.Errorf("cluster: no micro-clusters to macro-cluster")
 	}
-	points := make([]vec.Vec, len(micros))
-	weights := make([]float64, len(micros))
+	var points []vec.Vec
+	var weights []float64
+	if sc := opt.Scratch; sc != nil {
+		// Pseudo-point positions live in one flat block sliced per micro,
+		// so a coordinator solving every epoch computes centroids into
+		// reused memory instead of allocating one vector per micro.
+		dims := micros[0].Dims()
+		if cap(sc.points) < len(micros) || len(sc.cbuf) != cap(sc.points)*dims {
+			sc.points = make([]vec.Vec, 0, len(micros))
+			sc.pweights = make([]float64, len(micros))
+			sc.cbuf = make([]float64, len(micros)*dims)
+		}
+		points = sc.points[:len(micros)]
+		weights = sc.pweights[:len(micros)]
+		for i := range micros {
+			points[i] = vec.Vec(sc.cbuf[i*dims : (i+1)*dims])
+			micros[i].CentroidInto(points[i])
+		}
+	} else {
+		points = make([]vec.Vec, len(micros))
+		weights = make([]float64, len(micros))
+		for i := range micros {
+			points[i] = micros[i].Centroid()
+		}
+	}
 	for i := range micros {
-		points[i] = micros[i].Centroid()
 		weights[i] = micros[i].Weight
 		if weights[i] == 0 {
 			weights[i] = float64(micros[i].Count)

@@ -54,6 +54,22 @@ func (m *Micro) Centroid() vec.Vec {
 	return out
 }
 
+// CentroidInto writes the centroid into dst (which must have the
+// micro's dimensionality) without allocating — the epoch-scratch
+// variant of Centroid, with identical arithmetic.
+func (m *Micro) CentroidInto(dst vec.Vec) {
+	if m.Count == 0 {
+		for d := range dst {
+			dst[d] = 0
+		}
+		return
+	}
+	n := float64(m.Count)
+	for d := range dst {
+		dst[d] = m.Sum[d] / n
+	}
+}
+
 // StdDev returns the root-mean-square deviation of member points from the
 // centroid, computed with the paper's identity Var[X] = E[X²] − E[X]²
 // summed over dimensions. Negative per-dimension variances from
@@ -166,6 +182,25 @@ func MergeMicro(a, b Micro) (Micro, error) {
 // Clone returns an independent copy of the cluster.
 func (m Micro) Clone() Micro {
 	return Micro{Count: m.Count, Weight: m.Weight, Sum: m.Sum.Clone(), Sum2: m.Sum2.Clone()}
+}
+
+// CloneInto copies m into dst, reusing dst's vector backing when the
+// dimensions match — the per-epoch export path clones every micro of
+// every summary, so coordinators recycle the previous epoch's storage
+// instead of re-allocating it.
+func (m *Micro) CloneInto(dst *Micro) {
+	dst.Count, dst.Weight = m.Count, m.Weight
+	dst.Sum = copyVec(dst.Sum, m.Sum)
+	dst.Sum2 = copyVec(dst.Sum2, m.Sum2)
+}
+
+// copyVec copies src into dst, reallocating only on dimension mismatch.
+func copyVec(dst, src vec.Vec) vec.Vec {
+	if len(dst) != len(src) {
+		dst = vec.New(len(src))
+	}
+	copy(dst, src)
+	return dst
 }
 
 // SummarizerOption configures a Summarizer.
@@ -330,11 +365,27 @@ func (s *Summarizer) mergeClosestPair() {
 
 // Clusters returns an independent copy of the current micro-clusters.
 func (s *Summarizer) Clusters() []Micro {
-	out := make([]Micro, len(s.clusters))
-	for i := range s.clusters {
-		out[i] = s.clusters[i].Clone()
+	return s.ClustersInto(nil)
+}
+
+// ClustersInto is Clusters copying into dst's backing where possible:
+// element structs and their vectors are reused when dimensions match, so
+// a caller exporting every epoch re-allocates nothing in steady state.
+func (s *Summarizer) ClustersInto(dst []Micro) []Micro {
+	n := len(s.clusters)
+	if cap(dst) < n {
+		grown := make([]Micro, n)
+		// Carry the old elements forward: their vector backing is what
+		// CloneInto reuses.
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	} else {
+		dst = dst[:n]
 	}
-	return out
+	for i := range s.clusters {
+		s.clusters[i].CloneInto(&dst[i])
+	}
+	return dst
 }
 
 // Len returns the current number of micro-clusters.

@@ -121,6 +121,25 @@ func (c *Client) MicrosCtx(ctx context.Context) ([]cluster.Micro, int, error) {
 	return ms, len(resp.Encoded), nil
 }
 
+// MicrosObject fetches one object's summary from a node running with
+// per-object summaries (georepd -objects), decoded, with its wire size.
+func (c *Client) MicrosObject(object string) ([]cluster.Micro, int, error) {
+	return c.MicrosObjectCtx(context.Background(), object)
+}
+
+// MicrosObjectCtx is MicrosObject with trace propagation.
+func (c *Client) MicrosObjectCtx(ctx context.Context, object string) ([]cluster.Micro, int, error) {
+	var resp MicrosResponse
+	if _, err := c.c.CallContext(ctx, MethodMicros, MicrosRequest{Object: object}, &resp); err != nil {
+		return nil, 0, fmt.Errorf("daemon: micros(%s) from %s: %w", object, c.addr, err)
+	}
+	ms, err := cluster.DecodeMicros(resp.Encoded)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ms, len(resp.Encoded), nil
+}
+
 // Decay ages the node's summary.
 func (c *Client) Decay(factor float64) error {
 	return c.DecayCtx(context.Background(), factor)

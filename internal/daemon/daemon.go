@@ -54,6 +54,13 @@ type (
 	DeleteRequest struct {
 		Object string
 	}
+	// MicrosRequest optionally narrows the summary export to one
+	// object's accesses (multi-object placement). The micros method
+	// accepts an empty body for backward compatibility — old
+	// coordinators keep getting the node-wide summary.
+	MicrosRequest struct {
+		Object string
+	}
 	// MicrosResponse carries the gob-encoded micro-cluster summary.
 	MicrosResponse struct {
 		Encoded []byte
@@ -127,6 +134,12 @@ type Config struct {
 	// node's mutex while folding into the summarizer; the exported
 	// summary is merged back down to the MicroClusters budget.
 	IngestShards int
+	// PerObjectSummaries additionally maintains one summary per stored
+	// object (same budget and sharding as the node-wide summary), so a
+	// multi-object coordinator can collect each object's demand with
+	// micros {Object: id}. The node-wide summary keeps aggregating every
+	// access, so single-object coordinators are unaffected.
+	PerObjectSummaries bool
 	// Delay emulates wide-area RTTs; nil serves at local speed.
 	Delay DelayFunc
 	// Coordinate is this node's own network coordinate, reported to
@@ -174,7 +187,16 @@ type Node struct {
 	mu       sync.Mutex
 	sum      *cluster.Summarizer // nil when sharded
 	shards   *cluster.Sharded    // nil when unsharded
+	objSums  map[string]*objSummary
 	accesses int64
+}
+
+// objSummary is one object's dedicated summarizer, created lazily on
+// the object's first summarized access (Config.PerObjectSummaries).
+// Mirrors the node-wide summary's sharding mode.
+type objSummary struct {
+	sum    *cluster.Summarizer // nil when sharded
+	shards *cluster.Sharded    // nil when unsharded
 }
 
 // NewNode builds the node runtime (not yet listening). Every node
@@ -220,10 +242,34 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 		n.sum = sum
 	}
+	if cfg.PerObjectSummaries {
+		n.objSums = make(map[string]*objSummary)
+	}
 	if err := n.registerHandlers(); err != nil {
 		return nil, err
 	}
 	return n, nil
+}
+
+// objSummaryFor returns (lazily creating) the object's summarizer.
+// Callers must hold n.mu.
+func (n *Node) objSummaryFor(object string) (*objSummary, error) {
+	os := n.objSums[object]
+	if os != nil {
+		return os, nil
+	}
+	os = &objSummary{}
+	var err error
+	if n.cfg.IngestShards > 1 {
+		os.shards, err = cluster.NewSharded(n.cfg.IngestShards, n.cfg.MicroClusters, n.cfg.Dims)
+	} else {
+		os.sum, err = cluster.NewSummarizer(n.cfg.MicroClusters, n.cfg.Dims)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n.objSums[object] = os
+	return os, nil
 }
 
 // Metrics returns the node's registry, shared with its transport server.
@@ -361,16 +407,31 @@ func (n *Node) handleGet(body []byte) ([]byte, error) {
 		weight = float64(len(obj.Data))
 	}
 	if len(req.ClientCoord) == n.cfg.Dims {
+		var obj *objSummary
+		if n.objSums != nil && req.Object != "" {
+			n.mu.Lock()
+			obj, err = n.objSummaryFor(req.Object)
+			n.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+		}
 		if n.shards != nil {
 			// Sharded ingest locks only the client's shard; the node
 			// mutex covers just the access counter.
 			err = n.shards.Observe(req.Client, vec.Vec(req.ClientCoord), weight)
+			if err == nil && obj != nil {
+				err = obj.shards.Observe(req.Client, vec.Vec(req.ClientCoord), weight)
+			}
 			n.mu.Lock()
 			n.accesses++
 			n.mu.Unlock()
 		} else {
 			n.mu.Lock()
 			err = n.sum.Observe(vec.Vec(req.ClientCoord), weight)
+			if err == nil && obj != nil {
+				err = obj.sum.Observe(vec.Vec(req.ClientCoord), weight)
+			}
 			n.accesses++
 			n.mu.Unlock()
 		}
@@ -408,12 +469,38 @@ func (n *Node) handleDelete(body []byte) ([]byte, error) {
 	return nil, nil
 }
 
-func (n *Node) handleMicros([]byte) ([]byte, error) {
+func (n *Node) handleMicros(body []byte) ([]byte, error) {
+	// An empty body is the v1 protocol: export the node-wide summary.
+	var req MicrosRequest
+	if len(body) > 0 {
+		if err := transport.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+	}
 	var enc []byte
 	var err error
-	if n.shards != nil {
+	switch {
+	case req.Object != "":
+		if n.objSums == nil {
+			return nil, fmt.Errorf("daemon: per-object summaries disabled (start with -objects)")
+		}
+		n.mu.Lock()
+		obj := n.objSums[req.Object]
+		n.mu.Unlock()
+		if obj == nil {
+			// No summarized access yet: an empty summary, not an error —
+			// a freshly registered object simply has no demand.
+			enc, err = cluster.EncodeMicros(nil)
+		} else if obj.shards != nil {
+			enc, err = cluster.EncodeMicros(obj.shards.Summary())
+		} else {
+			n.mu.Lock()
+			enc, err = cluster.EncodeMicros(obj.sum.Clusters())
+			n.mu.Unlock()
+		}
+	case n.shards != nil:
 		enc, err = cluster.EncodeMicros(n.shards.Summary())
-	} else {
+	default:
 		n.mu.Lock()
 		enc, err = cluster.EncodeMicros(n.sum.Clusters())
 		n.mu.Unlock()
@@ -433,6 +520,27 @@ func (n *Node) handleDecay(body []byte) ([]byte, error) {
 	var req DecayRequest
 	if err := transport.Unmarshal(body, &req); err != nil {
 		return nil, err
+	}
+	// Epoch decay is fleet-wide: the node-wide summary and every
+	// per-object summary age together.
+	n.mu.Lock()
+	objs := make([]*objSummary, 0, len(n.objSums))
+	for _, os := range n.objSums {
+		objs = append(objs, os)
+	}
+	n.mu.Unlock()
+	for _, os := range objs {
+		var err error
+		if os.shards != nil {
+			err = os.shards.Decay(req.Factor)
+		} else {
+			n.mu.Lock()
+			err = os.sum.Decay(req.Factor)
+			n.mu.Unlock()
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
 	if n.shards != nil {
 		return nil, n.shards.Decay(req.Factor)

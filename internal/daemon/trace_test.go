@@ -156,7 +156,7 @@ func TestFailoverTraced(t *testing.T) {
 	if fo == nil {
 		t.Fatalf("no failover span: %+v", got.Spans)
 	}
-	if fo.Attrs["hops"] != "2" || fo.Attrs["served_by"] != "1" {
+	if fo.Attrs.Get("hops") != "2" || fo.Attrs.Get("served_by") != "1" {
 		t.Fatalf("failover attrs: %v", fo.Attrs)
 	}
 	var failedHop bool

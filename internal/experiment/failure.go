@@ -415,14 +415,14 @@ func synthEpochTrace(rec *trace.FlightRecorder, rng *rand.Rand, epoch int,
 		TraceID: traceID, SpanID: trace.NewSpanID(rng),
 		Name: fmt.Sprintf("epoch %d", epoch), Kind: trace.KindEpoch, Node: "sim-coord",
 		StartNs: ns(startMs), DurNs: ns(endMs - startMs),
-		Attrs: map[string]string{
-			"epoch": fmt.Sprint(epoch),
-			"k":     fmt.Sprint(dec.K),
-			"sim":   "true",
+		Attrs: trace.Attrs{
+			{Key: "epoch", Value: fmt.Sprint(epoch)},
+			{Key: "k", Value: fmt.Sprint(dec.K)},
+			{Key: "sim", Value: "true"},
 		},
 	}
 	if len(dec.MissingSummaries) > 0 {
-		root.Attrs["missing"] = fmt.Sprint(dec.MissingSummaries)
+		root.Attrs = root.Attrs.Set("missing", fmt.Sprint(dec.MissingSummaries))
 	}
 	rec.Record(root)
 
@@ -434,7 +434,7 @@ func synthEpochTrace(rec *trace.FlightRecorder, rng *rand.Rand, epoch int,
 			TraceID: traceID, SpanID: trace.NewSpanID(rng), ParentID: root.SpanID,
 			Name: fmt.Sprintf("collect %d", rep), Kind: trace.KindCollect, Node: "sim-coord",
 			StartNs: ns(collectStart),
-			Attrs:   map[string]string{"replica": fmt.Sprint(rep)},
+			Attrs:   trace.Attrs{{Key: "replica", Value: fmt.Sprint(rep)}},
 		}
 		if missing[rep] {
 			sp.DurNs = ns(timeoutMs)
@@ -466,10 +466,10 @@ func synthEpochTrace(rec *trace.FlightRecorder, rng *rand.Rand, epoch int,
 		TraceID: traceID, SpanID: trace.NewSpanID(rng), ParentID: root.SpanID,
 		Name: "decide", Kind: trace.KindDecide, Node: "sim-coord",
 		StartNs: ns(decideStart), DurNs: ns(0.5),
-		Attrs: map[string]string{
-			"migrate": fmt.Sprint(dec.Migrate),
-			"moved":   fmt.Sprint(dec.MovedReplicas),
-			"gain_ms": fmt.Sprintf("%.3f", dec.EstimatedOldMs-dec.EstimatedNewMs),
+		Attrs: trace.Attrs{
+			{Key: "migrate", Value: fmt.Sprint(dec.Migrate)},
+			{Key: "moved", Value: fmt.Sprint(dec.MovedReplicas)},
+			{Key: "gain_ms", Value: fmt.Sprintf("%.3f", dec.EstimatedOldMs-dec.EstimatedNewMs)},
 		},
 	})
 

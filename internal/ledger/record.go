@@ -62,6 +62,16 @@ type Record struct {
 	// Micros are the micro-cluster summaries the decision consumed —
 	// the auditor's raw material.
 	Micros []cluster.Micro
+	// ObjectID and Class identify the object this record's decision
+	// placed when the coordinator runs a multi-object fleet; empty in
+	// single-object deployments. Displaced is how many replicas of the
+	// adopted placement were pushed off their preferred data center by
+	// per-DC capacity accounting. Records with all three fields at their
+	// zero values encode as version 1, byte-identical to pre-multi-object
+	// ledgers; otherwise they encode as version 2.
+	ObjectID  string
+	Class     string
+	Displaced int
 }
 
 // Validate checks the structural invariants DecodeRecord enforces on
@@ -83,6 +93,9 @@ func (r *Record) Validate() error {
 	}
 	if r.MovedReplicas < 0 {
 		return fmt.Errorf("ledger: negative moved count %d", r.MovedReplicas)
+	}
+	if r.Displaced < 0 {
+		return fmt.Errorf("ledger: negative displaced count %d", r.Displaced)
 	}
 	if len(r.CandidateCoords) != len(r.Candidates) {
 		return fmt.Errorf("ledger: %d candidates but %d coordinates",
@@ -148,8 +161,16 @@ func finiteVec(v vec.Vec) bool {
 // in declaration order — ints as varints, float64s as 8-byte
 // little-endian IEEE 754, slices as a uvarint count followed by
 // elements. Every record is self-contained and byte-deterministic for
-// a given Record value.
-const recordVersion = 1
+// a given Record value. Version 2 appends the multi-object identity
+// fields (ObjectID, Class as uvarint-length-prefixed strings, Displaced
+// as a varint) after the version-1 payload; a record whose identity
+// fields are all zero still encodes as version 1, so single-object
+// ledgers stay byte-identical across the format revision and old
+// readers keep working on them.
+const (
+	recordVersion   = 1
+	recordVersionV2 = 2
+)
 
 func appendF64(b []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
@@ -178,10 +199,20 @@ func appendVec(b []byte, v vec.Vec) []byte {
 	return b
 }
 
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
 // appendRecord serializes r onto b. It allocates only when b lacks
 // capacity, so the ledger can reuse one scratch buffer across appends.
 func appendRecord(b []byte, r *Record) []byte {
-	b = append(b, recordVersion)
+	v2 := r.ObjectID != "" || r.Class != "" || r.Displaced != 0
+	if v2 {
+		b = append(b, recordVersionV2)
+	} else {
+		b = append(b, recordVersion)
+	}
 	b = binary.AppendVarint(b, int64(r.Epoch))
 	b = binary.AppendVarint(b, int64(r.K))
 	b = appendInts(b, r.Candidates)
@@ -210,6 +241,11 @@ func appendRecord(b []byte, r *Record) []byte {
 		b = appendF64(b, m.Weight)
 		b = appendVec(b, m.Sum)
 		b = appendVec(b, m.Sum2)
+	}
+	if v2 {
+		b = appendString(b, r.ObjectID)
+		b = appendString(b, r.Class)
+		b = binary.AppendVarint(b, int64(r.Displaced))
 	}
 	return b
 }
@@ -307,6 +343,16 @@ func (d *recReader) ints() []int {
 	return out
 }
 
+func (d *recReader) string() string {
+	n := d.count(1)
+	if n == 0 {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
 func (d *recReader) vec() vec.Vec {
 	n := d.count(8)
 	if n == 0 {
@@ -336,7 +382,7 @@ func DecodeRecord(b []byte) (Record, error) {
 	if len(b) == 0 {
 		return Record{}, fmt.Errorf("ledger: decode record: empty payload")
 	}
-	if b[0] != recordVersion {
+	if b[0] != recordVersion && b[0] != recordVersionV2 {
 		return Record{}, fmt.Errorf("ledger: decode record: unknown version %d", b[0])
 	}
 	d := &recReader{b: b, off: 1}
@@ -372,6 +418,11 @@ func DecodeRecord(b []byte) (Record, error) {
 			r.Micros[i].Sum = d.vec()
 			r.Micros[i].Sum2 = d.vec()
 		}
+	}
+	if b[0] == recordVersionV2 {
+		r.ObjectID = d.string()
+		r.Class = d.string()
+		r.Displaced = int(d.varint())
 	}
 	if d.err != nil {
 		return Record{}, d.err

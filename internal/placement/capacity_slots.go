@@ -1,0 +1,132 @@
+package placement
+
+import (
+	"math"
+	"sort"
+)
+
+// Per-DC capacity accounting: every candidate data center offers
+// Capacity[i] replica slots, and each epoch the fleet's placements
+// compete for them. Slot occupancy is persistent — an object holds its
+// slots until an epoch in which it can decide (quorum met, non-silent),
+// at which point its claims are released and it competes again with the
+// rest of the deciding fleet. Assignment is deterministic:
+//
+//   - Deciding objects are processed in priority order: epoch demand
+//     descending, then registration id ascending — so under equal
+//     demand the earlier-registered object wins the contested slot and
+//     the later one is displaced, every run, on every machine.
+//   - Each object claims its group's desired DCs in placement order;
+//     a full DC displaces the replica to the nearest candidate (by
+//     coordinate distance plus access-link height) that still has a
+//     free slot and isn't already holding one of this object's
+//     replicas. Ties break on candidate-list order.
+//
+// Displacements are counted per object, recorded in the epoch decision
+// and the ledger (Record.Displaced), and aggregated per object class by
+// the offline audit.
+
+// settleCapacity runs the slot competition for this epoch's deciding
+// objects and returns per-object displaced counts (indexed by
+// registration index), or nil when capacity accounting is off.
+func (s *Service) settleCapacity() []int {
+	if s.cfg.Capacity == nil {
+		return nil
+	}
+	if cap(s.disp) < len(s.objects) {
+		s.disp = make([]int, len(s.objects))
+	}
+	s.disp = s.disp[:len(s.objects)]
+	for i := range s.disp {
+		s.disp[i] = 0
+	}
+
+	// Deciding objects release their claims, then re-claim in priority
+	// order; everyone else's occupancy is pinned.
+	s.order = s.order[:0]
+	for _, o := range s.objects {
+		if o.pending == nil || !o.pending.CanDecide() || o.leader < 0 {
+			continue
+		}
+		s.order = append(s.order, o.idx)
+		for _, node := range o.occupied {
+			s.occ[s.candIdx[node]]--
+		}
+	}
+	sort.Slice(s.order, func(i, j int) bool {
+		a, b := s.objects[s.order[i]], s.objects[s.order[j]]
+		if a.demand != b.demand {
+			return a.demand > b.demand
+		}
+		return a.idx < b.idx
+	})
+
+	for _, oi := range s.order {
+		o := s.objects[oi]
+		desired := s.objects[o.leader].cached
+		o.final = o.final[:0]
+		for _, node := range desired {
+			ci := s.candIdx[node]
+			if s.freeSlot(ci) && !contains(o.final, node) {
+				s.occ[ci]++
+				o.final = append(o.final, node)
+				continue
+			}
+			repl := s.nearestFree(node, o.final)
+			s.occ[s.candIdx[repl]]++
+			o.final = append(o.final, repl)
+			if repl != node {
+				s.disp[oi]++
+			}
+		}
+		o.occupied = append(o.occupied[:0], o.final...)
+	}
+	return s.disp
+}
+
+// freeSlot reports whether candidate index ci has a free slot.
+func (s *Service) freeSlot(ci int) bool { return s.occ[ci] < s.cfg.Capacity[ci] }
+
+// nearestFree picks the replacement DC for a replica displaced from
+// node: the free candidate closest to the desired location (coordinate
+// distance plus the replacement's access-link height) not already in
+// taken; ties break on candidate-list order. If slot geometry leaves no
+// distinct free candidate (possible when free slots concentrate on DCs
+// the object already holds), the least-overcommitted candidate absorbs
+// the replica — transient overcommit beats losing a replica, and the
+// admission check keeps the aggregate budget sane.
+func (s *Service) nearestFree(node int, taken []int) int {
+	target := &s.cfg.Coords[node]
+	best, bestD := -1, math.Inf(1)
+	for ci, cand := range s.cfg.Candidates {
+		if !s.freeSlot(ci) || contains(taken, cand) {
+			continue
+		}
+		c := &s.cfg.Coords[cand]
+		if d := c.Pos.Dist(target.Pos) + c.Height; d < bestD {
+			best, bestD = cand, d
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	over, overBy := -1, math.MaxInt
+	for ci, cand := range s.cfg.Candidates {
+		if contains(taken, cand) {
+			continue
+		}
+		if by := s.occ[ci] - s.cfg.Capacity[ci]; by < overBy {
+			over, overBy = cand, by
+		}
+	}
+	return over
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,175 @@
+package placement
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Group-solve refinement: an exhaustive branch-and-bound search over
+// k-subsets of the candidate set, minimizing the summary-estimated mean
+// delay of the group leader's micro view — the same objective
+// replica.EstimateMeanDelay scores placements with. The k-means
+// proposal (plus, when available, a cached placement for this demand
+// shape) seeds the incumbent, and nodes are pruned with an admissible
+// bound: current partial assignment cost, relaxed by the best delay any
+// still-choosable candidate could offer each micro. Because the bound
+// never overestimates, pruning cannot change the optimum — only how
+// fast the search reaches it. Incumbents are cached per quantized
+// signature, so a recurring demand shape starts at (typically) its own
+// optimal value and prunes almost the whole tree.
+type boundCache struct {
+	m   map[string][]int
+	key []byte // scratch for key construction
+}
+
+func newBoundCache() *boundCache {
+	return &boundCache{m: make(map[string][]int)}
+}
+
+// sigQuant is the signature quantization grid for bound-cache keys:
+// 1/64 of total demand per component groups shapes coarsely enough to
+// hit across epochs of a drifting workload without conflating
+// genuinely different shapes.
+const sigQuant = 64
+
+// keyFor builds the cache key for a signature: quantized components,
+// length-tagged. The scratch buffer is reused; the map key is the
+// (immutable) string copy.
+func (c *boundCache) keyFor(sig []float64) string {
+	b := c.key[:0]
+	b = binary.AppendUvarint(b, uint64(len(sig)))
+	for _, v := range sig {
+		b = binary.AppendUvarint(b, uint64(v*sigQuant+0.5))
+	}
+	c.key = b[:0]
+	return string(b)
+}
+
+// refine improves a group's k-means proposal by exhaustive search when
+// the candidate set is small enough, returning the best placement found
+// (the proposal itself when the search cannot beat it). Deterministic:
+// lexicographic candidate order, strict-improvement adoption.
+func (s *Service) refine(leader *Object, proposed []int) []int {
+	maxCand := s.cfg.MaxRefineCandidates
+	if maxCand == 0 {
+		maxCand = 16
+	}
+	if len(s.cfg.Candidates) > maxCand {
+		return proposed
+	}
+	k := len(proposed)
+	micros := leader.pending.Micros()
+	n := len(s.cfg.Candidates)
+
+	// Delay matrix d[i*n+c] and weights; suffix minima suf[i*(n+1)+j] =
+	// min over candidates >= j of d[i*n+c], the relaxation the bound
+	// charges micros not yet covered by a chosen candidate.
+	nm := len(micros)
+	d := make([]float64, nm*n)
+	w := make([]float64, nm)
+	suf := make([]float64, nm*(n+1))
+	for i := range micros {
+		wi := micros[i].Weight
+		if wi == 0 {
+			wi = float64(micros[i].Count)
+		}
+		w[i] = wi
+		micros[i].CentroidInto(s.cent)
+		for ci, cand := range s.cfg.Candidates {
+			c := &s.cfg.Coords[cand]
+			d[i*n+ci] = c.Pos.Dist(s.cent) + c.Height
+		}
+		suf[i*(n+1)+n] = math.Inf(1)
+		for j := n - 1; j >= 0; j-- {
+			suf[i*(n+1)+j] = math.Min(suf[i*(n+1)+j+1], d[i*n+j])
+		}
+	}
+	objective := func(placement []int) float64 {
+		var total float64
+		for i := range micros {
+			best := math.Inf(1)
+			for _, node := range placement {
+				if dd := d[i*n+s.candIdx[node]]; dd < best {
+					best = dd
+				}
+			}
+			total += w[i] * best
+		}
+		return total
+	}
+
+	best := append([]int(nil), proposed...)
+	bestVal := objective(proposed)
+	proposedVal := bestVal
+	var key string
+	if s.bounds != nil {
+		key = s.bounds.keyFor(leader.sig)
+		if cached, ok := s.bounds.m[key]; ok && len(cached) == k {
+			s.stats.BoundHits++
+			if v := objective(cached); v < bestVal {
+				bestVal = v
+				best = append(best[:0], cached...)
+			}
+		}
+	}
+
+	// DFS over candidate combinations in lexicographic index order.
+	// cur[depth*nm+i] is micro i's best delay under the first depth
+	// picks; the admissible bound relaxes the unpicked slots with the
+	// suffix minimum from the next choosable index.
+	cur := make([]float64, (k+1)*nm)
+	for i := 0; i < nm; i++ {
+		cur[i] = math.Inf(1)
+	}
+	pick := make([]int, k)
+	var dfs func(depth, next int)
+	dfs = func(depth, next int) {
+		if depth == k {
+			var total float64
+			for i := 0; i < nm; i++ {
+				total += w[i] * cur[depth*nm+i]
+			}
+			if total < bestVal {
+				bestVal = total
+				for i, ci := range pick {
+					best[i] = s.cfg.Candidates[ci]
+				}
+			}
+			return
+		}
+		for ci := next; ci <= n-(k-depth); ci++ {
+			// Extend the partial cover with candidate ci.
+			row := (depth + 1) * nm
+			prevRow := depth * nm
+			for i := 0; i < nm; i++ {
+				cur[row+i] = math.Min(cur[prevRow+i], d[i*n+ci])
+			}
+			// Admissible bound: remaining slots can at best add each
+			// micro's suffix minimum over the still-choosable tail.
+			var lb float64
+			if depth+1 == k {
+				for i := 0; i < nm; i++ {
+					lb += w[i] * cur[row+i]
+				}
+			} else {
+				for i := 0; i < nm; i++ {
+					lb += w[i] * math.Min(cur[row+i], suf[i*(n+1)+ci+1])
+				}
+			}
+			if lb >= bestVal {
+				continue // cannot strictly improve: prune
+			}
+			pick[depth] = ci
+			dfs(depth+1, ci+1)
+		}
+	}
+	dfs(0, 0)
+
+	if s.bounds != nil {
+		s.bounds.m[key] = append([]int(nil), best...)
+	}
+	if bestVal < proposedVal {
+		s.stats.Refined++
+	}
+	return best
+}

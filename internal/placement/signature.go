@@ -1,0 +1,96 @@
+package placement
+
+import "math"
+
+// Demand signatures: each object's epoch demand, collapsed to a
+// normalized per-candidate weight vector. Component i is the fraction of
+// the object's access weight whose micro-cluster centroid is served
+// fastest by candidate DC i — the same "who would serve this demand"
+// geometry Algorithm 1's candidate mapping uses. Two objects whose
+// signatures sit within GroupEpsilon of each other would hand k-means
+// near-identical pseudo-point masses, so they share one solve.
+//
+// Everything here runs once per object per epoch inside the dispatch
+// loop, so it reuses per-object buffers and allocates nothing in steady
+// state.
+
+// signature fills o.sig from the object's pending micro view.
+func (s *Service) signature(o *Object) {
+	sig := o.sig
+	for i := range sig {
+		sig[i] = 0
+	}
+	micros := o.pending.Micros()
+	var total float64
+	for i := range micros {
+		w := micros[i].Weight
+		if w == 0 {
+			w = float64(micros[i].Count)
+		}
+		if w == 0 {
+			continue
+		}
+		micros[i].CentroidInto(s.cent)
+		best, bestD := 0, math.Inf(1)
+		for ci, cand := range s.cfg.Candidates {
+			// Height included, as in candidate mapping: a candidate
+			// behind a slow access link serves no region fast.
+			c := &s.cfg.Coords[cand]
+			if d := c.Pos.Dist(s.cent) + c.Height; d < bestD {
+				best, bestD = ci, d
+			}
+		}
+		sig[best] += w
+		total += w
+	}
+	if total > 0 {
+		inv := 1 / total
+		for i := range sig {
+			sig[i] *= inv
+		}
+	}
+}
+
+// group partitions this epoch's decided objects into signature groups:
+// a deterministic greedy leader clustering in registration order. The
+// first object of each demand shape becomes the leader; later objects
+// within GroupEpsilon join it. With GroupEpsilon == 0 every object
+// leads its own group — the exact mode, where each object's solve is
+// bit-identical to a standalone coordinator (joining on exact signature
+// equality would already change which rand stream solves the object).
+func (s *Service) group() {
+	s.leaders = s.leaders[:0]
+	eps2 := s.cfg.GroupEpsilon * s.cfg.GroupEpsilon
+	for _, o := range s.objects {
+		if o.pending == nil || !o.pending.CanDecide() {
+			continue
+		}
+		o.leader = -1
+		if s.cfg.GroupEpsilon > 0 {
+			for _, li := range s.leaders {
+				if sigDist2(o.sig, s.objects[li].sig) <= eps2 {
+					o.leader = li
+					break
+				}
+			}
+		}
+		if o.leader < 0 {
+			o.leader = o.idx
+			s.leaders = append(s.leaders, o.idx)
+		}
+	}
+	s.stats.Groups = len(s.leaders)
+}
+
+// sigDist2 is the squared Euclidean distance between two signatures.
+func sigDist2(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return d2
+}
+
+// sigDist is the Euclidean distance between two signatures.
+func sigDist(a, b []float64) float64 { return math.Sqrt(sigDist2(a, b)) }

@@ -2,7 +2,6 @@ package replica
 
 import (
 	"github.com/georep/georep/internal/cluster"
-	"github.com/georep/georep/internal/coord"
 	"github.com/georep/georep/internal/ledger"
 )
 
@@ -11,10 +10,11 @@ import (
 // synchronously and retains nothing, and this runs on the epoch path
 // where an extra deep copy of every micro-cluster is measurable.
 func (m *Manager) appendLedger(prev []int, micros []cluster.Micro, dec Decision, obsMs float64, obsN int64) error {
-	coords := make([]coord.Coordinate, len(m.candidates))
-	for i, c := range m.candidates {
-		coords[i] = m.coords[c]
+	coords := m.coordScratch[:0]
+	for _, c := range m.candidates {
+		coords = append(coords, m.coords[c])
 	}
+	m.coordScratch = coords[:0]
 	return m.cfg.Ledger.Append(ledger.Record{
 		Epoch:            m.epoch,
 		K:                dec.K,
@@ -34,5 +34,8 @@ func (m *Manager) appendLedger(prev []int, micros []cluster.Micro, dec Decision,
 		QuorumOK:         dec.QuorumOK,
 		MissingSummaries: dec.MissingSummaries,
 		Micros:           micros,
+		ObjectID:         m.cfg.ObjectID,
+		Class:            m.cfg.Class,
+		Displaced:        dec.Displaced,
 	})
 }

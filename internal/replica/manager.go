@@ -67,6 +67,13 @@ type Config struct {
 	// offline auditor can replay it (see internal/audit). An append
 	// failure fails the epoch: decision provenance is not best-effort.
 	Ledger *ledger.Ledger
+	// ObjectID and Class identify the object this manager places inside
+	// a multi-object fleet (see internal/placement.Service); both are
+	// stamped into every ledger record so the offline audit can group
+	// regret per object and per class. Leave empty for single-object
+	// deployments — records then keep their version-1 byte encoding.
+	ObjectID string
+	Class    string
 }
 
 // newServer builds a server in the configured recency/sharding mode.
@@ -199,6 +206,65 @@ type Manager struct {
 	// consumed and reset by EndEpochDegraded when writing the ledger.
 	observedMs       float64
 	observedAccesses int64
+
+	// Epoch scratch, reused across epochs so the collect/decide cycle
+	// stops re-allocating its working set every cycle: the aggregated
+	// micro view, the previous-placement copy, the ledger's
+	// candidate-coordinate table, and the k-means working memory. All of
+	// it is dead between epochs — the ledger serializes synchronously
+	// and Decision never aliases scratch.
+	microScratch []cluster.Micro
+	prevScratch  []int
+	coordScratch []coord.Coordinate
+	estScratch   vec.Vec
+	kmScratch    cluster.KMeansScratch
+}
+
+// PendingEpoch is the opaque collect-phase state between BeginEpoch and
+// CompleteEpoch. It aliases manager scratch: a pending epoch is valid
+// only until the matching CompleteEpoch (which must always be called —
+// it closes the epoch's trace span and ledger record) or the next
+// BeginEpoch, whichever comes first.
+type PendingEpoch struct {
+	root      *trace.ActiveSpan
+	prev      []int
+	obsMs     float64
+	obsN      int64
+	micros    []cluster.Micro
+	collected int
+	demand    float64
+	missing   []int
+	fresh     int
+	quorumOK  bool
+	reachable func(node int) bool
+}
+
+// Micros exposes the collected micro-cluster view (fresh plus
+// staleness-decayed summaries) for callers that compute something from
+// the demand before deciding — the multi-object service derives each
+// object's demand signature from it. Read-only; valid until CompleteEpoch.
+func (p *PendingEpoch) Micros() []cluster.Micro { return p.micros }
+
+// Demand returns the total collected access weight of the epoch.
+func (p *PendingEpoch) Demand() float64 { return p.demand }
+
+// CanDecide reports whether CompleteEpoch will actually run the
+// placement machinery: quorum reached and at least one micro-cluster
+// collected. Below-quorum and silent epochs complete without consuming
+// randomness or changing the placement.
+func (p *PendingEpoch) CanDecide() bool { return p.quorumOK && len(p.micros) > 0 }
+
+// EpochOverride injects an externally computed placement into
+// CompleteEpoch — the multi-object service's group-shared (and
+// capacity-adjusted) solve. Proposed must contain exactly the manager's
+// current k distinct candidates; demand-driven k adaptation is skipped,
+// since the override's owner pinned k when it sized the placement.
+// Forced bypasses the migration-benefit gate (capacity displacement is
+// not optional); Displaced is recorded in the decision and ledger.
+type EpochOverride struct {
+	Proposed  []int
+	Forced    bool
+	Displaced int
 }
 
 // staleSummary is a cached summary with its age in epochs (0 = collected
@@ -372,38 +438,45 @@ func (m *Manager) EndEpoch(r *rand.Rand) (Decision, error) {
 // the epoch is recorded as degraded: the coordinator still estimates
 // delays from what it has, but refuses to adapt k or commit a migration
 // from a below-quorum view of the world.
-func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) (dec Decision, err error) {
+func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) (Decision, error) {
+	p, err := m.BeginEpoch(reachable)
+	if err != nil {
+		return Decision{}, err
+	}
+	return m.CompleteEpoch(r, p, nil)
+}
+
+// BeginEpoch runs the collect half of the coordinator cycle: it advances
+// the epoch counter, gathers every reachable replica's summary
+// (accounting wire bytes as the real system would), substitutes
+// staleness-decayed cached summaries for unreachable replicas, and
+// checks quorum. The returned pending epoch aliases manager scratch and
+// MUST be finished with CompleteEpoch before the next BeginEpoch. The
+// split exists for the multi-object placement service, which collects
+// every object first, groups objects by demand signature, and then
+// completes each epoch with a group-shared placement.
+func (m *Manager) BeginEpoch(reachable func(node int) bool) (*PendingEpoch, error) {
 	m.epoch++
 	root := m.cfg.Tracer.StartRoot(fmt.Sprintf("epoch %d", m.epoch), trace.KindEpoch)
-	defer root.End() // idempotent; covers every return path
 	root.SetAttr("epoch", strconv.Itoa(m.epoch))
 	root.SetAttr("k", strconv.Itoa(m.k))
 
-	// Collect summaries (accounting wire bytes as the real system would),
-	// falling back to staleness-decayed cached ones for unreachable nodes.
-	var micros []cluster.Micro
 	// The observed-delay window closes with this epoch whether or not the
-	// decision succeeds; consume it now. Every successful path — including
-	// quorum-blocked and silent epochs — then appends its record.
-	prev := m.Replicas()
-	obsMs, obsN := m.observedMs, m.observedAccesses
-	m.observedMs, m.observedAccesses = 0, 0
-	if m.cfg.Ledger != nil {
-		defer func() {
-			if err == nil {
-				err = m.appendLedger(prev, micros, dec, obsMs, obsN)
-			}
-		}()
+	// decision succeeds; consume it now.
+	p := &PendingEpoch{
+		root:      root,
+		prev:      append(m.prevScratch[:0], m.replicas...),
+		obsMs:     m.observedMs,
+		obsN:      m.observedAccesses,
+		micros:    m.microScratch[:0],
+		reachable: reachable,
 	}
-	var collected int
-	var demand float64
-	var missing []int
-	fresh := 0
+	m.observedMs, m.observedAccesses = 0, 0
 	for _, rep := range m.replicas {
 		sp := m.cfg.Tracer.Start(root.Context(), fmt.Sprintf("collect %d", rep), trace.KindCollect)
 		sp.SetAttr("replica", strconv.Itoa(rep))
 		if reachable != nil && !reachable(rep) {
-			missing = append(missing, rep)
+			p.missing = append(p.missing, rep)
 			lk, ok := m.lastKnown[rep]
 			if !ok {
 				sp.SetErrString(fmt.Sprintf("replica %d unreachable: no cached summary", rep))
@@ -415,72 +488,94 @@ func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) 
 			scale := math.Pow(m.cfg.DecayFactor, float64(lk.age))
 			for _, mc := range lk.micros {
 				mc.Weight *= scale
-				micros = append(micros, mc)
-				demand += mc.Weight
+				p.micros = append(p.micros, mc)
+				p.demand += mc.Weight
 			}
 			sp.SetErrString(fmt.Sprintf("replica %d unreachable: stale summary age %d", rep, lk.age))
 			sp.End()
 			continue
 		}
 		srv := m.servers[rep]
-		enc, err := srv.ExportEncoded()
+		// Export copies the summary (the copy must outlive this epoch in
+		// lastKnown) into the slot's previous backing — dead since last
+		// epoch — then the wire length is computed arithmetically: same
+		// bytes as shipping the encoding, with no encode, decode, or
+		// steady-state allocation on the collect path.
+		ms, err := srv.ExportInto(m.lastKnown[rep].micros[:0])
 		if err != nil {
 			sp.SetErr(err)
 			sp.End()
 			root.SetErr(err)
-			return Decision{}, err
+			root.End()
+			return nil, err
 		}
-		collected += len(enc)
-		ms, err := cluster.DecodeMicros(enc)
-		if err != nil {
-			sp.SetErr(err)
-			sp.End()
-			root.SetErr(err)
-			return Decision{}, err
-		}
+		n := cluster.EncodedMicrosLen(ms)
+		p.collected += n
 		m.lastKnown[rep] = staleSummary{micros: ms, age: 0}
-		fresh++
-		micros = append(micros, ms...)
+		p.fresh++
+		p.micros = append(p.micros, ms...)
 		for i := range ms {
-			demand += ms[i].Weight
+			p.demand += ms[i].Weight
 		}
-		sp.SetAttr("bytes", strconv.Itoa(len(enc)))
+		sp.SetAttr("bytes", strconv.Itoa(n))
 		sp.End()
 	}
-	quorumOK := float64(fresh) >= m.cfg.Quorum*float64(len(m.replicas))
+	m.microScratch = p.micros[:0]
+	m.prevScratch = p.prev[:0]
+	p.quorumOK = float64(p.fresh) >= m.cfg.Quorum*float64(len(m.replicas))
 	switch {
-	case !quorumOK:
+	case !p.quorumOK:
 		root.MarkAnomalous("below_quorum")
-	case len(missing) > 0:
+	case len(p.missing) > 0:
 		root.MarkAnomalous("degraded")
 	}
-	if len(missing) > 0 {
-		root.SetAttr("missing", fmt.Sprint(missing))
+	if len(p.missing) > 0 {
+		root.SetAttr("missing", fmt.Sprint(p.missing))
 	}
 
 	m.met.epochs.Inc()
-	m.met.summaryBytes.Add(int64(collected))
-	m.met.summaryHist.Observe(float64(collected))
-	if len(missing) > 0 {
+	m.met.summaryBytes.Add(int64(p.collected))
+	m.met.summaryHist.Observe(float64(p.collected))
+	if len(p.missing) > 0 {
 		m.met.degraded.Inc()
-		m.met.missing.Add(int64(len(missing)))
+		m.met.missing.Add(int64(len(p.missing)))
+	}
+	return p, nil
+}
+
+// CompleteEpoch runs the decide half of the coordinator cycle on a
+// pending epoch: k adaptation, placement proposal (or the injected
+// override's), migration gating, application, summary aging, and the
+// ledger append. With ov == nil this is byte-identical to the
+// pre-split EndEpochDegraded decision path — the singleton-group
+// equivalence the multi-object service's exact mode relies on.
+func (m *Manager) CompleteEpoch(r *rand.Rand, p *PendingEpoch, ov *EpochOverride) (dec Decision, err error) {
+	root := p.root
+	defer root.End() // idempotent; covers every return path
+	micros, reachable := p.micros, p.reachable
+	if m.cfg.Ledger != nil {
+		defer func() {
+			if err == nil {
+				err = m.appendLedger(p.prev, micros, dec, p.obsMs, p.obsN)
+			}
+		}()
 	}
 
 	dec = Decision{
 		NewReplicas:      m.Replicas(),
 		K:                m.k,
-		CollectedBytes:   collected,
-		Degraded:         len(missing) > 0,
-		MissingSummaries: missing,
-		QuorumOK:         quorumOK,
+		CollectedBytes:   p.collected,
+		Degraded:         len(p.missing) > 0,
+		MissingSummaries: p.missing,
+		QuorumOK:         p.quorumOK,
 	}
-	if !quorumOK {
+	if !p.quorumOK {
 		// Too few live summaries to trust any decision: estimate for the
 		// record, change nothing, and age only the replicas that heard
 		// from us (the unreachable ones never received the decay command).
 		m.met.quorumBlock.Inc()
 		if len(micros) > 0 {
-			if est, err := EstimateMeanDelay(micros, m.replicas, m.coords); err == nil {
+			if est, err := estimateMeanDelayScratch(&m.estScratch, micros, m.replicas, m.coords); err == nil {
 				dec.EstimatedOldMs, dec.EstimatedNewMs = est, est
 			}
 		}
@@ -490,37 +585,50 @@ func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) 
 		return dec, nil // silent epoch: nothing to learn from
 	}
 
-	// Demand-driven k adaptation.
-	kp := m.cfg.KPolicy
-	switch {
-	case kp.GrowAbove > 0 && demand > kp.GrowAbove && m.k < kp.Max:
-		m.k++
-	case kp.ShrinkBelow > 0 && demand < kp.ShrinkBelow && m.k > kp.Min:
-		m.k--
-	}
-	dec.K = m.k
+	var proposed []int
+	if ov != nil && ov.Proposed != nil {
+		// Externally solved placement: k stays pinned (the solver sized
+		// the placement) and the k-means stage is skipped entirely.
+		if len(ov.Proposed) != m.k {
+			err := fmt.Errorf("replica: override proposes %d replicas for k=%d", len(ov.Proposed), m.k)
+			root.SetErr(err)
+			return dec, err
+		}
+		proposed = ov.Proposed
+		dec.Displaced = ov.Displaced
+	} else {
+		// Demand-driven k adaptation.
+		kp := m.cfg.KPolicy
+		switch {
+		case kp.GrowAbove > 0 && p.demand > kp.GrowAbove && m.k < kp.Max:
+			m.k++
+		case kp.ShrinkBelow > 0 && p.demand < kp.ShrinkBelow && m.k > kp.Min:
+			m.k--
+		}
+		dec.K = m.k
 
-	km := m.cfg.Tracer.Start(root.Context(), "kmeans", trace.KindKMeans)
-	km.SetAttr("micros", strconv.Itoa(len(micros)))
-	proposed, err := ProposePlacementOpt(r, micros, m.k, m.candidates, m.coords,
-		cluster.Options{Parallelism: m.cfg.Parallelism, Metrics: m.cfg.Metrics})
-	km.SetErr(err)
-	km.End()
-	if err != nil {
-		root.SetErr(err)
-		return dec, err
+		km := m.cfg.Tracer.Start(root.Context(), "kmeans", trace.KindKMeans)
+		km.SetAttr("micros", strconv.Itoa(len(micros)))
+		proposed, err = ProposePlacementOpt(r, micros, m.k, m.candidates, m.coords,
+			cluster.Options{Parallelism: m.cfg.Parallelism, Metrics: m.cfg.Metrics, Scratch: &m.kmScratch})
+		km.SetErr(err)
+		km.End()
+		if err != nil {
+			root.SetErr(err)
+			return dec, err
+		}
 	}
 	dec.Proposed = append([]int(nil), proposed...)
 
 	ds := m.cfg.Tracer.Start(root.Context(), "decide", trace.KindDecide)
-	oldEst, err := EstimateMeanDelay(micros, m.replicas, m.coords)
+	oldEst, err := estimateMeanDelayScratch(&m.estScratch, micros, m.replicas, m.coords)
 	if err != nil {
 		ds.SetErr(err)
 		ds.End()
 		root.SetErr(err)
 		return dec, err
 	}
-	newEst, err := EstimateMeanDelay(micros, proposed, m.coords)
+	newEst, err := estimateMeanDelayScratch(&m.estScratch, micros, proposed, m.coords)
 	if err != nil {
 		ds.SetErr(err)
 		ds.End()
@@ -534,8 +642,10 @@ func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) 
 	m.met.estNewMs.Set(newEst)
 	m.met.estGainMs.Set(oldEst - newEst)
 
-	forced := len(proposed) != len(m.replicas) // k changed: must reshape
-	if forced || m.approveMigration(oldEst, newEst, demand, dec.MovedReplicas) {
+	kchanged := len(proposed) != len(m.replicas) // k changed: must reshape
+	forced := kchanged ||
+		(ov != nil && ov.Forced) // capacity displacement is not optional
+	if forced || m.approveMigration(oldEst, newEst, p.demand, dec.MovedReplicas) {
 		if err := m.applyPlacement(proposed); err != nil {
 			ds.SetErr(err)
 			ds.End()
@@ -544,7 +654,7 @@ func (m *Manager) EndEpochDegraded(r *rand.Rand, reachable func(node int) bool) 
 		}
 		dec.Migrate = true
 		dec.NewReplicas = m.Replicas()
-		if dec.MovedReplicas > 0 || forced {
+		if dec.MovedReplicas > 0 || kchanged {
 			m.migrations++
 			m.met.migrations.Inc()
 			m.met.moved.Add(int64(dec.MovedReplicas))

@@ -141,13 +141,22 @@ func (s *Server) RecordBatch(clients []int, pos []vec.Vec, weights []float64) er
 // Export returns a copy of the recency-scoped micro-clusters — what the
 // server ships to the coordinator.
 func (s *Server) Export() ([]cluster.Micro, error) {
+	return s.ExportInto(nil)
+}
+
+// ExportInto is Export reusing dst's backing (micro structs and their
+// vectors) where possible. The windowed and sharded paths still build
+// fresh summaries — their merge passes need owned storage — but the
+// plain path, one summarizer per object as a multi-object fleet runs,
+// re-allocates nothing in steady state.
+func (s *Server) ExportInto(dst []cluster.Micro) ([]cluster.Micro, error) {
 	if s.win != nil {
 		return s.win.Window(s.winEpoch, s.horizon)
 	}
 	if s.shards != nil {
 		return s.shards.Summary(), nil
 	}
-	return s.sum.Clusters(), nil
+	return s.sum.ClustersInto(dst), nil
 }
 
 // ExportEncoded returns the gob wire form of the summary, whose length is
@@ -276,6 +285,10 @@ type Decision struct {
 	// k adaptation and migration (see Config.Quorum). When false the
 	// placement is guaranteed unchanged.
 	QuorumOK bool
+	// Displaced is how many replicas of this epoch's placement were
+	// pushed off their preferred data center by per-DC capacity
+	// accounting (multi-object service only; zero otherwise).
+	Displaced int
 }
 
 // EstimateMeanDelay returns the access-weighted mean predicted delay of
@@ -284,6 +297,15 @@ type Decision struct {
 // coordinate space. It is the objective the coordinator optimizes,
 // computable from summaries alone.
 func EstimateMeanDelay(micros []cluster.Micro, replicas []int, coords []coord.Coordinate) (float64, error) {
+	var cent vec.Vec
+	return estimateMeanDelayScratch(&cent, micros, replicas, coords)
+}
+
+// estimateMeanDelayScratch is EstimateMeanDelay computing each centroid
+// into a caller-owned scratch vector: the estimate runs twice per epoch
+// per object, and Centroid's per-micro allocation was a measurable slice
+// of a fleet epoch.
+func estimateMeanDelayScratch(cent *vec.Vec, micros []cluster.Micro, replicas []int, coords []coord.Coordinate) (float64, error) {
 	if len(replicas) == 0 {
 		return 0, fmt.Errorf("replica: no replicas to estimate against")
 	}
@@ -296,7 +318,11 @@ func EstimateMeanDelay(micros []cluster.Micro, replicas []int, coords []coord.Co
 		if w == 0 {
 			continue
 		}
-		c := micros[i].Centroid()
+		if d := micros[i].Sum.Dim(); len(*cent) != d {
+			*cent = vec.New(d)
+		}
+		micros[i].CentroidInto(*cent)
+		c := *cent
 		best := math.Inf(1)
 		for _, rep := range replicas {
 			if rep < 0 || rep >= len(coords) {
@@ -332,9 +358,19 @@ func ProposePlacement(r *rand.Rand, micros []cluster.Micro, k int, candidates []
 // registry for iteration counters. The proposal is identical at any
 // parallelism level.
 func ProposePlacementOpt(r *rand.Rand, micros []cluster.Micro, k int, candidates []int, coords []coord.Coordinate, opt cluster.Options) ([]int, error) {
+	out, _, err := ProposePlacementResult(r, micros, k, candidates, coords, opt)
+	return out, err
+}
+
+// ProposePlacementResult is ProposePlacementOpt returning also the
+// macro-clustering result backing the proposal, for callers that reuse
+// the centroids — the multi-object service seeds next epoch's
+// warm-started solve from them. The result aliases opt.Scratch when one
+// is set; copy centroids that must outlive the next solve.
+func ProposePlacementResult(r *rand.Rand, micros []cluster.Micro, k int, candidates []int, coords []coord.Coordinate, opt cluster.Options) ([]int, *cluster.KMeansResult, error) {
 	res, err := cluster.MacroClusterOpt(r, micros, k, opt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	order := make([]int, len(res.Centroids))
 	for i := range order {
@@ -395,7 +431,7 @@ func ProposePlacementOpt(r *rand.Rand, micros []cluster.Micro, k int, candidates
 		}
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("replica: no candidates available")
+		return nil, nil, fmt.Errorf("replica: no candidates available")
 	}
-	return out, nil
+	return out, res, nil
 }

@@ -158,8 +158,8 @@ func WriteChromeTrace(w io.Writer, traces []Trace) error {
 	for _, t := range traces {
 		for _, s := range t.Spans {
 			args := make(map[string]string, len(s.Attrs)+3)
-			for k, v := range s.Attrs {
-				args[k] = v
+			for _, kv := range s.Attrs {
+				args[kv.Key] = kv.Value
 			}
 			args["trace_id"] = s.TraceID
 			if s.Err != "" {
@@ -223,14 +223,11 @@ func RenderTree(t Trace) string {
 		}
 		fmt.Fprintf(&b, "  %.3fms", float64(s.DurNs)/1e6)
 		if len(s.Attrs) > 0 {
-			keys := make([]string, 0, len(s.Attrs))
-			for k := range s.Attrs {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			parts := make([]string, len(keys))
-			for i, k := range keys {
-				parts[i] = k + "=" + s.Attrs[k]
+			kvs := append(Attrs(nil), s.Attrs...)
+			sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+			parts := make([]string, len(kvs))
+			for i, kv := range kvs {
+				parts[i] = kv.Key + "=" + kv.Value
 			}
 			fmt.Fprintf(&b, "  {%s}", strings.Join(parts, " "))
 		}

@@ -22,7 +22,7 @@ func sampleTrace() Trace {
 
 func TestJSONLRoundTrip(t *testing.T) {
 	in := []Trace{sampleTrace(), {TraceID: "ccdd", Spans: []Span{
-		{TraceID: "ccdd", SpanID: "0a", Name: "epoch", StartNs: 100, DurNs: 7, Attrs: map[string]string{"k": "3"}},
+		{TraceID: "ccdd", SpanID: "0a", Name: "epoch", StartNs: 100, DurNs: 7, Attrs: Attrs{{Key: "k", Value: "3"}}},
 	}}}
 	var buf bytes.Buffer
 	if err := WriteJSONL(&buf, in); err != nil {
@@ -51,7 +51,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 	if out[0].Spans[3].Err != "node down: dc2" {
 		t.Fatalf("err lost: %+v", out[0].Spans[3])
 	}
-	if out[1].Spans[0].Attrs["k"] != "3" {
+	if out[1].Spans[0].Attrs.Get("k") != "3" {
 		t.Fatal("attrs lost")
 	}
 }

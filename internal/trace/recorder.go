@@ -52,7 +52,7 @@ func (t Trace) RootDur() int64 {
 type FlightRecorder struct {
 	mu        sync.Mutex
 	traces    map[string]*entry
-	order     []string // insertion order of trace IDs (for eviction)
+	order     []orderEnt // insertion order of trace IDs (for eviction)
 	recent    int
 	anomalous int
 	maxSpans  int
@@ -64,6 +64,12 @@ type FlightRecorder struct {
 	sortedDurs []int64
 	maxDurs    int
 
+	// retained trace counts per class, maintained incrementally so the
+	// per-span Record path never rescans f.order to know whether a
+	// budget is over.
+	plain int
+	anom  int
+
 	totalSpans   int64
 	droppedSpans int64
 	evicted      int64
@@ -73,6 +79,14 @@ type entry struct {
 	spans   []Span
 	anomaly string
 	dropped int
+}
+
+// orderEnt mirrors one retained trace in eviction order. The class bit
+// lives here as well as in the entry so the eviction scan never needs a
+// map lookup per skipped trace.
+type orderEnt struct {
+	id   string
+	anom bool
 }
 
 // Retention defaults.
@@ -118,7 +132,8 @@ func (f *FlightRecorder) Record(s Span) {
 	if !ok {
 		e = &entry{}
 		f.traces[s.TraceID] = e
-		f.order = append(f.order, s.TraceID)
+		f.order = append(f.order, orderEnt{id: s.TraceID})
+		f.plain++
 	}
 	if len(e.spans) >= f.maxSpans {
 		e.dropped++
@@ -130,6 +145,7 @@ func (f *FlightRecorder) Record(s Span) {
 	if s.Root() {
 		if len(f.durs) >= minP99Samples && s.DurNs > f.p99Locked() && e.anomaly == "" {
 			e.anomaly = "latency_above_p99"
+			f.flipLocked(s.TraceID)
 			reclass = true
 		}
 		f.durs = append(f.durs, s.DurNs)
@@ -184,38 +200,49 @@ func (f *FlightRecorder) MarkAnomalous(traceID, reason string) {
 	defer f.mu.Unlock()
 	if e, ok := f.traces[traceID]; ok && e.anomaly == "" {
 		e.anomaly = reason
+		f.flipLocked(traceID)
 		f.evictLocked()
 	}
 }
 
-// evictLocked enforces both retention budgets, oldest-first within each
-// class. Caller holds f.mu.
-func (f *FlightRecorder) evictLocked() {
-	plain, anom := 0, 0
-	for _, id := range f.order {
-		if f.traces[id].anomaly != "" {
-			anom++
-		} else {
-			plain++
+// flipLocked reclassifies one retained trace plain -> anomalous in the
+// class counts and the eviction order. The scan runs newest-first:
+// traces flip at or near their root span, so the entry is almost always
+// within a few slots of the tail. Caller holds f.mu.
+func (f *FlightRecorder) flipLocked(traceID string) {
+	f.plain--
+	f.anom++
+	for i := len(f.order) - 1; i >= 0; i-- {
+		if f.order[i].id == traceID {
+			f.order[i].anom = true
+			return
 		}
 	}
+}
+
+// evictLocked enforces both retention budgets, oldest-first within each
+// class. The class counts are maintained incrementally and each order
+// entry carries its class bit, so the common steady-state call (one new
+// trace, one eviction) walks to the oldest trace of the over-budget
+// class without a single map lookup. Caller holds f.mu.
+func (f *FlightRecorder) evictLocked() {
 	evict := func(anomalous bool) {
-		for i, id := range f.order {
-			if (f.traces[id].anomaly != "") == anomalous {
-				delete(f.traces, id)
+		for i, oe := range f.order {
+			if oe.anom == anomalous {
+				delete(f.traces, oe.id)
 				f.order = append(f.order[:i], f.order[i+1:]...)
 				f.evicted++
 				return
 			}
 		}
 	}
-	for plain > f.recent {
+	for f.plain > f.recent {
 		evict(false)
-		plain--
+		f.plain--
 	}
-	for anom > f.anomalous {
+	for f.anom > f.anomalous {
 		evict(true)
-		anom--
+		f.anom--
 	}
 }
 
@@ -250,10 +277,10 @@ func (f *FlightRecorder) Traces() []Trace {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	out := make([]Trace, 0, len(f.order))
-	for _, id := range f.order {
-		e := f.traces[id]
+	for _, oe := range f.order {
+		e := f.traces[oe.id]
 		out = append(out, Trace{
-			TraceID: id,
+			TraceID: oe.id,
 			Anomaly: e.anomaly,
 			Spans:   append([]Span(nil), e.spans...),
 		})

@@ -18,10 +18,13 @@
 package trace
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 )
@@ -40,6 +43,88 @@ const (
 	KindFailover = "failover" // failover read chain across replicas
 )
 
+// Attr is one key/value attribute on a span.
+type Attr struct {
+	Key, Value string
+}
+
+// Attrs is a span's attribute list. Spans carry a handful of attributes
+// at most, so a flat slice costs one allocation (and one GC-scannable
+// object) where a map costs several — measurable on the epoch hot path,
+// where every span tree becomes recorder-retained garbage. JSON
+// round-trips as an object, so wire format and exports are unchanged.
+type Attrs []Attr
+
+// Get returns the value for key ("" when absent).
+func (a Attrs) Get(key string) string {
+	for _, kv := range a {
+		if kv.Key == key {
+			return kv.Value
+		}
+	}
+	return ""
+}
+
+// Set replaces key's value or appends it, returning the updated list.
+// The first append sizes the backing array for the usual handful of
+// attributes so a span's whole list costs one allocation.
+func (a Attrs) Set(key, value string) Attrs {
+	for i := range a {
+		if a[i].Key == key {
+			a[i].Value = value
+			return a
+		}
+	}
+	if a == nil {
+		a = make(Attrs, 0, 4)
+	}
+	return append(a, Attr{Key: key, Value: value})
+}
+
+// MarshalJSON renders the list as a JSON object in insertion order.
+func (a Attrs) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, kv := range a {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		k, err := json.Marshal(kv.Key)
+		if err != nil {
+			return nil, err
+		}
+		v, err := json.Marshal(kv.Value)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(k)
+		b.WriteByte(':')
+		b.Write(v)
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// UnmarshalJSON accepts a JSON object, sorted by key for a
+// deterministic order regardless of the producer's.
+func (a *Attrs) UnmarshalJSON(data []byte) error {
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make(Attrs, 0, len(m))
+	for _, k := range keys {
+		out = append(out, Attr{Key: k, Value: m[k]})
+	}
+	*a = out
+	return nil
+}
+
 // Span is one completed operation in a trace. Times are Unix
 // nanoseconds so spans from different processes (and synthetic spans
 // stamped with a simulated clock) order on a common axis.
@@ -51,11 +136,11 @@ type Span struct {
 	Kind     string `json:"kind,omitempty"`
 	// Node names the process that recorded the span ("coord", "node3",
 	// "sim"...), distinguishing the legs of a cross-node tree.
-	Node    string            `json:"node,omitempty"`
-	StartNs int64             `json:"start_ns"`
-	DurNs   int64             `json:"dur_ns"`
-	Attrs   map[string]string `json:"attrs,omitempty"`
-	Err     string            `json:"err,omitempty"`
+	Node    string `json:"node,omitempty"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+	Attrs   Attrs  `json:"attrs,omitempty"`
+	Err     string `json:"err,omitempty"`
 }
 
 // End returns the span's end time in Unix nanoseconds.
@@ -144,15 +229,19 @@ func (t *Tracer) Node() string {
 	return t.node
 }
 
-// ids returns n random bytes hex-encoded (n must be a multiple of 8).
+// ids returns n random bytes hex-encoded (n must be 8 or 16). Both
+// buffers live on the stack so minting an ID costs exactly the one
+// string allocation that outlives the call.
 func (t *Tracer) ids(n int) string {
-	b := make([]byte, n)
+	var b [16]byte
 	t.mu.Lock()
 	for i := 0; i < n; i += 8 {
 		binary.BigEndian.PutUint64(b[i:], t.rng.Uint64())
 	}
 	t.mu.Unlock()
-	return hex.EncodeToString(b)
+	var dst [32]byte
+	hex.Encode(dst[:2*n], b[:n])
+	return string(dst[:2*n])
 }
 
 // StartRoot begins a new trace with a root span.
@@ -217,16 +306,13 @@ func (a *ActiveSpan) Context() SpanContext {
 	return SpanContext{TraceID: a.s.TraceID, SpanID: a.s.SpanID}
 }
 
-// SetAttr attaches a key/value attribute.
+// SetAttr attaches a key/value attribute (replacing an existing key).
 func (a *ActiveSpan) SetAttr(key, value string) {
 	if a == nil {
 		return
 	}
 	a.mu.Lock()
-	if a.s.Attrs == nil {
-		a.s.Attrs = make(map[string]string, 4)
-	}
-	a.s.Attrs[key] = value
+	a.s.Attrs = a.s.Attrs.Set(key, value)
 	a.mu.Unlock()
 }
 

@@ -101,7 +101,7 @@ func TestSpanTreeStructure(t *testing.T) {
 	if r.DurNs != 40 {
 		t.Fatalf("root dur %d", r.DurNs)
 	}
-	if c.Attrs["replica"] != "dc3" || c.Err != "link down" {
+	if c.Attrs.Get("replica") != "dc3" || c.Err != "link down" {
 		t.Fatalf("child attrs/err: %+v", c)
 	}
 	if c.Node != "test" {

@@ -73,7 +73,7 @@ func TestManagerTracing(t *testing.T) {
 	failed := map[string]bool{}
 	for _, s := range tr.Spans {
 		if s.Kind == trace.KindCollect && s.Err != "" {
-			failed[s.Attrs["replica"]] = true
+			failed[s.Attrs.Get("replica")] = true
 			if !strings.Contains(s.Err, "unreachable") && !strings.Contains(s.Err, "stale") {
 				t.Errorf("collect span err %q names no cause", s.Err)
 			}

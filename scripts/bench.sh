@@ -15,6 +15,13 @@ OUT="${OUT:-BENCH_parallel.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
+# Fail fast and loudly if the benchmark package no longer builds — a
+# broken build must read as FAIL, not as a mysteriously empty summary.
+if ! go test -run=NONE -c -o /dev/null .; then
+  echo "FAIL: benchmark package does not build" >&2
+  exit 1
+fi
+
 go test -run=NONE \
   -bench='^(BenchmarkOptimalSearch|BenchmarkOptimalSearchSerial|BenchmarkOptimalSearchParallel|BenchmarkWeightedKMeans|BenchmarkWeightedKMeansParallel)$' \
   -benchmem -benchtime="$BENCHTIME" . | tee "$TMP" >&2

@@ -28,8 +28,13 @@ ATTEMPTS="${ATTEMPTS:-3}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-# Compile the bench binary once so the measured processes skip the build.
-go test -run=NONE -bench='^BenchmarkScaleIngest$' -benchtime=1x . >/dev/null
+# Compile the bench binary once so the measured processes skip the build,
+# and fail fast and loudly if the package no longer builds — a broken
+# build must read as FAIL, not as a mysteriously empty summary.
+if ! go test -run=NONE -c -o /dev/null .; then
+  echo "FAIL: benchmark package does not build" >&2
+  exit 1
+fi
 
 measure() {
   go test -run=NONE -bench='^BenchmarkScaleIngest$' -benchmem \
