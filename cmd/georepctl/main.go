@@ -417,25 +417,50 @@ func (f *fleet) metrics(w io.Writer, filter string) error {
 	return nil
 }
 
+// metricsWatchMaxFailures is how many consecutive unreachable frames a
+// metrics watch rides out before giving up: enough to span a daemon
+// restart, small enough that a permanently dead fleet still surfaces.
+const metricsWatchMaxFailures = 8
+
 // metricsWatch re-renders the fleet metrics table every interval,
-// clearing the terminal between frames (top-style), until an RPC fails
-// or the process is interrupted. Each frame is rendered to a buffer
-// first so a partially fetched frame never tears the screen. iterations
-// caps the number of frames for tests; <= 0 runs forever.
+// clearing the terminal between frames (top-style), until interrupted.
+// Each frame is rendered to a buffer first so a partially fetched frame
+// never tears the screen. A transport-level failure — a daemon
+// restarting looks like a dead connection — does not end the watch:
+// the frame is skipped with a backoff notice and the next attempt
+// redials, giving up only after metricsWatchMaxFailures consecutive
+// misses. Application errors still fail fast. iterations caps the
+// number of frames (successful or skipped) for tests; <= 0 runs forever.
 func (f *fleet) metricsWatch(w io.Writer, filter string, interval time.Duration, iterations int) error {
 	if interval < 100*time.Millisecond {
 		interval = 100 * time.Millisecond
 	}
+	policy := transport.DefaultRetryPolicy()
+	failures := 0
 	for i := 0; ; i++ {
 		var buf bytes.Buffer
-		if err := f.metrics(&buf, filter); err != nil {
+		wait := interval
+		switch err := f.metrics(&buf, filter); {
+		case err == nil:
+			failures = 0
+			fmt.Fprintf(w, "\033[H\033[2Jgeorepctl metrics  (every %s, ctrl-c to stop)\n%s", interval, buf.String())
+		case transport.IsRetryable(err):
+			failures++
+			if failures >= metricsWatchMaxFailures {
+				return fmt.Errorf("metrics watch: giving up after %d consecutive failures: %w", failures, err)
+			}
+			if backoff := policy.Backoff(failures, nil); backoff > wait {
+				wait = backoff
+			}
+			fmt.Fprintf(w, "metrics watch: fleet unreachable (%v); retrying in %s (%d/%d)\n",
+				err, wait.Round(time.Millisecond), failures, metricsWatchMaxFailures-1)
+		default:
 			return err
 		}
-		fmt.Fprintf(w, "\033[H\033[2Jgeorepctl metrics  (every %s, ctrl-c to stop)\n%s", interval, buf.String())
 		if iterations > 0 && i+1 >= iterations {
 			return nil
 		}
-		time.Sleep(interval)
+		time.Sleep(wait)
 	}
 }
 

@@ -251,3 +251,87 @@ func TestCtlMetrics(t *testing.T) {
 		t.Errorf("filter did not apply:\n%s", buf.String())
 	}
 }
+
+// TestCtlMetricsWatchSurvivesRestart kills the watched daemon and
+// brings it back on the same port: the watch must degrade to backoff
+// notices while the node is down and resume rendering frames once it
+// returns, instead of dying on the first dead connection.
+func TestCtlMetricsWatchSurvivesRestart(t *testing.T) {
+	cfg := daemon.Config{ID: 0, MicroClusters: 4, Dims: 2, Coordinate: []float64{0, 0}, Height: 1}
+	n, err := daemon.NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := n.Addr()
+
+	f, err := dialFleet([]string{addr}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.close()
+
+	// Take the daemon down before the first frame, restart it shortly
+	// after on the same address (a rolling restart as the watch sees it).
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	restarted := make(chan *daemon.Node, 1)
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		n2, err := daemon.NewNode(cfg)
+		if err == nil {
+			err = n2.Start(addr)
+		}
+		if err != nil {
+			t.Errorf("restart on %s: %v", addr, err)
+			restarted <- nil
+			return
+		}
+		restarted <- n2
+	}()
+	defer func() {
+		if n2 := <-restarted; n2 != nil {
+			n2.Close()
+		}
+	}()
+
+	var buf strings.Builder
+	if err := f.metricsWatch(&buf, "daemon_rpc", 100*time.Millisecond, 25); err != nil {
+		t.Fatalf("watch died across restart: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "retrying in") {
+		t.Errorf("no backoff notice while the daemon was down:\n%s", out)
+	}
+	if !strings.Contains(out, "daemon_rpc_put_total") {
+		t.Errorf("no frame rendered after the restart:\n%s", out)
+	}
+}
+
+// TestCtlMetricsWatchGivesUp pins the failure bound: a fleet that never
+// comes back ends the watch with an error naming the miss count.
+func TestCtlMetricsWatchGivesUp(t *testing.T) {
+	n, err := daemon.NewNode(daemon.Config{ID: 0, MicroClusters: 4, Dims: 2, Coordinate: []float64{0, 0}, Height: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := dialFleet([]string{n.Addr()}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.close()
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	err = f.metricsWatch(&buf, "", 100*time.Millisecond, 0)
+	if err == nil || !strings.Contains(err.Error(), "giving up after") {
+		t.Fatalf("dead fleet should end the watch with a give-up error, got %v", err)
+	}
+}

@@ -13,6 +13,7 @@
 //	georepd -addr 127.0.0.1:7002 -node 1 -matrix matrix.txt   # emulate WAN RTTs
 //	georepd -addr 127.0.0.1:7001 -metrics-addr 127.0.0.1:9090 # observability over HTTP
 //	georepd -addr 127.0.0.1:7001 -fault-plan "crash 0@2-4"    # chaos-test this node
+//	georepd -addr 127.0.0.1:7001 -write-ratio 0.2             # leader write log + replicate RPC
 //	georepd -addr 127.0.0.1:7001 -log info,transport=debug    # per-component log levels
 //
 // With -metrics-addr the daemon serves an observability surface over
@@ -92,6 +93,8 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		coordFlag   = fs.String("coord", "", "this node's network coordinate as comma-separated floats, e.g. \"12.5,-3.1,40.2\"")
 		height      = fs.Float64("height", 0, "height component of this node's coordinate")
 		metricsAddr = fs.String("metrics-addr", "", "HTTP address serving /metrics, /metrics.json, /trace and /healthz; empty disables")
+		writeRatio  = fs.Float64("write-ratio", 0, "expected write share of traffic in [0,1]; > 0 enables the replication write log: puts append CRC-framed entries, replog_* metrics join /metrics, and the replicate RPC serves catch-up batches")
+		writeRetain = fs.Int("write-log-retain", 0, "uncompacted write-log tail bound; followers further behind get a snapshot redirect (0 = default)")
 		faultPlan   = fs.String("fault-plan", "", "inject faults from a plan DSL, e.g. \"crash 2@5-8; drop *>0:0.2@1-10\" (see internal/faults); the decay RPC advances the epoch")
 		faultSeed   = fs.Int64("fault-seed", 1, "seed for -fault-plan coin flips")
 		logSpec     = fs.String("log", "info", "log levels: default[,component=level ...] with components daemon and transport, e.g. \"warn,transport=debug\"")
@@ -170,6 +173,8 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		Delay:                    delay,
 		Coordinate:               selfCoord,
 		Height:                   *height,
+		WriteRatio:               *writeRatio,
+		WriteLogRetain:           *writeRetain,
 		Faults:                   inj,
 		AdvanceFaultEpochOnDecay: inj != nil,
 		Trace:                    rec,
@@ -183,6 +188,9 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		return err
 	}
 	fmt.Printf("georepd node %d listening on %s\n", *nodeID, n.Addr())
+	if *writeRatio > 0 {
+		fmt.Printf("write log enabled (expected write ratio %.2f): puts append framed entries, replicate serves catch-up\n", *writeRatio)
+	}
 	if inj != nil {
 		fmt.Printf("fault injection active (seed %d): %s\n", *faultSeed, *faultPlan)
 	}

@@ -18,6 +18,7 @@
 //	replicasim -fig tail            # ablation: mean vs p95 placement objectives
 //	replicasim -fig strategies      # all seven strategies vs k (heuristic comparison)
 //	replicasim -fig failures        # robustness: mean delay under a seeded fault plan
+//	replicasim -fig writepath       # robustness: leader-based writes under faults (see -write-ratio)
 //	replicasim -fig scale           # extension: planet-scale streaming ingest (see -clients, -rate)
 //	replicasim -fig multiobject     # extension: fleet placement with demand-signature grouping (see -objects)
 //	replicasim -table 2             # Table II: online vs offline clustering cost
@@ -34,6 +35,7 @@ import (
 	"github.com/georep/georep/internal/coord"
 	"github.com/georep/georep/internal/experiment"
 	"github.com/georep/georep/internal/ledger"
+	"github.com/georep/georep/internal/replog"
 	"github.com/georep/georep/internal/trace"
 )
 
@@ -47,7 +49,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("replicasim", flag.ContinueOnError)
 	var (
-		fig         = fs.String("fig", "", "figure to reproduce: 1, 2, 3, rnp, drift, quorum, threshold, capacity, readwrite, routing, tail, strategies, failures, scale or multiobject")
+		fig         = fs.String("fig", "", "figure to reproduce: 1, 2, 3, rnp, drift, quorum, threshold, capacity, readwrite, routing, tail, strategies, failures, writepath, scale or multiobject")
 		table       = fs.String("table", "", "table to reproduce: 2")
 		all         = fs.Bool("all", false, "reproduce every figure and table")
 		runs        = fs.Int("runs", 30, "simulation runs to average over (paper: 30)")
@@ -66,6 +68,8 @@ func run(args []string) error {
 		rate        = fs.Int("rate", 0, "scale figure: accesses generated per epoch (0 = default 50k)")
 		shards      = fs.Int("ingest-shards", 0, "scale figure: per-replica ingest shards, power of two (0 = default 8)")
 		objects     = fs.Int("objects", 0, "multiobject figure: fleet size (0 = default 200)")
+		writeRatio  = fs.Float64("write-ratio", 0, "writepath figure: write share of the mixed workload (0 = default 0.2)")
+		leaderPol   = fs.String("leader-policy", "", "writepath figure: leader placement policy, centroid or fanout (default centroid)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,7 +87,7 @@ func run(args []string) error {
 		return err
 	}
 
-	needWorlds := *all || (*fig != "" && *fig != "drift" && *fig != "threshold" && *fig != "failures" && *fig != "scale" && *fig != "multiobject")
+	needWorlds := *all || (*fig != "" && *fig != "drift" && *fig != "threshold" && *fig != "failures" && *fig != "writepath" && *fig != "scale" && *fig != "multiobject")
 	var worlds []*experiment.World
 	if needWorlds {
 		start := time.Now()
@@ -228,6 +232,25 @@ func run(args []string) error {
 				return err
 			}
 		}
+	}
+	if *all || *fig == "writepath" {
+		cfg := experiment.DefaultWritePathConfig()
+		cfg.Setup.CoordAlgorithm = setup.CoordAlgorithm
+		cfg.Plan = *faultPlan
+		if *writeRatio > 0 {
+			cfg.WriteFraction = *writeRatio
+		}
+		if *leaderPol != "" {
+			cfg.LeaderPolicy, err = replog.ParseLeaderPolicy(*leaderPol)
+			if err != nil {
+				return err
+			}
+		}
+		res, err := experiment.WritePath(*faultSeed, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderWritePath(res))
 	}
 	if *all || *fig == "scale" {
 		cfg := experiment.DefaultScaleConfig()

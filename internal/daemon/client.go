@@ -8,6 +8,7 @@ import (
 
 	"github.com/georep/georep/internal/cluster"
 	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/replog"
 	"github.com/georep/georep/internal/trace"
 	"github.com/georep/georep/internal/transport"
 )
@@ -24,7 +25,7 @@ type Client struct {
 func IdempotentMethods() []string {
 	return []string{MethodGet, MethodPut, MethodDelete, MethodMicros,
 		MethodStats, MethodPing, MethodCoord, MethodList, MethodMetrics,
-		MethodTrace}
+		MethodTrace, MethodReplicate}
 }
 
 // DialNode connects to a daemon. Additional transport options (retry
@@ -192,6 +193,23 @@ func (c *Client) Trace() ([]trace.Trace, error) {
 		return nil, fmt.Errorf("daemon: decode traces from %s: %w", c.addr, err)
 	}
 	return traces, nil
+}
+
+// Replicate fetches write-log entries past the caller's highest applied
+// sequence from a write-log node, decoded and CRC-verified. When the
+// response is a snapshot redirect (resp.Snapshot), entries is empty and
+// the caller must install resp.SnapSeq/resp.SnapTerm before asking
+// again from there.
+func (c *Client) Replicate(from uint64, max int) (ReplicateResponse, []replog.Entry, error) {
+	var resp ReplicateResponse
+	if _, err := c.c.Call(MethodReplicate, ReplicateRequest{From: from, Max: max}, &resp); err != nil {
+		return ReplicateResponse{}, nil, fmt.Errorf("daemon: replicate from %s: %w", c.addr, err)
+	}
+	entries, err := replog.DecodeBatch(resp.Frames)
+	if err != nil {
+		return ReplicateResponse{}, nil, fmt.Errorf("daemon: replicate from %s: %w", c.addr, err)
+	}
+	return resp, entries, nil
 }
 
 // Stats fetches node statistics.

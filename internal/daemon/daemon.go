@@ -21,6 +21,7 @@ import (
 	"github.com/georep/georep/internal/faults"
 	"github.com/georep/georep/internal/logging"
 	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/replog"
 	"github.com/georep/georep/internal/store"
 	"github.com/georep/georep/internal/trace"
 	"github.com/georep/georep/internal/transport"
@@ -99,6 +100,28 @@ type (
 	TraceResponse struct {
 		JSON []byte
 	}
+	// ReplicateRequest asks a write-log node for log entries past the
+	// caller's highest applied sequence — the catch-up leg of the
+	// leader-based write path over the wire.
+	ReplicateRequest struct {
+		// From is the caller's highest applied sequence; entries are
+		// served starting at From+1.
+		From uint64
+		// Max caps the batch; 0 means the server default.
+		Max int
+	}
+	// ReplicateResponse carries CRC-framed log entries (decode with
+	// replog.DecodeBatch). When the requested position is already
+	// compacted, Snapshot is true and the caller must install the
+	// SnapSeq/SnapTerm boundary before re-requesting the tail.
+	ReplicateResponse struct {
+		Frames   []byte
+		Snapshot bool
+		SnapSeq  uint64
+		SnapTerm uint64
+		// Last is the node's log tail, so callers can gauge their lag.
+		Last uint64
+	}
 )
 
 // Method names of the daemon protocol.
@@ -114,7 +137,20 @@ const (
 	MethodList    = "list"
 	MethodMetrics = "metrics"
 	MethodTrace   = "trace"
+	// MethodReplicate serves replication-log entries to catching-up
+	// followers (write-log nodes only).
+	MethodReplicate = "replicate"
 )
+
+// defaultWriteLogRetain bounds the uncompacted write-log tail when the
+// config does not: entries further behind the tip are compacted into
+// the snapshot boundary and followers that far behind get a snapshot
+// redirect instead of a frame batch.
+const defaultWriteLogRetain = 1024
+
+// maxReplicateBatch caps one replicate response regardless of the
+// request's Max, keeping frames inside a sane transport payload.
+const maxReplicateBatch = 4096
 
 // DelayFunc returns the emulated RTT for serving a given client node;
 // the daemon sleeps this long before answering a read. nil disables
@@ -163,6 +199,23 @@ type Config struct {
 	// stays in step without an out-of-band clock. Leave false when the
 	// test driver sets the epoch explicitly on a shared injector.
 	AdvanceFaultEpochOnDecay bool
+	// WriteRatio, when > 0, enables the node's replication write log:
+	// every put appends a CRC-framed entry, replog_* metrics join the
+	// registry (and thus /metrics and the metrics RPC), and the
+	// replicate method serves the framed tail to catching-up followers.
+	// The value itself is advisory — the expected write share of
+	// traffic, exported as the daemon_write_ratio gauge so operators
+	// can compare the configured mix against the observed
+	// daemon_rpc_put_total / daemon_rpc_get_total split. Must be in
+	// [0, 1]; 0 disables the write log entirely (byte-identical to a
+	// node that predates it). Fenced multi-leader terms and failover
+	// live in replog.Group; the daemon log is the single-writer wire
+	// surface.
+	WriteRatio float64
+	// WriteLogRetain bounds the uncompacted write-log tail; 0 means
+	// defaultWriteLogRetain. Followers further behind than the retained
+	// tail receive a snapshot redirect from the replicate method.
+	WriteLogRetain int
 	// Trace, when non-nil, retains server-side spans for traced inbound
 	// requests (frames carrying a trace context). The trace RPC and the
 	// georepd /trace endpoint export the retained trees, so a
@@ -189,6 +242,8 @@ type Node struct {
 	shards   *cluster.Sharded    // nil when unsharded
 	objSums  map[string]*objSummary
 	accesses int64
+	wlog     *replog.Log // nil unless Config.WriteRatio > 0
+	wretain  int
 }
 
 // objSummary is one object's dedicated summarizer, created lazily on
@@ -209,6 +264,12 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if cfg.Dims <= 0 {
 		return nil, fmt.Errorf("daemon: Dims must be positive, got %d", cfg.Dims)
+	}
+	if cfg.WriteRatio < 0 || cfg.WriteRatio > 1 {
+		return nil, fmt.Errorf("daemon: WriteRatio must be in [0, 1], got %v", cfg.WriteRatio)
+	}
+	if cfg.WriteLogRetain < 0 {
+		return nil, fmt.Errorf("daemon: WriteLogRetain must be non-negative, got %d", cfg.WriteLogRetain)
 	}
 	reg := metrics.NewRegistry()
 	n := &Node{
@@ -244,6 +305,14 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if cfg.PerObjectSummaries {
 		n.objSums = make(map[string]*objSummary)
+	}
+	if cfg.WriteRatio > 0 {
+		n.wlog = replog.NewLog()
+		n.wretain = cfg.WriteLogRetain
+		if n.wretain == 0 {
+			n.wretain = defaultWriteLogRetain
+		}
+		reg.Gauge("daemon_write_ratio").Set(cfg.WriteRatio)
 	}
 	if err := n.registerHandlers(); err != nil {
 		return nil, err
@@ -284,17 +353,18 @@ func (n *Node) Store() *store.Store { return n.store }
 
 func (n *Node) registerHandlers() error {
 	handlers := map[string]transport.Handler{
-		MethodGet:     n.handleGet,
-		MethodPut:     n.handlePut,
-		MethodDelete:  n.handleDelete,
-		MethodMicros:  n.handleMicros,
-		MethodDecay:   n.handleDecay,
-		MethodStats:   n.handleStats,
-		MethodPing:    func([]byte) ([]byte, error) { return nil, nil },
-		MethodCoord:   n.handleCoord,
-		MethodList:    n.handleList,
-		MethodMetrics: n.handleMetrics,
-		MethodTrace:   n.handleTrace,
+		MethodGet:       n.handleGet,
+		MethodPut:       n.handlePut,
+		MethodDelete:    n.handleDelete,
+		MethodMicros:    n.handleMicros,
+		MethodDecay:     n.handleDecay,
+		MethodStats:     n.handleStats,
+		MethodPing:      func([]byte) ([]byte, error) { return nil, nil },
+		MethodCoord:     n.handleCoord,
+		MethodList:      n.handleList,
+		MethodMetrics:   n.handleMetrics,
+		MethodTrace:     n.handleTrace,
+		MethodReplicate: n.handleReplicate,
 	}
 	for name, h := range handlers {
 		if err := n.server.Handle(name, n.instrument(name, h)); err != nil {
@@ -457,7 +527,101 @@ func (n *Node) handlePut(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if n.wlog != nil {
+		if err := n.appendWrite(req); err != nil {
+			return nil, err
+		}
+	}
 	return nil, nil
+}
+
+// appendWrite records one accepted put in the replication log and keeps
+// the tail bounded. The daemon log runs a single writer, so every entry
+// carries term 1; fenced terms belong to the in-process group runtime
+// (replog.Group), not the wire surface.
+func (n *Node) appendWrite(req PutRequest) error {
+	n.mu.Lock()
+	e := replog.Entry{
+		Seq:  n.wlog.Last() + 1,
+		Term: 1,
+		// The daemon put path carries no client identity (it is the
+		// coordinator/migration leg); -1 marks the writer unknown.
+		Client: -1,
+		Object: objHash(req.Object),
+		Bytes:  float64(len(req.Data)),
+	}
+	if err := n.wlog.Append(e); err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	var compacted bool
+	if n.wlog.Len() > n.wretain {
+		if err := n.wlog.CompactTo(n.wlog.Last() - uint64(n.wretain)); err != nil {
+			n.mu.Unlock()
+			return err
+		}
+		compacted = true
+	}
+	last := n.wlog.Last()
+	n.mu.Unlock()
+	n.reg.Counter("replog_appends_total").Inc()
+	n.reg.Counter("replog_log_bytes_total").Add(replog.FrameLen)
+	n.reg.Gauge("replog_last_seq").Set(float64(last))
+	if compacted {
+		n.reg.Counter("replog_compactions_total").Inc()
+	}
+	return nil
+}
+
+// objHash maps an object ID onto the fixed-width entry encoding (FNV-1a).
+func objHash(object string) int32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(object); i++ {
+		h ^= uint32(object[i])
+		h *= prime32
+	}
+	return int32(h)
+}
+
+// handleReplicate serves the framed write-log tail past the caller's
+// applied position, or a snapshot redirect when that position is
+// already compacted away.
+func (n *Node) handleReplicate(body []byte) ([]byte, error) {
+	if n.wlog == nil {
+		return nil, fmt.Errorf("daemon: write log disabled (start with -write-ratio > 0)")
+	}
+	var req ReplicateRequest
+	if len(body) > 0 {
+		if err := transport.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+	}
+	max := req.Max
+	if max <= 0 || max > maxReplicateBatch {
+		max = maxReplicateBatch
+	}
+	n.mu.Lock()
+	resp := ReplicateResponse{Last: n.wlog.Last()}
+	es, ok := n.wlog.EntriesFrom(req.From+1, max)
+	if !ok {
+		resp.Snapshot = true
+		resp.SnapSeq = n.wlog.SnapSeq()
+		resp.SnapTerm, _ = n.wlog.TermAt(n.wlog.SnapSeq())
+	} else {
+		// EntriesFrom aliases log storage: frame while still holding
+		// the lock so a concurrent compaction cannot shift it under us.
+		resp.Frames = replog.EncodeBatch(es)
+	}
+	n.mu.Unlock()
+	n.reg.Counter("replog_replicate_bytes_total").Add(int64(len(resp.Frames)))
+	if resp.Snapshot {
+		n.reg.Counter("replog_replicate_snapshots_total").Inc()
+	}
+	return transport.Marshal(resp)
 }
 
 func (n *Node) handleDelete(body []byte) ([]byte, error) {

@@ -1,0 +1,152 @@
+package daemon
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/georep/georep/internal/replog"
+)
+
+// TestWriteLogReplicate drives the wire surface of the leader-based
+// write path: puts append framed entries, the replicate RPC streams
+// them out CRC-verified, and the replog_* metrics ride the ordinary
+// metrics RPC.
+func TestWriteLogReplicate(t *testing.T) {
+	_, c := startNode(t, Config{ID: 0, MicroClusters: 4, Dims: 2, WriteRatio: 0.3})
+
+	for i := 0; i < 5; i++ {
+		if err := c.Put(fmt.Sprintf("obj%d", i), []byte(strings.Repeat("x", i+1)), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, entries, err := c.Replicate(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Snapshot {
+		t.Fatalf("fresh log redirected to snapshot: %+v", resp)
+	}
+	if resp.Last != 5 || len(entries) != 5 {
+		t.Fatalf("want 5 entries at tail 5, got %d at %d", len(entries), resp.Last)
+	}
+	for i, e := range entries {
+		if e.Seq != uint64(i+1) || e.Term != 1 {
+			t.Fatalf("entry %d mis-sequenced: %+v", i, e)
+		}
+		if e.Object != objHash(fmt.Sprintf("obj%d", i)) {
+			t.Fatalf("entry %d object hash mismatch: %+v", i, e)
+		}
+		if e.Bytes != float64(i+1) {
+			t.Fatalf("entry %d bytes = %v, want %d", i, e.Bytes, i+1)
+		}
+	}
+
+	// A follower that already applied part of the tail gets only the rest.
+	resp, entries, err = c.Replicate(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Seq != 4 {
+		t.Fatalf("partial catch-up wrong: %+v", entries)
+	}
+	// A caught-up follower gets an empty batch, not an error.
+	if resp, entries, err = c.Replicate(5, 0); err != nil || len(entries) != 0 || resp.Snapshot {
+		t.Fatalf("caught-up replicate: %v entries=%d resp=%+v", err, len(entries), resp)
+	}
+
+	// Max caps the batch.
+	if _, entries, err = c.Replicate(0, 2); err != nil || len(entries) != 2 {
+		t.Fatalf("capped replicate: %v entries=%d", err, len(entries))
+	}
+
+	snap, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["replog_appends_total"]; got != 5 {
+		t.Fatalf("replog_appends_total = %d, want 5", got)
+	}
+	if snap.Counters["replog_replicate_bytes_total"] != int64(9*replog.FrameLen) {
+		t.Fatalf("replicate bytes = %d, want %d", snap.Counters["replog_replicate_bytes_total"], 9*replog.FrameLen)
+	}
+	if snap.Gauges["daemon_write_ratio"] != 0.3 {
+		t.Fatalf("write ratio gauge = %v", snap.Gauges["daemon_write_ratio"])
+	}
+}
+
+// TestWriteLogCompactionRedirects checks the crashed-follower contract:
+// once the retained tail has moved past a follower's position, the
+// replicate RPC answers with a snapshot boundary instead of frames.
+func TestWriteLogCompactionRedirects(t *testing.T) {
+	_, c := startNode(t, Config{ID: 0, MicroClusters: 4, Dims: 2, WriteRatio: 1, WriteLogRetain: 4})
+
+	for i := 0; i < 12; i++ {
+		if err := c.Put("hot", []byte("v"), uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, entries, err := c.Replicate(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Snapshot || len(entries) != 0 {
+		t.Fatalf("compacted position should redirect to snapshot, got %+v (%d entries)", resp, len(entries))
+	}
+	if resp.SnapSeq != 8 || resp.SnapTerm != 1 {
+		t.Fatalf("snapshot boundary = %d/%d, want 8/1 (12 puts, retain 4)", resp.SnapSeq, resp.SnapTerm)
+	}
+	// Resuming from the boundary replays exactly the retained tail.
+	resp, entries, err = c.Replicate(resp.SnapSeq, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Snapshot || len(entries) != 4 || entries[0].Seq != 9 || entries[3].Seq != 12 {
+		t.Fatalf("tail replay after snapshot wrong: %+v (%d entries)", resp, len(entries))
+	}
+
+	snap, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["replog_compactions_total"] == 0 {
+		t.Fatal("retain bound never compacted")
+	}
+	if snap.Counters["replog_replicate_snapshots_total"] != 1 {
+		t.Fatalf("snapshot redirects = %d, want 1", snap.Counters["replog_replicate_snapshots_total"])
+	}
+}
+
+// TestWriteLogDisabled pins the zero-config path: no replog metrics, and
+// the replicate method is a clean error rather than a silent empty batch.
+func TestWriteLogDisabled(t *testing.T) {
+	_, c := startNode(t, Config{ID: 0, MicroClusters: 4, Dims: 2})
+	if err := c.Put("obj", []byte("v"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Replicate(0, 0); err == nil {
+		t.Fatal("replicate should fail when the write log is disabled")
+	}
+	snap, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "replog_") {
+			t.Fatalf("write-disabled node grew %s", name)
+		}
+	}
+}
+
+func TestWriteLogConfigValidation(t *testing.T) {
+	if _, err := NewNode(Config{MicroClusters: 4, Dims: 2, WriteRatio: 1.5}); err == nil {
+		t.Error("WriteRatio > 1 should fail")
+	}
+	if _, err := NewNode(Config{MicroClusters: 4, Dims: 2, WriteRatio: -0.1}); err == nil {
+		t.Error("negative WriteRatio should fail")
+	}
+	if _, err := NewNode(Config{MicroClusters: 4, Dims: 2, WriteLogRetain: -1}); err == nil {
+		t.Error("negative WriteLogRetain should fail")
+	}
+}

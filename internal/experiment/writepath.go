@@ -1,0 +1,558 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/georep/georep/internal/faults"
+	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/replica"
+	"github.com/georep/georep/internal/replog"
+	"github.com/georep/georep/internal/stats"
+	"github.com/georep/georep/internal/workload"
+)
+
+// The write-path experiment measures what the read-side figures cannot:
+// staleness and availability of a leader-based write path while things
+// break. A mixed read/write stream replays twice over the same adopted
+// placement — once healthy, once under a seeded fault plan (a follower
+// crash long enough to force snapshot catch-up, a partition that
+// deposes the leader mid-epoch, a lossy background ack leg) — and every
+// read carries a staleness contract: clients that have written read in
+// session mode (read-your-writes + monotonic), everyone else reads
+// bounded-staleness from the nearest follower. The healthy run must
+// show zero violations; the faulted run shows the anomaly window a
+// deposed leader's unreplicated tail opens, plus failover, fencing and
+// catch-up traffic. Faults take effect mid-epoch (an outage arrives
+// during traffic, not between epochs), so a deposed leader really does
+// hold acked-but-stranded sessions when the failover hits.
+
+// WritePathConfig parameterizes the write-path experiment.
+type WritePathConfig struct {
+	// Setup builds the world (matrix + coordinates).
+	Setup SetupConfig
+	// NumDCs candidate data centers are drawn from the world's nodes.
+	NumDCs int
+	// K replicas are maintained with M micro-clusters each.
+	K, M int
+	// Epochs is the experiment length; the default plan needs >= 12.
+	Epochs int
+	// AccessesPerEpoch is the number of mixed accesses per epoch.
+	AccessesPerEpoch int
+	// WriteFraction is the write share of the stream (must be > 0).
+	WriteFraction float64
+	// RoundsPerEpoch is how many replication rounds interleave with each
+	// epoch's accesses (default 8).
+	RoundsPerEpoch int
+	// AckQuorum members must hold a write before it is acked (default 2).
+	AckQuorum int
+	// Retain bounds the leader's tail after compaction (default 48);
+	// small enough that a multi-epoch follower outage needs a snapshot.
+	Retain int
+	// BatchMax caps entries shipped per follower per round (default 64,
+	// comfortably above the per-round write arrival so the lossy ack leg
+	// lags but does not diverge).
+	BatchMax int
+	// BoundEntries is the staleness bound for bounded reads (default 96).
+	BoundEntries uint64
+	// LeaderPolicy places the leader (centroid by default).
+	LeaderPolicy replog.LeaderPolicy
+	// MinRelativeGain gates the warm-up placement migration.
+	MinRelativeGain float64
+	// Plan optionally overrides the fault scenario with a DSL string
+	// (see faults.Parse). Empty derives the default scenario from the
+	// adopted placement: crash the nearest follower across three epochs
+	// (forcing snapshot catch-up), partition the leader away for two
+	// (failover + zombie fencing), and keep one ack leg lossy throughout.
+	Plan string
+}
+
+// DefaultWritePathConfig returns a moderate write-path scenario.
+func DefaultWritePathConfig() WritePathConfig {
+	setup := DefaultSetup()
+	setup.Nodes = 120
+	return WritePathConfig{
+		Setup:            setup,
+		NumDCs:           12,
+		K:                3,
+		M:                8,
+		Epochs:           12,
+		AccessesPerEpoch: 1200,
+		WriteFraction:    0.2,
+		RoundsPerEpoch:   8,
+		AckQuorum:        2,
+		Retain:           48,
+		BatchMax:         64,
+		BoundEntries:     96,
+		LeaderPolicy:     replog.LeaderCentroid,
+		MinRelativeGain:  0.05,
+	}
+}
+
+func (c WritePathConfig) validate() error {
+	if c.NumDCs <= 0 || c.NumDCs >= c.Setup.Nodes {
+		return fmt.Errorf("experiment: writepath NumDCs %d out of (0,%d)", c.NumDCs, c.Setup.Nodes)
+	}
+	if c.K <= 1 || c.K > c.NumDCs {
+		return fmt.Errorf("experiment: writepath K %d out of (1,%d]", c.K, c.NumDCs)
+	}
+	if c.M <= 0 {
+		return fmt.Errorf("experiment: writepath M must be positive, got %d", c.M)
+	}
+	if c.AccessesPerEpoch <= 0 {
+		return fmt.Errorf("experiment: writepath needs positive accesses")
+	}
+	if c.WriteFraction <= 0 || c.WriteFraction > 1 {
+		return fmt.Errorf("experiment: writepath write fraction %v out of (0,1]", c.WriteFraction)
+	}
+	if c.Epochs < 12 && c.Plan == "" {
+		return fmt.Errorf("experiment: default writepath scenario needs >= 12 epochs, got %d", c.Epochs)
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("experiment: writepath needs positive epochs")
+	}
+	return nil
+}
+
+// WritePathRow is one epoch's outcome for one pass.
+type WritePathRow struct {
+	Epoch int
+	// Leader and Term are the group state at epoch end.
+	Leader int
+	Term   uint64
+	// AckedWrites is how many writes reached ack quorum this epoch;
+	// FailedWrites counts appends rejected for unavailability.
+	AckedWrites  uint64
+	FailedWrites int
+	// LagP50Entries / LagP99Entries summarize follower lag sampled after
+	// every replication round this epoch.
+	LagP50Entries float64
+	LagP99Entries float64
+	// RYW, Monotonic and Degraded are this epoch's staleness anomalies.
+	RYW       int64
+	Monotonic int64
+	Degraded  int64
+	// CatchupBytes and Snapshots measure recovery traffic this epoch.
+	CatchupBytes int64
+	Snapshots    int64
+	// Fenced counts zombie appends rejected this epoch; Rollbacks counts
+	// stale-term entries truncated from rejoining members.
+	Fenced    int64
+	Rollbacks int64
+	// Failovers is cumulative over the pass.
+	Failovers uint64
+}
+
+// WritePathResult aggregates the write-path experiment.
+type WritePathResult struct {
+	// Members is the adopted placement; Leader its initial write leader.
+	Members []int
+	Leader  int
+	Policy  replog.LeaderPolicy
+	// Plan is the fault scenario in DSL form, for reproduction.
+	Plan string
+	// Healthy and Faulted are the per-epoch trajectories of each pass.
+	Healthy, Faulted []WritePathRow
+	// HealthyViolations / FaultedViolations total RYW + monotonic
+	// anomalies per pass; the healthy pass must show zero.
+	HealthyViolations, FaultedViolations int64
+	HealthyAcked, FaultedAcked           uint64
+	FaultedFailovers                     uint64
+	// ConvergeRounds is how many post-heal rounds the faulted pass
+	// needed before every member held the full log.
+	ConvergeRounds int
+}
+
+// WritePath runs the experiment for one seed. Both passes verify the
+// sequence-accounting invariants at the end: convergence after heal,
+// log contiguity, and no acked write missing from any member.
+func WritePath(seed int64, cfg WritePathConfig) (*WritePathResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RoundsPerEpoch <= 0 {
+		cfg.RoundsPerEpoch = 8
+	}
+	if cfg.BoundEntries == 0 {
+		cfg.BoundEntries = 96
+	}
+	w, err := BuildWorld(seed, cfg.Setup)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed * 41))
+
+	cand := stats.SampleWithoutReplacement(rng, w.Matrix.N(), cfg.NumDCs)
+	isCand := make(map[int]bool, len(cand))
+	for _, c := range cand {
+		isCand[c] = true
+	}
+	var clientNodes, clientRegions []int
+	regionOf := map[int]int{} // world region -> dense stream region
+	for i := 0; i < w.Matrix.N(); i++ {
+		if isCand[i] {
+			continue
+		}
+		clientNodes = append(clientNodes, i)
+		region := w.Placements[i].Region
+		dense, ok := regionOf[region]
+		if !ok {
+			dense = len(regionOf)
+			regionOf[region] = dense
+		}
+		clientRegions = append(clientRegions, dense)
+	}
+
+	initial, err := randomPlacement(rng, cand, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+
+	// The mixed workload comes from the streaming generator so the write
+	// fraction rides the same spec the planet-scale path uses.
+	synth, err := workload.SynthClients(rng, 4*len(clientNodes), clientNodes, clientRegions)
+	if err != nil {
+		return nil, err
+	}
+	stream, err := workload.NewStream(workload.StreamSpec{
+		Clients:         len(synth),
+		Regions:         len(regionOf),
+		Objects:         64,
+		ZipfExponent:    0.9,
+		MeanObjectBytes: 1,
+		BatchSize:       cfg.AccessesPerEpoch,
+		Rate:            cfg.AccessesPerEpoch,
+		WriteFraction:   cfg.WriteFraction,
+	}, synth)
+	if err != nil {
+		return nil, err
+	}
+	stream.Seed(seed * 43)
+
+	// Warm-up epoch: one manager decision with the write-aware objective
+	// adopts the placement and names its leader; the replication runs
+	// then hold that placement fixed so both passes see one group.
+	mgr, err := replica.NewManager(replica.Config{
+		K: cfg.K, M: cfg.M, Dims: cfg.Setup.CoordDims,
+		Migration:     replica.MigrationPolicy{MinRelativeGain: cfg.MinRelativeGain},
+		WriteFraction: cfg.WriteFraction,
+		LeaderPolicy:  cfg.LeaderPolicy,
+	}, cand, w.Coords, initial)
+	if err != nil {
+		return nil, err
+	}
+	slab := make([]workload.Access, cfg.Epochs*cfg.AccessesPerEpoch)
+	epochs := make([][]workload.Access, cfg.Epochs)
+	warm := stream.Next(make([]workload.Access, cfg.AccessesPerEpoch))
+	for _, a := range warm {
+		if _, err := mgr.Record(w.Coords[a.Client], a.Bytes); err != nil {
+			return nil, err
+		}
+	}
+	dec, err := mgr.EndEpoch(rng)
+	if err != nil {
+		return nil, err
+	}
+	members := append([]int(nil), dec.NewReplicas...)
+	sort.Ints(members)
+	leader := dec.Leader
+	if leader < 0 {
+		return nil, fmt.Errorf("experiment: write-enabled manager named no leader: %+v", dec)
+	}
+
+	// Pre-generate the replication epochs once so both passes replay
+	// byte-identical mixed access sequences.
+	for e := range epochs {
+		if err := stream.Advance(); err != nil {
+			return nil, err
+		}
+		view := slab[e*cfg.AccessesPerEpoch : (e+1)*cfg.AccessesPerEpoch]
+		epochs[e] = stream.Next(view)
+	}
+
+	healthy, err := runWritePass(cfg, w, members, leader, epochs, nil)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := buildWritePathPlan(seed, cfg, w, members, leader)
+	if err != nil {
+		return nil, err
+	}
+	inj, err := faults.NewInjector(plan)
+	if err != nil {
+		return nil, err
+	}
+	faulted, err := runWritePass(cfg, w, members, leader, epochs, inj)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &WritePathResult{
+		Members: members, Leader: leader, Policy: cfg.LeaderPolicy,
+		Plan:    plan.String(),
+		Healthy: healthy.rows, Faulted: faulted.rows,
+		HealthyAcked: healthy.acked, FaultedAcked: faulted.acked,
+		FaultedFailovers: faulted.failovers,
+		ConvergeRounds:   faulted.convergeRounds,
+	}
+	for _, r := range healthy.rows {
+		res.HealthyViolations += r.RYW + r.Monotonic
+	}
+	for _, r := range faulted.rows {
+		res.FaultedViolations += r.RYW + r.Monotonic
+	}
+	return res, nil
+}
+
+// buildWritePathPlan derives the default scenario unless the config
+// overrides it with a DSL plan: the fault targets come from the adopted
+// placement, so the crash really hits the client-nearest follower and
+// the partition really isolates the leader.
+func buildWritePathPlan(seed int64, cfg WritePathConfig, w *World, members []int, leader int) (*faults.Plan, error) {
+	if cfg.Plan != "" {
+		return faults.Parse(seed, cfg.Plan)
+	}
+	var followers []int
+	for _, n := range members {
+		if n != leader {
+			followers = append(followers, n)
+		}
+	}
+	// f1 is the follower nearest the leader (the likely read target for
+	// leader-local clients); f2 takes the lossy ack leg.
+	f1, f2 := followers[0], followers[len(followers)-1]
+	if len(followers) > 1 {
+		sort.Slice(followers, func(i, j int) bool {
+			return w.Coords[leader].DistanceTo(w.Coords[followers[i]]) <
+				w.Coords[leader].DistanceTo(w.Coords[followers[j]])
+		})
+		f1, f2 = followers[0], followers[len(followers)-1]
+	}
+	third := cfg.Epochs / 3
+	p := &faults.Plan{Seed: seed}
+	// Phase 1: the nearest follower is down three epochs — far past the
+	// leader's retention, so rejoining requires a snapshot transfer.
+	p.Crashes = append(p.Crashes, faults.Crash{Node: f1, From: third, To: third + 2})
+	// Phase 2: the leader is partitioned away for one epoch. Its links
+	// die at the epoch boundary but the deposition lands mid-epoch, so
+	// half an epoch of appends strands on the zombie: acked writes are
+	// quorum-held and survive the failover, the stranded tail is rolled
+	// back when the heal lets the real leader reach (and fence) the
+	// zombie — and every session that wrote or read that tail then reads
+	// degraded or backwards until the new leader's sequence passes it.
+	p.Partitions = append(p.Partitions, faults.Partition{
+		A: []int{leader}, From: 2*third - 1, To: 2*third - 1,
+	})
+	// Phase 3: the replica that wins that election (the only follower
+	// that was up through the partition epoch) crashes next — a second
+	// failover, this time of a term-2 leader, and a second snapshot
+	// catch-up when it rejoins.
+	p.Crashes = append(p.Crashes, faults.Crash{Node: f2, From: 2 * third, To: 2*third + 1})
+	// Throughout: one lossy ack leg keeps cursors stale so re-ships and
+	// duplicate-skips happen continuously.
+	p.Links = append(p.Links, faults.LinkFault{
+		Src: leader, Dst: f2, From: 0, To: cfg.Epochs - 1, DropProb: 0.3,
+	})
+	return p, p.Validate()
+}
+
+// writePass is one replication run (healthy when inj is nil).
+type writePass struct {
+	rows           []WritePathRow
+	acked          uint64
+	failovers      uint64
+	convergeRounds int
+}
+
+type wpCounters struct {
+	ryw, mono, degraded, catchup, snapshots, fenced, rollbacks int64
+}
+
+func snapWPCounters(reg *metrics.Registry) wpCounters {
+	return wpCounters{
+		ryw:       reg.Counter("replog_ryw_violations_total").Value(),
+		mono:      reg.Counter("replog_monotonic_violations_total").Value(),
+		degraded:  reg.Counter("replog_stale_reads_degraded_total").Value(),
+		catchup:   reg.Counter("replog_catchup_bytes_total").Value(),
+		snapshots: reg.Counter("replog_snapshots_total").Value(),
+		fenced:    reg.Counter("replog_appends_fenced_total").Value(),
+		rollbacks: reg.Counter("replog_rollback_entries_total").Value(),
+	}
+}
+
+func runWritePass(cfg WritePathConfig, w *World, members []int, leader int,
+	epochs [][]workload.Access, inj *faults.Injector) (*writePass, error) {
+	reg := metrics.NewRegistry()
+	g, err := replog.NewGroup(replog.Config{
+		Members: members, Leader: leader,
+		AckQuorum: cfg.AckQuorum, Retain: cfg.Retain, BatchMax: cfg.BatchMax,
+		Metrics: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var link replog.Link
+	if inj != nil {
+		link = replog.InjectorLink(inj)
+	}
+	orders := map[int][]int{}
+	orderOf := func(client int) []int {
+		o, ok := orders[client]
+		if !ok {
+			o = proximityOrder(w.Coords[client], members, w.Coords)
+			orders[client] = o
+		}
+		return o
+	}
+	origLeader := leader
+	pass := &writePass{}
+	prev := snapWPCounters(reg)
+	var prevAcked uint64
+	var lagSamples []float64
+	sampleLags := func() {
+		for _, n := range members {
+			if n == g.Leader() || g.Crashed(n) {
+				continue
+			}
+			lagSamples = append(lagSamples, float64(g.LagEntries(n)))
+		}
+	}
+
+	interval := len(epochs[0]) / cfg.RoundsPerEpoch
+	if interval < 1 {
+		interval = 1
+	}
+	for epoch := range epochs {
+		inj.SetEpoch(epoch)
+		// A client still talking to a deposed-but-live leader: its append
+		// lands with a stale term and the replication attempt is fenced
+		// by the first peer that has heard the newer term; the divergent
+		// entry rolls back when the real leader next reaches the zombie.
+		if inj != nil && g.Leader() != origLeader && !g.Crashed(origLeader) {
+			_, _ = g.AppendAs(origLeader, -1, 0, 1)
+			_ = g.ReplicateFrom(origLeader, link)
+		}
+		acc := epochs[epoch]
+		// Crash/failover sync lands mid-epoch, offset off the round grid
+		// so a deposed leader holds an unreplicated tail; link faults
+		// flip at the epoch boundary with the injector.
+		onset := len(acc)/2 + interval/2
+		lagSamples = lagSamples[:0]
+		failedWrites := 0
+		for i, a := range acc {
+			if i == onset {
+				g.SyncFaults(inj)
+			}
+			if a.Write {
+				ent, err := g.Append(int32(a.Client), int32(a.Object), a.Bytes)
+				if err != nil {
+					failedWrites++
+				} else {
+					g.NoteWrite(int32(a.Client), ent.Seq)
+				}
+			} else {
+				mode := replog.ReadBounded
+				if g.SessionOf(int32(a.Client)).LastWriteSeq > 0 {
+					mode = replog.ReadSession
+				}
+				g.Read(int32(a.Client), mode, orderOf(a.Client), cfg.BoundEntries)
+			}
+			if (i+1)%interval == 0 {
+				g.ReplicateRound(link)
+				sampleLags()
+			}
+		}
+		g.ReplicateRound(link)
+		sampleLags()
+
+		cur := snapWPCounters(reg)
+		acked := g.AckedSeq()
+		pass.rows = append(pass.rows, WritePathRow{
+			Epoch:         epoch,
+			Leader:        g.Leader(),
+			Term:          g.Term(),
+			AckedWrites:   acked - prevAcked,
+			FailedWrites:  failedWrites,
+			LagP50Entries: percentile(lagSamples, 0.50),
+			LagP99Entries: percentile(lagSamples, 0.99),
+			RYW:           cur.ryw - prev.ryw,
+			Monotonic:     cur.mono - prev.mono,
+			Degraded:      cur.degraded - prev.degraded,
+			CatchupBytes:  cur.catchup - prev.catchup,
+			Snapshots:     cur.snapshots - prev.snapshots,
+			Fenced:        cur.fenced - prev.fenced,
+			Rollbacks:     cur.rollbacks - prev.rollbacks,
+			Failovers:     g.Failovers(),
+		})
+		prev, prevAcked = cur, acked
+	}
+
+	// Heal and converge: the pass fails unless every member ends holding
+	// every acked write (the zero-acked-loss contract).
+	g.SyncFaults(nil)
+	rounds, ok := g.RunToConvergence(nil, 512)
+	if !ok {
+		return nil, fmt.Errorf("experiment: writepath pass did not converge after heal")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("experiment: writepath invariants: %w", err)
+	}
+	acked := g.AckedSeq()
+	for _, n := range members {
+		if got := g.AppliedSeq(n); got < acked {
+			return nil, fmt.Errorf("experiment: acked write lost: member %d applied %d < acked %d", n, got, acked)
+		}
+	}
+	pass.acked = acked
+	pass.failovers = g.Failovers()
+	pass.convergeRounds = rounds
+	return pass, nil
+}
+
+// percentile returns the q-quantile of xs by nearest-rank on a sorted
+// copy; 0 for an empty sample.
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q*float64(len(s)-1) + 0.5)
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// RenderWritePath formats a write-path result as aligned text.
+func RenderWritePath(res *WritePathResult) string {
+	var b strings.Builder
+	b.WriteString("Write path: leader-based replication under a seeded fault plan\n")
+	fmt.Fprintf(&b, "placement: %v  leader: %d (%s)\n", res.Members, res.Leader, res.Policy)
+	fmt.Fprintf(&b, "plan: %s\n", res.Plan)
+	fmt.Fprintf(&b, "%-8s%8s%6s%8s%7s%9s%9s%6s%6s%6s%10s%6s%7s%6s\n",
+		"epoch", "leader", "term", "acked", "wfail", "lag p50", "lag p99",
+		"ryw", "mono", "degr", "catchup B", "snap", "fence", "fo")
+	for _, r := range res.Faulted {
+		fmt.Fprintf(&b, "%-8d%8d%6d%8d%7d%9.1f%9.1f%6d%6d%6d%10d%6d%7d%6d\n",
+			r.Epoch, r.Leader, r.Term, r.AckedWrites, r.FailedWrites,
+			r.LagP50Entries, r.LagP99Entries, r.RYW, r.Monotonic, r.Degraded,
+			r.CatchupBytes, r.Snapshots, r.Fenced, r.Failovers)
+	}
+	var hViol, fViol, hDegr, fDegr int64
+	for _, r := range res.Healthy {
+		hViol += r.RYW + r.Monotonic
+		hDegr += r.Degraded
+	}
+	for _, r := range res.Faulted {
+		fViol += r.RYW + r.Monotonic
+		fDegr += r.Degraded
+	}
+	fmt.Fprintf(&b, "healthy: %d writes acked, %d staleness violations, %d degraded reads, 0 failovers\n",
+		res.HealthyAcked, hViol, hDegr)
+	fmt.Fprintf(&b, "faulted: %d writes acked, %d violations (ryw+monotonic), %d degraded reads, %d failovers, converged %d rounds after heal\n",
+		res.FaultedAcked, fViol, fDegr, res.FaultedFailovers, res.ConvergeRounds)
+	return b.String()
+}

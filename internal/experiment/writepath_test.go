@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func testWritePathConfig() WritePathConfig {
+	cfg := DefaultWritePathConfig()
+	cfg.Setup.Nodes = 60
+	cfg.Setup.CoordRounds = 40
+	cfg.NumDCs = 8
+	cfg.AccessesPerEpoch = 600
+	return cfg
+}
+
+func TestWritePathHealthyVsFaulted(t *testing.T) {
+	res, err := WritePath(3, testWritePathConfig())
+	if err != nil {
+		t.Fatalf("WritePath: %v", err)
+	}
+	if len(res.Healthy) != 12 || len(res.Faulted) != 12 {
+		t.Fatalf("want 12 rows per pass, got %d/%d", len(res.Healthy), len(res.Faulted))
+	}
+	// The healthy pass must satisfy every staleness contract: session
+	// reads find the leader, bounded reads fit the bound.
+	if res.HealthyViolations != 0 {
+		t.Fatalf("healthy run counted %d staleness violations", res.HealthyViolations)
+	}
+	for _, r := range res.Healthy {
+		if r.Degraded != 0 || r.Failovers != 0 || r.FailedWrites != 0 {
+			t.Fatalf("healthy row not clean: %+v", r)
+		}
+	}
+	// The faulted pass must show the anomalies the plan injects.
+	if res.FaultedFailovers == 0 {
+		t.Fatalf("fault plan deposed no leader")
+	}
+	if res.FaultedViolations == 0 {
+		t.Fatalf("faulted run counted no staleness violations")
+	}
+	var snapshots, fenced, catchup int64
+	for _, r := range res.Faulted {
+		snapshots += r.Snapshots
+		fenced += r.Fenced
+		catchup += r.CatchupBytes
+	}
+	if snapshots == 0 {
+		t.Fatalf("three-epoch follower outage forced no snapshot catch-up")
+	}
+	if fenced == 0 {
+		t.Fatalf("zombie leader was never fenced")
+	}
+	if catchup == 0 {
+		t.Fatalf("no catch-up traffic recorded")
+	}
+	// Writes keep flowing: the faulted run still acks most of the load.
+	if res.FaultedAcked == 0 || res.HealthyAcked == 0 {
+		t.Fatalf("acked totals: healthy %d faulted %d", res.HealthyAcked, res.FaultedAcked)
+	}
+	out := RenderWritePath(res)
+	for _, want := range []string{"plan:", "lag p99", "failovers", "converged"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePathDeterministic is the reproducibility guard: the same
+// seed must replay the same trajectory, byte for byte.
+func TestWritePathDeterministic(t *testing.T) {
+	cfg := testWritePathConfig()
+	a, err := WritePath(5, cfg)
+	if err != nil {
+		t.Fatalf("WritePath: %v", err)
+	}
+	b, err := WritePath(5, cfg)
+	if err != nil {
+		t.Fatalf("WritePath: %v", err)
+	}
+	if ra, rb := RenderWritePath(a), RenderWritePath(b); ra != rb {
+		t.Fatalf("same seed diverged:\n%s\nvs\n%s", ra, rb)
+	}
+}
+
+func TestWritePathValidates(t *testing.T) {
+	cfg := testWritePathConfig()
+	cfg.WriteFraction = 0
+	if _, err := WritePath(1, cfg); err == nil {
+		t.Fatalf("zero write fraction accepted")
+	}
+	cfg = testWritePathConfig()
+	cfg.Epochs = 6
+	if _, err := WritePath(1, cfg); err == nil {
+		t.Fatalf("short default scenario accepted")
+	}
+	cfg = testWritePathConfig()
+	cfg.K = 1
+	if _, err := WritePath(1, cfg); err == nil {
+		t.Fatalf("K=1 write path accepted")
+	}
+}

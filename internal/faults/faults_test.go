@@ -2,6 +2,9 @@ package faults
 
 import (
 	"math"
+	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 )
 
@@ -197,5 +200,76 @@ func TestParseErrors(t *testing.T) {
 	p, err := Parse(1, "  ")
 	if err != nil || !p.Empty() {
 		t.Errorf("blank plan: %v %+v", err, p)
+	}
+}
+
+// TestParseStringPropertyRoundTrip is the DSL's property test: for
+// randomized plans, rendering and reparsing must be the identity — both
+// at the String level and structurally. This pins the grammar against
+// drift as directives grow (a renderer that emits something Parse
+// rejects, or normalizes differently, fails here first).
+func TestParseStringPropertyRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	epochRange := func() (int, int) {
+		from := r.Intn(20)
+		return from, from + r.Intn(10)
+	}
+	node := func() int {
+		if r.Intn(6) == 0 {
+			return Wild
+		}
+		return r.Intn(12)
+	}
+	for trial := 0; trial < 300; trial++ {
+		p := &Plan{Seed: int64(trial)}
+		for i, nc := 0, r.Intn(4); i < nc; i++ {
+			from, to := epochRange()
+			p.Crashes = append(p.Crashes, Crash{Node: r.Intn(12), From: from, To: to})
+		}
+		for i, np := 0, r.Intn(3); i < np; i++ {
+			perm := r.Perm(12)
+			na, nb := 1+r.Intn(3), r.Intn(3)
+			from, to := epochRange()
+			// Parse normalizes node lists to ascending order; generate
+			// them sorted so structural identity holds.
+			a, b := perm[:na], perm[na:na+nb]
+			sort.Ints(a)
+			sort.Ints(b)
+			pt := Partition{A: a, From: from, To: to}
+			if nb > 0 {
+				pt.B = b
+			}
+			p.Partitions = append(p.Partitions, pt)
+		}
+		for i, nl := 0, r.Intn(4); i < nl; i++ {
+			from, to := epochRange()
+			lf := LinkFault{Src: node(), Dst: node(), From: from, To: to}
+			// One effect per link: String renders a dual-effect fault as
+			// two directives, which reparses to an equivalent but not
+			// structurally identical plan.
+			if r.Intn(2) == 0 {
+				lf.DropProb = 0.05 + 0.9*r.Float64()
+			} else {
+				lf.ExtraMs = 1 + 99*r.Float64()
+			}
+			p.Links = append(p.Links, lf)
+		}
+		if p.Empty() {
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid plan: %v\n%+v", trial, err, p)
+		}
+		s := p.String()
+		q, err := Parse(p.Seed, s)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, s, err)
+		}
+		if got := q.String(); got != s {
+			t.Fatalf("trial %d: round trip changed rendering:\n%q\nvs\n%q", trial, s, got)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("trial %d: round trip changed plan for %q:\n%+v\nvs\n%+v", trial, s, p, q)
+		}
 	}
 }

@@ -171,13 +171,13 @@ type Service struct {
 	// Epoch scratch reused across epochs — the group-solve dispatch loop
 	// (signatures, grouping, drift checks) allocates nothing in steady
 	// state.
-	leaders []int   // group leaders in formation order (object indexes)
-	order   []int   // capacity priority order
-	disp    []int   // capacity mode: per-object displaced counts this epoch
-	cent    vec.Vec // centroid scratch for signature accumulation
-	candIdx map[int]int
+	leaders   []int   // group leaders in formation order (object indexes)
+	order     []int   // capacity priority order
+	disp      []int   // capacity mode: per-object displaced counts this epoch
+	cent      vec.Vec // centroid scratch for signature accumulation
+	candIdx   map[int]int
 	kmScratch cluster.KMeansScratch
-	bounds  *boundCache
+	bounds    *boundCache
 
 	stats EpochStats
 	met   serviceMetrics

@@ -527,7 +527,7 @@ func TestServiceConcurrentStress(t *testing.T) {
 				mu.Lock()
 				o := handles[r.Intn(len(handles))]
 				mu.Unlock()
-				_, _ = o.Record(coord.Coordinate{Pos: vec.Of(r.Float64() * 200, 0)}, 1)
+				_, _ = o.Record(coord.Coordinate{Pos: vec.Of(r.Float64()*200, 0)}, 1)
 			}
 		}(g)
 	}

@@ -11,6 +11,7 @@ import (
 	"github.com/georep/georep/internal/coord"
 	"github.com/georep/georep/internal/ledger"
 	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/replog"
 	"github.com/georep/georep/internal/trace"
 	"github.com/georep/georep/internal/vec"
 )
@@ -74,6 +75,18 @@ type Config struct {
 	// deployments — records then keep their version-1 byte encoding.
 	ObjectID string
 	Class    string
+	// WriteFraction is the expected write share of the workload in
+	// [0, 1]. When positive, the migration gate blends the read
+	// objective with a write-path cost — the demand-weighted
+	// client→leader delay plus the leader→follower replication fanout —
+	// and every decision names the placement's write leader. Zero (the
+	// default) disables the write path entirely: the decision sequence
+	// is byte-identical to a read-only manager.
+	WriteFraction float64
+	// LeaderPolicy picks the write leader inside a placement when
+	// WriteFraction > 0: demand-weighted centroid (default) or lowest
+	// replication fanout. See replog.LeaderPolicy.
+	LeaderPolicy replog.LeaderPolicy
 }
 
 // newServer builds a server in the configured recency/sharding mode.
@@ -134,6 +147,9 @@ func (c Config) Validate() error {
 	if c.IngestShards > 1 && c.WindowEpochs > 0 {
 		return fmt.Errorf("replica: IngestShards and WindowEpochs are mutually exclusive")
 	}
+	if c.WriteFraction < 0 || c.WriteFraction > 1 {
+		return fmt.Errorf("replica: WriteFraction %v out of [0,1]", c.WriteFraction)
+	}
 	return nil
 }
 
@@ -156,6 +172,9 @@ type managerMetrics struct {
 	degraded     *metrics.Counter
 	missing      *metrics.Counter
 	quorumBlock  *metrics.Counter
+	leader       *metrics.Gauge
+	writeOldMs   *metrics.Gauge
+	writeNewMs   *metrics.Gauge
 }
 
 func newManagerMetrics(r *metrics.Registry) managerMetrics {
@@ -175,6 +194,9 @@ func newManagerMetrics(r *metrics.Registry) managerMetrics {
 		degraded:     r.Counter("replica_degraded_epochs_total"),
 		missing:      r.Counter("replica_missing_summaries_total"),
 		quorumBlock:  r.Counter("replica_quorum_blocked_migrations_total"),
+		leader:       r.Gauge("replica_write_leader"),
+		writeOldMs:   r.Gauge("replica_write_cost_old_ms"),
+		writeNewMs:   r.Gauge("replica_write_cost_new_ms"),
 	}
 }
 
@@ -190,8 +212,8 @@ type Manager struct {
 	// positions aliases coords' position vectors, indexed by node, so
 	// the batch ingest path resolves a client id to its coordinate with
 	// one slice read and no allocation.
-	positions []vec.Vec
-	k         int
+	positions  []vec.Vec
+	k          int
 	servers    map[int]*Server
 	replicas   []int
 	epoch      int
@@ -568,6 +590,12 @@ func (m *Manager) CompleteEpoch(r *rand.Rand, p *PendingEpoch, ov *EpochOverride
 		Degraded:         len(p.missing) > 0,
 		MissingSummaries: p.missing,
 		QuorumOK:         p.quorumOK,
+		Leader:           -1,
+	}
+	if m.cfg.WriteFraction > 0 {
+		// The current placement always has a write leader, even on
+		// epochs that decide nothing.
+		dec.Leader = replog.ChooseLeader(m.cfg.LeaderPolicy, m.replicas, micros, m.coords)
 	}
 	if !p.quorumOK {
 		// Too few live summaries to trust any decision: estimate for the
@@ -642,10 +670,27 @@ func (m *Manager) CompleteEpoch(r *rand.Rand, p *PendingEpoch, ov *EpochOverride
 	m.met.estNewMs.Set(newEst)
 	m.met.estGainMs.Set(oldEst - newEst)
 
+	// With a write share, the migration gate compares blended costs:
+	// (1-wf)·read + wf·(client→leader + leader→follower fanout). With
+	// wf == 0 this is exactly the read-only arithmetic — the gate sees
+	// the same floats, so decisions are byte-identical.
+	gateOld, gateNew := oldEst, newEst
+	leaderNew := -1
+	if wf := m.cfg.WriteFraction; wf > 0 {
+		leaderNew = replog.ChooseLeader(m.cfg.LeaderPolicy, proposed, micros, m.coords)
+		wOld := replog.WriteMs(dec.Leader, micros, m.coords) + replog.FanoutMs(dec.Leader, m.replicas, m.coords)
+		wNew := replog.WriteMs(leaderNew, micros, m.coords) + replog.FanoutMs(leaderNew, proposed, m.coords)
+		dec.WriteCostOldMs, dec.WriteCostNewMs = wOld, wNew
+		gateOld = (1-wf)*oldEst + wf*wOld
+		gateNew = (1-wf)*newEst + wf*wNew
+		m.met.writeOldMs.Set(wOld)
+		m.met.writeNewMs.Set(wNew)
+	}
+
 	kchanged := len(proposed) != len(m.replicas) // k changed: must reshape
 	forced := kchanged ||
 		(ov != nil && ov.Forced) // capacity displacement is not optional
-	if forced || m.approveMigration(oldEst, newEst, p.demand, dec.MovedReplicas) {
+	if forced || m.approveMigration(gateOld, gateNew, p.demand, dec.MovedReplicas) {
 		if err := m.applyPlacement(proposed); err != nil {
 			ds.SetErr(err)
 			ds.End()
@@ -654,6 +699,9 @@ func (m *Manager) CompleteEpoch(r *rand.Rand, p *PendingEpoch, ov *EpochOverride
 		}
 		dec.Migrate = true
 		dec.NewReplicas = m.Replicas()
+		if leaderNew >= 0 {
+			dec.Leader = leaderNew
+		}
 		if dec.MovedReplicas > 0 || kchanged {
 			m.migrations++
 			m.met.migrations.Inc()
@@ -664,6 +712,10 @@ func (m *Manager) CompleteEpoch(r *rand.Rand, p *PendingEpoch, ov *EpochOverride
 	ds.SetAttr("migrate", strconv.FormatBool(dec.Migrate))
 	ds.SetAttr("moved", strconv.Itoa(dec.MovedReplicas))
 	ds.SetAttr("gain_ms", strconv.FormatFloat(oldEst-newEst, 'f', 3, 64))
+	if m.cfg.WriteFraction > 0 {
+		ds.SetAttr("leader", strconv.Itoa(dec.Leader))
+		m.met.leader.Set(float64(dec.Leader))
+	}
 	ds.End()
 
 	// Age the surviving summaries so the next epoch reflects recent use.

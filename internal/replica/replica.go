@@ -289,6 +289,16 @@ type Decision struct {
 	// pushed off their preferred data center by per-DC capacity
 	// accounting (multi-object service only; zero otherwise).
 	Displaced int
+	// Leader is the write-path leader DC of the adopted placement, or
+	// -1 when the write path is disabled (Config.WriteFraction == 0).
+	Leader int
+	// WriteCostOldMs and WriteCostNewMs are the write-path costs
+	// (demand-weighted client→leader delay plus leader→follower fanout)
+	// of the old and proposed placements. Zero when the write path is
+	// disabled. The migration gate compares the blended read/write
+	// costs, not EstimatedOldMs/NewMs alone, when WriteFraction > 0.
+	WriteCostOldMs float64
+	WriteCostNewMs float64
 }
 
 // EstimateMeanDelay returns the access-weighted mean predicted delay of

@@ -1,0 +1,92 @@
+package replica
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/georep/georep/internal/replog"
+)
+
+// writeEpoch drives one epoch of concentrated demand at x=demandX.
+func writeEpoch(t *testing.T, m *Manager, demandX float64, n int) Decision {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := m.Record(lineCoords(demandX)[0], 1); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	dec, err := m.EndEpoch(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("EndEpoch: %v", err)
+	}
+	return dec
+}
+
+func TestWriteFractionNamesLeaderAndCosts(t *testing.T) {
+	coords := lineCoords(0, 50, 100, 150, 200)
+	cfg := Config{K: 2, M: 4, Dims: 2, WriteFraction: 0.3, LeaderPolicy: replog.LeaderCentroid}
+	m, err := NewManager(cfg, []int{0, 1, 2, 3, 4}, coords, []int{0, 4})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	dec := writeEpoch(t, m, 190, 40)
+	if dec.Leader < 0 {
+		t.Fatalf("write-enabled decision has no leader: %+v", dec)
+	}
+	if dec.WriteCostOldMs <= 0 {
+		t.Fatalf("write cost not computed: %+v", dec)
+	}
+	// All demand at x≈190: the centroid-policy leader must be the
+	// replica nearest the demand.
+	bestD, best := 1e18, -1
+	for _, rep := range dec.NewReplicas {
+		if d := coords[rep].Pos.Dist(lineCoords(190)[0].Pos); d < bestD {
+			bestD, best = d, rep
+		}
+	}
+	if dec.Leader != best {
+		t.Fatalf("leader %d, want demand-nearest replica %d of %v", dec.Leader, best, dec.NewReplicas)
+	}
+}
+
+// TestWriteDisabledIsByteIdentical is the acceptance guard: a manager
+// with WriteFraction == 0 must produce exactly the decision sequence of
+// a config that predates the write path — same floats, same randomness
+// consumption, Leader pinned to -1 and write costs zero.
+func TestWriteDisabledIsByteIdentical(t *testing.T) {
+	run := func(cfg Config) string {
+		coords := lineCoords(0, 40, 80, 120, 160, 200)
+		m, err := NewManager(cfg, []int{0, 1, 2, 3, 4, 5}, coords, nil)
+		if err != nil {
+			t.Fatalf("NewManager: %v", err)
+		}
+		r := rand.New(rand.NewSource(99))
+		var out string
+		for e := 0; e < 6; e++ {
+			for i := 0; i < 30; i++ {
+				x := float64((e*37 + i*13) % 200)
+				if _, err := m.Record(lineCoords(x)[0], 1+float64(i%3)); err != nil {
+					t.Fatalf("Record: %v", err)
+				}
+			}
+			dec, err := m.EndEpoch(r)
+			if err != nil {
+				t.Fatalf("EndEpoch: %v", err)
+			}
+			if dec.Leader != -1 || dec.WriteCostOldMs != 0 || dec.WriteCostNewMs != 0 {
+				t.Fatalf("write-disabled decision leaked write path: %+v", dec)
+			}
+			out += fmt.Sprintf("%v|%v|%.17g|%.17g|%d\n",
+				dec.NewReplicas, dec.Migrate, dec.EstimatedOldMs, dec.EstimatedNewMs, dec.MovedReplicas)
+		}
+		return out
+	}
+	base := Config{K: 2, M: 4, Dims: 2, Migration: MigrationPolicy{MinRelativeGain: 0.05}}
+	withPolicy := base
+	withPolicy.LeaderPolicy = replog.LeaderFanout // policy alone must change nothing
+	a, b := run(base), run(withPolicy)
+	if a != b {
+		t.Fatalf("write-disabled decisions diverged:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,108 @@
+package replog
+
+import (
+	"testing"
+
+	"github.com/georep/georep/internal/faults"
+)
+
+// TestCrashDuringCatchUpStillConverges is the satellite chaos case: a
+// follower crashes *while* catching up (mid snapshot-plus-tail replay)
+// and must still converge after its second restart, without violating
+// sequence accounting.
+func TestCrashDuringCatchUpStillConverges(t *testing.T) {
+	g, reg := newTestGroup(t, Config{Members: []int{0, 1, 2}, Leader: 0, Retain: 8, BatchMax: 4})
+	// Phase 1: follower 2 is down while the log grows past retention.
+	g.Crash(2)
+	for i := 0; i < 6; i++ {
+		writeN(t, g, 8)
+		g.ReplicateRound(nil)
+	}
+	total := g.LastSeq()
+	if snap := g.members[0].log.SnapSeq(); snap == 0 {
+		t.Fatalf("no compaction — catch-up would not need a snapshot")
+	}
+	// Phase 2: rejoin, run a *partial* catch-up (BatchMax 4 forces many
+	// rounds), then crash again mid-replay.
+	g.Restart(2)
+	g.ReplicateRound(nil) // snapshot install
+	g.ReplicateRound(nil) // first tail batch
+	mid := g.AppliedSeq(2)
+	if mid == 0 || mid >= total {
+		t.Fatalf("catch-up not mid-flight: applied %d of %d", mid, total)
+	}
+	g.Crash(2)
+	// The group keeps writing while the straggler is down again.
+	writeN(t, g, 8)
+	g.ReplicateRound(nil)
+	// Phase 3: second restart. Catch-up resumes from the durable
+	// mid-replay position and completes.
+	g.Restart(2)
+	rounds, ok := g.RunToConvergence(nil, 64)
+	if !ok {
+		t.Fatalf("no convergence after crash-during-catch-up (%d rounds)", rounds)
+	}
+	if g.AppliedSeq(2) != g.LastSeq() {
+		t.Fatalf("straggler at %d, leader at %d", g.AppliedSeq(2), g.LastSeq())
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if v := reg.Counter("replog_entries_duplicate_total").Value(); v < 0 {
+		t.Fatalf("duplicate counter negative")
+	}
+}
+
+// TestChaosPlanDrivenConvergence runs a seeded multi-fault plan — the
+// write-path fault suite: leader crash, a partition isolating the
+// leader, and a follower crash overlapping its own catch-up — and
+// audits invariants every epoch.
+func TestChaosPlanDrivenConvergence(t *testing.T) {
+	const spec = "crash 3@3-5; crash 1@8-9; partition 1|2,3,4@12-14; drop 1>4:0.4@1-18; slow 2>3:25@1-18"
+	plan, err := faults.Parse(99, spec)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	inj, err := faults.NewInjector(plan)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	g, _ := newTestGroup(t, Config{Members: []int{1, 2, 3, 4}, Leader: 1, Retain: 8, BatchMax: 4})
+	link := InjectorLink(inj)
+	var maxAcked uint64
+	for epoch := 1; epoch <= 20; epoch++ {
+		inj.SetEpoch(epoch)
+		g.SyncFaults(inj)
+		for i := 0; i < 6; i++ {
+			if e, err := g.Append(int32(10+i), 1, 128); err == nil {
+				g.NoteWrite(int32(10+i), e.Seq)
+			}
+		}
+		for r := 0; r < 3; r++ {
+			g.ReplicateRound(link)
+		}
+		if a := g.AckedSeq(); a < maxAcked {
+			t.Fatalf("epoch %d: acked regressed %d → %d", epoch, maxAcked, a)
+		} else {
+			maxAcked = a
+		}
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("epoch %d invariants: %v", epoch, err)
+		}
+	}
+	g.SyncFaults(nil)
+	if _, ok := g.RunToConvergence(nil, 128); !ok {
+		t.Fatalf("no convergence after healing")
+	}
+	for _, n := range g.Members() {
+		if g.AppliedSeq(n) < maxAcked {
+			t.Fatalf("member %d lost acked writes: %d < %d", n, g.AppliedSeq(n), maxAcked)
+		}
+	}
+	if g.Failovers() == 0 {
+		t.Fatalf("plan isolated and crashed the leader; expected at least one failover")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("final invariants: %v", err)
+	}
+}

@@ -1,0 +1,146 @@
+package replog
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/georep/georep/internal/faults"
+	"github.com/georep/georep/internal/metrics"
+)
+
+func newTestGroup(t *testing.T, cfg Config) (*Group, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	g, err := NewGroup(cfg)
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
+	return g, reg
+}
+
+// writeN appends n writes at the current leader and notes them in the
+// writer's session.
+func writeN(t *testing.T, g *Group, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		e, err := g.Append(100, 1, 64)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		g.NoteWrite(100, e.Seq)
+	}
+}
+
+func TestGroupReplicatesAndAcks(t *testing.T) {
+	g, reg := newTestGroup(t, Config{Members: []int{0, 1, 2}, Leader: 0})
+	writeN(t, g, 10)
+	if g.AckedSeq() != 0 {
+		t.Fatalf("acked before replication = %d", g.AckedSeq())
+	}
+	st := g.ReplicateRound(nil)
+	if st.Delivered != 20 { // 10 entries to each of 2 followers
+		t.Fatalf("delivered = %d, want 20", st.Delivered)
+	}
+	if st.Bytes != 20*FrameLen {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, 20*FrameLen)
+	}
+	if !g.Converged() {
+		t.Fatalf("not converged after full round")
+	}
+	if g.AckedSeq() != 10 {
+		t.Fatalf("acked = %d, want 10", g.AckedSeq())
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if v := reg.Counter("replog_writes_acked_total").Value(); v != 10 {
+		t.Fatalf("replog_writes_acked_total = %d", v)
+	}
+}
+
+func TestGroupDroppedAckCausesDuplicatesNotDoubleApply(t *testing.T) {
+	g, reg := newTestGroup(t, Config{Members: []int{0, 1}, Leader: 0})
+	writeN(t, g, 5)
+	// Drop the ack leg (1→0) only: entries arrive, cursor stays stale.
+	dropAck := Link(func(from, to int) faults.Verdict {
+		return faults.Verdict{Drop: from == 1 && to == 0}
+	})
+	st := g.ReplicateRound(dropAck)
+	if st.Delivered != 5 || st.Misses != 1 {
+		t.Fatalf("round 1: %+v", st)
+	}
+	if g.AppliedSeq(1) != 5 {
+		t.Fatalf("follower applied = %d, want 5", g.AppliedSeq(1))
+	}
+	// Acked cannot advance: the leader never heard back.
+	if g.AckedSeq() != 0 {
+		t.Fatalf("acked = %d, want 0 after dropped ack", g.AckedSeq())
+	}
+	// Healed round: the leader re-ships from its stale cursor and the
+	// follower skips every duplicate.
+	st = g.ReplicateRound(nil)
+	if st.Duplicates != 5 || st.Delivered != 0 {
+		t.Fatalf("round 2: %+v", st)
+	}
+	if g.AppliedSeq(1) != 5 || g.AckedSeq() != 5 {
+		t.Fatalf("applied=%d acked=%d, want 5/5", g.AppliedSeq(1), g.AckedSeq())
+	}
+	if v := reg.Counter("replog_entries_duplicate_total").Value(); v != 5 {
+		t.Fatalf("duplicate counter = %d", v)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestGroupCrashedFollowerCatchesUpViaSnapshot(t *testing.T) {
+	g, reg := newTestGroup(t, Config{Members: []int{0, 1, 2}, Leader: 0, Retain: 8, BatchMax: 16})
+	// Follower 2 crashes; the group keeps writing well past the
+	// retention window so its tail gets compacted away.
+	g.Crash(2)
+	for i := 0; i < 5; i++ {
+		writeN(t, g, 10)
+		g.ReplicateRound(nil)
+	}
+	if g.AckedSeq() != 50 {
+		t.Fatalf("acked = %d, want 50", g.AckedSeq())
+	}
+	if snap := g.members[0].log.SnapSeq(); snap == 0 {
+		t.Fatalf("leader log never compacted")
+	}
+	// Rejoin: first round must be a snapshot transfer, then tail replay.
+	g.Restart(2)
+	rounds, ok := g.RunToConvergence(nil, 16)
+	if !ok {
+		t.Fatalf("no convergence after %d rounds", rounds)
+	}
+	if v := reg.Counter("replog_snapshots_total").Value(); v != 1 {
+		t.Fatalf("snapshots = %d, want 1", v)
+	}
+	if v := reg.Counter("replog_catchup_bytes_total").Value(); v == 0 {
+		t.Fatalf("catch-up bytes not accounted")
+	}
+	if g.AppliedSeq(2) != 50 {
+		t.Fatalf("rejoined follower applied = %d, want 50", g.AppliedSeq(2))
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestGroupWriteUnavailableWhileLeaderDown(t *testing.T) {
+	g, _ := newTestGroup(t, Config{Members: []int{0, 1, 2}, Leader: 0})
+	writeN(t, g, 3)
+	g.ReplicateRound(nil)
+	g.Crash(0)
+	if _, err := g.Append(7, 1, 64); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("append on crashed leader: %v", err)
+	}
+	if g.WriteAvailable() {
+		t.Fatalf("WriteAvailable with crashed leader")
+	}
+	if _, err := g.AppendAs(1, 7, 1, 64); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("append on follower: %v", err)
+	}
+}

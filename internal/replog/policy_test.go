@@ -1,0 +1,73 @@
+package replog
+
+import (
+	"testing"
+
+	"github.com/georep/georep/internal/cluster"
+	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/vec"
+)
+
+func microAt(x, y, weight float64) cluster.Micro {
+	m := cluster.NewMicro(2)
+	m.Count = 1
+	m.Weight = weight
+	m.Sum = vec.Vec{x, y}
+	m.Sum2 = vec.Vec{x * x, y * y}
+	return m
+}
+
+func coordsAt(pts ...[2]float64) []coord.Coordinate {
+	out := make([]coord.Coordinate, len(pts))
+	for i, p := range pts {
+		out[i] = coord.Coordinate{Pos: vec.Vec{p[0], p[1]}}
+	}
+	return out
+}
+
+func TestChooseLeaderCentroidFollowsDemand(t *testing.T) {
+	// Replicas at x = 0, 50, 100; all demand sits at x ≈ 100.
+	coords := coordsAt([2]float64{0, 0}, [2]float64{50, 0}, [2]float64{100, 0})
+	micros := []cluster.Micro{microAt(95, 0, 10), microAt(105, 0, 20)}
+	if got := ChooseLeader(LeaderCentroid, []int{0, 1, 2}, micros, coords); got != 2 {
+		t.Fatalf("centroid leader = %d, want 2 (near demand)", got)
+	}
+	// With no demand the centroid policy degrades to fanout geometry.
+	if got := ChooseLeader(LeaderCentroid, []int{0, 1, 2}, nil, coords); got != 1 {
+		t.Fatalf("no-demand centroid leader = %d, want middle replica 1", got)
+	}
+}
+
+func TestChooseLeaderFanoutPrefersCenter(t *testing.T) {
+	// The middle replica minimizes mean leader→follower distance even
+	// though demand is far to the right.
+	coords := coordsAt([2]float64{0, 0}, [2]float64{50, 0}, [2]float64{100, 0})
+	micros := []cluster.Micro{microAt(100, 0, 50)}
+	if got := ChooseLeader(LeaderFanout, []int{0, 1, 2}, micros, coords); got != 1 {
+		t.Fatalf("fanout leader = %d, want 1", got)
+	}
+	if f := FanoutMs(1, []int{0, 1, 2}, coords); f != 50 {
+		t.Fatalf("FanoutMs(middle) = %v, want 50", f)
+	}
+	if w := WriteMs(2, micros, coords); w != 0 {
+		t.Fatalf("WriteMs at demand = %v, want 0", w)
+	}
+	if w := WriteMs(0, micros, coords); w != 100 {
+		t.Fatalf("WriteMs far = %v, want 100", w)
+	}
+}
+
+func TestParseLeaderPolicy(t *testing.T) {
+	for s, want := range map[string]LeaderPolicy{"": LeaderCentroid, "centroid": LeaderCentroid, "fanout": LeaderFanout} {
+		got, err := ParseLeaderPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLeaderPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLeaderPolicy("bogus"); err == nil {
+		t.Fatalf("bogus policy accepted")
+	}
+	if LeaderCentroid.String() != "centroid" || LeaderFanout.String() != "fanout" {
+		t.Fatalf("String round trip broken")
+	}
+}

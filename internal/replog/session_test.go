@@ -1,0 +1,96 @@
+package replog
+
+import (
+	"testing"
+
+	"github.com/georep/georep/internal/faults"
+)
+
+func TestReadYourWritesAndMonotonicViolationsCounted(t *testing.T) {
+	g, reg := newTestGroup(t, Config{Members: []int{0, 1, 2}, Leader: 0})
+	order := []int{1, 2, 0} // client is nearest follower 1, leader last
+
+	// Client writes; nothing replicated yet. A nearest read misses the
+	// write: read-your-writes violation.
+	e, err := g.Append(7, 1, 64)
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	g.NoteWrite(7, e.Seq)
+	res := g.Read(7, ReadNearest, order, 0)
+	if res.Node != 1 || !res.RYWViolation {
+		t.Fatalf("nearest read = %+v, want RYW violation on node 1", res)
+	}
+	if v := reg.Counter("replog_ryw_violations_total").Value(); v != 1 {
+		t.Fatalf("ryw counter = %d", v)
+	}
+
+	// Session mode routes past the stale follower to the leader: no
+	// violation, even though replication has not run.
+	res = g.Read(7, ReadSession, order, 0)
+	if res.Node != 0 || res.RYWViolation || res.Degraded {
+		t.Fatalf("session read = %+v, want leader, clean", res)
+	}
+
+	// Monotonic violation: after observing the leader's state, a
+	// nearest read regresses to the lagging follower.
+	res = g.Read(7, ReadNearest, order, 0)
+	if !res.MonotonicViolation {
+		t.Fatalf("nearest re-read = %+v, want monotonic violation", res)
+	}
+	if v := reg.Counter("replog_monotonic_violations_total").Value(); v != 1 {
+		t.Fatalf("monotonic counter = %d", v)
+	}
+
+	// After replication every mode is clean from anywhere.
+	g.ReplicateRound(nil)
+	res = g.Read(7, ReadNearest, order, 0)
+	if res.RYWViolation || res.MonotonicViolation || res.LagEntries != 0 {
+		t.Fatalf("post-replication read = %+v", res)
+	}
+}
+
+func TestBoundedStalenessRouting(t *testing.T) {
+	g, _ := newTestGroup(t, Config{Members: []int{0, 1, 2}, Leader: 0})
+	order := []int{2, 1, 0}
+	// Leader has 10 entries; follower 1 has them, follower 2 has none.
+	writeN(t, g, 10)
+	g.ReplicateRound(func(from, to int) faults.Verdict {
+		return faults.Verdict{Drop: from == 0 && to == 2}
+	})
+	if g.AppliedSeq(1) != 10 || g.AppliedSeq(2) != 0 {
+		t.Fatalf("setup: applied 1=%d 2=%d", g.AppliedSeq(1), g.AppliedSeq(2))
+	}
+	// Bound 16: the lagging nearest follower qualifies.
+	if res := g.Read(3, ReadBounded, order, 16); res.Node != 2 {
+		t.Fatalf("loose bound routed to %d, want 2", res.Node)
+	}
+	// Bound 4: node 2 lags 10 > 4 → next in order (node 1) serves.
+	if res := g.Read(4, ReadBounded, order, 4); res.Node != 1 {
+		t.Fatalf("tight bound routed to %d, want 1", res.Node)
+	}
+	// Everything but the lagging follower down → degraded stale read.
+	g.Crash(0)
+	g.Crash(1)
+	res := g.Read(5, ReadBounded, order, 4)
+	if res.Node != 2 || !res.Degraded {
+		t.Fatalf("degraded read = %+v, want stale node 2 flagged", res)
+	}
+	// No live replica at all.
+	g.Crash(2)
+	if res := g.Read(6, ReadBounded, order, 4); res.Node != -1 {
+		t.Fatalf("all-down read = %+v", res)
+	}
+}
+
+func TestReadLeaderPinned(t *testing.T) {
+	g, _ := newTestGroup(t, Config{Members: []int{0, 1}, Leader: 0})
+	writeN(t, g, 3)
+	if res := g.Read(1, ReadLeader, []int{1, 0}, 0); res.Node != 0 || res.LagEntries != 0 {
+		t.Fatalf("leader read = %+v", res)
+	}
+	g.Crash(0)
+	if res := g.Read(1, ReadLeader, []int{1, 0}, 0); res.Node != -1 {
+		t.Fatalf("leader read with leader down = %+v", res)
+	}
+}

@@ -55,6 +55,10 @@ type StreamSpec struct {
 	DiurnalFloor float64
 	// Flash lists flash-crowd spikes.
 	Flash []FlashCrowd
+	// WriteFraction is the probability in [0,1] that an access is a
+	// write. Zero keeps the stream read-only and consumes exactly the
+	// pre-write-path randomness, so existing golden digests hold.
+	WriteFraction float64
 }
 
 // Validate checks the spec, rejecting non-finite rates, negative churn,
@@ -90,6 +94,9 @@ func (s *StreamSpec) Validate() error {
 	if math.IsNaN(s.DiurnalFloor) || math.IsInf(s.DiurnalFloor, 0) || s.DiurnalFloor < 0 || s.DiurnalFloor > 1 {
 		return fmt.Errorf("workload: diurnal floor %v must be in [0,1]", s.DiurnalFloor)
 	}
+	if math.IsNaN(s.WriteFraction) || math.IsInf(s.WriteFraction, 0) || s.WriteFraction < 0 || s.WriteFraction > 1 {
+		return fmt.Errorf("workload: write fraction %v must be in [0,1]", s.WriteFraction)
+	}
 	for i, f := range s.Flash {
 		if f.Region < 0 || f.Region >= s.Regions {
 			return fmt.Errorf("workload: flash %d targets region %d of %d", i, f.Region, s.Regions)
@@ -114,6 +121,7 @@ func (s *StreamSpec) Validate() error {
 //	batch 4096
 //	rate 250000
 //	churn 0.02
+//	writes 0.15
 //	diurnal period=24 floor=0.1
 //	flash region=3 start=10 dur=2 x=5
 //
@@ -149,6 +157,8 @@ func ParseStreamSpec(text string) (*StreamSpec, error) {
 			spec.Rate, err = oneInt(key, rest)
 		case "churn":
 			spec.Churn, err = oneFloat(key, rest)
+		case "writes":
+			spec.WriteFraction, err = oneFloat(key, rest)
 		case "diurnal":
 			err = parseKV(rest, map[string]func(string) error{
 				"period": setFloat(&spec.DiurnalPeriod),
@@ -463,6 +473,12 @@ func (s *Stream) Next(dst []Access) []Access {
 			Object: obj,
 			Bytes:  s.objBytes[obj],
 		}
+		if wf := s.spec.WriteFraction; wf > 0 {
+			// The write coin is an extra draw taken only for mixed
+			// workloads: read-only specs consume the exact historical
+			// randomness, keeping their golden digests stable.
+			dst[i].Write = s.rng.Float64() < wf
+		}
 	}
 	s.emitted += len(dst)
 	return dst
@@ -499,6 +515,9 @@ func (s *Stream) EpochBatches() int {
 // dst and returns it: per access, little-endian int32 client, int32
 // object, and the IEEE-754 bits of the byte weight. The encoding is the
 // input to the stream golden hash, so it must never change silently.
+// The write flag is deliberately excluded: read-only specs must hash
+// identically whether or not the write path exists, and mixed specs are
+// fingerprinted by the (client, object, bytes) draw sequence alone.
 func AppendEncoded(dst []byte, batch []Access) []byte {
 	var buf [16]byte
 	for _, a := range batch {

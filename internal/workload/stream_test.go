@@ -285,3 +285,43 @@ func TestStreamRejectsEmptyRegion(t *testing.T) {
 		t.Fatal("accepted a NaN client rate")
 	}
 }
+
+func TestStreamWriteFraction(t *testing.T) {
+	// writes directive parses and validates.
+	spec, err := ParseStreamSpec(exampleSpec + "writes 0.25\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.WriteFraction != 0.25 {
+		t.Fatalf("WriteFraction = %v", spec.WriteFraction)
+	}
+	if _, err := ParseStreamSpec(exampleSpec + "writes 1.5\n"); err == nil {
+		t.Fatalf("out-of-range write fraction accepted")
+	}
+
+	// A mixed stream marks roughly the requested share of writes.
+	s := mustStream(t, 1000, 4, func(sp *StreamSpec) { sp.WriteFraction = 0.25 })
+	batch := make([]Access, 256)
+	writes, total := 0, 0
+	for b := 0; b < 32; b++ {
+		for _, a := range s.Next(batch) {
+			total++
+			if a.Write {
+				writes++
+			}
+		}
+	}
+	got := float64(writes) / float64(total)
+	if got < 0.2 || got > 0.3 {
+		t.Fatalf("write share = %.3f, want ≈0.25", got)
+	}
+
+	// A read-only stream marks nothing — and its draw sequence is
+	// untouched by the write path (the golden test pins the digest).
+	s0 := mustStream(t, 1000, 4, nil)
+	for _, a := range s0.Next(batch) {
+		if a.Write {
+			t.Fatalf("read-only stream emitted a write: %+v", a)
+		}
+	}
+}

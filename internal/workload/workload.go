@@ -14,14 +14,18 @@ import (
 	"github.com/georep/georep/internal/stats"
 )
 
-// Access is one read request.
+// Access is one request.
 type Access struct {
-	// Client is the node index issuing the read.
+	// Client is the node index issuing the request.
 	Client int
-	// Object is the data object being read.
+	// Object is the data object being accessed.
 	Object int
 	// Bytes is the transfer size, used as micro-cluster weight.
 	Bytes float64
+	// Write marks the access as a write (routed to the leader by the
+	// write path); streams only emit writes when the spec sets a write
+	// fraction, so read-only workloads are unchanged.
+	Write bool
 }
 
 // ClientSpec describes one client of the workload.

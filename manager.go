@@ -8,6 +8,7 @@ import (
 	"github.com/georep/georep/internal/ledger"
 	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/replica"
+	"github.com/georep/georep/internal/replog"
 	"github.com/georep/georep/internal/trace"
 )
 
@@ -62,6 +63,15 @@ type ManagerConfig struct {
 	// offline audit — see internal/ledger and internal/audit. The caller
 	// owns the ledger's lifecycle (Open/Close).
 	Ledger *ledger.Ledger
+	// WriteFraction, when positive, enables the write path: epoch
+	// decisions name a write leader, and the migration gate blends the
+	// read estimate with the leader's write + fan-out cost at this
+	// weight. Zero keeps decisions byte-identical to a read-only config.
+	WriteFraction float64
+	// LeaderPolicy places the leader when WriteFraction > 0: "centroid"
+	// (demand-weighted, default) or "fanout" (lowest replication cost).
+	// Ignored when WriteFraction is zero.
+	LeaderPolicy string
 }
 
 // EpochReport describes what one epoch's coordination cycle concluded.
@@ -96,6 +106,13 @@ type EpochReport struct {
 	// ledger record carries.
 	ActualMeanMs float64
 	Accesses     int64
+	// Leader is the write-path leader of the adopted placement, or -1
+	// when the write path is disabled (WriteFraction == 0).
+	Leader int
+	// WriteCostOldMs / WriteCostNewMs are the leader write + fan-out
+	// costs of the previous and proposed placements (0 when disabled).
+	WriteCostOldMs float64
+	WriteCostNewMs float64
 }
 
 // Manager is the live replica-placement loop for one object (or object
@@ -140,6 +157,10 @@ func (d *Deployment) NewManager(cfg ManagerConfig) (*Manager, error) {
 			return nil, fmt.Errorf("georep: candidate %d out of range", c)
 		}
 	}
+	leaderPolicy, err := replog.ParseLeaderPolicy(cfg.LeaderPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("georep: %w", err)
+	}
 	reg := metrics.NewRegistry()
 	var rec *trace.FlightRecorder
 	var tracer *trace.Tracer
@@ -164,12 +185,14 @@ func (d *Deployment) NewManager(cfg ManagerConfig) (*Manager, error) {
 			GrowAbove:   cfg.GrowAbove,
 			ShrinkBelow: cfg.ShrinkBelow,
 		},
-		DecayFactor:  cfg.DecayFactor,
-		WindowEpochs: cfg.WindowEpochs,
-		IngestShards: cfg.IngestShards,
-		Quorum:       cfg.Quorum,
-		Tracer:       tracer,
-		Ledger:       cfg.Ledger,
+		DecayFactor:   cfg.DecayFactor,
+		WindowEpochs:  cfg.WindowEpochs,
+		IngestShards:  cfg.IngestShards,
+		Quorum:        cfg.Quorum,
+		Tracer:        tracer,
+		Ledger:        cfg.Ledger,
+		WriteFraction: cfg.WriteFraction,
+		LeaderPolicy:  leaderPolicy,
 	}
 	inner, err := replica.NewManager(rcfg, cfg.Candidates, d.coords, cfg.InitialReplicas)
 	if err != nil {
@@ -304,6 +327,9 @@ func (m *Manager) EndEpochWithOutages(seed int64, unreachable []int) (EpochRepor
 		QuorumOK:         dec.QuorumOK,
 		ActualMeanMs:     actualMean,
 		Accesses:         accesses,
+		Leader:           dec.Leader,
+		WriteCostOldMs:   dec.WriteCostOldMs,
+		WriteCostNewMs:   dec.WriteCostNewMs,
 	}, nil
 }
 

@@ -102,6 +102,13 @@ func TestManagerConfigValidation(t *testing.T) {
 			func(c *ManagerConfig) { c.InitialReplicas = []int{0} },
 			"initial replicas",
 		},
+		{"write fraction above one", func(c *ManagerConfig) { c.WriteFraction = 1.2 }, "WriteFraction"},
+		{"unknown leader policy", func(c *ManagerConfig) { c.LeaderPolicy = "nearest" }, "leader policy"},
+		{
+			"write path fully configured",
+			func(c *ManagerConfig) { c.WriteFraction = 0.3; c.LeaderPolicy = "fanout" },
+			"",
+		},
 	}
 
 	for _, tc := range cases {
@@ -125,5 +132,49 @@ func TestManagerConfigValidation(t *testing.T) {
 				t.Errorf("error %q does not contain %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestManagerWritePathReport checks the write path surfaces through the
+// public manager: a write-enabled config names a leader in every epoch
+// report, a read-only config pins it to -1.
+func TestManagerWritePathReport(t *testing.T) {
+	d := smallDeployment(t)
+	run := func(wf float64) EpochReport {
+		m, err := d.NewManager(ManagerConfig{
+			K: 2, Candidates: []int{0, 1, 2, 3}, WriteFraction: wf,
+		})
+		if err != nil {
+			t.Fatalf("NewManager: %v", err)
+		}
+		for i := 0; i < 40; i++ {
+			if _, _, err := m.RecordAccess(4, 1); err != nil {
+				t.Fatalf("RecordAccess: %v", err)
+			}
+		}
+		rep, err := m.EndEpoch(7)
+		if err != nil {
+			t.Fatalf("EndEpoch: %v", err)
+		}
+		return rep
+	}
+	if rep := run(0); rep.Leader != -1 || rep.WriteCostOldMs != 0 {
+		t.Fatalf("read-only report leaked write path: %+v", rep)
+	}
+	rep := run(0.4)
+	if rep.Leader < 0 {
+		t.Fatalf("write-enabled report has no leader: %+v", rep)
+	}
+	found := false
+	for _, r := range rep.Replicas {
+		if r == rep.Leader {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leader %d not in placement %v", rep.Leader, rep.Replicas)
+	}
+	if rep.WriteCostOldMs <= 0 {
+		t.Fatalf("write cost not computed: %+v", rep)
 	}
 }

@@ -10,6 +10,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Deterministic benchmark environment: strip ambient Go knobs that skew
+# numbers between machines and runs (build flags, debug toggles, GC
+# tuning), and pin the C locale so awk number formatting is stable.
+export GOFLAGS= GODEBUG= GOGC=100 LC_ALL=C LANG=C
+
 BENCHTIME="${BENCHTIME:-10x}"
 OUT="${OUT:-BENCH_parallel.json}"
 TMP="$(mktemp)"
@@ -42,7 +47,7 @@ cat <<'BASELINE'
 BASELINE
 
 echo "  \"benchtime\": \"$BENCHTIME\","
-echo "  \"goos\": \"$(go env GOOS)\", \"goarch\": \"$(go env GOARCH)\","
+echo "  \"goos\": \"$(go env GOOS)\", \"goarch\": \"$(go env GOARCH)\", \"goversion\": \"$(go env GOVERSION)\","
 echo '  "current": {'
 
 awk '

@@ -18,6 +18,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Deterministic benchmark environment: strip ambient Go knobs that skew
+# numbers between machines and runs (build flags, debug toggles, GC
+# tuning), and pin the C locale so awk number formatting is stable.
+export GOFLAGS= GODEBUG= GOGC=100 LC_ALL=C LANG=C
+
 BENCHTIME="${BENCHTIME:-200x}"
 PAIRED_BENCHTIME="${PAIRED_BENCHTIME:-1000x}"
 COUNT="${COUNT:-3}"
@@ -52,7 +57,7 @@ measure() {
 
 summarize() {
   awk -v benchtime="$BENCHTIME" -v paired="$PAIRED_BENCHTIME" \
-      -v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" '
+      -v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" -v goversion="$(go env GOVERSION)" '
   /^BenchmarkLedgerOverhead\/disabled/ { n["d"]++; if (!("d" in min) || $3 < min["d"]) { min["d"] = $3; bytes["d"] = $5; allocs["d"] = $7 } }
   /^BenchmarkLedgerOverhead\/enabled/  { n["e"]++; if (!("e" in min) || $3 < min["e"]) { min["e"] = $3; bytes["e"] = $5; allocs["e"] = $7 } }
   /^BenchmarkLedgerOverhead\/paired/   {
@@ -71,7 +76,7 @@ summarize() {
     if (!("d" in min) || !("e" in min) || !("p" in min)) { print "missing benchmark output" > "/dev/stderr"; exit 1 }
     printf("{\n")
     printf("  \"note\": \"Decision-ledger overhead: full-cycle ns_per_op are minima over %d samples per variant at %s; overhead_pct is the best of %d paired in-process comparisons of minimum EndEpoch latency with and without a ledger (%s interleaved rounds each). Regenerate with scripts/bench_ledger.sh; GATE=1 fails the run when overhead_pct exceeds the bound.\",\n", n["d"], benchtime, n["p"], paired)
-    printf("  \"goos\": \"%s\", \"goarch\": \"%s\",\n", goos, goarch)
+    printf("  \"goos\": \"%s\", \"goarch\": \"%s\", \"goversion\": \"%s\",\n", goos, goarch, goversion)
     printf("  \"full_cycle_disabled\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", min["d"], bytes["d"], allocs["d"])
     printf("  \"full_cycle_enabled\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", min["e"], bytes["e"], allocs["e"])
     printf("  \"paired_epoch\": {\"ns_disabled_min\": %s, \"ns_enabled_min\": %s},\n", ep["d"], ep["e"])

@@ -28,6 +28,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Deterministic benchmark environment: strip ambient Go knobs that skew
+# numbers between machines and runs (build flags, debug toggles, GC
+# tuning), and pin the C locale so awk number formatting is stable.
+export GOFLAGS= GODEBUG= GOGC=100 LC_ALL=C LANG=C
+
 BENCHTIME="${BENCHTIME:-3x}"
 STAGE_BENCHTIME="${STAGE_BENCHTIME:-300x}"
 OBJECTS="${OBJECTS:-10000}"
@@ -60,7 +65,7 @@ go test -run=NONE -bench="^BenchmarkMultiObjectEpoch/(naive|amortized)/objects=$
   -benchtime="$BENCHTIME" . | tee -a "$TMP" >&2
 
 awk -v objects="$OBJECTS" -v benchtime="$BENCHTIME" -v stagetime="$STAGE_BENCHTIME" \
-    -v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" '
+    -v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" -v goversion="$(go env GOVERSION)" '
 function metric(name,   i) {
   for (i = 2; i <= NF; i++) if ($i == name) return $(i-1)
   return ""
@@ -75,7 +80,7 @@ END {
   }
   printf("{\n")
   printf("  \"note\": \"Multi-object placement amortization. decision_stage compares one k-means placement solve per object per epoch (the naive loop) with the service dispatch round (signature grouping + drift-skipped solves) over identical fleet state at 1000 objects, %s rounds each; amortization_factor is their ns_object ratio and is gated (GATE=1 fails below the bound, plus a zero-alloc check on the dispatch loop). full_epoch is the end-to-end epoch tick at %d similar objects in three demand classes (%s epochs), including the per-object summary export/decay/completion work every design pays; recorded for context, not gated. Regenerate with scripts/bench_multiobject.sh.\",\n", stagetime, objects, benchtime)
-  printf("  \"goos\": \"%s\", \"goarch\": \"%s\",\n", goos, goarch)
+  printf("  \"goos\": \"%s\", \"goarch\": \"%s\", \"goversion\": \"%s\",\n", goos, goarch, goversion)
   printf("  \"decision_stage\": {\n")
   printf("    \"naive_solve\": {\"ns_per_object\": %s},\n", solve)
   printf("    \"group_dispatch\": {\"ns_per_object\": %s, \"allocs_per_round\": %s},\n", dispatch, dallocs == "" ? "null" : dallocs)

@@ -19,6 +19,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Deterministic benchmark environment: strip ambient Go knobs that skew
+# numbers between machines and runs (build flags, debug toggles, GC
+# tuning), and pin the C locale so awk number formatting is stable.
+export GOFLAGS= GODEBUG= GOGC=100 LC_ALL=C LANG=C
+
 BENCHTIME="${BENCHTIME:-200x}"
 EPOCH_BENCHTIME="${EPOCH_BENCHTIME:-20x}"
 COUNT="${COUNT:-3}"
@@ -45,7 +50,7 @@ measure() {
 
 summarize() {
   awk -v benchtime="$BENCHTIME" -v epochtime="$EPOCH_BENCHTIME" \
-      -v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" '
+      -v goos="$(go env GOOS)" -v goarch="$(go env GOARCH)" -v goversion="$(go env GOVERSION)" '
   function metric(unit,   i) {
     for (i = 2; i <= NF; i++) if ($i == unit) return $(i-1)
     return ""
@@ -70,7 +75,7 @@ summarize() {
     for (c in min) { v = min[c] + 0; if (v < lo) lo = v; if (v > hi) hi = v }
     printf("{\n")
     printf("  \"note\": \"Planet-scale ingest: ns/access are minima over %d samples at %s per population; flat_factor is the worst/best ratio across populations and must stay small — per-access cost may not grow with client count. allocs_per_op is the worst ingest-loop figure and must be 0. epoch_ns_per_access compares one full epoch (generate + ingest + summary export) through the unsharded and sharded paths at %s. Regenerate with scripts/bench_scale.sh; GATE=1 fails the run when flat_factor exceeds the bound or the hot loop allocates.\",\n", n["10000"], benchtime, epochtime)
-    printf("  \"goos\": \"%s\", \"goarch\": \"%s\",\n", goos, goarch)
+    printf("  \"goos\": \"%s\", \"goarch\": \"%s\", \"goversion\": \"%s\",\n", goos, goarch, goversion)
     printf("  \"ingest_ns_per_access\": {\"10000\": %s, \"100000\": %s, \"1000000\": %s},\n", min["10000"], min["100000"], min["1000000"])
     printf("  \"ingest_allocs_per_op\": %d,\n", allocs + 0)
     printf("  \"epoch_ns_per_access\": {\"unsharded\": %s, \"sharded\": %s},\n", emin["unsharded"], emin["sharded"])

@@ -17,6 +17,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Deterministic benchmark environment: strip ambient Go knobs that skew
+# numbers between machines and runs (build flags, debug toggles, GC
+# tuning), and pin the C locale so awk number formatting is stable.
+export GOFLAGS= GODEBUG= GOGC=100 LC_ALL=C LANG=C
+
 BENCHTIME="${BENCHTIME:-200x}"
 COUNT="${COUNT:-3}"
 OUT="${OUT:-BENCH_trace.json}"
@@ -51,7 +56,7 @@ measure() {
 
 summarize() {
   awk -v benchtime="$BENCHTIME" -v goos="$(go env GOOS)" \
-      -v goarch="$(go env GOARCH)" '
+      -v goarch="$(go env GOARCH)" -v goversion="$(go env GOVERSION)" '
   /^BenchmarkTraceOverhead\/disabled/ { n["d"]++; if (!("d" in min) || $3 < min["d"]) { min["d"] = $3; bytes["d"] = $5; allocs["d"] = $7 } }
   /^BenchmarkTraceOverhead\/enabled/  { n["e"]++; if (!("e" in min) || $3 < min["e"]) { min["e"] = $3; bytes["e"] = $5; allocs["e"] = $7 } }
   END {
@@ -59,7 +64,7 @@ summarize() {
     overhead = 100 * (min["e"] - min["d"]) / min["d"]
     printf("{\n")
     printf("  \"note\": \"Tracing overhead on a full manager epoch (100 accesses + collect/kmeans/decide): min ns_per_op over %d ABBA-ordered samples per variant at %s. Regenerate with scripts/bench_trace.sh; GATE=1 fails the run when overhead_pct exceeds the bound.\",\n", n["d"], benchtime)
-    printf("  \"goos\": \"%s\", \"goarch\": \"%s\",\n", goos, goarch)
+    printf("  \"goos\": \"%s\", \"goarch\": \"%s\", \"goversion\": \"%s\",\n", goos, goarch, goversion)
     printf("  \"disabled\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", min["d"], bytes["d"], allocs["d"])
     printf("  \"enabled\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", min["e"], bytes["e"], allocs["e"])
     printf("  \"overhead_pct\": %.2f\n", overhead)
