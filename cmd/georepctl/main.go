@@ -12,6 +12,7 @@
 //	georepctl -nodes ... rebalance -obj key -k 2 [-min-gain 0.05] [-apply] [-trace-out t.jsonl]
 //	georepctl -nodes ... decay -factor 0.5
 //	georepctl -nodes ... metrics [-metric daemon_rpc] [-watch 2s]
+//	georepctl -nodes ... slo [-watch 2s]
 //	georepctl -nodes ... trace [-anomalous] [-trace-id id] [-o tree|chrome|jsonl]
 //	georepctl -nodes ... spans [-kind collect] [-top 10]
 //	georepctl trace -in run.jsonl                # render an exported trace file
@@ -31,6 +32,14 @@
 // span, the trace pinned anomalous) instead of failing it; -trace-out
 // merges the coordinator's spans with the daemons' server-side legs into
 // a JSONL file that `georepctl trace -in` or about://tracing renders.
+//
+// slo renders each node's live SLO dashboard — per objective: state,
+// error-budget remaining, fast/slow burn rates, and a sparkline of the
+// recent bad-event fraction — and with -watch re-renders it top-style
+// using the same restart-resilient loop as metrics -watch. Nodes must
+// run with -slo. The plain metrics table also appends an SLO section
+// whenever a node serves one, so a metrics -watch shows budget and burn
+// columns alongside the raw series.
 //
 // trace fetches the span trees retained by the daemons' flight
 // recorders (or reads an exported JSONL file with -in) and renders them
@@ -53,6 +62,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
@@ -121,7 +131,7 @@ func run(args []string) error {
 	rest := fs.Args()
 	if len(rest) == 0 {
 		fs.Usage()
-		return fmt.Errorf("need a command: status, get, put, read, rebalance, decay, metrics, trace, spans, ledger, audit")
+		return fmt.Errorf("need a command: status, get, put, read, rebalance, decay, metrics, slo, trace, spans, ledger, audit")
 	}
 	cmd := rest[0]
 	if err := fs.Parse(rest[1:]); err != nil {
@@ -219,6 +229,11 @@ func run(args []string) error {
 			return fleet.metricsWatch(os.Stdout, *metricFilt, *watchEvery, 0)
 		}
 		return fleet.metrics(os.Stdout, *metricFilt)
+	case "slo":
+		if *watchEvery > 0 {
+			return fleet.watch(os.Stdout, "slo", *watchEvery, 0, fleet.slo)
+		}
+		return fleet.slo(os.Stdout)
 	case "trace":
 		traces, err := fleet.gatherTraces()
 		if err != nil {
@@ -413,8 +428,79 @@ func (f *fleet) metrics(w io.Writer, filter string) error {
 			fmt.Fprintf(w, "  %-44s n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
 				name, h.Count, h.Mean(), h.P50, h.P95, h.P99, h.Max)
 		}
+		// Nodes running with -slo get a budget/burn section under the raw
+		// series; nodes without one just skip it (the RPC errors).
+		if st, err := m.client.SLO(); err == nil {
+			fmt.Fprintf(w, "  slo%42s %8s %7s %7s\n", "state", "budget", "burnF", "burnS")
+			for _, o := range st.Objectives {
+				fmt.Fprintf(w, "    %-41s %5s %7.1f%% %6.1fx %6.1fx\n",
+					o.Name, o.State, o.BudgetRemaining*100, o.BurnFastShort, o.BurnSlowShort)
+			}
+		}
 	}
 	return nil
+}
+
+// slo renders each node's live SLO dashboard. Nodes answering the slo
+// RPC with an application error (engine disabled) are reported and
+// skipped; if no node serves SLOs the command fails.
+func (f *fleet) slo(w io.Writer) error {
+	served := 0
+	for _, m := range f.members {
+		st, err := m.client.SLO()
+		if err != nil {
+			if transport.IsRetryable(err) {
+				return err
+			}
+			fmt.Fprintf(w, "node %d (%s): no slo engine\n", m.node, m.addr)
+			continue
+		}
+		served++
+		fmt.Fprintf(w, "node %d (%s)  spec: %s\n", m.node, m.addr, st.Spec)
+		fmt.Fprintf(w, "  page at %.1fx burn on %s+%s, warn at %.1fx on %s+%s\n",
+			st.PageBurn, st.Windows["fast_short"], st.Windows["fast_long"],
+			st.WarnBurn, st.Windows["slow_short"], st.Windows["slow_long"])
+		for _, o := range st.Objectives {
+			fmt.Fprintf(w, "  %-28s %-4s  budget %6.1f%%  burn %5.1fx %5.1fx %5.1fx %5.1fx  %s\n",
+				o.Name, o.State, o.BudgetRemaining*100,
+				o.BurnFastShort, o.BurnFastLong, o.BurnSlowShort, o.BurnSlowLong,
+				sparkline(o.Spark))
+			for _, ex := range o.Exemplars {
+				fmt.Fprintf(w, "      exemplar %.3f trace %s\n", ex.Value, ex.TraceID)
+			}
+		}
+	}
+	if served == 0 {
+		return fmt.Errorf("no node serves SLOs (start georepd with -slo)")
+	}
+	return nil
+}
+
+// sparkBars is the 8-level block alphabet sparklines draw with.
+var sparkBars = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values as unicode bars scaled to their own max;
+// NaN (no data yet) renders as a space.
+func sparkline(vals []float64) string {
+	var max float64
+	for _, v := range vals {
+		if !math.IsNaN(v) && v > max {
+			max = v
+		}
+	}
+	out := make([]rune, 0, len(vals))
+	for _, v := range vals {
+		switch {
+		case math.IsNaN(v):
+			out = append(out, ' ')
+		case max == 0:
+			out = append(out, sparkBars[0])
+		default:
+			i := int(v / max * float64(len(sparkBars)-1))
+			out = append(out, sparkBars[i])
+		}
+	}
+	return string(out)
 }
 
 // metricsWatchMaxFailures is how many consecutive unreachable frames a
@@ -422,7 +508,7 @@ func (f *fleet) metrics(w io.Writer, filter string) error {
 // restart, small enough that a permanently dead fleet still surfaces.
 const metricsWatchMaxFailures = 8
 
-// metricsWatch re-renders the fleet metrics table every interval,
+// watch re-renders one fleet view every interval,
 // clearing the terminal between frames (top-style), until interrupted.
 // Each frame is rendered to a buffer first so a partially fetched frame
 // never tears the screen. A transport-level failure — a daemon
@@ -431,7 +517,7 @@ const metricsWatchMaxFailures = 8
 // redials, giving up only after metricsWatchMaxFailures consecutive
 // misses. Application errors still fail fast. iterations caps the
 // number of frames (successful or skipped) for tests; <= 0 runs forever.
-func (f *fleet) metricsWatch(w io.Writer, filter string, interval time.Duration, iterations int) error {
+func (f *fleet) watch(w io.Writer, title string, interval time.Duration, iterations int, render func(io.Writer) error) error {
 	if interval < 100*time.Millisecond {
 		interval = 100 * time.Millisecond
 	}
@@ -440,14 +526,14 @@ func (f *fleet) metricsWatch(w io.Writer, filter string, interval time.Duration,
 	for i := 0; ; i++ {
 		var buf bytes.Buffer
 		wait := interval
-		switch err := f.metrics(&buf, filter); {
+		switch err := render(&buf); {
 		case err == nil:
 			failures = 0
-			fmt.Fprintf(w, "\033[H\033[2Jgeorepctl metrics  (every %s, ctrl-c to stop)\n%s", interval, buf.String())
+			fmt.Fprintf(w, "\033[H\033[2Jgeorepctl %s  (every %s, ctrl-c to stop)\n%s", title, interval, buf.String())
 		case transport.IsRetryable(err):
 			failures++
 			if failures >= metricsWatchMaxFailures {
-				return fmt.Errorf("metrics watch: giving up after %d consecutive failures: %w", failures, err)
+				return fmt.Errorf("%s watch: giving up after %d consecutive failures: %w", title, failures, err)
 			}
 			if backoff := policy.Backoff(failures, nil); backoff > wait {
 				wait = backoff
@@ -462,6 +548,13 @@ func (f *fleet) metricsWatch(w io.Writer, filter string, interval time.Duration,
 		}
 		time.Sleep(wait)
 	}
+}
+
+// metricsWatch is the metrics-table view of the generic watch loop.
+func (f *fleet) metricsWatch(w io.Writer, filter string, interval time.Duration, iterations int) error {
+	return f.watch(w, "metrics", interval, iterations, func(fw io.Writer) error {
+		return f.metrics(fw, filter)
+	})
 }
 
 // decay ages every node's summary — an operator's manual epoch boundary.

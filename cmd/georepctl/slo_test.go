@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/georep/georep/internal/daemon"
+)
+
+func startSLONode(t *testing.T) string {
+	t.Helper()
+	n, err := daemon.NewNode(daemon.Config{
+		ID: 0, MicroClusters: 4, Dims: 2, Coordinate: []float64{0, 0}, Height: 1,
+		SLOSpec:     "avail ratio(daemon_rpc_errors_total / daemon_rpc_total) <= 0.01",
+		SLOInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n.Addr()
+}
+
+// TestCtlSLODashboard renders the slo command against a live node and
+// checks the dashboard carries the objective row, thresholds, and a
+// sparkline; the metrics table gains the budget/burn section too.
+func TestCtlSLODashboard(t *testing.T) {
+	addr := startSLONode(t)
+	f, err := dialFleet(strings.Split(addr, ","), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.close()
+
+	if _, err := f.members[0].client.Stats(); err != nil { // some traffic
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // a few sampler ticks
+
+	var buf bytes.Buffer
+	if err := f.slo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"avail", "ok", "budget", "page at"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Errorf("dashboard has no sparkline:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := f.metrics(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "slo") || !strings.Contains(out, "burnF") {
+		t.Errorf("metrics table missing SLO section:\n%s", out)
+	}
+
+	// watch mode reuses the restart-resilient loop: two frames render.
+	buf.Reset()
+	if err := f.watch(&buf, "slo", 100*time.Millisecond, 2, f.slo); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\033[H\033[2J"); got != 2 {
+		t.Fatalf("want 2 watch frames, got %d:\n%q", got, buf.String())
+	}
+}
+
+// TestCtlSLOWithoutEngine: a fleet with no -slo node fails the command
+// with advice rather than rendering an empty dashboard.
+func TestCtlSLOWithoutEngine(t *testing.T) {
+	nodes := startTestFleet(t)
+	f, err := dialFleet(strings.Split(nodes, ","), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.close()
+	var buf bytes.Buffer
+	err = f.slo(&buf)
+	if err == nil || !strings.Contains(err.Error(), "-slo") {
+		t.Fatalf("want advice error, got %v\n%s", err, buf.String())
+	}
+}
+
+// TestSparkline pins the renderer: scaling to max, NaN gaps, all-zero.
+func TestSparkline(t *testing.T) {
+	if got := sparkline([]float64{0, 0.5, 1}); got != "▁▄█" {
+		t.Errorf("sparkline scale = %q", got)
+	}
+	if got := sparkline([]float64{math.NaN(), 1}); got != " █" {
+		t.Errorf("sparkline NaN = %q", got)
+	}
+	if got := sparkline([]float64{0, 0}); got != "▁▁" {
+		t.Errorf("sparkline zeros = %q", got)
+	}
+	if got := sparkline(nil); got != "" {
+		t.Errorf("sparkline nil = %q", got)
+	}
+}

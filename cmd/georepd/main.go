@@ -15,19 +15,25 @@
 //	georepd -addr 127.0.0.1:7001 -fault-plan "crash 0@2-4"    # chaos-test this node
 //	georepd -addr 127.0.0.1:7001 -write-ratio 0.2             # leader write log + replicate RPC
 //	georepd -addr 127.0.0.1:7001 -log info,transport=debug    # per-component log levels
+//	georepd -addr 127.0.0.1:7001 -slo "avail ratio(daemon_rpc_errors_total / daemon_rpc_total) <= 0.001"
 //
 // With -metrics-addr the daemon serves an observability surface over
 // HTTP:
 //
-//	/metrics       Prometheus text exposition (scrape this)
-//	/metrics.json  the same registry as an expvar-style JSON document
-//	/debug/vars    alias of /metrics.json
-//	/trace         retained span trees as JSONL (?format=chrome for
-//	               Chrome trace_event / Perfetto)
-//	/audit         continuous placement-regret audit report as JSON
-//	               (requires -ledger-dir)
-//	/healthz       liveness probe
-//	/debug/pprof/  Go profiling endpoints (only with -pprof)
+//	/metrics          Prometheus text exposition with georep_-prefixed
+//	                  series (scrape this)
+//	/metrics.json     the same registry as an expvar-style JSON document
+//	/metrics/history  the in-process time-series ring as JSON
+//	                  (?lookback=10m; requires -slo)
+//	/slo              live SLO status: states, burn rates, budgets
+//	                  (requires -slo)
+//	/debug/vars       alias of /metrics.json
+//	/trace            retained span trees as JSONL (?format=chrome for
+//	                  Chrome trace_event / Perfetto)
+//	/audit            continuous placement-regret audit report as JSON
+//	                  (requires -ledger-dir)
+//	/healthz          liveness probe
+//	/debug/pprof/     Go profiling endpoints (only with -pprof)
 //
 // The metrics cover RPC counts and errors per method, transport bytes
 // in/out, handler latency histograms with p50/p95/p99, and summary-
@@ -47,8 +53,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	rpprof "runtime/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -58,8 +67,60 @@ import (
 	"github.com/georep/georep/internal/latency"
 	"github.com/georep/georep/internal/logging"
 	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/slo"
 	"github.com/georep/georep/internal/trace"
 )
+
+// maxPageProfiles bounds how many page transitions trigger one-shot
+// profile captures, so a flapping objective cannot fill the ledger dir.
+const maxPageProfiles = 4
+
+// pageProfiler returns an SLO transition hook that, on each page
+// transition (up to limit), writes a one-shot heap profile and a 2s CPU
+// profile into dir next to the epoch ledger. Captures run off the
+// evaluation goroutine and never overlap: the Go runtime allows only
+// one CPU profile at a time.
+func pageProfiler(dir string, limit int32) func(slo.Transition) {
+	var taken int32
+	var busy int32
+	return func(t slo.Transition) {
+		if t.To != slo.StatePage {
+			return
+		}
+		n := atomic.AddInt32(&taken, 1)
+		if n > limit || !atomic.CompareAndSwapInt32(&busy, 0, 1) {
+			return
+		}
+		go func() {
+			defer atomic.StoreInt32(&busy, 0)
+			base := filepath.Join(dir, fmt.Sprintf("slo_page_%d_%s", n,
+				strings.Map(safeFileRune, t.Objective)))
+			if f, err := os.Create(base + ".heap.pprof"); err == nil {
+				_ = rpprof.Lookup("heap").WriteTo(f, 0)
+				f.Close()
+			}
+			f, err := os.Create(base + ".cpu.pprof")
+			if err != nil {
+				return
+			}
+			defer f.Close()
+			if err := rpprof.StartCPUProfile(f); err != nil {
+				return
+			}
+			time.Sleep(2 * time.Second)
+			rpprof.StopCPUProfile()
+		}()
+	}
+}
+
+// safeFileRune maps objective names onto a filename-safe alphabet.
+func safeFileRune(r rune) rune {
+	switch {
+	case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		return r
+	}
+	return '_'
+}
 
 func main() {
 	stop := make(chan os.Signal, 1)
@@ -100,6 +161,9 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		logSpec     = fs.String("log", "info", "log levels: default[,component=level ...] with components daemon and transport, e.g. \"warn,transport=debug\"")
 		traceOn     = fs.Bool("trace", true, "retain recent and anomalous span trees in a flight recorder, served at /trace and the trace RPC")
 		pprofOn     = fs.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ on -metrics-addr")
+		sloSpec     = fs.String("slo", "", "SLO spec DSL, e.g. \"avail ratio(daemon_rpc_errors_total / daemon_rpc_total) <= 0.001; read_p99 p99(daemon_rpc_get_ms) <= 50\" (see internal/slo); enables the metrics history ring, burn-rate alerting, slo_* gauges, the slo RPC, and /slo + /metrics/history on -metrics-addr")
+		sloEvery    = fs.Duration("slo-interval", 10*time.Second, "history sampling and SLO evaluation cadence")
+		histSamples = fs.Int("history-samples", 360, "metrics history ring capacity (360 at the default cadence = one hour)")
 		ledgerDir   = fs.String("ledger-dir", "", "continuously audit the epoch ledger in this directory: regret/drift/quality gauges join /metrics and the report is served at /audit")
 		auditEvery  = fs.Duration("audit-interval", 30*time.Second, "how often the -ledger-dir auditor re-reads the ledger")
 		auditSeed   = fs.Int64("audit-seed", 1, "seed for the auditor's offline k-means baseline")
@@ -164,6 +228,10 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 	if *traceOn {
 		rec = trace.NewFlightRecorder(trace.DefaultRecent, trace.DefaultAnomalous)
 	}
+	var onTransition func(slo.Transition)
+	if *sloSpec != "" && *pprofOn && *ledgerDir != "" {
+		onTransition = pageProfiler(*ledgerDir, maxPageProfiles)
+	}
 	n, err := daemon.NewNode(daemon.Config{
 		ID:                       *nodeID,
 		MicroClusters:            *micro,
@@ -178,6 +246,10 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		Faults:                   inj,
 		AdvanceFaultEpochOnDecay: inj != nil,
 		Trace:                    rec,
+		SLOSpec:                  *sloSpec,
+		SLOInterval:              *sloEvery,
+		HistorySamples:           *histSamples,
+		OnSLOTransition:          onTransition,
 		Logger:                   logCfg.Logger(os.Stderr, "daemon"),
 		TransportLogger:          logCfg.Logger(os.Stderr, "transport"),
 	})
@@ -193,6 +265,12 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 	}
 	if inj != nil {
 		fmt.Printf("fault injection active (seed %d): %s\n", *faultSeed, *faultPlan)
+	}
+	if *sloSpec != "" {
+		fmt.Printf("slo engine active (every %s): %s\n", *sloEvery, n.SLO().Spec())
+		if onTransition != nil {
+			fmt.Printf("page transitions capture cpu+heap profiles to %s (at most %d)\n", *ledgerDir, maxPageProfiles)
+		}
 	}
 
 	var aw *audit.Watcher
@@ -239,7 +317,7 @@ func newObsMux(n *daemon.Node, rec *trace.FlightRecorder, aw *audit.Watcher, ppr
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		var buf bytes.Buffer
-		if err := metrics.WritePrometheus(&buf, n.Snapshot()); err != nil {
+		if err := metrics.WritePrometheusPrefixed(&buf, n.Snapshot(), "georep_"); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -278,6 +356,42 @@ func newObsMux(n *daemon.Node, rec *trace.FlightRecorder, aw *audit.Watcher, ppr
 		}
 		w.Header().Set("Content-Type", ct)
 		_, _ = w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+		if n.SLO() == nil {
+			http.Error(w, "slo engine disabled (start with -slo)", http.StatusNotFound)
+			return
+		}
+		body, err := json.MarshalIndent(n.SLO().Status(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	})
+	mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, r *http.Request) {
+		h := n.History()
+		if h == nil {
+			http.Error(w, "metrics history disabled (start with -slo)", http.StatusNotFound)
+			return
+		}
+		var since int64 // zero = everything retained
+		if lb := r.URL.Query().Get("lookback"); lb != "" {
+			d, err := time.ParseDuration(lb)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad lookback %q: %v", lb, err), http.StatusBadRequest)
+				return
+			}
+			since = metrics.SinceNs(time.Now().UnixNano(), d)
+		}
+		body, err := json.Marshal(h.Dump(since))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
 	})
 	mux.HandleFunc("/audit", func(w http.ResponseWriter, _ *http.Request) {
 		if aw == nil {

@@ -216,10 +216,10 @@ func TestPrometheusEndpoint(t *testing.T) {
 	}
 	text := string(body)
 	for _, want := range []string{
-		"# TYPE daemon_rpc_get_total counter",
-		"daemon_rpc_get_total 1",
-		"# TYPE daemon_rpc_get_ms histogram",
-		`daemon_rpc_get_ms_bucket{le="+Inf"} 1`,
+		"# TYPE georep_daemon_rpc_get_total counter",
+		"georep_daemon_rpc_get_total 1",
+		"# TYPE georep_daemon_rpc_get_ms histogram",
+		`georep_daemon_rpc_get_ms_bucket{le="+Inf"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q", want)

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/georep/georep/internal/daemon"
+	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/slo"
+)
+
+// TestSLOEndpoints covers the -slo HTTP surface: /slo serves the
+// engine status, /metrics/history serves the sampled ring (with
+// lookback validation), the Prometheus exposition carries the
+// georep_slo_* gauges, and both endpoints 404 without -slo.
+func TestSLOEndpoints(t *testing.T) {
+	bound, stop := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0", "-dims", "2",
+		"-slo", "avail ratio(daemon_rpc_errors_total / daemon_rpc_total) <= 0.001",
+		"-slo-interval", "10ms", "-history-samples", "64",
+	})
+	defer stop()
+
+	c, err := daemon.DialNode(bound.RPC, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("k", []byte("v"), 1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // a few sampler ticks
+
+	resp, err := http.Get("http://" + bound.Metrics + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /slo = %s: %s", resp.Status, body)
+	}
+	var st slo.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Objectives) != 1 || st.Objectives[0].Name != "avail" {
+		t.Fatalf("status objectives: %+v", st.Objectives)
+	}
+	if st.Objectives[0].State != slo.StateOK {
+		t.Fatalf("healthy daemon not ok: %v", st.Objectives[0].State)
+	}
+
+	resp, err = http.Get("http://" + bound.Metrics + "/metrics/history?lookback=1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics/history = %s: %s", resp.Status, body)
+	}
+	var dump metrics.Dump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Times) == 0 {
+		t.Fatal("history dump has no samples")
+	}
+	if _, ok := dump.Counters["daemon_rpc_total"]; !ok {
+		t.Fatalf("history dump missing daemon_rpc_total: %v", dump.Counters)
+	}
+
+	resp, err = http.Get("http://" + bound.Metrics + "/metrics/history?lookback=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus lookback = %s; want 400", resp.Status)
+	}
+
+	resp, err = http.Get("http://" + bound.Metrics + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "georep_slo_avail_budget_remaining") {
+		t.Error("prometheus exposition missing georep_slo_avail_budget_remaining")
+	}
+}
+
+// TestSLOEndpointsDisabled: without -slo the endpoints answer 404.
+func TestSLOEndpointsDisabled(t *testing.T) {
+	bound, stop := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0",
+	})
+	defer stop()
+	for _, path := range []string{"/slo", "/metrics/history"} {
+		resp, err := http.Get("http://" + bound.Metrics + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %s; want 404", path, resp.Status)
+		}
+	}
+}

@@ -61,8 +61,8 @@ func run(args []string) error {
 		csv         = fs.Bool("csv", false, "emit figures as CSV instead of aligned text")
 		faultPlan   = fs.String("fault-plan", "", "override the failures scenario with a fault-plan DSL string (see internal/faults)")
 		faultSeed   = fs.Int64("fault-seed", 1, "seed for the failures scenario")
-		traceOut    = fs.String("trace-out", "", "write the failures run's per-epoch span trees as JSONL to this file")
-		traceChrome = fs.String("trace-chrome", "", "write the failures run's span trees in Chrome trace_event format to this file (load via chrome://tracing or Perfetto)")
+		traceOut    = fs.String("trace-out", "", "write the failures or writepath run's per-epoch span trees as JSONL to this file (writepath exports the faulted pass, SLO pins included)")
+		traceChrome = fs.String("trace-chrome", "", "write the failures or writepath run's span trees in Chrome trace_event format to this file (load via chrome://tracing or Perfetto)")
 		ledgerOut   = fs.String("ledger-out", "", "write the drift/failures/scale run's epoch decisions as a durable ledger to this directory (audit with georepctl audit)")
 		clients     = fs.Int("clients", 0, "scale figure: synthetic client population (0 = default 100k)")
 		rate        = fs.Int("rate", 0, "scale figure: accesses generated per epoch (0 = default 50k)")
@@ -251,6 +251,11 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(experiment.RenderWritePath(res))
+		if *traceOut != "" || *traceChrome != "" {
+			if err := exportTraces(res.Traces, *traceOut, *traceChrome); err != nil {
+				return err
+			}
+		}
 	}
 	if *all || *fig == "scale" {
 		cfg := experiment.DefaultScaleConfig()

@@ -9,6 +9,7 @@ import (
 	"github.com/georep/georep/internal/cluster"
 	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/replog"
+	"github.com/georep/georep/internal/slo"
 	"github.com/georep/georep/internal/trace"
 	"github.com/georep/georep/internal/transport"
 )
@@ -25,7 +26,7 @@ type Client struct {
 func IdempotentMethods() []string {
 	return []string{MethodGet, MethodPut, MethodDelete, MethodMicros,
 		MethodStats, MethodPing, MethodCoord, MethodList, MethodMetrics,
-		MethodTrace, MethodReplicate}
+		MethodTrace, MethodSLO, MethodReplicate}
 }
 
 // DialNode connects to a daemon. Additional transport options (retry
@@ -193,6 +194,20 @@ func (c *Client) Trace() ([]trace.Trace, error) {
 		return nil, fmt.Errorf("daemon: decode traces from %s: %w", c.addr, err)
 	}
 	return traces, nil
+}
+
+// SLO fetches the node's live SLO engine status (an error when the
+// node runs without -slo).
+func (c *Client) SLO() (slo.Status, error) {
+	var resp SLOResponse
+	if _, err := c.c.Call(MethodSLO, nil, &resp); err != nil {
+		return slo.Status{}, fmt.Errorf("daemon: slo from %s: %w", c.addr, err)
+	}
+	var st slo.Status
+	if err := json.Unmarshal(resp.JSON, &st); err != nil {
+		return slo.Status{}, fmt.Errorf("daemon: decode slo from %s: %w", c.addr, err)
+	}
+	return st, nil
 }
 
 // Replicate fetches write-log entries past the caller's highest applied

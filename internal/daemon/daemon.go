@@ -22,6 +22,7 @@ import (
 	"github.com/georep/georep/internal/logging"
 	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/replog"
+	"github.com/georep/georep/internal/slo"
 	"github.com/georep/georep/internal/store"
 	"github.com/georep/georep/internal/trace"
 	"github.com/georep/georep/internal/transport"
@@ -100,6 +101,12 @@ type (
 	TraceResponse struct {
 		JSON []byte
 	}
+	// SLOResponse carries the node's SLO engine status as a
+	// JSON-encoded slo.Status (see internal/slo); an error when the
+	// node runs without -slo.
+	SLOResponse struct {
+		JSON []byte
+	}
 	// ReplicateRequest asks a write-log node for log entries past the
 	// caller's highest applied sequence — the catch-up leg of the
 	// leader-based write path over the wire.
@@ -137,6 +144,9 @@ const (
 	MethodList    = "list"
 	MethodMetrics = "metrics"
 	MethodTrace   = "trace"
+	// MethodSLO serves the node's live SLO engine status (objectives,
+	// states, burn rates, budget remaining, sparkline samples).
+	MethodSLO = "slo"
 	// MethodReplicate serves replication-log entries to catching-up
 	// followers (write-log nodes only).
 	MethodReplicate = "replicate"
@@ -221,6 +231,23 @@ type Config struct {
 	// georepd /trace endpoint export the retained trees, so a
 	// coordinator can assemble the daemon legs of its epoch traces.
 	Trace *trace.FlightRecorder
+	// SLOSpec, when non-empty, turns on the node's live SLO engine: a
+	// metrics history ring samples the registry every SLOInterval and
+	// the engine evaluates the parsed objectives (see internal/slo for
+	// the DSL), exporting slo_* gauges, serving the slo RPC, and — when
+	// a flight recorder is attached — pinning the latest retained trace
+	// on every page transition.
+	SLOSpec string
+	// SLOInterval is the history sampling / evaluation cadence
+	// (default 10s).
+	SLOInterval time.Duration
+	// HistorySamples sizes the metrics history ring (default 360: one
+	// hour at the default cadence).
+	HistorySamples int
+	// OnSLOTransition, when non-nil, observes every SLO state change
+	// after the node's own handling (trace pinning); georepd uses it
+	// for one-shot pprof captures on page.
+	OnSLOTransition func(slo.Transition)
 	// Logger receives daemon lifecycle and serve-loop events; nil
 	// discards them.
 	Logger *slog.Logger
@@ -244,6 +271,12 @@ type Node struct {
 	accesses int64
 	wlog     *replog.Log // nil unless Config.WriteRatio > 0
 	wretain  int
+
+	history *metrics.History // nil unless Config.SLOSpec != ""
+	sloEng  *slo.Engine
+	sloStop chan struct{}
+	sloWG   sync.WaitGroup
+	repLag  *metrics.Histogram // follower lag served by replicate
 }
 
 // objSummary is one object's dedicated summarizer, created lazily on
@@ -313,12 +346,63 @@ func NewNode(cfg Config) (*Node, error) {
 			n.wretain = defaultWriteLogRetain
 		}
 		reg.Gauge("daemon_write_ratio").Set(cfg.WriteRatio)
+		// Pre-register the whole replog family at zero so /metrics,
+		// /metrics.json, and Prometheus scrapes expose consistent
+		// series from the first scrape — not only after the first
+		// append/fence/failover event happens to create them.
+		for _, c := range []string{
+			"replog_appends_total", "replog_log_bytes_total",
+			"replog_compactions_total", "replog_replicate_bytes_total",
+			"replog_replicate_snapshots_total", "replog_reads_total",
+			"replog_appends_fenced_total", "replog_failovers_total",
+			"replog_ryw_violations_total", "replog_monotonic_violations_total",
+			"replog_stale_reads_degraded_total",
+		} {
+			reg.Counter(c)
+		}
+		reg.Gauge("replog_last_seq")
+		n.repLag = reg.Histogram("replog_replication_lag_entries",
+			[]float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
+	}
+	if cfg.SLOSpec != "" {
+		spec, err := slo.Parse(cfg.SLOSpec)
+		if err != nil {
+			return nil, err
+		}
+		samples := cfg.HistorySamples
+		if samples <= 0 {
+			samples = 360
+		}
+		n.history = metrics.NewHistory(reg, samples)
+		n.sloEng, err = slo.New(spec, slo.Config{
+			History: n.history,
+			OnTransition: func(t slo.Transition) {
+				if t.To == slo.StatePage {
+					t.PinnedTrace = cfg.Trace.PinLatest("slo_page:" + t.Objective)
+				}
+				n.log.Info("slo transition", "objective", t.Objective,
+					"from", t.From.String(), "to", t.To.String(),
+					"burn_fast", t.BurnFastShort, "budget_remaining", t.BudgetRemaining)
+				if cfg.OnSLOTransition != nil {
+					cfg.OnSLOTransition(t)
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	if err := n.registerHandlers(); err != nil {
 		return nil, err
 	}
 	return n, nil
 }
+
+// History returns the node's metrics history ring (nil without -slo).
+func (n *Node) History() *metrics.History { return n.history }
+
+// SLO returns the node's SLO engine (nil without -slo).
+func (n *Node) SLO() *slo.Engine { return n.sloEng }
 
 // objSummaryFor returns (lazily creating) the object's summarizer.
 // Callers must hold n.mu.
@@ -364,6 +448,7 @@ func (n *Node) registerHandlers() error {
 		MethodList:      n.handleList,
 		MethodMetrics:   n.handleMetrics,
 		MethodTrace:     n.handleTrace,
+		MethodSLO:       n.handleSLO,
 		MethodReplicate: n.handleReplicate,
 	}
 	for name, h := range handlers {
@@ -419,6 +504,17 @@ func (n *Node) handleMetrics([]byte) ([]byte, error) {
 	return transport.Marshal(MetricsResponse{JSON: b})
 }
 
+func (n *Node) handleSLO([]byte) ([]byte, error) {
+	if n.sloEng == nil {
+		return nil, fmt.Errorf("daemon: slo engine disabled (start with -slo)")
+	}
+	b, err := json.Marshal(n.sloEng.Status())
+	if err != nil {
+		return nil, err
+	}
+	return transport.Marshal(SLOResponse{JSON: b})
+}
+
 func (n *Node) handleTrace([]byte) ([]byte, error) {
 	traces := n.cfg.Trace.Traces()
 	if traces == nil {
@@ -438,6 +534,28 @@ func (n *Node) Start(addr string) error {
 		return err
 	}
 	n.log.Info("daemon listening", "node", n.cfg.ID, "addr", n.Addr())
+	if n.sloEng != nil && n.sloStop == nil {
+		interval := n.cfg.SLOInterval
+		if interval <= 0 {
+			interval = 10 * time.Second
+		}
+		n.sloStop = make(chan struct{})
+		n.sloWG.Add(1)
+		go func() {
+			defer n.sloWG.Done()
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-n.sloStop:
+					return
+				case now := <-tick.C:
+					n.history.Sample(now.UnixNano())
+					n.sloEng.Evaluate(now.UnixNano())
+				}
+			}
+		}()
+	}
 	go func() {
 		if err := n.server.Serve(); err != nil && !errors.Is(err, transport.ErrServerClosed) {
 			// A dead listener also surfaces to clients as connection
@@ -457,8 +575,15 @@ func (n *Node) Addr() string {
 	return a.String()
 }
 
-// Close stops the server.
-func (n *Node) Close() error { return n.server.Close() }
+// Close stops the server and the SLO sampler.
+func (n *Node) Close() error {
+	if n.sloStop != nil {
+		close(n.sloStop)
+		n.sloWG.Wait()
+		n.sloStop = nil
+	}
+	return n.server.Close()
+}
 
 func (n *Node) handleGet(body []byte) ([]byte, error) {
 	var req GetRequest
@@ -617,6 +742,12 @@ func (n *Node) handleReplicate(body []byte) ([]byte, error) {
 		resp.Frames = replog.EncodeBatch(es)
 	}
 	n.mu.Unlock()
+	// The gap between the log tail and the follower's applied position
+	// is the replication lag this catch-up call observed — the live
+	// counterpart of the simulator's per-round lag sampling.
+	if resp.Last >= req.From {
+		n.repLag.Observe(float64(resp.Last - req.From))
+	}
 	n.reg.Counter("replog_replicate_bytes_total").Add(int64(len(resp.Frames)))
 	if resp.Snapshot {
 		n.reg.Counter("replog_replicate_snapshots_total").Inc()

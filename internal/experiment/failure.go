@@ -5,12 +5,15 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/georep/georep/internal/coord"
 	"github.com/georep/georep/internal/faults"
 	"github.com/georep/georep/internal/ledger"
+	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/replica"
 	"github.com/georep/georep/internal/simnet"
+	"github.com/georep/georep/internal/slo"
 	"github.com/georep/georep/internal/stats"
 	"github.com/georep/georep/internal/trace"
 	"github.com/georep/georep/internal/vec"
@@ -128,6 +131,15 @@ type FailureRow struct {
 	QuorumOK bool
 	// Migrated reports whether the faulty-run manager moved replicas.
 	Migrated bool
+	// Held reports a migration the gate approved but the SLO hold
+	// refused: the availability budget was exhausted (or the objective
+	// was paging) when the epoch closed, so the placement stayed put.
+	Held bool
+	// SLOBudget / SLOBurn snapshot the faulty run's availability
+	// objective at epoch end: error budget remaining in the period and
+	// the fast-window burn-rate factor.
+	SLOBudget float64
+	SLOBurn   float64
 	// Replicas is the faulty-run placement after the epoch.
 	Replicas []int
 }
@@ -144,6 +156,14 @@ type FailureResult struct {
 	// DroppedLegs is the number of simulated one-way legs the injector
 	// consumed.
 	DroppedLegs uint64
+	// HeldEpochs counts faulty-run epochs whose migration the SLO hold
+	// refused; HealthyBudget / FaultyBudget are each pass's remaining
+	// availability error budget at the end of the run.
+	HeldEpochs         int
+	HealthyBudget      float64
+	FaultyBudget       float64
+	HealthyTransitions int
+	FaultyTransitions  int
 	// Plan is the fault scenario in DSL form, for reproduction.
 	Plan string
 }
@@ -231,7 +251,12 @@ func Failure(seed int64, cfg FailureConfig) (*FailureResult, error) {
 		return nil, err
 	}
 
-	res := &FailureResult{Plan: plan.String(), DroppedLegs: faulty.droppedLegs}
+	res := &FailureResult{Plan: plan.String(), DroppedLegs: faulty.droppedLegs,
+		HealthyBudget:      healthy.budget,
+		FaultyBudget:       faulty.budget,
+		HealthyTransitions: healthy.transitions,
+		FaultyTransitions:  faulty.transitions,
+	}
 	for e := 0; e < cfg.Epochs; e++ {
 		row := faulty.rows[e]
 		row.HealthyMs = healthy.rows[e].FaultyMs // healthy pass fills the same field
@@ -243,6 +268,9 @@ func Failure(seed int64, cfg FailureConfig) (*FailureResult, error) {
 		}
 		if !row.QuorumOK {
 			res.QuorumBlockedEpochs++
+		}
+		if row.Held {
+			res.HeldEpochs++
 		}
 	}
 	res.MeanHealthyMs /= float64(cfg.Epochs)
@@ -295,16 +323,51 @@ func buildFailurePlan(seed int64, cfg FailureConfig, healthyRows []FailureRow, r
 type failurePass struct {
 	rows        []FailureRow
 	droppedLegs uint64
+	budget      float64
+	transitions int
 }
+
+// failureSLOSpec is the availability objective each failure pass
+// evaluates: the fraction of gets no replica served, against a 1%%
+// error budget over the run. One epoch is one sampling tick on the
+// simulated clock.
+const failureSLOSpec = "availability ratio(failure_failed_gets_total / failure_gets_total) <= 0.01"
 
 func runFailurePass(seed int64, cfg FailureConfig, w *World, cand, initial []int,
 	epochs [][]workload.Access, inj *faults.Injector, rec *trace.FlightRecorder, led *ledger.Ledger) (*failurePass, error) {
+	const epochMs = 60_000.0
+	// The availability SLO rides the pass on the simulated clock and
+	// feeds the decision gate: an exhausted (or paging) budget holds
+	// otherwise-approved migrations until the service recovers.
+	reg := metrics.NewRegistry()
+	cGets := reg.Counter("failure_gets_total")
+	cFailed := reg.Counter("failure_failed_gets_total")
+	gDelay := reg.Gauge("failure_epoch_delay_ms")
+	hist := metrics.NewHistory(reg, cfg.Epochs+2)
+	sloSpec, err := slo.Parse(failureSLOSpec)
+	if err != nil {
+		return nil, err
+	}
+	epochDur := time.Duration(epochMs * float64(time.Millisecond))
+	eng, err := slo.New(sloSpec, slo.Config{
+		History: hist,
+		Windows: slo.Windows{
+			FastShort: epochDur, FastLong: 2 * epochDur,
+			SlowShort: 3 * epochDur, SlowLong: 6 * epochDur,
+			Period: time.Duration(cfg.Epochs) * epochDur,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	mgr, err := replica.NewManager(replica.Config{
 		K: cfg.K, M: cfg.M, Dims: cfg.Setup.CoordDims,
-		Migration:   replica.MigrationPolicy{MinRelativeGain: cfg.MinRelativeGain},
-		DecayFactor: cfg.DecayFactor,
-		Quorum:      cfg.Quorum,
-		Ledger:      led,
+		Migration:      replica.MigrationPolicy{MinRelativeGain: cfg.MinRelativeGain},
+		DecayFactor:    cfg.DecayFactor,
+		Quorum:         cfg.Quorum,
+		Ledger:         led,
+		Metrics:        reg,
+		HoldMigrations: eng.BudgetExhausted,
 	}, cand, w.Coords, initial)
 	if err != nil {
 		return nil, err
@@ -326,7 +389,6 @@ func runFailurePass(seed int64, cfg FailureConfig, w *World, cand, initial []int
 		})
 	}
 
-	const epochMs = 60_000.0
 	offsetRng := rand.New(rand.NewSource(seed * 97))
 	idRng := rand.New(rand.NewSource(seed * 13))
 	pass := &failurePass{}
@@ -365,10 +427,19 @@ func runFailurePass(seed int64, cfg FailureConfig, w *World, cand, initial []int
 			}
 		}
 		mgr.RecordObserved(delay.Mean(), int64(delay.N()))
+		// Evaluate the SLO before the decision so the hold gate sees this
+		// epoch's burn, not last epoch's.
+		cGets.Add(int64(len(epochs[epoch])))
+		cFailed.Add(int64(failed))
+		gDelay.Set(delay.Mean())
+		nowNs := int64(sim.Now() * 1e6)
+		hist.Sample(nowNs)
+		pass.transitions += len(eng.Evaluate(nowNs))
 		dec, err := mgr.EndEpochDegraded(rand.New(rand.NewSource(seed*100+int64(epoch))), reachable)
 		if err != nil {
 			return nil, err
 		}
+		st := eng.Status().Objectives[0]
 		pass.rows = append(pass.rows, FailureRow{
 			Epoch:        epoch,
 			FaultyMs:     delay.Mean(),
@@ -377,6 +448,9 @@ func runFailurePass(seed int64, cfg FailureConfig, w *World, cand, initial []int
 			Degraded:     dec.Degraded,
 			QuorumOK:     dec.QuorumOK,
 			Migrated:     dec.Migrate && dec.MovedReplicas > 0,
+			Held:         dec.Held,
+			SLOBudget:    st.BudgetRemaining,
+			SLOBurn:      st.BurnFastShort,
 			Replicas:     append([]int(nil), dec.NewReplicas...),
 		})
 		if rec != nil {
@@ -388,6 +462,7 @@ func runFailurePass(seed int64, cfg FailureConfig, w *World, cand, initial []int
 		}
 	}
 	pass.droppedLegs = sim.DroppedLegs()
+	pass.budget = eng.Status().Objectives[0].BudgetRemaining
 	return pass, nil
 }
 
@@ -553,14 +628,17 @@ func RenderFailure(res *FailureResult) string {
 	var b strings.Builder
 	b.WriteString("Failures: mean access delay under a seeded fault plan\n")
 	fmt.Fprintf(&b, "plan: %s\n", res.Plan)
-	fmt.Fprintf(&b, "%-8s%12s%12s%10s%8s%10s%10s  %s\n",
-		"epoch", "healthy ms", "faulty ms", "failover", "failed", "degraded", "quorum", "replicas")
+	fmt.Fprintf(&b, "%-8s%12s%12s%10s%8s%10s%10s%9s%7s%6s  %s\n",
+		"epoch", "healthy ms", "faulty ms", "failover", "failed", "degraded", "quorum",
+		"budget", "burn", "held", "replicas")
 	for _, r := range res.Rows {
-		fmt.Fprintf(&b, "%-8d%12.1f%12.1f%10d%8d%10v%10v  %v\n",
+		fmt.Fprintf(&b, "%-8d%12.1f%12.1f%10d%8d%10v%10v%8.1f%%%6.1fx%6v  %v\n",
 			r.Epoch, r.HealthyMs, r.FaultyMs, r.FailoverGets, r.FailedGets,
-			r.Degraded, r.QuorumOK, r.Replicas)
+			r.Degraded, r.QuorumOK, 100*r.SLOBudget, r.SLOBurn, r.Held, r.Replicas)
 	}
 	fmt.Fprintf(&b, "mean: healthy %.1f ms vs faulty %.1f ms, %d degraded epochs (%d below quorum), %d legs dropped\n",
 		res.MeanHealthyMs, res.MeanFaultyMs, res.DegradedEpochs, res.QuorumBlockedEpochs, res.DroppedLegs)
+	fmt.Fprintf(&b, "slo: availability budget healthy %.1f%% vs faulty %.1f%%, %d transitions, %d migrations held\n",
+		100*res.HealthyBudget, 100*res.FaultyBudget, res.FaultyTransitions, res.HeldEpochs)
 	return b.String()
 }

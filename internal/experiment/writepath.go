@@ -5,12 +5,15 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/georep/georep/internal/faults"
 	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/replica"
 	"github.com/georep/georep/internal/replog"
+	"github.com/georep/georep/internal/slo"
 	"github.com/georep/georep/internal/stats"
+	"github.com/georep/georep/internal/trace"
 	"github.com/georep/georep/internal/workload"
 )
 
@@ -61,6 +64,12 @@ type WritePathConfig struct {
 	LeaderPolicy replog.LeaderPolicy
 	// MinRelativeGain gates the warm-up placement migration.
 	MinRelativeGain float64
+	// SLO optionally overrides the objectives each pass evaluates (a
+	// spec in the internal/slo DSL over the pass's replog metrics);
+	// empty takes writePathSLOSpec. The engine runs on the simulated
+	// clock — one replication round is wpTickNs — with windows scaled
+	// so "5m fast / 6h slow" becomes "3 rounds fast / 3 epochs slow".
+	SLO string
 	// Plan optionally overrides the fault scenario with a DSL string
 	// (see faults.Parse). Empty derives the default scenario from the
 	// adopted placement: crash the nearest follower across three epochs
@@ -143,6 +152,12 @@ type WritePathRow struct {
 	Rollbacks int64
 	// Failovers is cumulative over the pass.
 	Failovers uint64
+	// SLOBudget is the smallest error-budget remaining across the
+	// pass's objectives at epoch end; SLOBurn the largest fast-short
+	// burn rate; SLOState the worst alert state ("ok"/"warn"/"page").
+	SLOBudget float64
+	SLOBurn   float64
+	SLOState  string
 }
 
 // WritePathResult aggregates the write-path experiment.
@@ -163,7 +178,26 @@ type WritePathResult struct {
 	// ConvergeRounds is how many post-heal rounds the faulted pass
 	// needed before every member held the full log.
 	ConvergeRounds int
+	// HealthyTransitions and Transitions are each pass's SLO state
+	// changes; the healthy pass must show none. Page transitions carry
+	// the pinned epoch trace ID and (for the lag objective) the tail
+	// exemplar trace IDs that burned the budget.
+	HealthyTransitions, Transitions []slo.Transition
+	// Traces are the faulted pass's retained epoch span trees, for
+	// export next to the figure (replicasim -trace-out).
+	Traces []trace.Trace
 }
+
+// writePathSLOSpec is the default objective pair: session staleness as
+// a ratio of violating reads, and replication lag as the fraction of
+// per-round lag observations beyond 64 entries. Budgets are sized so a
+// healthy pass idles at zero burn while the partition and crash phases
+// of the default plan burn fast enough to page.
+const writePathSLOSpec = "staleness ratio(replog_ryw_violations_total+replog_monotonic_violations_total / replog_reads_total) <= 0.001; " +
+	"lag_p99 p99(replog_replication_lag_entries) <= 64 budget 0.02"
+
+// wpTickNs is the simulated duration of one replication round.
+const wpTickNs = int64(10 * time.Second)
 
 // WritePath runs the experiment for one seed. Both passes verify the
 // sequence-accounting invariants at the end: convergence after heal,
@@ -272,7 +306,7 @@ func WritePath(seed int64, cfg WritePathConfig) (*WritePathResult, error) {
 		epochs[e] = stream.Next(view)
 	}
 
-	healthy, err := runWritePass(cfg, w, members, leader, epochs, nil)
+	healthy, err := runWritePass(cfg, seed*61, w, members, leader, epochs, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -284,7 +318,7 @@ func WritePath(seed int64, cfg WritePathConfig) (*WritePathResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	faulted, err := runWritePass(cfg, w, members, leader, epochs, inj)
+	faulted, err := runWritePass(cfg, seed*67, w, members, leader, epochs, inj)
 	if err != nil {
 		return nil, err
 	}
@@ -294,8 +328,11 @@ func WritePath(seed int64, cfg WritePathConfig) (*WritePathResult, error) {
 		Plan:    plan.String(),
 		Healthy: healthy.rows, Faulted: faulted.rows,
 		HealthyAcked: healthy.acked, FaultedAcked: faulted.acked,
-		FaultedFailovers: faulted.failovers,
-		ConvergeRounds:   faulted.convergeRounds,
+		FaultedFailovers:   faulted.failovers,
+		ConvergeRounds:     faulted.convergeRounds,
+		HealthyTransitions: healthy.transitions,
+		Transitions:        faulted.transitions,
+		Traces:             faulted.traces,
 	}
 	for _, r := range healthy.rows {
 		res.HealthyViolations += r.RYW + r.Monotonic
@@ -364,6 +401,8 @@ type writePass struct {
 	acked          uint64
 	failovers      uint64
 	convergeRounds int
+	transitions    []slo.Transition
+	traces         []trace.Trace
 }
 
 type wpCounters struct {
@@ -382,7 +421,7 @@ func snapWPCounters(reg *metrics.Registry) wpCounters {
 	}
 }
 
-func runWritePass(cfg WritePathConfig, w *World, members []int, leader int,
+func runWritePass(cfg WritePathConfig, seed int64, w *World, members []int, leader int,
 	epochs [][]workload.Access, inj *faults.Injector) (*writePass, error) {
 	reg := metrics.NewRegistry()
 	g, err := replog.NewGroup(replog.Config{
@@ -392,6 +431,65 @@ func runWritePass(cfg WritePathConfig, w *World, members []int, leader int,
 	})
 	if err != nil {
 		return nil, err
+	}
+
+	// The pass runs on a simulated clock — one replication round per
+	// tick — with a synthetic epoch span tree in a flight recorder, so
+	// burn-rate pages have a current-epoch trace to pin and the lag
+	// histogram's tail exemplars point at retained trees.
+	pass := &writePass{}
+	var tick int64
+	now := func() int64 { return tick * wpTickNs }
+	rec := trace.NewFlightRecorder(2*len(epochs)+8, trace.DefaultAnomalous)
+	tracer := trace.New(rec, "sim",
+		trace.WithRand(rand.New(rand.NewSource(seed))), trace.WithClock(now))
+	ticksPerEpoch := cfg.RoundsPerEpoch + 1
+	sloSpecText := cfg.SLO
+	if sloSpecText == "" {
+		sloSpecText = writePathSLOSpec
+	}
+	sloSpec, err := slo.Parse(sloSpecText)
+	if err != nil {
+		return nil, err
+	}
+	hist := metrics.NewHistory(reg, len(epochs)*ticksPerEpoch+2)
+	eng, err := slo.New(sloSpec, slo.Config{
+		History: hist,
+		Windows: slo.Windows{
+			FastShort: 3 * time.Duration(wpTickNs),
+			FastLong:  time.Duration(ticksPerEpoch) * time.Duration(wpTickNs),
+			SlowShort: time.Duration(3*ticksPerEpoch) * time.Duration(wpTickNs),
+			SlowLong:  time.Duration(6*ticksPerEpoch) * time.Duration(wpTickNs),
+			Period:    time.Duration(len(epochs)*ticksPerEpoch+1) * time.Duration(wpTickNs),
+		},
+		OnTransition: func(t slo.Transition) {
+			if t.To == slo.StatePage {
+				t.PinnedTrace = rec.PinLatest("slo_page:" + t.Objective)
+			}
+			pass.transitions = append(pass.transitions, t)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	lagHist := reg.Histogram("replog_replication_lag_entries", nil)
+	tickSLO := func(epochTrace string) {
+		// Link the round's worst follower lag (including crashed
+		// members — their backlog is the lag the outage is building) to
+		// the current epoch's trace without recounting it.
+		var maxLag float64
+		for _, n := range members {
+			if n == g.Leader() {
+				continue
+			}
+			if l := float64(g.LagEntries(n)); l > maxLag {
+				maxLag = l
+			}
+		}
+		lagHist.AttachExemplar(maxLag, epochTrace)
+		tick++
+		hist.Sample(now())
+		eng.Evaluate(now())
 	}
 	var link replog.Link
 	if inj != nil {
@@ -407,7 +505,6 @@ func runWritePass(cfg WritePathConfig, w *World, members []int, leader int,
 		return o
 	}
 	origLeader := leader
-	pass := &writePass{}
 	prev := snapWPCounters(reg)
 	var prevAcked uint64
 	var lagSamples []float64
@@ -426,6 +523,8 @@ func runWritePass(cfg WritePathConfig, w *World, members []int, leader int,
 	}
 	for epoch := range epochs {
 		inj.SetEpoch(epoch)
+		root := tracer.StartRoot("writepath.epoch", trace.KindEpoch)
+		root.SetAttr("epoch", fmt.Sprintf("%d", epoch))
 		// A client still talking to a deposed-but-live leader: its append
 		// lands with a stale term and the replication attempt is fenced
 		// by the first peer that has heard the newer term; the divergent
@@ -460,12 +559,34 @@ func runWritePass(cfg WritePathConfig, w *World, members []int, leader int,
 				g.Read(int32(a.Client), mode, orderOf(a.Client), cfg.BoundEntries)
 			}
 			if (i+1)%interval == 0 {
+				rs := tracer.Start(root.Context(), "replicate.round", trace.KindCollect)
 				g.ReplicateRound(link)
+				rs.End()
 				sampleLags()
+				tickSLO(root.Context().TraceID)
 			}
 		}
+		rs := tracer.Start(root.Context(), "replicate.round", trace.KindCollect)
 		g.ReplicateRound(link)
+		rs.End()
 		sampleLags()
+		tickSLO(root.Context().TraceID)
+		root.End()
+
+		sloStat := eng.Status()
+		budget, burn := 1.0, 0.0
+		worst := slo.StateOK
+		for _, o := range sloStat.Objectives {
+			if o.BudgetRemaining < budget {
+				budget = o.BudgetRemaining
+			}
+			if o.BurnFastShort > burn {
+				burn = o.BurnFastShort
+			}
+			if o.State > worst {
+				worst = o.State
+			}
+		}
 
 		cur := snapWPCounters(reg)
 		acked := g.AckedSeq()
@@ -485,6 +606,9 @@ func runWritePass(cfg WritePathConfig, w *World, members []int, leader int,
 			Fenced:        cur.fenced - prev.fenced,
 			Rollbacks:     cur.rollbacks - prev.rollbacks,
 			Failovers:     g.Failovers(),
+			SLOBudget:     budget,
+			SLOBurn:       burn,
+			SLOState:      worst.String(),
 		})
 		prev, prevAcked = cur, acked
 	}
@@ -508,6 +632,7 @@ func runWritePass(cfg WritePathConfig, w *World, members []int, leader int,
 	pass.acked = acked
 	pass.failovers = g.Failovers()
 	pass.convergeRounds = rounds
+	pass.traces = rec.Traces()
 	return pass, nil
 }
 
@@ -532,14 +657,16 @@ func RenderWritePath(res *WritePathResult) string {
 	b.WriteString("Write path: leader-based replication under a seeded fault plan\n")
 	fmt.Fprintf(&b, "placement: %v  leader: %d (%s)\n", res.Members, res.Leader, res.Policy)
 	fmt.Fprintf(&b, "plan: %s\n", res.Plan)
-	fmt.Fprintf(&b, "%-8s%8s%6s%8s%7s%9s%9s%6s%6s%6s%10s%6s%7s%6s\n",
+	fmt.Fprintf(&b, "%-8s%8s%6s%8s%7s%9s%9s%6s%6s%6s%10s%6s%7s%6s%9s%8s%6s\n",
 		"epoch", "leader", "term", "acked", "wfail", "lag p50", "lag p99",
-		"ryw", "mono", "degr", "catchup B", "snap", "fence", "fo")
+		"ryw", "mono", "degr", "catchup B", "snap", "fence", "fo",
+		"budget", "burn", "slo")
 	for _, r := range res.Faulted {
-		fmt.Fprintf(&b, "%-8d%8d%6d%8d%7d%9.1f%9.1f%6d%6d%6d%10d%6d%7d%6d\n",
+		fmt.Fprintf(&b, "%-8d%8d%6d%8d%7d%9.1f%9.1f%6d%6d%6d%10d%6d%7d%6d%8.1f%% %6.1fx%6s\n",
 			r.Epoch, r.Leader, r.Term, r.AckedWrites, r.FailedWrites,
 			r.LagP50Entries, r.LagP99Entries, r.RYW, r.Monotonic, r.Degraded,
-			r.CatchupBytes, r.Snapshots, r.Fenced, r.Failovers)
+			r.CatchupBytes, r.Snapshots, r.Fenced, r.Failovers,
+			100*r.SLOBudget, r.SLOBurn, r.SLOState)
 	}
 	var hViol, fViol, hDegr, fDegr int64
 	for _, r := range res.Healthy {
@@ -554,5 +681,19 @@ func RenderWritePath(res *WritePathResult) string {
 		res.HealthyAcked, hViol, hDegr)
 	fmt.Fprintf(&b, "faulted: %d writes acked, %d violations (ryw+monotonic), %d degraded reads, %d failovers, converged %d rounds after heal\n",
 		res.FaultedAcked, fViol, fDegr, res.FaultedFailovers, res.ConvergeRounds)
+	fmt.Fprintf(&b, "slo: %d transitions healthy, %d faulted\n",
+		len(res.HealthyTransitions), len(res.Transitions))
+	for _, t := range res.Transitions {
+		fmt.Fprintf(&b, "  t=%4ds %-10s %-4s -> %-4s burn %.1fx/%.1fx budget %.1f%%",
+			t.AtNs/int64(time.Second), t.Objective, t.From, t.To,
+			t.BurnFastShort, t.BurnFastLong, 100*t.BudgetRemaining)
+		if t.PinnedTrace != "" {
+			fmt.Fprintf(&b, " pinned %s", t.PinnedTrace)
+		}
+		if len(t.Exemplars) > 0 {
+			fmt.Fprintf(&b, " exemplars %s", strings.Join(t.Exemplars, ","))
+		}
+		b.WriteString("\n")
+	}
 	return b.String()
 }

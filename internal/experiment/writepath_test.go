@@ -59,10 +59,68 @@ func TestWritePathHealthyVsFaulted(t *testing.T) {
 		t.Fatalf("acked totals: healthy %d faulted %d", res.HealthyAcked, res.FaultedAcked)
 	}
 	out := RenderWritePath(res)
-	for _, want := range []string{"plan:", "lag p99", "failovers", "converged"} {
+	for _, want := range []string{"plan:", "lag p99", "failovers", "converged", "budget", "slo:"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}
+	}
+
+	// The SLO engine rides both passes: healthy traffic never leaves
+	// ok, and every healthy row keeps its full budget.
+	if len(res.HealthyTransitions) != 0 {
+		t.Fatalf("healthy pass made SLO transitions: %+v", res.HealthyTransitions)
+	}
+	for _, r := range res.Healthy {
+		if r.SLOState != "ok" || r.SLOBudget != 1 || r.SLOBurn != 0 {
+			t.Fatalf("healthy row burned budget: %+v", r)
+		}
+	}
+	// The faulted pass burns: budget is spent by the end, at least one
+	// epoch pages, and the last epoch has left page (burn recovered).
+	var paged bool
+	for _, r := range res.Faulted {
+		if r.SLOState == "page" {
+			paged = true
+		}
+	}
+	if !paged {
+		t.Fatal("no faulted epoch reached page")
+	}
+	if last := res.Faulted[len(res.Faulted)-1]; last.SLOState == "page" {
+		t.Fatalf("burn did not recover after heal: %+v", last)
+	}
+	if res.Faulted[0].SLOBudget <= res.Faulted[len(res.Faulted)-1].SLOBudget {
+		t.Fatalf("budget did not burn across the pass: first %+v last %+v",
+			res.Faulted[0].SLOBudget, res.Faulted[len(res.Faulted)-1].SLOBudget)
+	}
+	// At least one page transition pinned an epoch trace that is
+	// retained in the exported trees, and the lag pages name exemplar
+	// traces that are retained too.
+	retained := map[string]bool{}
+	for _, tr := range res.Traces {
+		retained[tr.TraceID] = true
+	}
+	var pinOK, exOK bool
+	for _, tr := range res.Transitions {
+		if tr.To.String() != "page" {
+			continue
+		}
+		if tr.PinnedTrace == "" || !retained[tr.PinnedTrace] {
+			t.Fatalf("page transition pin missing from exported traces: %+v", tr)
+		}
+		pinOK = true
+		for _, id := range tr.Exemplars {
+			if !retained[id] {
+				t.Fatalf("exemplar trace %s not retained", id)
+			}
+			exOK = true
+		}
+	}
+	if !pinOK {
+		t.Fatal("no page transition carried a pinned trace")
+	}
+	if !exOK {
+		t.Fatal("no page transition carried exemplar trace IDs")
 	}
 }
 

@@ -88,12 +88,23 @@ func (g *Gauge) Value() float64 {
 // bucket counts the rest. All updates are atomic; a nil Histogram
 // ignores all operations.
 type Histogram struct {
-	bounds  []float64 // sorted upper bounds, len >= 1
-	counts  []atomic.Int64
-	count   atomic.Int64
-	sumBits atomic.Uint64 // float64 sum, CAS-updated
-	minBits atomic.Uint64 // float64, CAS-updated
-	maxBits atomic.Uint64
+	bounds    []float64 // sorted upper bounds, len >= 1
+	counts    []atomic.Int64
+	count     atomic.Int64
+	sumBits   atomic.Uint64 // float64 sum, CAS-updated
+	minBits   atomic.Uint64 // float64, CAS-updated
+	maxBits   atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar] // last traced observation per bucket
+}
+
+// Exemplar links one concrete observation to the trace that produced
+// it, Prometheus/OpenMetrics style: a histogram bucket remembers the
+// most recent traced value it absorbed, so a tail-latency bucket (or a
+// paging SLO reading it) points straight at a span tree in the flight
+// recorder.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 // LatencyBuckets are the default bucket upper bounds for millisecond
@@ -114,14 +125,18 @@ func NewHistogram(bounds []float64) (*Histogram, error) {
 	if len(bounds) == 0 {
 		return nil, fmt.Errorf("metrics: histogram needs at least one bucket bound")
 	}
-	for i := 1; i < len(bounds); i++ {
-		if bounds[i] <= bounds[i-1] {
+	for i, b := range bounds {
+		if math.IsNaN(b) {
+			return nil, fmt.Errorf("metrics: NaN bucket bound at %d", i)
+		}
+		if i > 0 && b <= bounds[i-1] {
 			return nil, fmt.Errorf("metrics: bucket bounds not strictly increasing at %d: %v", i, bounds)
 		}
 	}
 	h := &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1), // +1 overflow
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Int64, len(bounds)+1), // +1 overflow
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 	h.minBits.Store(math.Float64bits(math.Inf(1)))
 	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
@@ -139,6 +154,44 @@ func (h *Histogram) Observe(v float64) {
 	atomicAddFloat(&h.sumBits, v)
 	atomicMinFloat(&h.minBits, v)
 	atomicMaxFloat(&h.maxBits, v)
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// remembers it as the bucket's exemplar. Only traced requests should
+// pass a traceID: the exemplar store costs one small allocation, which
+// is fine at trace-sampling rates but not per-access.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	h.AttachExemplar(v, traceID)
+}
+
+// AttachExemplar links traceID to the bucket that v falls in without
+// recording a new observation. Retrofit hook for call sites whose
+// counting happens elsewhere (e.g. the replication log observes lag
+// itself; the experiment attaches the epoch's trace ID afterwards).
+func (h *Histogram) AttachExemplar(v float64, traceID string) {
+	if h == nil || traceID == "" || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID})
+}
+
+// TailExemplars returns the exemplars attached to buckets whose range
+// lies at or above bound — the traced observations that explain the
+// histogram's tail. Order is bucket order (ascending).
+func (h *Histogram) TailExemplars(bound float64) []Exemplar {
+	if h == nil {
+		return nil
+	}
+	var out []Exemplar
+	from := sort.SearchFloat64s(h.bounds, bound)
+	for i := from; i < len(h.exemplars); i++ {
+		if e := h.exemplars[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
 }
 
 func atomicAddFloat(bits *atomic.Uint64, delta float64) {
@@ -176,10 +229,12 @@ func atomicMaxFloat(bits *atomic.Uint64, v float64) {
 }
 
 // BucketCount is one bucket of a histogram snapshot. UpperMs is +Inf for
-// the overflow bucket.
+// the overflow bucket. Exemplar is the bucket's most recent traced
+// observation, when any call site attached one.
 type BucketCount struct {
-	Upper float64 `json:"upper"`
-	Count int64   `json:"count"`
+	Upper    float64   `json:"upper"`
+	Count    int64     `json:"count"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // HistogramSnapshot is a consistent-enough point-in-time view of a
@@ -228,7 +283,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		if i < len(h.bounds) {
 			upper = h.bounds[i]
 		}
-		s.Buckets[i] = BucketCount{Upper: upper, Count: c}
+		s.Buckets[i] = BucketCount{Upper: upper, Count: c, Exemplar: h.exemplars[i].Load()}
 		total += c
 	}
 	s.P50 = quantile(s, total, 0.50)
@@ -405,8 +460,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 
 // jsonBucket mirrors BucketCount with an Inf-safe upper bound.
 type jsonBucket struct {
-	Upper any   `json:"upper"`
-	Count int64 `json:"count"`
+	Upper    any       `json:"upper"`
+	Count    int64     `json:"count"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 type jsonHistogram struct {
@@ -440,7 +496,7 @@ func MarshalSnapshot(s Snapshot) ([]byte, error) {
 			P50: h.P50, P95: h.P95, P99: h.P99,
 		}
 		for _, b := range h.Buckets {
-			jb := jsonBucket{Count: b.Count}
+			jb := jsonBucket{Count: b.Count, Exemplar: b.Exemplar}
 			if math.IsInf(b.Upper, 1) {
 				jb.Upper = "+Inf"
 			} else {
@@ -470,7 +526,7 @@ func UnmarshalSnapshot(b []byte) (Snapshot, error) {
 			P50: jh.P50, P95: jh.P95, P99: jh.P99,
 		}
 		for _, jb := range jh.Buckets {
-			b := BucketCount{Count: jb.Count}
+			b := BucketCount{Count: jb.Count, Exemplar: jb.Exemplar}
 			switch u := jb.Upper.(type) {
 			case float64:
 				b.Upper = u

@@ -15,20 +15,35 @@ import (
 // (dots and dashes become underscores), output is sorted by name so
 // successive scrapes diff cleanly.
 func WritePrometheus(w io.Writer, s Snapshot) error {
+	return WritePrometheusPrefixed(w, s, "")
+}
+
+// WritePrometheusPrefixed is WritePrometheus with a namespace prefix
+// prepended to every metric name ("georep_" on the daemon endpoint,
+// so the families scrape consistently across a fleet). Names that
+// already carry the prefix are not doubled — exporters that adopted
+// the convention early keep their names.
+func WritePrometheusPrefixed(w io.Writer, s Snapshot, prefix string) error {
 	var b strings.Builder
+	pref := func(name string) string {
+		if prefix == "" || strings.HasPrefix(name, prefix) {
+			return promName(name)
+		}
+		return promName(prefix + name)
+	}
 	for _, name := range SortedNames(s.Counters) {
-		pn := promName(name)
+		pn := pref(name)
 		fmt.Fprintf(&b, "# TYPE %s counter\n", pn)
 		fmt.Fprintf(&b, "%s %d\n", pn, s.Counters[name])
 	}
 	for _, name := range SortedNames(s.Gauges) {
-		pn := promName(name)
+		pn := pref(name)
 		fmt.Fprintf(&b, "# TYPE %s gauge\n", pn)
 		fmt.Fprintf(&b, "%s %s\n", pn, promFloat(s.Gauges[name]))
 	}
 	for _, name := range SortedNames(s.Histograms) {
 		h := s.Histograms[name]
-		pn := promName(name)
+		pn := pref(name)
 		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
 		var cum int64
 		sawInf := false

@@ -87,6 +87,13 @@ type Config struct {
 	// WriteFraction > 0: demand-weighted centroid (default) or lowest
 	// replication fanout. See replog.LeaderPolicy.
 	LeaderPolicy replog.LeaderPolicy
+	// HoldMigrations, when non-nil, is consulted before adopting an
+	// approved (non-forced) migration; answering true holds the
+	// placement in place. The intended signal is measured SLO burn
+	// (slo.Engine.BudgetExhausted): when the error budget is gone, the
+	// service stops spending availability on optional data movement.
+	// Forced reshapes (k changes, capacity displacement) still apply.
+	HoldMigrations func() bool
 }
 
 // newServer builds a server in the configured recency/sharding mode.
@@ -172,6 +179,7 @@ type managerMetrics struct {
 	degraded     *metrics.Counter
 	missing      *metrics.Counter
 	quorumBlock  *metrics.Counter
+	held         *metrics.Counter
 	leader       *metrics.Gauge
 	writeOldMs   *metrics.Gauge
 	writeNewMs   *metrics.Gauge
@@ -194,6 +202,7 @@ func newManagerMetrics(r *metrics.Registry) managerMetrics {
 		degraded:     r.Counter("replica_degraded_epochs_total"),
 		missing:      r.Counter("replica_missing_summaries_total"),
 		quorumBlock:  r.Counter("replica_quorum_blocked_migrations_total"),
+		held:         r.Counter("replica_migrations_held_total"),
 		leader:       r.Gauge("replica_write_leader"),
 		writeOldMs:   r.Gauge("replica_write_cost_old_ms"),
 		writeNewMs:   r.Gauge("replica_write_cost_new_ms"),
@@ -690,7 +699,17 @@ func (m *Manager) CompleteEpoch(r *rand.Rand, p *PendingEpoch, ov *EpochOverride
 	kchanged := len(proposed) != len(m.replicas) // k changed: must reshape
 	forced := kchanged ||
 		(ov != nil && ov.Forced) // capacity displacement is not optional
-	if forced || m.approveMigration(gateOld, gateNew, p.demand, dec.MovedReplicas) {
+	approved := forced || m.approveMigration(gateOld, gateNew, p.demand, dec.MovedReplicas)
+	if approved && !forced && dec.MovedReplicas > 0 &&
+		m.cfg.HoldMigrations != nil && m.cfg.HoldMigrations() {
+		// The gate liked the move, but the SLO engine says the error
+		// budget is spent: optional data movement waits for recovery.
+		approved = false
+		dec.Held = true
+		m.met.held.Inc()
+		root.MarkAnomalous("migration_held_budget")
+	}
+	if approved {
 		if err := m.applyPlacement(proposed); err != nil {
 			ds.SetErr(err)
 			ds.End()

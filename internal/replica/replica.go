@@ -285,6 +285,10 @@ type Decision struct {
 	// k adaptation and migration (see Config.Quorum). When false the
 	// placement is guaranteed unchanged.
 	QuorumOK bool
+	// Held reports that an otherwise-approved migration was not adopted
+	// because Config.HoldMigrations answered true — the SLO error
+	// budget is exhausted and optional data movement is deferred.
+	Held bool
 	// Displaced is how many replicas of this epoch's placement were
 	// pushed off their preferred data center by per-DC capacity
 	// accounting (multi-object service only; zero otherwise).

@@ -100,6 +100,7 @@ type groupMetrics struct {
 	failovers   *metrics.Counter
 	recovery    *metrics.Histogram
 	lagHist     *metrics.Histogram
+	reads       *metrics.Counter
 	ryw         *metrics.Counter
 	monotonic   *metrics.Counter
 	degraded    *metrics.Counter
@@ -175,6 +176,7 @@ func NewGroup(cfg Config) (*Group, error) {
 		failovers:   r.Counter("replog_failovers_total"),
 		recovery:    r.Histogram("replog_failover_recovery_rounds", lagBuckets()),
 		lagHist:     r.Histogram("replog_replication_lag_entries", lagBuckets()),
+		reads:       r.Counter("replog_reads_total"),
 		ryw:         r.Counter("replog_ryw_violations_total"),
 		monotonic:   r.Counter("replog_monotonic_violations_total"),
 		degraded:    r.Counter("replog_stale_reads_degraded_total"),

@@ -100,6 +100,7 @@ func (g *Group) sessionLocked(client int32) *Session {
 func (g *Group) Read(client int32, mode ReadMode, order []int, bound uint64) ReadResult {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.m.reads.Inc()
 	sess := g.sessionLocked(client)
 	llog := g.members[g.leader].log
 	lead := llog.Last()

@@ -1,0 +1,480 @@
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/georep/georep/internal/metrics"
+)
+
+// State is an objective's alert state.
+type State int
+
+const (
+	// StateOK: burning at or below the sustainable rate.
+	StateOK State = iota
+	// StateWarn: the slow window pair burns faster than budget —
+	// ticket-worthy, not urgent.
+	StateWarn
+	// StatePage: the fast window pair burns fast enough to exhaust the
+	// budget long before the period ends — wake someone.
+	StatePage
+)
+
+// String returns "ok", "warn", or "page".
+func (s State) String() string {
+	switch s {
+	case StateWarn:
+		return "warn"
+	case StatePage:
+		return "page"
+	default:
+		return "ok"
+	}
+}
+
+// MarshalJSON encodes the state as its string form.
+func (s State) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes "ok"/"warn"/"page".
+func (s *State) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	switch str {
+	case "ok":
+		*s = StateOK
+	case "warn":
+		*s = StateWarn
+	case "page":
+		*s = StatePage
+	default:
+		return fmt.Errorf("slo: unknown state %q", str)
+	}
+	return nil
+}
+
+// Windows are the burn-rate evaluation windows plus the error-budget
+// compliance period. The defaults are the SRE-workbook shape (5m/1h
+// fast, 6h/3d slow, 30d period); experiments running on simulated
+// clocks scale them down to epochs.
+type Windows struct {
+	FastShort time.Duration
+	FastLong  time.Duration
+	SlowShort time.Duration
+	SlowLong  time.Duration
+	Period    time.Duration
+}
+
+// DefaultWindows returns the production-shaped windows.
+func DefaultWindows() Windows {
+	return Windows{
+		FastShort: 5 * time.Minute,
+		FastLong:  time.Hour,
+		SlowShort: 6 * time.Hour,
+		SlowLong:  72 * time.Hour,
+		Period:    30 * 24 * time.Hour,
+	}
+}
+
+// Config configures an Engine.
+type Config struct {
+	// History is the sampled time-series source (required).
+	History *metrics.History
+	// Registry receives the engine's own gauges and counters
+	// (slo_<name>_budget_remaining, _burn_fast, _burn_slow, _state,
+	// _page_transitions_total, _warn_transitions_total). Defaults to
+	// History's registry; the gauges then show up on every existing
+	// metrics surface for free.
+	Registry *metrics.Registry
+	// Windows default to DefaultWindows(); zero fields are filled
+	// individually.
+	Windows Windows
+	// PageBurn is the burn-rate factor both fast windows must exceed
+	// to page (default 14.4: a 30d budget gone in ~2 days).
+	PageBurn float64
+	// WarnBurn is the factor both slow windows must exceed to warn
+	// (default 3).
+	WarnBurn float64
+	// SparkLen bounds the per-objective recent-burn ring the status
+	// (and the ctl sparklines) read (default 48).
+	SparkLen int
+	// OnTransition, when set, observes every state change as it is
+	// detected inside Evaluate.
+	OnTransition func(Transition)
+}
+
+// Transition is one state change of one objective.
+type Transition struct {
+	Objective       string  `json:"objective"`
+	From            State   `json:"from"`
+	To              State   `json:"to"`
+	AtNs            int64   `json:"at_ns"`
+	BurnFastShort   float64 `json:"burn_fast_short"`
+	BurnFastLong    float64 `json:"burn_fast_long"`
+	BurnSlowShort   float64 `json:"burn_slow_short"`
+	BurnSlowLong    float64 `json:"burn_slow_long"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	// PinnedTrace is filled by whoever pins the flight recorder in
+	// response (the daemon or the experiment), not by the engine.
+	PinnedTrace string `json:"pinned_trace,omitempty"`
+	// Exemplars are the tail exemplar trace IDs of the objective's
+	// source histogram at transition time (quantile objectives only):
+	// the traced requests that burned the budget.
+	Exemplars []string `json:"exemplars,omitempty"`
+}
+
+// Engine evaluates a Spec against a History. Evaluate is cheap enough
+// to run once per sampling tick (a handful of windowed delta queries
+// per objective — see BenchmarkSLOOverhead); Status serves the /slo
+// endpoint and the ctl dashboard.
+type Engine struct {
+	mu   sync.Mutex
+	cfg  Config
+	spec *Spec
+	objs []*objState
+
+	evals *metrics.Counter
+}
+
+type objState struct {
+	o     Objective
+	state State
+
+	burnFS, burnFL, burnSS, burnSL float64
+	budgetRemaining                float64
+
+	spark     []float64 // ring of recent fast-short burns
+	sparkN    int
+	sparkHead int
+
+	// histWins is quantile-objective query scratch, reused across
+	// Evaluate ticks so the windowed bucket views never allocate.
+	histWins [nWindows]metrics.HistWindow
+
+	// Last values written to the exported gauges, so a steady state
+	// (burn 0, budget intact) skips the atomic stores entirely.
+	lastBudget, lastBurnFast, lastBurnSlow, lastState float64
+
+	gBudget, gBurnFast, gBurnSlow, gState *metrics.Gauge
+	cPage, cWarn                          *metrics.Counter
+}
+
+// New builds an engine for spec (which must Validate).
+func New(spec *Spec, cfg Config) (*Engine, error) {
+	if spec == nil {
+		spec = &Spec{}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.History == nil {
+		return nil, fmt.Errorf("slo: engine needs a history")
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = cfg.History.Registry()
+	}
+	def := DefaultWindows()
+	if cfg.Windows.FastShort <= 0 {
+		cfg.Windows.FastShort = def.FastShort
+	}
+	if cfg.Windows.FastLong <= 0 {
+		cfg.Windows.FastLong = def.FastLong
+	}
+	if cfg.Windows.SlowShort <= 0 {
+		cfg.Windows.SlowShort = def.SlowShort
+	}
+	if cfg.Windows.SlowLong <= 0 {
+		cfg.Windows.SlowLong = def.SlowLong
+	}
+	if cfg.Windows.Period <= 0 {
+		cfg.Windows.Period = def.Period
+	}
+	if cfg.PageBurn <= 0 {
+		cfg.PageBurn = 14.4
+	}
+	if cfg.WarnBurn <= 0 {
+		cfg.WarnBurn = 3
+	}
+	if cfg.SparkLen <= 0 {
+		cfg.SparkLen = 48
+	}
+	e := &Engine{
+		cfg:   cfg,
+		spec:  spec,
+		evals: cfg.Registry.Counter("slo_evaluations_total"),
+	}
+	for _, o := range spec.Objectives {
+		r := cfg.Registry
+		e.objs = append(e.objs, &objState{
+			o:               o,
+			budgetRemaining: 1,
+			spark:           make([]float64, cfg.SparkLen),
+			gBudget:         r.Gauge("slo_" + o.Name + "_budget_remaining"),
+			gBurnFast:       r.Gauge("slo_" + o.Name + "_burn_fast"),
+			gBurnSlow:       r.Gauge("slo_" + o.Name + "_burn_slow"),
+			gState:          r.Gauge("slo_" + o.Name + "_state"),
+			cPage:           r.Counter("slo_" + o.Name + "_page_transitions_total"),
+			cWarn:           r.Counter("slo_" + o.Name + "_warn_transitions_total"),
+		})
+	}
+	for _, s := range e.objs {
+		s.gBudget.Set(1)
+		s.lastBudget = 1
+	}
+	return e, nil
+}
+
+// Spec returns the engine's spec.
+func (e *Engine) Spec() *Spec {
+	if e == nil {
+		return &Spec{}
+	}
+	return e.spec
+}
+
+// nWindows is the number of query windows per evaluation: the four
+// burn windows plus the budget period.
+const nWindows = 5
+
+// badFractions estimates the objective's bad-event fraction over every
+// evaluation window ending at nowNs — fast-short, fast-long,
+// slow-short, slow-long, then the whole budget period — using the
+// history's batched queries so each underlying series is scanned once
+// per tick, not once per window. No traffic (or no data yet) reads as
+// zero burn: an idle service is meeting its SLO.
+func (e *Engine) badFractions(s *objState, nowNs int64) (f [nWindows]float64) {
+	o := s.o
+	win := e.cfg.Windows
+	sinces := [nWindows]int64{
+		metrics.SinceNs(nowNs, win.FastShort),
+		metrics.SinceNs(nowNs, win.FastLong),
+		metrics.SinceNs(nowNs, win.SlowShort),
+		metrics.SinceNs(nowNs, win.SlowLong),
+		metrics.SinceNs(nowNs, win.Period),
+	}
+	h := e.cfg.History
+	switch o.Kind {
+	case KindQuantile:
+		if !h.HistDeltas(o.Metric, sinces[:], s.histWins[:]) {
+			return
+		}
+		for i := range f {
+			w := s.histWins[i]
+			if w.Count == 0 {
+				continue
+			}
+			f[i] = w.OverBound(o.Bound) / float64(w.Count)
+		}
+	case KindRatio:
+		var total, bad, tmp [nWindows]int64
+		if !h.CounterDeltas(o.Total, sinces[:], total[:]) {
+			return
+		}
+		for _, m := range o.Bad {
+			if h.CounterDeltas(m, sinces[:], tmp[:]) {
+				for i := range bad {
+					bad[i] += tmp[i]
+				}
+			}
+		}
+		for i := range f {
+			if total[i] == 0 {
+				continue
+			}
+			v := float64(bad[i]) / float64(total[i])
+			if v > 1 {
+				v = 1
+			}
+			f[i] = v
+		}
+	case KindGauge:
+		h.GaugeOverFractions(o.Metric, sinces[:], o.Bound, f[:])
+	}
+	return
+}
+
+// Evaluate recomputes every objective's burn rates and budget at nowNs
+// (which should match the History's sampling clock), updates the
+// exported gauges, and returns the state transitions this evaluation
+// caused (nil when nothing changed).
+func (e *Engine) Evaluate(nowNs int64) []Transition {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.evals.Inc()
+	var out []Transition
+	for _, s := range e.objs {
+		o := s.o
+		f := e.badFractions(s, nowNs)
+		s.burnFS = f[0] / o.Budget
+		s.burnFL = f[1] / o.Budget
+		s.burnSS = f[2] / o.Budget
+		s.burnSL = f[3] / o.Budget
+		s.budgetRemaining = 1 - f[4]/o.Budget
+
+		s.spark[s.sparkHead] = s.burnFS
+		s.sparkHead = (s.sparkHead + 1) % len(s.spark)
+		if s.sparkN < len(s.spark) {
+			s.sparkN++
+		}
+
+		next := StateOK
+		if s.burnSS >= e.cfg.WarnBurn && s.burnSL >= e.cfg.WarnBurn {
+			next = StateWarn
+		}
+		if s.burnFS >= e.cfg.PageBurn && s.burnFL >= e.cfg.PageBurn {
+			next = StatePage
+		}
+
+		if s.budgetRemaining != s.lastBudget {
+			s.gBudget.Set(s.budgetRemaining)
+			s.lastBudget = s.budgetRemaining
+		}
+		if s.burnFS != s.lastBurnFast {
+			s.gBurnFast.Set(s.burnFS)
+			s.lastBurnFast = s.burnFS
+		}
+		if s.burnSS != s.lastBurnSlow {
+			s.gBurnSlow.Set(s.burnSS)
+			s.lastBurnSlow = s.burnSS
+		}
+		if ns := float64(next); ns != s.lastState {
+			s.gState.Set(ns)
+			s.lastState = ns
+		}
+
+		if next == s.state {
+			continue
+		}
+		t := Transition{
+			Objective:       o.Name,
+			From:            s.state,
+			To:              next,
+			AtNs:            nowNs,
+			BurnFastShort:   s.burnFS,
+			BurnFastLong:    s.burnFL,
+			BurnSlowShort:   s.burnSS,
+			BurnSlowLong:    s.burnSL,
+			BudgetRemaining: s.budgetRemaining,
+		}
+		if next == StatePage && o.Kind == KindQuantile {
+			for _, ex := range e.tailExemplars(o) {
+				t.Exemplars = append(t.Exemplars, ex.TraceID)
+			}
+		}
+		switch next {
+		case StatePage:
+			s.cPage.Inc()
+		case StateWarn:
+			s.cWarn.Inc()
+		}
+		s.state = next
+		out = append(out, t)
+		if e.cfg.OnTransition != nil {
+			e.cfg.OnTransition(t)
+		}
+	}
+	return out
+}
+
+// tailExemplars reads the live source histogram's exemplars above the
+// objective's bound. Passing nil bounds to Registry.Histogram is a
+// pure lookup: an unknown name stays unregistered and returns nil.
+func (e *Engine) tailExemplars(o Objective) []metrics.Exemplar {
+	h := e.cfg.Registry.Histogram(o.Metric, nil)
+	if h == nil && e.cfg.History.Registry() != e.cfg.Registry {
+		h = e.cfg.History.Registry().Histogram(o.Metric, nil)
+	}
+	return h.TailExemplars(o.Bound)
+}
+
+// BudgetExhausted reports whether any objective has spent its whole
+// period budget or is currently paging — the signal the epoch decision
+// gate consumes to hold migrations until the service recovers.
+func (e *Engine) BudgetExhausted() bool {
+	if e == nil {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range e.objs {
+		if s.budgetRemaining <= 0 || s.state == StatePage {
+			return true
+		}
+	}
+	return false
+}
+
+// ObjectiveStatus is one objective's row in Status.
+type ObjectiveStatus struct {
+	Name            string             `json:"name"`
+	Spec            string             `json:"spec"`
+	State           State              `json:"state"`
+	BudgetRemaining float64            `json:"budget_remaining"`
+	BurnFastShort   float64            `json:"burn_fast_short"`
+	BurnFastLong    float64            `json:"burn_fast_long"`
+	BurnSlowShort   float64            `json:"burn_slow_short"`
+	BurnSlowLong    float64            `json:"burn_slow_long"`
+	Spark           []float64          `json:"spark,omitempty"`
+	Exemplars       []metrics.Exemplar `json:"exemplars,omitempty"`
+}
+
+// Status is the engine's full serializable state, served on /slo and
+// rendered by georepctl slo.
+type Status struct {
+	Spec       string            `json:"spec"`
+	Windows    map[string]string `json:"windows"`
+	PageBurn   float64           `json:"page_burn"`
+	WarnBurn   float64           `json:"warn_burn"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+}
+
+// Status snapshots every objective (spark oldest-first).
+func (e *Engine) Status() Status {
+	if e == nil {
+		return Status{}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Status{
+		Spec: e.spec.String(),
+		Windows: map[string]string{
+			"fast_short": e.cfg.Windows.FastShort.String(),
+			"fast_long":  e.cfg.Windows.FastLong.String(),
+			"slow_short": e.cfg.Windows.SlowShort.String(),
+			"slow_long":  e.cfg.Windows.SlowLong.String(),
+			"period":     e.cfg.Windows.Period.String(),
+		},
+		PageBurn: e.cfg.PageBurn,
+		WarnBurn: e.cfg.WarnBurn,
+	}
+	for _, s := range e.objs {
+		os := ObjectiveStatus{
+			Name:            s.o.Name,
+			Spec:            s.o.String(),
+			State:           s.state,
+			BudgetRemaining: s.budgetRemaining,
+			BurnFastShort:   s.burnFS,
+			BurnFastLong:    s.burnFL,
+			BurnSlowShort:   s.burnSS,
+			BurnSlowLong:    s.burnSL,
+		}
+		for k := 0; k < s.sparkN; k++ {
+			i := (s.sparkHead - s.sparkN + k + 2*len(s.spark)) % len(s.spark)
+			os.Spark = append(os.Spark, s.spark[i])
+		}
+		if s.o.Kind == KindQuantile {
+			os.Exemplars = e.tailExemplars(s.o)
+		}
+		st.Objectives = append(st.Objectives, os)
+	}
+	return st
+}

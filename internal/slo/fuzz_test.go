@@ -1,0 +1,41 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSLOSpec hammers the DSL parser with arbitrary text. Properties:
+// Parse never panics; an accepted spec validates, renders, and
+// reparses to the same canonical string (String∘Parse is a fixed
+// point).
+func FuzzSLOSpec(f *testing.F) {
+	f.Add("read_p99 p99(daemon_rpc_get_ms) <= 50")
+	f.Add("s ratio(a+b / c) <= 0.001; l gauge(g) <= 200 budget 0.05")
+	f.Add("x p999(m) <= 1 budget 1")
+	f.Add("")
+	f.Add(";;;")
+	f.Add("x p99(m) <= 50 budget 0.5extra")
+	f.Add("x ratio(a/b/c) <= 0.1")
+	f.Add("x p99(m(n)) <= 1e300")
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := Parse(s)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "slo:") {
+				t.Fatalf("error without slo prefix: %v", err)
+			}
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec fails validation: %v (input %q)", err, s)
+		}
+		canon := spec.String()
+		spec2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q rejected: %v (input %q)", canon, err, s)
+		}
+		if got := spec2.String(); got != canon {
+			t.Fatalf("String not a fixed point: %q -> %q (input %q)", canon, got, s)
+		}
+	})
+}

@@ -1,0 +1,286 @@
+// Package slo is a declarative service-level-objective engine over the
+// metrics registry: objectives parsed from a small DSL, per-objective
+// error budgets, and multi-window multi-burn-rate alerting in the SRE
+// workbook style (fast 5m/1h pair pages, slow 6h/3d pair warns). It is
+// backed by metrics.History — the fixed-ring time-series layer — so
+// every burn rate is a windowed delta over real samples, reset-safe
+// across daemon restarts.
+//
+// The DSL mirrors internal/faults: semicolon-separated directives,
+// Parse/String round-trip exactly, Validate catches what parsing
+// cannot. Three objective kinds cover every metric shape the registry
+// holds:
+//
+//	read_p99 p99(daemon_rpc_get_ms) <= 50 budget 0.01
+//	staleness ratio(replog_ryw_violations_total+replog_monotonic_violations_total / replog_reads_total) <= 0.001
+//	lag gauge(replog_lag_entries_node_3) <= 200 budget 0.01
+//
+// A quantile objective reads a histogram: the bad-event fraction is
+// the (interpolated) share of windowed observations above the bound,
+// and the budget defaults to 1-q — "p99 ≤ 50" allows 1% over. A ratio
+// objective divides counter deltas (numerator terms sum); its bound IS
+// the budget. A gauge objective counts the fraction of samples where
+// the gauge exceeded the bound.
+package slo
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind is the objective's source-metric shape.
+type Kind int
+
+const (
+	// KindQuantile bounds a histogram quantile ("p99(m) <= 50").
+	KindQuantile Kind = iota
+	// KindRatio bounds a counter ratio ("ratio(bad / total) <= 0.001").
+	KindRatio
+	// KindGauge bounds a gauge's over-threshold sample fraction.
+	KindGauge
+)
+
+// Objective is one parsed SLO directive.
+type Objective struct {
+	Name string
+	Kind Kind
+	// Metric is the histogram (KindQuantile) or gauge (KindGauge) name.
+	Metric string
+	// Bad and Total are the ratio numerator terms and denominator
+	// (KindRatio only). Numerator terms are summed.
+	Bad   []string
+	Total string
+	// Q is the quantile in (0,1) (KindQuantile only).
+	Q float64
+	// Bound is the threshold: a value for quantile/gauge objectives,
+	// the allowed bad fraction for ratio objectives.
+	Bound float64
+	// Budget is the allowed bad-event fraction in (0,1]. Defaults:
+	// 1-Q for quantiles, Bound for ratios, 0.01 for gauges.
+	Budget float64
+}
+
+// Spec is a full SLO specification: a list of uniquely named
+// objectives. The zero value (and nil) holds no objectives.
+type Spec struct {
+	Objectives []Objective
+}
+
+// Parse reads a semicolon-separated SLO spec. An empty string yields
+// an empty (valid) spec.
+func Parse(s string) (*Spec, error) {
+	spec := &Spec{}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		o, err := parseObjective(part)
+		if err != nil {
+			return nil, err
+		}
+		spec.Objectives = append(spec.Objectives, o)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// parseObjective reads one directive:
+//
+//	NAME pQQ(METRIC) <= BOUND [budget B]
+//	NAME ratio(BAD[+BAD...] / TOTAL) <= BOUND [budget B]
+//	NAME gauge(METRIC) <= BOUND [budget B]
+func parseObjective(s string) (Objective, error) {
+	var o Objective
+	name, rest, ok := strings.Cut(s, " ")
+	if !ok {
+		return o, fmt.Errorf("slo: %q: want NAME SOURCE <= BOUND", s)
+	}
+	o.Name = name
+	src, bound, ok := strings.Cut(rest, "<=")
+	if !ok {
+		return o, fmt.Errorf("slo: %q: missing \"<=\"", s)
+	}
+	src = strings.TrimSpace(src)
+	kindTok, args, ok := strings.Cut(src, "(")
+	if !ok || !strings.HasSuffix(args, ")") {
+		return o, fmt.Errorf("slo: %q: source %q is not KIND(ARGS)", s, src)
+	}
+	args = strings.TrimSuffix(args, ")")
+	switch {
+	case strings.HasPrefix(kindTok, "p") && len(kindTok) > 1:
+		o.Kind = KindQuantile
+		digits := kindTok[1:]
+		if _, err := strconv.ParseUint(digits, 10, 32); err != nil {
+			return o, fmt.Errorf("slo: %q: bad quantile %q", s, kindTok)
+		}
+		o.Q, _ = strconv.ParseFloat("0."+digits, 64)
+		o.Metric = strings.TrimSpace(args)
+	case kindTok == "ratio":
+		o.Kind = KindRatio
+		num, den, ok := strings.Cut(args, "/")
+		if !ok {
+			return o, fmt.Errorf("slo: %q: ratio wants BAD / TOTAL", s)
+		}
+		for _, term := range strings.Split(num, "+") {
+			if term = strings.TrimSpace(term); term != "" {
+				o.Bad = append(o.Bad, term)
+			}
+		}
+		o.Total = strings.TrimSpace(den)
+	case kindTok == "gauge":
+		o.Kind = KindGauge
+		o.Metric = strings.TrimSpace(args)
+	default:
+		return o, fmt.Errorf("slo: %q: unknown source kind %q", s, kindTok)
+	}
+
+	fields := strings.Fields(bound)
+	if len(fields) == 0 {
+		return o, fmt.Errorf("slo: %q: missing bound", s)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return o, fmt.Errorf("slo: %q: bad bound %q: %v", s, fields[0], err)
+	}
+	o.Bound = v
+	switch {
+	case len(fields) == 1:
+		switch o.Kind {
+		case KindQuantile:
+			o.Budget = 1 - o.Q
+		case KindRatio:
+			o.Budget = o.Bound
+		case KindGauge:
+			o.Budget = 0.01
+		}
+	case len(fields) == 3 && fields[1] == "budget":
+		b, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return o, fmt.Errorf("slo: %q: bad budget %q: %v", s, fields[2], err)
+		}
+		o.Budget = b
+	default:
+		return o, fmt.Errorf("slo: %q: trailing %q (want \"budget B\")", s, strings.Join(fields[1:], " "))
+	}
+	return o, nil
+}
+
+// String renders the spec back to canonical DSL text; Parse(spec.String())
+// reproduces the spec exactly.
+func (s *Spec) String() string {
+	if s == nil {
+		return ""
+	}
+	parts := make([]string, 0, len(s.Objectives))
+	for _, o := range s.Objectives {
+		parts = append(parts, o.String())
+	}
+	return strings.Join(parts, "; ")
+}
+
+// String renders one directive in canonical form (budget always
+// explicit).
+func (o Objective) String() string {
+	var src string
+	switch o.Kind {
+	case KindQuantile:
+		src = fmt.Sprintf("p%s(%s)", quantDigits(o.Q), o.Metric)
+	case KindRatio:
+		src = fmt.Sprintf("ratio(%s / %s)", strings.Join(o.Bad, "+"), o.Total)
+	case KindGauge:
+		src = fmt.Sprintf("gauge(%s)", o.Metric)
+	}
+	return fmt.Sprintf("%s %s <= %s budget %s",
+		o.Name, src, formatFloat(o.Bound), formatFloat(o.Budget))
+}
+
+// quantDigits renders q in (0,1) as the digits after "0." with
+// trailing zeros kept to at least two digits, so 0.5 -> "50",
+// 0.99 -> "99", 0.999 -> "999" — and parsing "0."+digits round-trips.
+func quantDigits(q float64) string {
+	d := strconv.FormatFloat(q, 'f', -1, 64)
+	d = strings.TrimPrefix(d, "0.")
+	for len(d) < 2 {
+		d += "0"
+	}
+	return d
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Validate checks semantic constraints parsing cannot: identifier-ish
+// names, unique names, quantiles and budgets in range, finite bounds.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	seen := make(map[string]bool, len(s.Objectives))
+	for _, o := range s.Objectives {
+		if !validName(o.Name) {
+			return fmt.Errorf("slo: bad objective name %q", o.Name)
+		}
+		if seen[o.Name] {
+			return fmt.Errorf("slo: duplicate objective %q", o.Name)
+		}
+		seen[o.Name] = true
+		if math.IsNaN(o.Bound) || math.IsInf(o.Bound, 0) || o.Bound < 0 {
+			return fmt.Errorf("slo: %s: bound %v out of range", o.Name, o.Bound)
+		}
+		if math.IsNaN(o.Budget) || !(o.Budget > 0 && o.Budget <= 1) {
+			return fmt.Errorf("slo: %s: budget %v not in (0,1]", o.Name, o.Budget)
+		}
+		switch o.Kind {
+		case KindQuantile:
+			if !(o.Q > 0 && o.Q < 1) {
+				return fmt.Errorf("slo: %s: quantile %v not in (0,1)", o.Name, o.Q)
+			}
+			if !validName(o.Metric) {
+				return fmt.Errorf("slo: %s: bad metric %q", o.Name, o.Metric)
+			}
+		case KindRatio:
+			if len(o.Bad) == 0 {
+				return fmt.Errorf("slo: %s: ratio needs at least one numerator term", o.Name)
+			}
+			for _, m := range o.Bad {
+				if !validName(m) {
+					return fmt.Errorf("slo: %s: bad metric %q", o.Name, m)
+				}
+			}
+			if !validName(o.Total) {
+				return fmt.Errorf("slo: %s: bad metric %q", o.Name, o.Total)
+			}
+		case KindGauge:
+			if !validName(o.Metric) {
+				return fmt.Errorf("slo: %s: bad metric %q", o.Name, o.Metric)
+			}
+		default:
+			return fmt.Errorf("slo: %s: unknown kind %d", o.Name, o.Kind)
+		}
+	}
+	return nil
+}
+
+// validName accepts registry metric names and objective names: letters,
+// digits, underscore, dot, colon, dash — nothing that would break the
+// DSL or a Prometheus label.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == '.' || r == ':' || r == '-' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -205,6 +205,31 @@ func (f *FlightRecorder) MarkAnomalous(traceID, reason string) {
 	}
 }
 
+// PinLatest pins the most recently retained trace with a reason and
+// returns its ID ("" when the recorder is empty or nil). This is the
+// SLO hook: a burn-rate state transition cannot name a single request,
+// but the current epoch's span tree is the right thing to keep, so the
+// alert points at what the system was doing when the budget tipped.
+// Already-anomalous traces keep their first reason but still count as
+// the pin target.
+func (f *FlightRecorder) PinLatest(reason string) string {
+	if f == nil || reason == "" {
+		return ""
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.order) == 0 {
+		return ""
+	}
+	id := f.order[len(f.order)-1].id
+	if e, ok := f.traces[id]; ok && e.anomaly == "" {
+		e.anomaly = reason
+		f.flipLocked(id)
+		f.evictLocked()
+	}
+	return id
+}
+
 // flipLocked reclassifies one retained trace plain -> anomalous in the
 // class counts and the eviction order. The scan runs newest-first:
 // traces flip at or near their root span, so the entry is almost always
