@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/georep/georep/internal/explain"
+	"github.com/georep/georep/internal/ledger"
+	"github.com/georep/georep/internal/transport"
+)
+
+// explainLocal explains decisions from a local ledger directory: the
+// attribution table and counterfactual ranking for one epoch (-epoch,
+// default latest recorded), optionally narrowed to one object (-obj).
+// With interval > 0 it re-reads and re-renders top-style until
+// interrupted; iterations caps frames for tests (<= 0 = forever).
+func explainLocal(w io.Writer, dir string, epoch int, objectID, format string, interval time.Duration, iterations int) error {
+	if dir == "" {
+		return fmt.Errorf("explain needs -dir (local ledger) or -nodes (fleet)")
+	}
+	render := func(fw io.Writer) error {
+		recs, err := ledger.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		rep, err := explain.Build(recs, explain.Options{Epoch: epoch, ObjectID: objectID})
+		if err != nil {
+			return err
+		}
+		return writeExplain(fw, rep, format)
+	}
+	if interval <= 0 {
+		return render(w)
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	for i := 0; ; i++ {
+		var buf bytes.Buffer
+		if err := render(&buf); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\033[H\033[2Jgeorepctl explain  (every %s, ctrl-c to stop)\n%s", interval, buf.String())
+		if iterations > 0 && i+1 >= iterations {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+// explain fetches decision-provenance explanations from the fleet.
+// Nodes running without a ledger directory answer with an application
+// error and are reported and skipped; if no node serves explanations
+// the command fails.
+func (f *fleet) explain(w io.Writer, epoch int, objectID, format string) error {
+	served := 0
+	for _, m := range f.members {
+		raw, err := m.client.Explain(epoch, objectID)
+		if err != nil {
+			if transport.IsRetryable(err) {
+				return err
+			}
+			fmt.Fprintf(w, "node %d (%s): no decision ledger\n", m.node, m.addr)
+			continue
+		}
+		served++
+		fmt.Fprintf(w, "node %d (%s)\n", m.node, m.addr)
+		var rep explain.Report
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return fmt.Errorf("decode explain from node %d (%s): %w", m.node, m.addr, err)
+		}
+		if err := writeExplain(w, &rep, format); err != nil {
+			return err
+		}
+	}
+	if served == 0 {
+		return fmt.Errorf("no node serves explanations (start georepd with -ledger-dir)")
+	}
+	return nil
+}
+
+// writeExplain renders one explain report in the requested format.
+func writeExplain(w io.Writer, rep *explain.Report, format string) error {
+	switch format {
+	case "json":
+		body, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", body)
+		return err
+	case "tree", "table": // "tree" is the flag default; treat it as table
+		explain.Render(w, rep)
+		return nil
+	default:
+		return fmt.Errorf("unknown explain format %q (want table or json)", format)
+	}
+}

@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/georep/georep/internal/audit"
+	"github.com/georep/georep/internal/experiment"
+	"github.com/georep/georep/internal/explain"
+	"github.com/georep/georep/internal/ledger"
+)
+
+// The committed seeded ledger under testdata/explain_seed is the
+// acceptance artifact for `georepctl explain`: the decision ledger of
+// one pinned failure-experiment run (fault plan, SLO hold and all), so
+// the CLI tests and the docs walkthrough explain the exact same run.
+// Regenerate with
+//
+//	GOLDEN_REGEN=1 go test ./cmd/georepctl -run TestExplainSeedRegenerate
+//
+// only when the capture pipeline intentionally changes what it records.
+const (
+	explainSeedDir = "testdata/explain_seed"
+	explainSeed    = 1
+)
+
+func seededExplainConfig() experiment.FailureConfig {
+	cfg := experiment.DefaultFailureConfig()
+	cfg.Setup.Nodes = 60
+	cfg.NumDCs = 12
+	cfg.K = 3
+	cfg.M = 6
+	cfg.Epochs = 9
+	cfg.AccessesPerEpoch = 400
+	// A permissive gain gate lets the post-fault demand shift propose
+	// migrations; with the availability budget burned through, the SLO
+	// hold refuses them, so the committed run records held-budget
+	// decisions with their scored counterfactuals.
+	cfg.MinRelativeGain = 0.01
+	return cfg
+}
+
+// writeSeededLedger runs the pinned failure experiment, durably logging
+// the faulty pass's decisions into dir.
+func writeSeededLedger(t *testing.T, dir string) {
+	t.Helper()
+	l, err := ledger.Open(dir, ledger.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := seededExplainConfig()
+	cfg.Ledger = l
+	if _, err := experiment.Failure(explainSeed, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplainSeedRegenerate(t *testing.T) {
+	if os.Getenv("GOLDEN_REGEN") == "" {
+		t.Skip("set GOLDEN_REGEN=1 to rewrite the seeded explain ledger")
+	}
+	if err := os.RemoveAll(explainSeedDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(explainSeedDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeSeededLedger(t, explainSeedDir)
+}
+
+// faultedProvEpoch picks the committed run's acceptance epoch: inside
+// the fault window, non-steady, with at least three scored
+// counterfactuals. The seeded scenario must produce one — if a capture
+// change loses it, this fails rather than silently asserting less.
+func faultedProvEpoch(t *testing.T) int {
+	t.Helper()
+	recs, err := ledger.ReadDir(explainSeedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ledger epochs are 1-based; the fault plan starts at experiment
+	// epoch Epochs/3 (0-based), i.e. ledger epoch Epochs/3 + 1.
+	faultFrom := seededExplainConfig().Epochs/3 + 1
+	for _, r := range recs {
+		if r.Epoch < faultFrom || r.Prov == nil {
+			continue
+		}
+		if r.Prov.Reason.String() != "steady" && len(r.Prov.Counterfactuals) >= 3 {
+			return r.Epoch
+		}
+	}
+	t.Fatalf("seeded run has no faulted epoch with a non-steady reason and >= 3 counterfactuals")
+	return -1
+}
+
+// TestExplainSeededLedger is the CLI acceptance check: explaining a
+// faulted epoch of the committed run surfaces a non-steady reason, its
+// gating inputs, and at least three scored counterfactuals — and the
+// rendering is byte-deterministic.
+func TestExplainSeededLedger(t *testing.T) {
+	epoch := faultedProvEpoch(t)
+	var a, b bytes.Buffer
+	if err := explainLocal(&a, explainSeedDir, epoch, "", "tree", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := explainLocal(&b, explainSeedDir, epoch, "", "tree", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 || a.String() != b.String() {
+		t.Fatal("explain output is not byte-deterministic")
+	}
+	out := a.String()
+	if strings.Contains(out, "reason steady") || !strings.Contains(out, "reason ") {
+		t.Fatalf("faulted epoch should explain a non-steady reason:\n%s", out)
+	}
+	if !strings.Contains(out, "gates") || !strings.Contains(out, "burn ") {
+		t.Fatalf("explain output missing gating inputs:\n%s", out)
+	}
+	m := regexp.MustCompile(`counterfactuals \((\d+) scored`).FindStringSubmatch(out)
+	if m == nil || m[1] == "0" || m[1] == "1" || m[1] == "2" {
+		t.Fatalf("want >= 3 scored counterfactuals, got %v:\n%s", m, out)
+	}
+
+	// Default epoch resolution (-1) finds the latest provenance-bearing
+	// epoch without being told which one.
+	var c bytes.Buffer
+	if err := explainLocal(&c, explainSeedDir, -1, "", "tree", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.String(), "reason ") {
+		t.Fatalf("latest-epoch explain carries no provenance:\n%s", c.String())
+	}
+
+	// JSON mode exports the same report machine-readably.
+	var j bytes.Buffer
+	if err := explainLocal(&j, explainSeedDir, epoch, "", "json", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(j.String(), `"reason"`) || !strings.Contains(j.String(), `"counterfactuals"`) {
+		t.Fatalf("explain JSON missing provenance fields:\n%s", j.String())
+	}
+}
+
+// TestExplainSeededLedgerDeterministic pins byte-level reproducibility
+// across parallelism: regenerating the seeded run at GOMAXPROCS=1 and
+// at full width must reproduce the committed segments bit for bit.
+func TestExplainSeededLedgerDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the seeded experiment twice")
+	}
+	want := readSegments(t, explainSeedDir)
+	for _, procs := range []int{1, runtime.NumCPU()} {
+		prev := runtime.GOMAXPROCS(procs)
+		dir := t.TempDir()
+		writeSeededLedger(t, dir)
+		runtime.GOMAXPROCS(prev)
+		got := readSegments(t, dir)
+		if len(got) != len(want) {
+			t.Fatalf("GOMAXPROCS=%d: %d segments, committed run has %d", procs, len(got), len(want))
+		}
+		for name, data := range want {
+			if !bytes.Equal(got[name], data) {
+				t.Fatalf("GOMAXPROCS=%d: segment %s differs from committed bytes", procs, name)
+			}
+		}
+	}
+}
+
+// readSegments returns segment basename -> raw bytes for a ledger dir.
+func readSegments(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "ledger-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatalf("no segments in %s", dir)
+	}
+	out := make(map[string][]byte, len(segs))
+	for _, s := range segs {
+		raw, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(s)] = raw
+	}
+	return out
+}
+
+// TestExplainWatch exercises the top-style loop: two frames, each
+// clearing the screen and re-rendering the report.
+func TestExplainWatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := explainLocal(&buf, explainSeedDir, -1, "", "tree", 100, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\033[H\033[2J"); got != 2 {
+		t.Fatalf("want 2 screen-clearing frames, got %d", got)
+	}
+}
+
+func TestExplainViaRun(t *testing.T) {
+	if err := run([]string{"explain", "-dir", explainSeedDir}); err != nil {
+		t.Fatal(err)
+	}
+	// Without -dir, explain is a fleet command and demands -nodes.
+	if err := run([]string{"explain"}); err == nil || !strings.Contains(err.Error(), "-nodes") {
+		t.Fatalf("explain without a source should fail with a hint, got %v", err)
+	}
+}
+
+// TestAuditCmdWhy checks -why: the seeded v3 ledger gets reason and
+// live-regret columns plus the per-reason aggregate; a pre-v3 ledger
+// degrades to the plain table instead of printing dash-only columns.
+func TestAuditCmdWhy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := auditCmd(&buf, explainSeedDir, audit.Config{Seed: 1}, "table", true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"reason", "live-regret", "why (recorded reason vs hindsight regret):"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("audit -why missing %q:\n%s", want, out)
+		}
+	}
+
+	old := writeTestLedger(t, 4) // pre-v3 records: no provenance anywhere
+	buf.Reset()
+	if err := auditCmd(&buf, old, audit.Config{Seed: 1}, "table", true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "live-regret") {
+		t.Fatalf("-why on a pre-v3 ledger should fall back to the plain table:\n%s", buf.String())
+	}
+}
+
+// TestExplainReportJSONRoundTrip pins the fleet path's wire contract:
+// the daemon marshals an explain.Report, the CLI unmarshals and renders
+// it identically to the local path.
+func TestExplainReportJSONRoundTrip(t *testing.T) {
+	recs, err := ledger.ReadDir(explainSeedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := explain.Build(recs, explain.Options{Epoch: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if err := writeExplain(&direct, rep, "json"); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := writeExplain(&again, rep, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if direct.String() != again.String() {
+		t.Fatal("explain JSON not deterministic")
+	}
+}

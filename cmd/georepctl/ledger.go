@@ -89,7 +89,7 @@ func renderRecords(w io.Writer, recs []ledger.Record) {
 // auditCmd replays a local ledger through the offline baselines and
 // prints the regret report (the paper's online-vs-k-means-vs-optimal
 // comparison, recomputed from decision provenance).
-func auditCmd(w io.Writer, dir string, cfg audit.Config, format string) error {
+func auditCmd(w io.Writer, dir string, cfg audit.Config, format string, why bool) error {
 	if dir == "" {
 		return fmt.Errorf("audit needs -dir (the ledger directory)")
 	}
@@ -110,14 +110,14 @@ func auditCmd(w io.Writer, dir string, cfg audit.Config, format string) error {
 		_, err = fmt.Fprintf(w, "%s\n", body)
 		return err
 	case "tree", "table":
-		renderAudit(w, rep, cfg)
+		renderAudit(w, rep, cfg, why)
 		return nil
 	default:
 		return fmt.Errorf("unknown audit format %q (want table or json)", format)
 	}
 }
 
-func renderAudit(w io.Writer, rep *audit.Report, cfg audit.Config) {
+func renderAudit(w io.Writer, rep *audit.Report, cfg audit.Config, why bool) {
 	if rep.AuditedEpochs == 0 {
 		fmt.Fprintf(w, "nothing to audit (%d records skipped)\n", rep.SkippedEpochs)
 		return
@@ -134,14 +134,19 @@ func renderAudit(w io.Writer, rep *audit.Report, cfg audit.Config) {
 			break
 		}
 	}
+	why = why && auditHasReasons(rep)
+	whyHead, whyCols := "", ""
+	if why {
+		whyHead = fmt.Sprintf("  %-14s%12s%4s", "reason", "live-regret", "cf")
+	}
 	if multi {
-		fmt.Fprintf(w, "%-8s%-14s%4s%10s%10s%10s%10s%12s%12s%9s%9s%6s  %s\n",
+		fmt.Fprintf(w, "%-8s%-14s%4s%10s%10s%10s%10s%12s%12s%9s%9s%6s  %-6s%s\n",
 			"epoch", "object", "k", "online", "kmeans", "optimal", "observed",
-			"regret-km", "regret-opt", "drift", "quality", "disp", "flags")
+			"regret-km", "regret-opt", "drift", "quality", "disp", "flags", whyHead)
 	} else {
-		fmt.Fprintf(w, "%-8s%4s%10s%10s%10s%10s%12s%12s%9s%9s  %s\n",
+		fmt.Fprintf(w, "%-8s%4s%10s%10s%10s%10s%12s%12s%9s%9s%6s  %-6s%s\n",
 			"epoch", "k", "online", "kmeans", "optimal", "observed",
-			"regret-km", "regret-opt", "drift", "quality", "flags")
+			"regret-km", "regret-opt", "drift", "quality", "disp", "flags", whyHead)
 	}
 	for _, row := range rep.Epochs {
 		opt, regOpt := fmt.Sprintf("%10.1f", row.OptimalEstMs), fmt.Sprintf("%12.3f", row.RegretOptimalMs)
@@ -152,6 +157,9 @@ func renderAudit(w io.Writer, rep *audit.Report, cfg audit.Config) {
 		if row.Migrated {
 			flags += "M"
 		}
+		if row.Held {
+			flags += "H"
+		}
 		if row.Degraded {
 			flags += "D"
 		}
@@ -161,15 +169,25 @@ func renderAudit(w io.Writer, rep *audit.Report, cfg audit.Config) {
 		if flags == "" {
 			flags = "-"
 		}
-		if multi {
-			fmt.Fprintf(w, "%-8d%-14s%4d%10.1f%10.1f%s%10.1f%12.3f%s%9.2f%9.2f%6d  %s\n",
-				row.Epoch, row.ObjectID, row.K, row.OnlineEstMs, row.KMeansEstMs, opt, row.ObservedMs,
-				row.RegretKMeansMs, regOpt, row.DriftMs, row.QualityMs, row.Displaced, flags)
-		} else {
-			fmt.Fprintf(w, "%-8d%4d%10.1f%10.1f%s%10.1f%12.3f%s%9.2f%9.2f  %s\n",
-				row.Epoch, row.K, row.OnlineEstMs, row.KMeansEstMs, opt, row.ObservedMs,
-				row.RegretKMeansMs, regOpt, row.DriftMs, row.QualityMs, flags)
+		if why {
+			reason := row.Reason
+			if reason == "" {
+				reason = "-"
+			}
+			whyCols = fmt.Sprintf("  %-14s%12.3f%4d", reason, row.ProvRegretMs, row.ProvCounterfactuals)
 		}
+		if multi {
+			fmt.Fprintf(w, "%-8d%-14s%4d%10.1f%10.1f%s%10.1f%12.3f%s%9.2f%9.2f%6d  %-6s%s\n",
+				row.Epoch, row.ObjectID, row.K, row.OnlineEstMs, row.KMeansEstMs, opt, row.ObservedMs,
+				row.RegretKMeansMs, regOpt, row.DriftMs, row.QualityMs, row.Displaced, flags, whyCols)
+		} else {
+			fmt.Fprintf(w, "%-8d%4d%10.1f%10.1f%s%10.1f%12.3f%s%9.2f%9.2f%6d  %-6s%s\n",
+				row.Epoch, row.K, row.OnlineEstMs, row.KMeansEstMs, opt, row.ObservedMs,
+				row.RegretKMeansMs, regOpt, row.DriftMs, row.QualityMs, row.Displaced, flags, whyCols)
+		}
+	}
+	if why {
+		renderWhy(w, rep)
 	}
 	if len(rep.Classes) > 1 || (len(rep.Classes) == 1 && rep.Classes[0].Class != "") {
 		fmt.Fprintln(w, "per-class regret:")
@@ -198,5 +216,65 @@ func renderAudit(w io.Writer, rep *audit.Report, cfg audit.Config) {
 		rep.MeanDriftMs, rep.MeanQualityMs)
 	if rep.Displaced > 0 {
 		fmt.Fprintf(w, "capacity: %d replicas displaced across audited epochs\n", rep.Displaced)
+	}
+}
+
+// auditHasReasons reports whether any audited epoch carries recorded
+// decision provenance; -why on a pre-v3 ledger degrades to the plain
+// table instead of printing a column of dashes.
+func auditHasReasons(rep *audit.Report) bool {
+	for _, row := range rep.Epochs {
+		if row.Reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// renderWhy prints the -why aggregate: for each recorded decision
+// reason, how often it fired and how the manager's own live regret (vs
+// the counterfactuals it scored in the moment) compares with the
+// audit's offline hindsight regret (vs a k-means replay of the same
+// summaries). A reason whose live regret is low but offline regret is
+// high marks epochs where the online solver was confidently wrong.
+func renderWhy(w io.Writer, rep *audit.Report) {
+	type agg struct {
+		epochs  int
+		held    int
+		liveSum float64
+		kmSum   float64
+		cfSum   int
+	}
+	byReason := map[string]*agg{}
+	var order []string
+	for _, row := range rep.Epochs {
+		if row.Reason == "" {
+			continue
+		}
+		a := byReason[row.Reason]
+		if a == nil {
+			a = &agg{}
+			byReason[row.Reason] = a
+			order = append(order, row.Reason)
+		}
+		a.epochs++
+		if row.Held {
+			a.held++
+		}
+		a.liveSum += row.ProvRegretMs
+		a.kmSum += row.RegretKMeansMs
+		a.cfSum += row.ProvCounterfactuals
+	}
+	if len(order) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "why (recorded reason vs hindsight regret):")
+	fmt.Fprintf(w, "  %-14s%8s%6s%14s%14s%10s\n",
+		"reason", "epochs", "held", "live-regret", "regret-km", "mean-cf")
+	for _, name := range order {
+		a := byReason[name]
+		n := float64(a.epochs)
+		fmt.Fprintf(w, "  %-14s%8d%6d%14.3f%14.3f%10.1f\n",
+			name, a.epochs, a.held, a.liveSum/n, a.kmSum/n, float64(a.cfSum)/n)
 	}
 }

@@ -173,7 +173,7 @@ func TestLedgerAndAuditViaRun(t *testing.T) {
 func TestAuditCmdTable(t *testing.T) {
 	dir := writeTestLedger(t, 5)
 	var buf bytes.Buffer
-	if err := auditCmd(&buf, dir, audit.Config{Seed: 1}, "table"); err != nil {
+	if err := auditCmd(&buf, dir, audit.Config{Seed: 1}, "table", false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -185,7 +185,7 @@ func TestAuditCmdTable(t *testing.T) {
 
 	// A what-if replay is labelled as such.
 	buf.Reset()
-	if err := auditCmd(&buf, dir, audit.Config{Seed: 1, WhatIfK: 3}, "table"); err != nil {
+	if err := auditCmd(&buf, dir, audit.Config{Seed: 1, WhatIfK: 3}, "table", false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "what-if: baselines replayed at k=3") {
@@ -219,10 +219,10 @@ func TestAuditEndToEndDeterministic(t *testing.T) {
 
 	var a, b bytes.Buffer
 	acfg := audit.Config{Seed: 1}
-	if err := auditCmd(&a, dir, acfg, "json"); err != nil {
+	if err := auditCmd(&a, dir, acfg, "json", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := auditCmd(&b, dir, acfg, "json"); err != nil {
+	if err := auditCmd(&b, dir, acfg, "json", false); err != nil {
 		t.Fatal(err)
 	}
 	if a.Len() == 0 || a.String() != b.String() {

@@ -17,7 +17,9 @@
 //	georepctl -nodes ... spans [-kind collect] [-top 10]
 //	georepctl trace -in run.jsonl                # render an exported trace file
 //	georepctl ledger -dir ./epochs [-limit 20] [-verify] [-o table|jsonl]
-//	georepctl audit  -dir ./epochs [-what-if 3] [-audit-seed 1] [-o table|json]
+//	georepctl audit  -dir ./epochs [-what-if 3] [-audit-seed 1] [-why] [-o table|json]
+//	georepctl explain -dir ./epochs [-epoch 5] [-obj key] [-watch 2s] [-o table|json]
+//	georepctl -nodes ... explain [-epoch 5] [-obj key]   # same report over the explain RPC
 //
 // read acts as a client at the given coordinate: it fetches the object
 // from the predicted-closest holder, which records the access in that
@@ -53,7 +55,18 @@
 // decision records; audit replays every epoch through the offline
 // k-means and exhaustive-optimal baselines and reports placement regret,
 // demand drift, and micro-cluster quality — the paper's online-vs-
-// offline comparison recomputed from decision provenance.
+// offline comparison recomputed from decision provenance. With -why the
+// audit joins each epoch's recorded outcome reason and live regret
+// (ledger codec v3) against those hindsight baselines, and the summary
+// counts held migrations and capacity displacements.
+//
+// explain renders one epoch's decision provenance — outcome reason with
+// its gating inputs, cost decomposition with per-DC shares, the scored
+// counterfactual placements ranked cheapest-first, and the regret line.
+// With -dir it reads a local ledger like audit; with -nodes it asks a
+// ledger-configured daemon over the explain RPC. -epoch selects an
+// epoch (-1 = latest), -obj filters to one object, -watch follows the
+// live ledger top-style.
 package main
 
 import (
@@ -121,6 +134,8 @@ func run(args []string) error {
 		whatIfK     = fs.Int("what-if", 0, "audit: replay the offline baselines at this replication degree instead of each epoch's logged k")
 		auditSeed   = fs.Int64("audit-seed", 1, "audit: seed for the offline k-means baseline")
 		maxLeaves   = fs.Int("max-leaves", 0, "audit: skip the exhaustive optimal baseline when the search would exceed this many leaves (0 = default, negative = never skip)")
+		epochFlag   = fs.Int("epoch", -1, "explain: epoch to explain (-1 = latest recorded)")
+		whyFlag     = fs.Bool("why", false, "audit: join recorded decision reasons and live regret (codec v3 provenance) with the offline baselines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,7 +146,7 @@ func run(args []string) error {
 	rest := fs.Args()
 	if len(rest) == 0 {
 		fs.Usage()
-		return fmt.Errorf("need a command: status, get, put, read, rebalance, decay, metrics, slo, trace, spans, ledger, audit")
+		return fmt.Errorf("need a command: status, get, put, read, rebalance, decay, metrics, slo, explain, trace, spans, ledger, audit")
 	}
 	cmd := rest[0]
 	if err := fs.Parse(rest[1:]); err != nil {
@@ -163,7 +178,13 @@ func run(args []string) error {
 			WhatIfK:          *whatIfK,
 			MaxOptimalLeaves: *maxLeaves,
 			Parallelism:      *parallelism,
-		}, *traceFmt)
+		}, *traceFmt, *whyFlag)
+	case "explain":
+		// Local when a ledger directory is given; otherwise the fleet's
+		// explain RPC below.
+		if *ledgerDir != "" {
+			return explainLocal(os.Stdout, *ledgerDir, *epochFlag, *obj, *traceFmt, *watchEvery, 0)
+		}
 	}
 	if *nodesFlag == "" {
 		return fmt.Errorf("-nodes is required")
@@ -234,6 +255,14 @@ func run(args []string) error {
 			return fleet.watch(os.Stdout, "slo", *watchEvery, 0, fleet.slo)
 		}
 		return fleet.slo(os.Stdout)
+	case "explain":
+		render := func(fw io.Writer) error {
+			return fleet.explain(fw, *epochFlag, *obj, *traceFmt)
+		}
+		if *watchEvery > 0 {
+			return fleet.watch(os.Stdout, "explain", *watchEvery, 0, render)
+		}
+		return render(os.Stdout)
 	case "trace":
 		traces, err := fleet.gatherTraces()
 		if err != nil {

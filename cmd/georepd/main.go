@@ -32,7 +32,12 @@
 //	                  Chrome trace_event / Perfetto)
 //	/audit            continuous placement-regret audit report as JSON
 //	                  (requires -ledger-dir)
-//	/healthz          liveness probe
+//	/explain          decision provenance report as JSON: reason, cost
+//	                  decomposition, scored counterfactuals, regret
+//	                  (?epoch=N, default latest; requires -ledger-dir)
+//	/healthz          health probe: 200 while healthy, 503 with a JSON
+//	                  body naming the paging objective when any SLO
+//	                  pages (requires -slo to ever degrade)
 //	/debug/pprof/     Go profiling endpoints (only with -pprof)
 //
 // The metrics cover RPC counts and errors per method, transport bytes
@@ -63,8 +68,10 @@ import (
 
 	"github.com/georep/georep/internal/audit"
 	"github.com/georep/georep/internal/daemon"
+	"github.com/georep/georep/internal/explain"
 	"github.com/georep/georep/internal/faults"
 	"github.com/georep/georep/internal/latency"
+	"github.com/georep/georep/internal/ledger"
 	"github.com/georep/georep/internal/logging"
 	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/slo"
@@ -232,6 +239,24 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 	if *sloSpec != "" && *pprofOn && *ledgerDir != "" {
 		onTransition = pageProfiler(*ledgerDir, maxPageProfiles)
 	}
+	// Decision-provenance explanations: nodes with a ledger directory
+	// answer the explain RPC and serve /explain by re-reading the ledger
+	// per request (explanations are an operator surface, not a hot path).
+	var explainJSON func(epoch int, objectID string) ([]byte, error)
+	if *ledgerDir != "" {
+		dir := *ledgerDir
+		explainJSON = func(epoch int, objectID string) ([]byte, error) {
+			recs, err := ledger.ReadDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := explain.Build(recs, explain.Options{Epoch: epoch, ObjectID: objectID})
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(rep)
+		}
+	}
 	n, err := daemon.NewNode(daemon.Config{
 		ID:                       *nodeID,
 		MicroClusters:            *micro,
@@ -250,6 +275,7 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 		SLOInterval:              *sloEvery,
 		HistorySamples:           *histSamples,
 		OnSLOTransition:          onTransition,
+		ExplainJSON:              explainJSON,
 		Logger:                   logCfg.Logger(os.Stderr, "daemon"),
 		TransportLogger:          logCfg.Logger(os.Stderr, "transport"),
 	})
@@ -291,7 +317,7 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 			return fmt.Errorf("metrics listen %s: %w", *metricsAddr, err)
 		}
 		metricsURL = ln.Addr().String()
-		metricsSrv = &http.Server{Handler: newObsMux(n, rec, aw, *pprofOn)}
+		metricsSrv = &http.Server{Handler: newObsMux(n, rec, aw, *pprofOn, explainJSON)}
 		go func() { _ = metricsSrv.Serve(ln) }()
 		fmt.Printf("metrics on http://%s/metrics\n", metricsURL)
 	}
@@ -313,7 +339,8 @@ func run(args []string, stop <-chan os.Signal, ready chan<- addrs) error {
 // newObsMux builds the daemon's HTTP observability surface. Responses
 // that require marshalling are rendered to a buffer first, so a failure
 // becomes a clean 500 rather than a truncated 200.
-func newObsMux(n *daemon.Node, rec *trace.FlightRecorder, aw *audit.Watcher, pprofOn bool) *http.ServeMux {
+func newObsMux(n *daemon.Node, rec *trace.FlightRecorder, aw *audit.Watcher, pprofOn bool,
+	explainJSON func(epoch int, objectID string) ([]byte, error)) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		var buf bytes.Buffer
@@ -406,7 +433,48 @@ func newObsMux(n *daemon.Node, rec *trace.FlightRecorder, aw *audit.Watcher, ppr
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(body)
 	})
+	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
+		if explainJSON == nil {
+			http.Error(w, "decision provenance disabled (start with -ledger-dir)", http.StatusNotFound)
+			return
+		}
+		epoch := -1
+		if e := r.URL.Query().Get("epoch"); e != "" {
+			v, err := strconv.Atoi(e)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad epoch %q: %v", e, err), http.StatusBadRequest)
+				return
+			}
+			epoch = v
+		}
+		body, err := explainJSON(epoch, r.URL.Query().Get("object"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	})
+	// Readiness: 200 while no SLO objective pages; 503 with a JSON body
+	// naming the paging objective otherwise, so orchestrators and load
+	// balancers see the degradation the operator is being paged for.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if eng := n.SLO(); eng != nil {
+			for _, o := range eng.Status().Objectives {
+				if o.State != slo.StatePage {
+					continue
+				}
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				_ = json.NewEncoder(w).Encode(map[string]any{
+					"status":    "degraded",
+					"objective": o.Name,
+					"state":     o.State.String(),
+					"burn_fast": o.BurnFastShort,
+				})
+				return
+			}
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})

@@ -386,3 +386,163 @@ func TestDaemonMatrixNodeRange(t *testing.T) {
 		t.Error("node outside matrix should fail")
 	}
 }
+
+// copySeededLedger clones the committed seeded explain ledger (see
+// cmd/georepctl/testdata) into a temp dir so the daemon under test
+// never touches the committed artifact.
+func copySeededLedger(t *testing.T) string {
+	t.Helper()
+	src := filepath.Join("..", "georepctl", "testdata", "explain_seed")
+	segs, err := filepath.Glob(filepath.Join(src, "ledger-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no committed seeded ledger at %s: %v", src, err)
+	}
+	dir := t.TempDir()
+	for _, s := range segs {
+		raw, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(s)), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestHealthzPagesWith503: once an SLO objective pages, the readiness
+// probe flips to 503 with a JSON body naming the burning objective, and
+// recovers to 200 is not asserted (the budget stays burned for the
+// period) — orchestrators see the degradation the operator is paged
+// for.
+func TestHealthzPagesWith503(t *testing.T) {
+	bound, stop := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0", "-dims", "2",
+		"-slo", "avail ratio(daemon_rpc_errors_total / daemon_rpc_total) <= 0.001",
+		"-slo-interval", "5ms",
+	})
+	defer stop()
+
+	c, err := daemon.DialNode(bound.RPC, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// Keep the budget burning: every get of a missing key errors, and
+		// the page state needs bad events inside the fast windows.
+		if _, _, err := c.Get(1, []float64{0, 0}, "missing-key"); err == nil {
+			t.Fatal("get of a missing key should error")
+		}
+		resp, err := http.Get("http://" + bound.Metrics + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			var v struct {
+				Status    string  `json:"status"`
+				Objective string  `json:"objective"`
+				BurnFast  float64 `json:"burn_fast"`
+			}
+			if err := json.Unmarshal(body, &v); err != nil {
+				t.Fatalf("healthz 503 body is not JSON: %v\n%s", err, body)
+			}
+			if v.Status != "degraded" || v.Objective != "avail" || v.BurnFast <= 1 {
+				t.Fatalf("healthz 503 body = %+v", v)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never turned 503 while paging (last: %s %q)", resp.Status, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestExplainEndpointAndRPC: with -ledger-dir, the daemon serves
+// decision provenance over both /explain and the explain RPC; without
+// it, /explain 404s and the RPC fails with a pointer to the flag.
+func TestExplainEndpointAndRPC(t *testing.T) {
+	dir := copySeededLedger(t)
+	bound, stop := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0", "-dims", "2",
+		"-ledger-dir", dir,
+	})
+	defer stop()
+
+	resp, err := http.Get("http://" + bound.Metrics + "/explain?epoch=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /explain = %s", resp.Status)
+	}
+	var rep struct {
+		Epoch int `json:"epoch"`
+		Rows  []struct {
+			Prov *struct {
+				Reason          string `json:"reason"`
+				Counterfactuals []any  `json:"counterfactuals"`
+			} `json:"prov"`
+		} `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epoch != 5 || len(rep.Rows) == 0 || rep.Rows[0].Prov == nil {
+		t.Fatalf("/explain report = %+v", rep)
+	}
+	if rep.Rows[0].Prov.Reason != "held-budget" || len(rep.Rows[0].Prov.Counterfactuals) < 3 {
+		t.Fatalf("epoch 5 provenance = %+v", rep.Rows[0].Prov)
+	}
+
+	// Bad epoch parameter is a client error, not a 500.
+	badResp, err := http.Get("http://" + bound.Metrics + "/explain?epoch=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET /explain?epoch=x = %s, want 400", badResp.Status)
+	}
+
+	// The RPC serves the same JSON to georepctl.
+	c, err := daemon.DialNode(bound.RPC, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	raw, err := c.Explain(5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"reason":"held-budget"`) {
+		t.Fatalf("explain RPC JSON missing provenance:\n%s", raw)
+	}
+
+	// No ledger: endpoint 404s, RPC errors with the flag hint.
+	boundOff, stopOff := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0", "-dims", "2",
+	})
+	defer stopOff()
+	offResp, err := http.Get("http://" + boundOff.Metrics + "/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	offResp.Body.Close()
+	if offResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled /explain = %s, want 404", offResp.Status)
+	}
+	cOff, err := daemon.DialNode(boundOff.RPC, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cOff.Close()
+	if _, err := cOff.Explain(-1, ""); err == nil || !strings.Contains(err.Error(), "ledger") {
+		t.Fatalf("explain RPC without a ledger should fail with a hint, got %v", err)
+	}
+}

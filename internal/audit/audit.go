@@ -27,6 +27,7 @@ import (
 	"github.com/georep/georep/internal/ledger"
 	"github.com/georep/georep/internal/metrics"
 	"github.com/georep/georep/internal/placement"
+	"github.com/georep/georep/internal/provenance"
 	"github.com/georep/georep/internal/replica"
 	"github.com/georep/georep/internal/vec"
 )
@@ -119,6 +120,20 @@ type EpochAudit struct {
 	Degraded bool
 	QuorumOK bool
 	Migrated bool
+	// Held echoes the record's held-migration flag: the gate approved a
+	// move but the SLO error budget deferred it (codec v3 records carry
+	// it in the provenance tail; false otherwise).
+	Held bool
+	// Reason is the recorded outcome reason of codec v3 records
+	// ("migrated", "held-budget", "quorum-gated", "drift-skipped",
+	// "displaced", "steady"); empty for records without provenance.
+	// ProvRegretMs and ProvCounterfactuals echo the live regret the
+	// online estimator recorded against its own scored alternatives —
+	// the `-why` join column against the offline RegretKMeansMs /
+	// RegretOptimalMs recomputed here.
+	Reason              string
+	ProvRegretMs        float64
+	ProvCounterfactuals int
 }
 
 // ClassRegret aggregates regret over the audited epochs of one object
@@ -183,6 +198,11 @@ type auditor struct {
 	rep        Report
 	epochsDone *metrics.Counter
 	skipped    *metrics.Counter
+	// est re-feeds recorded provenance into the live provenance_*
+	// gauges: a watcher tailing a ledger on a metrics-serving node
+	// (georepd -audit) then exposes the fleet's online regret without
+	// running the placement loop itself.
+	est *provenance.Estimator
 }
 
 // classAgg is the running per-class aggregate; report() finalizes it
@@ -198,13 +218,17 @@ type classAgg struct {
 
 func newAuditor(cfg Config) *auditor {
 	cfg.fillDefaults()
-	return &auditor{
+	a := &auditor{
 		cfg:        cfg,
 		prevCent:   make(map[string]vec.Vec),
 		classes:    make(map[string]*classAgg),
 		epochsDone: cfg.Metrics.Counter("audit_epochs_audited_total"),
 		skipped:    cfg.Metrics.Counter("audit_epochs_skipped_total"),
 	}
+	if cfg.Metrics != nil {
+		a.est = provenance.NewEstimator(cfg.Metrics)
+	}
+	return a
 }
 
 // Run audits every record of a ledger in epoch order and returns the
@@ -264,6 +288,9 @@ func (a *auditor) report() *Report {
 
 // audit evaluates one record and folds it into the aggregates.
 func (a *auditor) audit(rec *ledger.Record) error {
+	if rec.Prov != nil {
+		a.est.Observe(rec.Prov)
+	}
 	row, ok, err := a.auditOne(rec)
 	if err != nil {
 		return err
@@ -349,6 +376,12 @@ func (a *auditor) auditOne(rec *ledger.Record) (EpochAudit, bool, error) {
 		Degraded:       rec.Degraded,
 		QuorumOK:       rec.QuorumOK,
 		Migrated:       rec.Migrate,
+	}
+	if p := rec.Prov; p != nil {
+		row.Reason = p.Reason.String()
+		row.Held = p.Held
+		row.ProvRegretMs = p.RegretMs
+		row.ProvCounterfactuals = len(p.Counterfactuals)
 	}
 	row.OnlineEstMs, err = replica.EstimateMeanDelay(rec.Micros, rec.Replicas, coords)
 	if err != nil {

@@ -210,6 +210,19 @@ func (c *Client) SLO() (slo.Status, error) {
 	return st, nil
 }
 
+// Explain fetches a decision-provenance explanation from a node serving
+// one (georepd -ledger-dir): a JSON-encoded explain.Report for the
+// requested epoch (negative = latest recorded), optionally narrowed to
+// one object. The raw JSON is returned so the CLI can re-render or
+// pass it through untouched.
+func (c *Client) Explain(epoch int, objectID string) ([]byte, error) {
+	var resp ExplainResponse
+	if _, err := c.c.Call(MethodExplain, ExplainRequest{Epoch: epoch, ObjectID: objectID}, &resp); err != nil {
+		return nil, fmt.Errorf("daemon: explain from %s: %w", c.addr, err)
+	}
+	return resp.JSON, nil
+}
+
 // Replicate fetches write-log entries past the caller's highest applied
 // sequence from a write-log node, decoded and CRC-verified. When the
 // response is a snapshot redirect (resp.Snapshot), entries is empty and

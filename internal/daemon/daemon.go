@@ -107,6 +107,17 @@ type (
 	SLOResponse struct {
 		JSON []byte
 	}
+	// ExplainRequest asks for a decision-provenance explanation from a
+	// node that serves one (georepd -ledger-dir). Epoch < 0 means the
+	// latest recorded epoch; ObjectID narrows multi-object ledgers.
+	ExplainRequest struct {
+		Epoch    int
+		ObjectID string
+	}
+	// ExplainResponse carries a JSON-encoded explain.Report.
+	ExplainResponse struct {
+		JSON []byte
+	}
 	// ReplicateRequest asks a write-log node for log entries past the
 	// caller's highest applied sequence — the catch-up leg of the
 	// leader-based write path over the wire.
@@ -150,6 +161,9 @@ const (
 	// MethodReplicate serves replication-log entries to catching-up
 	// followers (write-log nodes only).
 	MethodReplicate = "replicate"
+	// MethodExplain serves a decision-provenance explanation built from
+	// the node's ledger (nodes started with a ledger directory only).
+	MethodExplain = "explain"
 )
 
 // defaultWriteLogRetain bounds the uncompacted write-log tail when the
@@ -248,6 +262,12 @@ type Config struct {
 	// after the node's own handling (trace pinning); georepd uses it
 	// for one-shot pprof captures on page.
 	OnSLOTransition func(slo.Transition)
+	// ExplainJSON, when non-nil, answers the explain RPC: it returns a
+	// JSON-encoded explain.Report for the requested epoch (negative =
+	// latest recorded) and object filter. georepd supplies a closure
+	// over its ledger directory; the daemon package itself stays
+	// ledger-agnostic. Nil makes the explain RPC an application error.
+	ExplainJSON func(epoch int, objectID string) ([]byte, error)
 	// Logger receives daemon lifecycle and serve-loop events; nil
 	// discards them.
 	Logger *slog.Logger
@@ -450,6 +470,7 @@ func (n *Node) registerHandlers() error {
 		MethodTrace:     n.handleTrace,
 		MethodSLO:       n.handleSLO,
 		MethodReplicate: n.handleReplicate,
+		MethodExplain:   n.handleExplain,
 	}
 	for name, h := range handlers {
 		if err := n.server.Handle(name, n.instrument(name, h)); err != nil {
@@ -513,6 +534,21 @@ func (n *Node) handleSLO([]byte) ([]byte, error) {
 		return nil, err
 	}
 	return transport.Marshal(SLOResponse{JSON: b})
+}
+
+func (n *Node) handleExplain(body []byte) ([]byte, error) {
+	if n.cfg.ExplainJSON == nil {
+		return nil, fmt.Errorf("daemon: no decision ledger attached (start with -ledger-dir)")
+	}
+	var req ExplainRequest
+	if err := transport.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	b, err := n.cfg.ExplainJSON(req.Epoch, req.ObjectID)
+	if err != nil {
+		return nil, err
+	}
+	return transport.Marshal(ExplainResponse{JSON: b})
 }
 
 func (n *Node) handleTrace([]byte) ([]byte, error) {

@@ -162,6 +162,7 @@ func Drift(seed int64, cfg DriftConfig) (*DriftResult, error) {
 		Migration:   replica.MigrationPolicy{MinRelativeGain: cfg.MinRelativeGain},
 		DecayFactor: cfg.DecayFactor,
 		Ledger:      cfg.Ledger,
+		Provenance:  true,
 	}, cand, w.Coords, initial)
 	if err != nil {
 		return nil, err

@@ -140,6 +140,13 @@ type FailureRow struct {
 	// the fast-window burn-rate factor.
 	SLOBudget float64
 	SLOBurn   float64
+	// Reason is the faulty-run decision's recorded provenance reason
+	// (steady, migrated, held-budget, quorum-gated, ...), RegretMs its
+	// live regret against the counterfactuals the epoch scored, and
+	// Counterfactuals how many alternatives were priced.
+	Reason          string
+	RegretMs        float64
+	Counterfactuals int
 	// Replicas is the faulty-run placement after the epoch.
 	Replicas []int
 }
@@ -368,6 +375,8 @@ func runFailurePass(seed int64, cfg FailureConfig, w *World, cand, initial []int
 		Ledger:         led,
 		Metrics:        reg,
 		HoldMigrations: eng.BudgetExhausted,
+		Provenance:     true,
+		BurnRate:       eng.MaxBurnRate,
 	}, cand, w.Coords, initial)
 	if err != nil {
 		return nil, err
@@ -440,7 +449,7 @@ func runFailurePass(seed int64, cfg FailureConfig, w *World, cand, initial []int
 			return nil, err
 		}
 		st := eng.Status().Objectives[0]
-		pass.rows = append(pass.rows, FailureRow{
+		row := FailureRow{
 			Epoch:        epoch,
 			FaultyMs:     delay.Mean(),
 			FailoverGets: failovers,
@@ -452,7 +461,13 @@ func runFailurePass(seed int64, cfg FailureConfig, w *World, cand, initial []int
 			SLOBudget:    st.BudgetRemaining,
 			SLOBurn:      st.BurnFastShort,
 			Replicas:     append([]int(nil), dec.NewReplicas...),
-		})
+		}
+		if prov := mgr.LastProvenance(); prov != nil {
+			row.Reason = prov.Reason.String()
+			row.RegretMs = prov.RegretMs
+			row.Counterfactuals = len(prov.Counterfactuals)
+		}
+		pass.rows = append(pass.rows, row)
 		if rec != nil {
 			end := sim.Now()
 			if end <= epochStart {
@@ -628,13 +643,18 @@ func RenderFailure(res *FailureResult) string {
 	var b strings.Builder
 	b.WriteString("Failures: mean access delay under a seeded fault plan\n")
 	fmt.Fprintf(&b, "plan: %s\n", res.Plan)
-	fmt.Fprintf(&b, "%-8s%12s%12s%10s%8s%10s%10s%9s%7s%6s  %s\n",
+	fmt.Fprintf(&b, "%-8s%12s%12s%10s%8s%10s%10s%9s%7s%6s%15s%9s%4s  %s\n",
 		"epoch", "healthy ms", "faulty ms", "failover", "failed", "degraded", "quorum",
-		"budget", "burn", "held", "replicas")
+		"budget", "burn", "held", "reason", "regret", "cf", "replicas")
 	for _, r := range res.Rows {
-		fmt.Fprintf(&b, "%-8d%12.1f%12.1f%10d%8d%10v%10v%8.1f%%%6.1fx%6v  %v\n",
+		reason := r.Reason
+		if reason == "" {
+			reason = "-"
+		}
+		fmt.Fprintf(&b, "%-8d%12.1f%12.1f%10d%8d%10v%10v%8.1f%%%6.1fx%6v%15s%9.3f%4d  %v\n",
 			r.Epoch, r.HealthyMs, r.FaultyMs, r.FailoverGets, r.FailedGets,
-			r.Degraded, r.QuorumOK, 100*r.SLOBudget, r.SLOBurn, r.Held, r.Replicas)
+			r.Degraded, r.QuorumOK, 100*r.SLOBudget, r.SLOBurn, r.Held,
+			reason, r.RegretMs, r.Counterfactuals, r.Replicas)
 	}
 	fmt.Fprintf(&b, "mean: healthy %.1f ms vs faulty %.1f ms, %d degraded epochs (%d below quorum), %d legs dropped\n",
 		res.MeanHealthyMs, res.MeanFaultyMs, res.DegradedEpochs, res.QuorumBlockedEpochs, res.DroppedLegs)

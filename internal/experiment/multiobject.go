@@ -113,6 +113,11 @@ type MultiObjectRow struct {
 	// Migrated / Displaced are the amortized pass's fleet counts.
 	Migrated  int
 	Displaced int
+	// MeanRegretMs is the amortized fleet's mean live regret this epoch
+	// (each object's chosen cost vs the best counterfactual its solve
+	// scored); Counterfactuals totals the scored alternatives.
+	MeanRegretMs    float64
+	Counterfactuals int
 }
 
 // MultiObjectResult aggregates the experiment.
@@ -198,11 +203,12 @@ func MultiObject(seed int64, cfg MultiObjectConfig) (*MultiObjectResult, error) 
 		}
 	}
 
-	newPass := func(eps, drift float64, warm bool, led *ledger.Ledger) (*multiObjectPass, error) {
+	newPass := func(eps, drift float64, warm bool, led *ledger.Ledger, prov bool) (*multiObjectPass, error) {
 		svc, err := placement.NewService(placement.ServiceConfig{
 			Object: replica.Config{
 				K: cfg.K, M: cfg.M, Dims: cfg.Setup.CoordDims,
-				Ledger: led,
+				Ledger:     led,
+				Provenance: prov,
 			},
 			Candidates:     cand,
 			Coords:         w.Coords,
@@ -225,11 +231,11 @@ func MultiObject(seed int64, cfg MultiObjectConfig) (*MultiObjectResult, error) 
 		}
 		return p, nil
 	}
-	naive, err := newPass(0, 0, false, nil)
+	naive, err := newPass(0, 0, false, nil, false)
 	if err != nil {
 		return nil, err
 	}
-	amortized, err := newPass(cfg.GroupEpsilon, cfg.DriftThreshold, cfg.WarmStart, cfg.Ledger)
+	amortized, err := newPass(cfg.GroupEpsilon, cfg.DriftThreshold, cfg.WarmStart, cfg.Ledger, true)
 	if err != nil {
 		return nil, err
 	}
@@ -294,6 +300,18 @@ func MultiObject(seed int64, cfg MultiObjectConfig) (*MultiObjectResult, error) 
 			Migrated:    ast.Migrated,
 			Displaced:   ast.Displaced,
 		}
+		var regretSum float64
+		var provObjs int
+		for _, o := range amortized.objs {
+			if prov := o.LastProvenance(); prov != nil {
+				regretSum += prov.RegretMs
+				row.Counterfactuals += len(prov.Counterfactuals)
+				provObjs++
+			}
+		}
+		if provObjs > 0 {
+			row.MeanRegretMs = regretSum / float64(provObjs)
+		}
 		res.Rows = append(res.Rows, row)
 		res.TotalNaiveSolves += row.NaiveSolves
 		res.TotalSolves += row.Solves
@@ -315,12 +333,12 @@ func MultiObject(seed int64, cfg MultiObjectConfig) (*MultiObjectResult, error) 
 func RenderMultiObject(res *MultiObjectResult) string {
 	var b strings.Builder
 	b.WriteString("Multi-object: per-object solves vs demand-signature grouping\n")
-	fmt.Fprintf(&b, "%-8s%12s%8s%8s%8s%12s%12s%10s%10s\n",
-		"epoch", "naive-solve", "groups", "solves", "skips", "naive ms", "grouped ms", "migrated", "displaced")
+	fmt.Fprintf(&b, "%-8s%12s%8s%8s%8s%12s%12s%10s%10s%10s%6s\n",
+		"epoch", "naive-solve", "groups", "solves", "skips", "naive ms", "grouped ms", "migrated", "displaced", "regret", "cf")
 	for _, r := range res.Rows {
-		fmt.Fprintf(&b, "%-8d%12d%8d%8d%8d%12.1f%12.1f%10d%10d\n",
+		fmt.Fprintf(&b, "%-8d%12d%8d%8d%8d%12.1f%12.1f%10d%10d%10.3f%6d\n",
 			r.Epoch, r.NaiveSolves, r.Groups, r.Solves, r.DriftSkips,
-			r.NaiveMeanMs, r.MeanMs, r.Migrated, r.Displaced)
+			r.NaiveMeanMs, r.MeanMs, r.Migrated, r.Displaced, r.MeanRegretMs, r.Counterfactuals)
 	}
 	fmt.Fprintf(&b, "solves: %d naive vs %d grouped — %.1fx amortization\n",
 		res.TotalNaiveSolves, res.TotalSolves, res.Amortization)

@@ -214,6 +214,7 @@ func Scale(seed int64, cfg ScaleConfig) (*ScaleResult, error) {
 		IngestShards: cfg.IngestShards,
 		Migration:    replica.MigrationPolicy{MinRelativeGain: cfg.MinRelativeGain},
 		Ledger:       cfg.Ledger,
+		Provenance:   true,
 	}, cand, w.Coords, initial)
 	if err != nil {
 		return nil, err

@@ -166,6 +166,13 @@ type WritePathResult struct {
 	Members []int
 	Leader  int
 	Policy  replog.LeaderPolicy
+	// DecisionReason, DecisionRegretMs and DecisionCounterfactuals are
+	// the warm-up placement decision's recorded provenance: why this
+	// placement, its live regret against the alternatives the solver
+	// scored, and how many alternatives were priced.
+	DecisionReason          string
+	DecisionRegretMs        float64
+	DecisionCounterfactuals int
 	// Plan is the fault scenario in DSL form, for reproduction.
 	Plan string
 	// Healthy and Faulted are the per-epoch trajectories of each pass.
@@ -273,6 +280,7 @@ func WritePath(seed int64, cfg WritePathConfig) (*WritePathResult, error) {
 		Migration:     replica.MigrationPolicy{MinRelativeGain: cfg.MinRelativeGain},
 		WriteFraction: cfg.WriteFraction,
 		LeaderPolicy:  cfg.LeaderPolicy,
+		Provenance:    true,
 	}, cand, w.Coords, initial)
 	if err != nil {
 		return nil, err
@@ -333,6 +341,11 @@ func WritePath(seed int64, cfg WritePathConfig) (*WritePathResult, error) {
 		HealthyTransitions: healthy.transitions,
 		Transitions:        faulted.transitions,
 		Traces:             faulted.traces,
+	}
+	if prov := mgr.LastProvenance(); prov != nil {
+		res.DecisionReason = prov.Reason.String()
+		res.DecisionRegretMs = prov.RegretMs
+		res.DecisionCounterfactuals = len(prov.Counterfactuals)
 	}
 	for _, r := range healthy.rows {
 		res.HealthyViolations += r.RYW + r.Monotonic
@@ -656,6 +669,10 @@ func RenderWritePath(res *WritePathResult) string {
 	var b strings.Builder
 	b.WriteString("Write path: leader-based replication under a seeded fault plan\n")
 	fmt.Fprintf(&b, "placement: %v  leader: %d (%s)\n", res.Members, res.Leader, res.Policy)
+	if res.DecisionReason != "" {
+		fmt.Fprintf(&b, "decision: %s, live regret %.3f ms over %d scored alternatives\n",
+			res.DecisionReason, res.DecisionRegretMs, res.DecisionCounterfactuals)
+	}
 	fmt.Fprintf(&b, "plan: %s\n", res.Plan)
 	fmt.Fprintf(&b, "%-8s%8s%6s%8s%7s%9s%9s%6s%6s%6s%10s%6s%7s%6s%9s%8s%6s\n",
 		"epoch", "leader", "term", "acked", "wfail", "lag p50", "lag p99",

@@ -1,0 +1,120 @@
+// Package explain turns recorded decision provenance into operator
+// answers. The ledger (codec v3) carries, per epoch, the chosen
+// placement's cost decomposition, the counterfactual placements the
+// solver actually scored, and the structured outcome reason with its
+// gating inputs; this package selects the epochs an operator asks
+// about, shapes them into a Report, and renders the attribution table
+// and counterfactual ranking `georepctl explain` and georepd's
+// /explain endpoint show. Everything is deterministic: rows follow
+// ledger order, floats render with fixed precision, and no wall clock
+// is consulted.
+package explain
+
+import (
+	"fmt"
+
+	"github.com/georep/georep/internal/ledger"
+	"github.com/georep/georep/internal/provenance"
+)
+
+// Options selects which decisions to explain.
+type Options struct {
+	// Epoch selects one epoch; negative means "the latest epoch that
+	// recorded provenance" (falling back to the latest epoch at all).
+	Epoch int
+	// ObjectID, when non-empty, keeps only that object's records.
+	ObjectID string
+	// Limit caps the number of rows (0 = all selected).
+	Limit int
+}
+
+// Row is one explained decision: the provenance record joined with the
+// decision identity the ledger carries alongside it.
+type Row struct {
+	Epoch    int    `json:"epoch"`
+	ObjectID string `json:"object_id,omitempty"`
+	Class    string `json:"class,omitempty"`
+
+	Replicas  []int `json:"replicas"`
+	Migrated  bool  `json:"migrated"`
+	Moved     int   `json:"moved"`
+	Displaced int   `json:"displaced,omitempty"`
+
+	// Prov is the recorded provenance; nil for pre-v3 records, which
+	// still render their decision identity with reason "unrecorded".
+	Prov *provenance.Record `json:"prov,omitempty"`
+}
+
+// Report is a set of explained decisions plus ledger-level context.
+type Report struct {
+	Rows []Row `json:"rows"`
+	// Records counts ledger records scanned; WithProvenance how many of
+	// those carried a v3 provenance tail.
+	Records        int `json:"records"`
+	WithProvenance int `json:"with_provenance"`
+	// Epoch is the epoch the report explains (the resolved value of
+	// Options.Epoch).
+	Epoch int `json:"epoch"`
+}
+
+// Build selects and shapes the explained decisions from a ledger's
+// records (oldest-first, as ledger.ReadDir returns them).
+func Build(recs []ledger.Record, opts Options) (*Report, error) {
+	rep := &Report{Records: len(recs), Epoch: opts.Epoch}
+	for i := range recs {
+		if recs[i].Prov != nil {
+			rep.WithProvenance++
+		}
+	}
+
+	// Resolve the target epoch: requested, or the latest with
+	// provenance, or the latest at all.
+	if opts.Epoch < 0 {
+		best, bestProv := -1, -1
+		for i := range recs {
+			if opts.ObjectID != "" && recs[i].ObjectID != opts.ObjectID {
+				continue
+			}
+			if recs[i].Epoch > best {
+				best = recs[i].Epoch
+			}
+			if recs[i].Prov != nil && recs[i].Epoch > bestProv {
+				bestProv = recs[i].Epoch
+			}
+		}
+		if bestProv >= 0 {
+			best = bestProv
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("explain: no matching ledger records")
+		}
+		rep.Epoch = best
+	}
+
+	for i := range recs {
+		r := &recs[i]
+		if r.Epoch != rep.Epoch {
+			continue
+		}
+		if opts.ObjectID != "" && r.ObjectID != opts.ObjectID {
+			continue
+		}
+		rep.Rows = append(rep.Rows, Row{
+			Epoch:     r.Epoch,
+			ObjectID:  r.ObjectID,
+			Class:     r.Class,
+			Replicas:  append([]int(nil), r.Replicas...),
+			Migrated:  r.Migrate,
+			Moved:     r.MovedReplicas,
+			Displaced: r.Displaced,
+			Prov:      r.Prov,
+		})
+		if opts.Limit > 0 && len(rep.Rows) >= opts.Limit {
+			break
+		}
+	}
+	if len(rep.Rows) == 0 {
+		return nil, fmt.Errorf("explain: no records for epoch %d", rep.Epoch)
+	}
+	return rep, nil
+}

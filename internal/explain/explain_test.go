@@ -1,0 +1,127 @@
+package explain
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/georep/georep/internal/ledger"
+	"github.com/georep/georep/internal/provenance"
+)
+
+// testRecs builds a small mixed-version ledger history: epochs 1-2 are
+// pre-v3 (no provenance), epoch 3 carries provenance for two objects.
+func testRecs() []ledger.Record {
+	prov := func(reason provenance.Reason, chosen float64, cfs ...provenance.Candidate) *provenance.Record {
+		p := &provenance.Record{Reason: reason, GateBurn: 1.5, GateMissing: 1}
+		for _, c := range cfs {
+			p.AddCounterfactual(c.Source, c.CostMs, c.Replicas)
+		}
+		p.Finalize(chosen)
+		return p
+	}
+	return []ledger.Record{
+		{Epoch: 1, K: 2, Candidates: []int{1, 4, 9}, Replicas: []int{1, 4}, QuorumOK: true},
+		{Epoch: 2, K: 2, Candidates: []int{1, 4, 9}, Replicas: []int{1, 4}, QuorumOK: true,
+			ObjectID: "obj-a", Class: "hot"},
+		{Epoch: 3, K: 2, Candidates: []int{1, 4, 9}, Replicas: []int{4, 9}, QuorumOK: true,
+			Migrate: true, MovedReplicas: 1, ObjectID: "obj-a", Class: "hot",
+			Prov: prov(provenance.ReasonMigrated, 20,
+				provenance.Candidate{Source: provenance.SourcePrevious, CostMs: 25, Replicas: []int{1, 4}},
+				provenance.Candidate{Source: provenance.SourceSwap, CostMs: 22, Replicas: []int{1, 9}})},
+		{Epoch: 3, K: 2, Candidates: []int{1, 4, 9}, Replicas: []int{1, 4}, QuorumOK: true,
+			ObjectID: "obj-b", Class: "cold",
+			Prov: prov(provenance.ReasonSteady, 18,
+				provenance.Candidate{Source: provenance.SourceSwap, CostMs: 17, Replicas: []int{1, 9}})},
+	}
+}
+
+func TestBuildLatestWithProvenance(t *testing.T) {
+	rep, err := Build(testRecs(), Options{Epoch: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epoch != 3 {
+		t.Fatalf("resolved epoch %d, want 3 (latest with provenance)", rep.Epoch)
+	}
+	if rep.Records != 4 || rep.WithProvenance != 2 {
+		t.Fatalf("records %d/%d, want 4 scanned with 2 provenance", rep.WithProvenance, rep.Records)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows %d, want both epoch-3 objects", len(rep.Rows))
+	}
+	if rep.Rows[0].ObjectID != "obj-a" || rep.Rows[1].ObjectID != "obj-b" {
+		t.Fatalf("rows out of ledger order: %+v", rep.Rows)
+	}
+}
+
+func TestBuildExplicitEpochAndObject(t *testing.T) {
+	rep, err := Build(testRecs(), Options{Epoch: 3, ObjectID: "obj-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 || rep.Rows[0].ObjectID != "obj-b" {
+		t.Fatalf("object filter failed: %+v", rep.Rows)
+	}
+	if rep.Rows[0].Prov.Reason != provenance.ReasonSteady {
+		t.Fatalf("wrong record selected: %+v", rep.Rows[0].Prov)
+	}
+
+	// A pre-v3 epoch still explains, with provenance marked unrecorded.
+	rep, err = Build(testRecs(), Options{Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 || rep.Rows[0].Prov != nil {
+		t.Fatalf("pre-v3 epoch row: %+v", rep.Rows)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, Options{Epoch: -1}); err == nil {
+		t.Fatal("empty ledger did not error")
+	}
+	if _, err := Build(testRecs(), Options{Epoch: 99}); err == nil {
+		t.Fatal("missing epoch did not error")
+	}
+	if _, err := Build(testRecs(), Options{Epoch: -1, ObjectID: "obj-zzz"}); err == nil {
+		t.Fatal("unknown object did not error")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	rep, err := Build(testRecs(), Options{Epoch: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	Render(&a, rep)
+	Render(&b, rep)
+	if a.Len() == 0 || a.String() != b.String() {
+		t.Fatal("render is not byte-deterministic")
+	}
+	out := a.String()
+	for _, want := range []string{
+		"explain: epoch 3 (2/4 ledger records carry provenance)",
+		"reason migrated",
+		"chosen cost   : 20.000 ms",
+		"gates         : burn 1.50x · missing 1",
+		"counterfactuals (2 scored, cheapest first):",
+		"regret        : best-alt 22.000 ms · regret 0.000 ms · ratio 1.0000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	// Pre-v3 rows say so instead of inventing a reason.
+	rep, err = Build(testRecs(), Options{Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	Render(&c, rep)
+	if !strings.Contains(c.String(), "reason unrecorded (pre-v3 record)") {
+		t.Fatalf("pre-v3 render:\n%s", c.String())
+	}
+}

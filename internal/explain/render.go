@@ -1,0 +1,63 @@
+package explain
+
+import (
+	"fmt"
+	"io"
+)
+
+// Render writes the operator-facing text view of a report: per decision,
+// the outcome reason with its gating inputs, the cost attribution
+// (read / write / migration, then per-DC shares), and the ranked
+// counterfactual placements with their deltas. Output is deterministic
+// byte-for-byte for a given report.
+func Render(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "explain: epoch %d (%d/%d ledger records carry provenance)\n",
+		rep.Epoch, rep.WithProvenance, rep.Records)
+	for i := range rep.Rows {
+		renderRow(w, &rep.Rows[i])
+	}
+}
+
+func renderRow(w io.Writer, row *Row) {
+	id := row.ObjectID
+	if id == "" {
+		id = "(single)"
+	}
+	p := row.Prov
+	if p == nil {
+		fmt.Fprintf(w, "\nepoch %-5d object %-14s reason unrecorded (pre-v3 record)\n", row.Epoch, id)
+		fmt.Fprintf(w, "  placement     : %v  migrated=%v moved=%d displaced=%d\n",
+			row.Replicas, row.Migrated, row.Moved, row.Displaced)
+		return
+	}
+	held := ""
+	if p.Held {
+		held = "  [held]"
+	}
+	fmt.Fprintf(w, "\nepoch %-5d object %-14s reason %s%s\n", row.Epoch, id, p.Reason, held)
+	fmt.Fprintf(w, "  placement     : %v  migrated=%v moved=%d displaced=%d\n",
+		row.Replicas, row.Migrated, row.Moved, row.Displaced)
+	fmt.Fprintf(w, "  chosen cost   : %.3f ms  (read %.3f + write %.3f + migration %.3f)\n",
+		p.ChosenCostMs, p.ReadMs, p.WriteMs, p.MigrateMs)
+	fmt.Fprintf(w, "  gates         : burn %.2fx · missing %d · drift %.4f · occupancy %.2f\n",
+		p.GateBurn, p.GateMissing, p.GateDrift, p.GateOccupancy)
+	if len(p.PerDC) > 0 {
+		fmt.Fprintf(w, "  per-DC        : %-6s%9s%10s\n", "dc", "share", "mean-ms")
+		for _, s := range p.PerDC {
+			fmt.Fprintf(w, "                  %-6d%8.1f%%%10.3f\n", s.Node, s.Weight*100, s.MeanMs)
+		}
+	}
+	if len(p.Counterfactuals) > 0 {
+		fmt.Fprintf(w, "  counterfactuals (%d scored, cheapest first):\n", len(p.Counterfactuals))
+		fmt.Fprintf(w, "    %-5s%-10s%-16s%10s%10s\n", "rank", "source", "placement", "cost-ms", "delta-ms")
+		for i := range p.Counterfactuals {
+			c := &p.Counterfactuals[i]
+			fmt.Fprintf(w, "    %-5d%-10s%-16s%10.3f%+10.3f\n",
+				i+1, c.Source, fmt.Sprintf("%v", c.Replicas), c.CostMs, c.DeltaMs)
+		}
+		fmt.Fprintf(w, "  regret        : best-alt %.3f ms · regret %.3f ms · ratio %.4f\n",
+			p.BestAltMs, p.RegretMs, p.RegretRatio)
+	} else {
+		fmt.Fprintf(w, "  counterfactuals: none scored this epoch\n")
+	}
+}

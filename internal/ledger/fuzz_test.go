@@ -24,6 +24,14 @@ func FuzzLedgerRecord(f *testing.F) {
 			r.MissingSummaries = []int{2, 5}
 			return r
 		}(),
+		func() Record { // v2: identity fields without provenance
+			r := testRecord(4)
+			r.ObjectID = "obj-0001"
+			r.Class = "hot"
+			r.Displaced = 1
+			return r
+		}(),
+		testProvRecord(9), // v3: full provenance tail
 	} {
 		b, err := EncodeRecord(rec)
 		if err != nil {

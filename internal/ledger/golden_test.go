@@ -1,0 +1,212 @@
+package ledger
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/georep/georep/internal/provenance"
+)
+
+// testProvRecord builds a structurally valid v3 record for epoch e: the
+// v1 body of testRecord plus identity fields and a populated provenance
+// tail whose counterfactuals draw replicas from the candidate set.
+func testProvRecord(e int) Record {
+	r := testRecord(e)
+	r.ObjectID = "obj-0007"
+	r.Class = "hot"
+	r.Displaced = 1
+	p := &provenance.Record{
+		Reason:        provenance.ReasonMigrated,
+		Held:          false,
+		ReadMs:        22.25,
+		WriteMs:       4.5,
+		MigrateMs:     1.125,
+		GateBurn:      1.75,
+		GateMissing:   1,
+		GateDrift:     0.0625,
+		GateOccupancy: 0.8125,
+		PerDC: []provenance.DCShare{
+			{Node: 4, Weight: 0.625, MeanMs: 18.5},
+			{Node: 9, Weight: 0.375, MeanMs: 28.5},
+		},
+	}
+	p.AddCounterfactual(provenance.SourcePrevious, 30.5, []int{1, 4})
+	p.AddCounterfactual(provenance.SourceSwap, 25.75, []int{1, 9})
+	p.Finalize(26.75)
+	r.Prov = p
+	return r
+}
+
+func TestRecordRoundTripV3(t *testing.T) {
+	want := testProvRecord(7)
+	b, err := EncodeRecord(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != recordVersionV3 {
+		t.Fatalf("provenance-bearing record encoded as version %d, want %d", b[0], recordVersionV3)
+	}
+	got, err := DecodeRecord(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v3 round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRecordVersionGating pins the byte-compatibility contract: records
+// without provenance keep their v1/v2 version byte (so capture-off
+// ledgers are byte-identical to pre-provenance ones), and a v3 record
+// always carries the identity fields even when they are zero.
+func TestRecordVersionGating(t *testing.T) {
+	v1 := testRecord(3)
+	b1, _ := EncodeRecord(v1)
+	if b1[0] != recordVersion {
+		t.Fatalf("plain record encoded as version %d, want %d", b1[0], recordVersion)
+	}
+
+	v2 := testRecord(3)
+	v2.ObjectID = "obj-1"
+	b2, _ := EncodeRecord(v2)
+	if b2[0] != recordVersionV2 {
+		t.Fatalf("identity-bearing record encoded as version %d, want %d", b2[0], recordVersionV2)
+	}
+
+	v3 := testRecord(3)
+	v3.Prov = &provenance.Record{Reason: provenance.ReasonSteady, RegretRatio: 1}
+	b3, _ := EncodeRecord(v3)
+	if b3[0] != recordVersionV3 {
+		t.Fatalf("provenance-bearing record encoded as version %d, want %d", b3[0], recordVersionV3)
+	}
+	got, err := DecodeRecord(b3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ObjectID != "" || got.Class != "" || got.Displaced != 0 {
+		t.Fatalf("v3 record without identity decoded identity %q/%q/%d", got.ObjectID, got.Class, got.Displaced)
+	}
+	if !reflect.DeepEqual(got, v3) {
+		t.Fatalf("v3-no-identity round trip mismatch:\n got %+v\nwant %+v", got, v3)
+	}
+}
+
+func TestRecordValidateRejectsProvenance(t *testing.T) {
+	cases := map[string]func(*Record){
+		"unknown reason":     func(r *Record) { r.Prov.Reason = 200 },
+		"negative missing":   func(r *Record) { r.Prov.GateMissing = -1 },
+		"foreign per-dc":     func(r *Record) { r.Prov.PerDC[0].Node = 33 },
+		"unknown cf source":  func(r *Record) { r.Prov.Counterfactuals[0].Source = 99 },
+		"foreign cf replica": func(r *Record) { r.Prov.Counterfactuals[0].Replicas = []int{77} },
+		"too many cfs": func(r *Record) {
+			for i := 0; i <= provenance.MaxCounterfactuals; i++ {
+				r.Prov.Counterfactuals = append(r.Prov.Counterfactuals,
+					provenance.Candidate{Replicas: []int{1}})
+			}
+		},
+	}
+	for name, mutate := range cases {
+		rec := testProvRecord(1)
+		mutate(&rec)
+		b, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		if _, err := DecodeRecord(b); err == nil {
+			t.Errorf("%s: decode accepted invalid provenance", name)
+		}
+	}
+}
+
+// TestGoldenSegmentsDecode reads the committed v1 and v2 segment files
+// — written by encoder revisions that predate the provenance tail — and
+// checks the v3 reader still decodes them exactly. Regenerate with
+//
+//	GOLDEN_REGEN=1 go test ./internal/ledger -run TestGoldenRegenerate
+//
+// only when the golden contract itself changes, never to make a decoder
+// change pass.
+func TestGoldenSegmentsDecode(t *testing.T) {
+	for _, tc := range []struct {
+		dir  string
+		want func(e int) Record
+	}{
+		{"golden_v1", goldenV1Record},
+		{"golden_v2", goldenV2Record},
+	} {
+		dir := filepath.Join("testdata", tc.dir)
+		recs, err := ReadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.dir, err)
+		}
+		if len(recs) != goldenEpochs {
+			t.Fatalf("%s: decoded %d records, want %d", tc.dir, len(recs), goldenEpochs)
+		}
+		for i, got := range recs {
+			want := tc.want(i + 1)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: record %d mismatch:\n got %+v\nwant %+v", tc.dir, i, got, want)
+			}
+			if got.Prov != nil {
+				t.Fatalf("%s: pre-v3 record %d decoded with provenance", tc.dir, i)
+			}
+		}
+		v, err := Verify(dir)
+		if err != nil {
+			t.Fatalf("%s: verify: %v", tc.dir, err)
+		}
+		if !v.Clean || v.Records != goldenEpochs {
+			t.Fatalf("%s: verify = %+v, want clean with %d records", tc.dir, v, goldenEpochs)
+		}
+	}
+}
+
+const goldenEpochs = 5
+
+func goldenV1Record(e int) Record { return testRecord(e) }
+
+func goldenV2Record(e int) Record {
+	r := testRecord(e)
+	r.ObjectID = "obj-0001"
+	r.Class = "hot"
+	r.Displaced = e % 2
+	return r
+}
+
+// TestGoldenRegenerate rewrites the golden segments. Gated behind
+// GOLDEN_REGEN so a routine test run can never silently re-bless the
+// current encoder's output as the compatibility baseline.
+func TestGoldenRegenerate(t *testing.T) {
+	if os.Getenv("GOLDEN_REGEN") == "" {
+		t.Skip("set GOLDEN_REGEN=1 to rewrite golden segments")
+	}
+	for _, tc := range []struct {
+		dir  string
+		want func(e int) Record
+	}{
+		{"golden_v1", goldenV1Record},
+		{"golden_v2", goldenV2Record},
+	} {
+		dir := filepath.Join("testdata", tc.dir)
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 1; e <= goldenEpochs; e++ {
+			if err := l.Append(tc.want(e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/georep/georep/internal/cluster"
 	"github.com/georep/georep/internal/coord"
+	"github.com/georep/georep/internal/provenance"
 	"github.com/georep/georep/internal/vec"
 )
 
@@ -72,6 +73,12 @@ type Record struct {
 	ObjectID  string
 	Class     string
 	Displaced int
+	// Prov is the epoch's decision provenance — outcome reason with its
+	// gating inputs, cost decomposition, scored counterfactuals, and
+	// online regret (see internal/provenance). Records carrying it
+	// encode as version 3; nil keeps the v1/v2 encoding, byte-identical
+	// to pre-provenance ledgers.
+	Prov *provenance.Record
 }
 
 // Validate checks the structural invariants DecodeRecord enforces on
@@ -140,6 +147,11 @@ func (r *Record) Validate() error {
 			return fmt.Errorf("ledger: micro %d is non-finite", i)
 		}
 	}
+	if r.Prov != nil {
+		if err := r.Prov.Validate(func(node int) bool { return cand[node] }); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -166,10 +178,17 @@ func finiteVec(v vec.Vec) bool {
 // as a varint) after the version-1 payload; a record whose identity
 // fields are all zero still encodes as version 1, so single-object
 // ledgers stay byte-identical across the format revision and old
-// readers keep working on them.
+// readers keep working on them. Version 3 appends the decision
+// provenance (reason/held, cost decomposition with per-DC shares,
+// gating inputs, scored counterfactuals, regret) after the version-2
+// tail — the v2 identity fields are always present in a v3 record, even
+// when zero. A record without provenance keeps the v1/v2 gating, so
+// ledgers written with capture off are byte-identical to pre-provenance
+// ones and old readers keep decoding them.
 const (
 	recordVersion   = 1
 	recordVersionV2 = 2
+	recordVersionV3 = 3
 )
 
 func appendF64(b []byte, v float64) []byte {
@@ -207,10 +226,14 @@ func appendString(b []byte, s string) []byte {
 // appendRecord serializes r onto b. It allocates only when b lacks
 // capacity, so the ledger can reuse one scratch buffer across appends.
 func appendRecord(b []byte, r *Record) []byte {
+	v3 := r.Prov != nil
 	v2 := r.ObjectID != "" || r.Class != "" || r.Displaced != 0
-	if v2 {
+	switch {
+	case v3:
+		b = append(b, recordVersionV3)
+	case v2:
 		b = append(b, recordVersionV2)
-	} else {
+	default:
 		b = append(b, recordVersion)
 	}
 	b = binary.AppendVarint(b, int64(r.Epoch))
@@ -242,11 +265,49 @@ func appendRecord(b []byte, r *Record) []byte {
 		b = appendVec(b, m.Sum)
 		b = appendVec(b, m.Sum2)
 	}
-	if v2 {
+	if v2 || v3 {
 		b = appendString(b, r.ObjectID)
 		b = appendString(b, r.Class)
 		b = binary.AppendVarint(b, int64(r.Displaced))
 	}
+	if v3 {
+		b = appendProv(b, r.Prov)
+	}
+	return b
+}
+
+// appendProv serializes the v3 provenance tail in field order: reason,
+// held, cost decomposition, gating inputs, per-DC shares, scored
+// counterfactuals, and the regret summary.
+func appendProv(b []byte, p *provenance.Record) []byte {
+	b = append(b, byte(p.Reason))
+	b = appendBool(b, p.Held)
+	b = appendF64(b, p.ChosenCostMs)
+	b = appendF64(b, p.ReadMs)
+	b = appendF64(b, p.WriteMs)
+	b = appendF64(b, p.MigrateMs)
+	b = appendF64(b, p.GateBurn)
+	b = binary.AppendVarint(b, int64(p.GateMissing))
+	b = appendF64(b, p.GateDrift)
+	b = appendF64(b, p.GateOccupancy)
+	b = binary.AppendUvarint(b, uint64(len(p.PerDC)))
+	for i := range p.PerDC {
+		d := &p.PerDC[i]
+		b = binary.AppendVarint(b, int64(d.Node))
+		b = appendF64(b, d.Weight)
+		b = appendF64(b, d.MeanMs)
+	}
+	b = binary.AppendUvarint(b, uint64(len(p.Counterfactuals)))
+	for i := range p.Counterfactuals {
+		c := &p.Counterfactuals[i]
+		b = append(b, byte(c.Source))
+		b = appendF64(b, c.CostMs)
+		b = appendF64(b, c.DeltaMs)
+		b = appendInts(b, c.Replicas)
+	}
+	b = appendF64(b, p.BestAltMs)
+	b = appendF64(b, p.RegretMs)
+	b = appendF64(b, p.RegretRatio)
 	return b
 }
 
@@ -288,6 +349,19 @@ func (d *recReader) f64() float64 {
 	}
 	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
 	d.off += 8
+	return v
+}
+
+func (d *recReader) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
 	return v
 }
 
@@ -382,7 +456,7 @@ func DecodeRecord(b []byte) (Record, error) {
 	if len(b) == 0 {
 		return Record{}, fmt.Errorf("ledger: decode record: empty payload")
 	}
-	if b[0] != recordVersion && b[0] != recordVersionV2 {
+	if b[0] != recordVersion && b[0] != recordVersionV2 && b[0] != recordVersionV3 {
 		return Record{}, fmt.Errorf("ledger: decode record: unknown version %d", b[0])
 	}
 	d := &recReader{b: b, off: 1}
@@ -419,10 +493,45 @@ func DecodeRecord(b []byte) (Record, error) {
 			r.Micros[i].Sum2 = d.vec()
 		}
 	}
-	if b[0] == recordVersionV2 {
+	if b[0] == recordVersionV2 || b[0] == recordVersionV3 {
 		r.ObjectID = d.string()
 		r.Class = d.string()
 		r.Displaced = int(d.varint())
+	}
+	if b[0] == recordVersionV3 {
+		p := &provenance.Record{}
+		p.Reason = provenance.Reason(d.u8())
+		p.Held = d.bool()
+		p.ChosenCostMs = d.f64()
+		p.ReadMs = d.f64()
+		p.WriteMs = d.f64()
+		p.MigrateMs = d.f64()
+		p.GateBurn = d.f64()
+		p.GateMissing = int(d.varint())
+		p.GateDrift = d.f64()
+		p.GateOccupancy = d.f64()
+		if n := d.count(17); n > 0 { // a share is node + two floats
+			p.PerDC = make([]provenance.DCShare, n)
+			for i := range p.PerDC {
+				p.PerDC[i].Node = int(d.varint())
+				p.PerDC[i].Weight = d.f64()
+				p.PerDC[i].MeanMs = d.f64()
+			}
+		}
+		if n := d.count(18); n > 0 { // source + two floats + empty replicas
+			p.Counterfactuals = make([]provenance.Candidate, n)
+			for i := range p.Counterfactuals {
+				c := &p.Counterfactuals[i]
+				c.Source = provenance.Source(d.u8())
+				c.CostMs = d.f64()
+				c.DeltaMs = d.f64()
+				c.Replicas = d.ints()
+			}
+		}
+		p.BestAltMs = d.f64()
+		p.RegretMs = d.f64()
+		p.RegretRatio = d.f64()
+		r.Prov = p
 	}
 	if d.err != nil {
 		return Record{}, d.err

@@ -3,6 +3,8 @@ package placement
 import (
 	"encoding/binary"
 	"math"
+
+	"github.com/georep/georep/internal/provenance"
 )
 
 // Group-solve refinement: an exhaustive branch-and-bound search over
@@ -101,12 +103,36 @@ func (s *Service) refine(leader *Object, proposed []int) []int {
 	best := append([]int(nil), proposed...)
 	bestVal := objective(proposed)
 	proposedVal := bestVal
+
+	// Provenance frontier: every time the incumbent improves, the placement
+	// it displaces was a fully scored alternative — record it with its
+	// mean-delay cost. Sources track where each incumbent came from: the
+	// k-means proposal, the bound cache, or a branch-and-bound leaf.
+	var mass float64
+	for i := range w {
+		mass += w[i]
+	}
+	meanOf := func(total float64) float64 {
+		if mass > 0 {
+			return total / mass
+		}
+		return 0
+	}
+	curSrc := provenance.SourceProposed
+	demote := func(newSrc provenance.Source, displacedVal float64, displaced []int) {
+		if s.cfg.Object.Provenance {
+			s.pushFrontier(leader, curSrc, meanOf(displacedVal), displaced)
+		}
+		curSrc = newSrc
+	}
+
 	var key string
 	if s.bounds != nil {
 		key = s.bounds.keyFor(leader.sig)
 		if cached, ok := s.bounds.m[key]; ok && len(cached) == k {
 			s.stats.BoundHits++
 			if v := objective(cached); v < bestVal {
+				demote(provenance.SourceCached, bestVal, best)
 				bestVal = v
 				best = append(best[:0], cached...)
 			}
@@ -130,6 +156,7 @@ func (s *Service) refine(leader *Object, proposed []int) []int {
 				total += w[i] * cur[depth*nm+i]
 			}
 			if total < bestVal {
+				demote(provenance.SourceFrontier, bestVal, best)
 				bestVal = total
 				for i, ci := range pick {
 					best[i] = s.cfg.Candidates[ci]
@@ -172,4 +199,21 @@ func (s *Service) refine(leader *Object, proposed []int) []int {
 		s.stats.Refined++
 	}
 	return best
+}
+
+// pushFrontier appends one displaced incumbent to the leader's scored
+// frontier, keeping the provenance-record bound: when full, the oldest
+// entry goes — incumbents only improve, so the oldest is the most
+// expensive and least interesting alternative.
+func (s *Service) pushFrontier(leader *Object, src provenance.Source, meanMs float64, reps []int) {
+	f := leader.frontier
+	if len(f) >= provenance.MaxCounterfactuals {
+		copy(f, f[1:])
+		f = f[:len(f)-1]
+	}
+	leader.frontier = append(f, provenance.Candidate{
+		Source:   src,
+		CostMs:   meanMs,
+		Replicas: append([]int(nil), reps...),
+	})
 }

@@ -38,6 +38,7 @@ import (
 	"github.com/georep/georep/internal/cluster"
 	"github.com/georep/georep/internal/coord"
 	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/provenance"
 	"github.com/georep/georep/internal/replica"
 	"github.com/georep/georep/internal/vec"
 )
@@ -154,6 +155,16 @@ type Object struct {
 	warm     []vec.Vec
 	final    []int // this epoch's post-capacity placement
 	occupied []int // capacity mode: slots this object currently holds (node ids)
+
+	// Leader-only provenance capture (Object template has Provenance
+	// on): the signature drift measured at this epoch's dispatch,
+	// whether it skipped the solve, and the alternative placements the
+	// solve actually scored (read-objective mean cost per candidate).
+	// The frontier aliases leader scratch; CompleteEpoch copies what it
+	// keeps.
+	drift        float64
+	driftSkipped bool
+	frontier     []provenance.Candidate
 }
 
 // Service places many objects over one shared world with amortized
@@ -398,6 +409,15 @@ func (o *Object) LastDecision() replica.Decision {
 	return o.lastDec
 }
 
+// LastProvenance returns the provenance record the object's most recent
+// epoch captured, or nil when the service runs without provenance. The
+// record is reused across epochs; copy it to keep it past the next tick.
+func (o *Object) LastProvenance() *provenance.Record {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.mgr.LastProvenance()
+}
+
 // EndEpoch runs one fleet-wide placement epoch: collect every object,
 // group by demand signature, solve once per group (warm-started,
 // drift-skipped, optionally refined), settle capacity, and complete
@@ -450,6 +470,20 @@ func (s *Service) EndEpochDegraded(reachable func(node int) bool) (EpochStats, e
 	// Phase 3 — capacity: settle slot competition (capacity mode only).
 	displaced := s.settleCapacity()
 
+	// Provenance gating input: fleet-wide slot occupancy after settling,
+	// one scalar shared by every object completed this epoch.
+	occFrac := 0.0
+	if s.cfg.Object.Provenance && s.cfg.Capacity != nil {
+		slots, used := 0, 0
+		for i, c := range s.cfg.Capacity {
+			slots += c
+			used += s.occ[i]
+		}
+		if slots > 0 {
+			occFrac = float64(used) / float64(slots)
+		}
+	}
+
 	// Phase 4 — complete: finish every object's epoch in registration
 	// order so ledger interleaving is deterministic.
 	for _, o := range s.objects {
@@ -464,6 +498,13 @@ func (s *Service) EndEpochDegraded(reachable func(node int) bool) (EpochStats, e
 				d = displaced[o.idx]
 			}
 			ov = &replica.EpochOverride{Proposed: proposed, Forced: forced, Displaced: d}
+			if s.cfg.Object.Provenance {
+				leader := s.objects[o.leader]
+				ov.DriftSkipped = leader.driftSkipped
+				ov.Drift = leader.drift
+				ov.Occupancy = occFrac
+				ov.Frontier = leader.frontier
+			}
 		}
 		o.mu.Lock()
 		dec, err := o.mgr.CompleteEpoch(nil, o.pending, ov)
@@ -517,9 +558,15 @@ func (s *Service) solveGroups() error {
 	k := s.cfg.Object.K
 	for _, li := range s.leaders {
 		leader := s.objects[li]
+		leader.drift, leader.driftSkipped = 0, false
+		leader.frontier = leader.frontier[:0]
+		if leader.solved {
+			leader.drift = sigDist(leader.sig, leader.lastSig)
+		}
 		if s.cfg.DriftThreshold > 0 && leader.solved && len(leader.cached) == k &&
-			sigDist(leader.sig, leader.lastSig) < s.cfg.DriftThreshold {
+			leader.drift < s.cfg.DriftThreshold {
 			s.stats.DriftSkips++
+			leader.driftSkipped = true
 			continue // converged group: cached placement stands
 		}
 		r := rand.New(rand.NewSource(s.cfg.Seed + int64(s.epoch)*epochSeedStride + int64(leader.idx)))

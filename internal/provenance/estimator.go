@@ -1,0 +1,69 @@
+package provenance
+
+import "github.com/georep/georep/internal/metrics"
+
+// Estimator is the live online-regret estimator: it folds each epoch's
+// provenance record into provenance_* gauges and counters so the regret
+// the system is accruing against its own scored alternatives — and the
+// reasons its decisions are coming out the way they are — show up on
+// every metrics surface (and, through the georep_ Prometheus prefix, in
+// provenance_regret_ratio, the SLO-able form: gauge(
+// provenance_regret_ratio) <= BOUND in the SLO DSL pages when the
+// chosen placements drift too far from the best recorded
+// counterfactuals).
+//
+// Handles are resolved once at construction; Observe is a handful of
+// atomic stores on the epoch path. A nil Estimator is a no-op.
+type Estimator struct {
+	epochs      *metrics.Counter
+	withCF      *metrics.Counter
+	chosenMs    *metrics.Gauge
+	bestAltMs   *metrics.Gauge
+	regretMs    *metrics.Gauge
+	regretRatio *metrics.Gauge
+	regretTotal *metrics.Gauge
+	reasons     [reasonCount]*metrics.Counter
+}
+
+// NewEstimator resolves the estimator's metric handles on r. The
+// regret-ratio gauge starts at 1 (no regret) so an SLO objective over it
+// is well-defined from the first scrape.
+func NewEstimator(r *metrics.Registry) *Estimator {
+	e := &Estimator{
+		epochs:      r.Counter("provenance_epochs_total"),
+		withCF:      r.Counter("provenance_epochs_with_counterfactuals_total"),
+		chosenMs:    r.Gauge("provenance_chosen_cost_ms"),
+		bestAltMs:   r.Gauge("provenance_best_alt_ms"),
+		regretMs:    r.Gauge("provenance_regret_ms"),
+		regretRatio: r.Gauge("provenance_regret_ratio"),
+		regretTotal: r.Gauge("provenance_regret_ms_total"),
+	}
+	for reason := ReasonSteady; reason < reasonCount; reason++ {
+		e.reasons[reason] = r.Counter("provenance_reason_" + reason.String() + "_total")
+	}
+	e.regretRatio.Set(1)
+	return e
+}
+
+// Observe folds one finalized record into the live gauges.
+func (e *Estimator) Observe(rec *Record) {
+	if e == nil {
+		return
+	}
+	e.epochs.Inc()
+	if rec.Reason < reasonCount {
+		e.reasons[rec.Reason].Inc()
+	}
+	e.chosenMs.Set(rec.ChosenCostMs)
+	if len(rec.Counterfactuals) > 0 {
+		e.withCF.Inc()
+		e.bestAltMs.Set(rec.BestAltMs)
+	}
+	e.regretMs.Set(rec.RegretMs)
+	ratio := rec.RegretRatio
+	if ratio == 0 {
+		ratio = 1
+	}
+	e.regretRatio.Set(ratio)
+	e.regretTotal.Add(rec.RegretMs)
+}

@@ -3,6 +3,7 @@ package replica
 import (
 	"github.com/georep/georep/internal/cluster"
 	"github.com/georep/georep/internal/ledger"
+	"github.com/georep/georep/internal/provenance"
 )
 
 // appendLedger writes the completed epoch's provenance record. The
@@ -15,6 +16,10 @@ func (m *Manager) appendLedger(prev []int, micros []cluster.Micro, dec Decision,
 		coords = append(coords, m.coords[c])
 	}
 	m.coordScratch = coords[:0]
+	var prov *provenance.Record
+	if m.provReady {
+		prov = &m.prov // aliases capture scratch; Append serializes synchronously
+	}
 	return m.cfg.Ledger.Append(ledger.Record{
 		Epoch:            m.epoch,
 		K:                dec.K,
@@ -37,5 +42,6 @@ func (m *Manager) appendLedger(prev []int, micros []cluster.Micro, dec Decision,
 		ObjectID:         m.cfg.ObjectID,
 		Class:            m.cfg.Class,
 		Displaced:        dec.Displaced,
+		Prov:             prov,
 	})
 }

@@ -11,6 +11,7 @@ import (
 	"github.com/georep/georep/internal/coord"
 	"github.com/georep/georep/internal/ledger"
 	"github.com/georep/georep/internal/metrics"
+	"github.com/georep/georep/internal/provenance"
 	"github.com/georep/georep/internal/replog"
 	"github.com/georep/georep/internal/trace"
 	"github.com/georep/georep/internal/vec"
@@ -94,6 +95,21 @@ type Config struct {
 	// service stops spending availability on optional data movement.
 	// Forced reshapes (k changes, capacity displacement) still apply.
 	HoldMigrations func() bool
+	// Provenance captures a per-epoch decision provenance record: the
+	// chosen placement's cost decomposition, the counterfactual
+	// placements the epoch actually scored with their deltas, and the
+	// outcome reason with its gating inputs. The record rides the
+	// ledger as codec v3 when Ledger is set, and feeds the live
+	// provenance_* regret gauges when Metrics is set. Capture is
+	// bounded and allocation-free in steady state; off (the default)
+	// the epoch path and the ledger bytes are identical to a
+	// pre-provenance manager.
+	Provenance bool
+	// BurnRate, when non-nil, supplies the live SLO burn rate recorded
+	// as a provenance gating input alongside HoldMigrations' verdict
+	// (slo.Engine.MaxBurnRate is the intended source). Only consulted
+	// when Provenance is on.
+	BurnRate func() float64
 }
 
 // newServer builds a server in the configured recency/sharding mode.
@@ -249,6 +265,28 @@ type Manager struct {
 	coordScratch []coord.Coordinate
 	estScratch   vec.Vec
 	kmScratch    cluster.KMeansScratch
+
+	// Provenance capture state (cfg.Provenance). prov is the one decision
+	// record, reused every epoch; provReady marks that the just-completed
+	// epoch filled it, so the deferred ledger append knows whether to
+	// attach the v3 tail. The remaining fields are capture scratch: the
+	// swap-probe placement and the per-DC attribution accumulators.
+	prov        provenance.Record
+	provReady   bool
+	provEst     *provenance.Estimator
+	swapScratch []int
+	dcwScratch  []float64
+	dcdScratch  []float64
+	// Per-micro cache filled once per captured epoch by attributePerDC
+	// and reused by the swap probes: flattened centroids, weights, the
+	// nearest adopted replica's cost and slot, and the runner-up cost
+	// (what a micro pays if its nearest is swapped away).
+	provCent  []float64
+	provW     []float64
+	provBest  []float64
+	provBest2 []float64
+	provOwner []int
+	provMass  float64
 }
 
 // PendingEpoch is the opaque collect-phase state between BeginEpoch and
@@ -296,6 +334,20 @@ type EpochOverride struct {
 	Proposed  []int
 	Forced    bool
 	Displaced int
+
+	// Provenance inputs from the multi-object service, recorded (when
+	// Config.Provenance is on) as the epoch's gating context and merged
+	// into the counterfactual ranking. DriftSkipped marks that the
+	// group leader's demand signature moved less than the drift
+	// threshold so the cached solve was reused; Drift is that signature
+	// distance; Occupancy is the fleet-wide capacity fill fraction at
+	// settle time; Frontier lists the alternative placements the group
+	// solve actually scored (k-means seed, cache seed, branch-and-bound
+	// incumbents) with their read-objective mean costs.
+	DriftSkipped bool
+	Drift        float64
+	Occupancy    float64
+	Frontier     []provenance.Candidate
 }
 
 // staleSummary is a cached summary with its age in epochs (0 = collected
@@ -355,6 +407,9 @@ func NewManager(cfg Config, candidates []int, coords []coord.Coordinate, initial
 		lastKnown:  make(map[int]staleSummary),
 	}
 	m.met.k.Set(float64(cfg.K))
+	if cfg.Provenance && cfg.Metrics != nil {
+		m.provEst = provenance.NewEstimator(cfg.Metrics)
+	}
 	for _, rep := range m.replicas {
 		srv, err := cfg.newServer(rep)
 		if err != nil {
@@ -376,6 +431,18 @@ func (m *Manager) Epoch() int { return m.epoch }
 
 // Migrations returns how many epochs ended in an adopted migration.
 func (m *Manager) Migrations() int { return m.migrations }
+
+// LastProvenance returns the provenance record the most recent
+// completed epoch captured, or nil when the manager runs without
+// Config.Provenance (or no epoch has completed yet). The record is
+// reused across epochs: callers that need it past the next epoch tick
+// must copy it.
+func (m *Manager) LastProvenance() *provenance.Record {
+	if !m.provReady {
+		return nil
+	}
+	return &m.prov
+}
 
 // Route returns the replica that should serve a client at the given
 // coordinate — the one with the smallest predicted RTT (§II-A).
@@ -583,6 +650,7 @@ func (m *Manager) BeginEpoch(reachable func(node int) bool) (*PendingEpoch, erro
 func (m *Manager) CompleteEpoch(r *rand.Rand, p *PendingEpoch, ov *EpochOverride) (dec Decision, err error) {
 	root := p.root
 	defer root.End() // idempotent; covers every return path
+	m.provReady = false
 	micros, reachable := p.micros, p.reachable
 	if m.cfg.Ledger != nil {
 		defer func() {
@@ -616,9 +684,11 @@ func (m *Manager) CompleteEpoch(r *rand.Rand, p *PendingEpoch, ov *EpochOverride
 				dec.EstimatedOldMs, dec.EstimatedNewMs = est, est
 			}
 		}
+		m.provTrivial(provenance.ReasonQuorumGated, p, ov, &dec)
 		return dec, m.decaySummaries(reachable)
 	}
 	if len(micros) == 0 {
+		m.provTrivial(provenance.ReasonSteady, p, ov, &dec)
 		return dec, nil // silent epoch: nothing to learn from
 	}
 
@@ -736,6 +806,8 @@ func (m *Manager) CompleteEpoch(r *rand.Rand, p *PendingEpoch, ov *EpochOverride
 		m.met.leader.Set(float64(dec.Leader))
 	}
 	ds.End()
+
+	m.provDecide(p, ov, &dec, gateOld, gateNew, proposed)
 
 	// Age the surviving summaries so the next epoch reflects recent use.
 	return dec, m.decaySummaries(reachable)

@@ -413,6 +413,27 @@ func (e *Engine) BudgetExhausted() bool {
 	return false
 }
 
+// MaxBurnRate reports the highest burn rate observed across all
+// objectives and windows at the last Tick — the single scalar the
+// provenance layer records as a decision's burn-rate gating input. A
+// nil or objective-less engine reports 0.
+func (e *Engine) MaxBurnRate() float64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	max := 0.0
+	for _, s := range e.objs {
+		for _, b := range [4]float64{s.burnFS, s.burnFL, s.burnSS, s.burnSL} {
+			if b > max {
+				max = b
+			}
+		}
+	}
+	return max
+}
+
 // ObjectiveStatus is one objective's row in Status.
 type ObjectiveStatus struct {
 	Name            string             `json:"name"`

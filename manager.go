@@ -72,6 +72,17 @@ type ManagerConfig struct {
 	// (demand-weighted, default) or "fanout" (lowest replication cost).
 	// Ignored when WriteFraction is zero.
 	LeaderPolicy string
+	// Provenance enables per-epoch decision provenance: each epoch's
+	// ledger record (and metrics, when available) carries the chosen
+	// placement's cost decomposition, the counterfactual candidates the
+	// solver actually scored, the gating inputs, and a structured reason.
+	// Off by default; with it off, ledger bytes are identical to prior
+	// versions.
+	Provenance bool
+	// BurnRate, when non-nil with Provenance on, supplies the SLO error-
+	// budget burn rate captured in each decision's gating inputs (e.g.
+	// an slo.Engine's MaxBurnRate).
+	BurnRate func() float64
 }
 
 // EpochReport describes what one epoch's coordination cycle concluded.
@@ -193,6 +204,8 @@ func (d *Deployment) NewManager(cfg ManagerConfig) (*Manager, error) {
 		Ledger:        cfg.Ledger,
 		WriteFraction: cfg.WriteFraction,
 		LeaderPolicy:  leaderPolicy,
+		Provenance:    cfg.Provenance,
+		BurnRate:      cfg.BurnRate,
 	}
 	inner, err := replica.NewManager(rcfg, cfg.Candidates, d.coords, cfg.InitialReplicas)
 	if err != nil {

@@ -104,6 +104,8 @@ func (d *Deployment) NewMultiObject(cfg MultiObjectConfig) (*MultiObject, error)
 			IngestShards: cfg.Object.IngestShards,
 			Quorum:       cfg.Object.Quorum,
 			Ledger:       cfg.Object.Ledger,
+			Provenance:   cfg.Object.Provenance,
+			BurnRate:     cfg.Object.BurnRate,
 		},
 		Candidates:          cfg.Object.Candidates,
 		Coords:              d.coords,
